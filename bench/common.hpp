@@ -1,0 +1,107 @@
+#pragma once
+
+// Shared infrastructure for the figure/table reproduction harnesses:
+// problem builders with target per-subdomain sizes, timing helpers for the
+// preprocessing and application phases, and approach sweeps.
+//
+// Problem sizes are scaled to this machine (the paper ran on 128-core +
+// A100 nodes with up to 2000 subdomains; the harnesses use a 2x2 / 2x2x2
+// subdomain grid and sweep per-subdomain DOFs). All harnesses print both a
+// human-readable table and CSV, plus a "shape check" verdict comparing the
+// measured trend against the paper's qualitative claim.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "core/feti_solver.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace feti::bench {
+
+struct BuiltProblem {
+  decomp::FetiProblem problem;
+  idx dofs_per_subdomain = 0;
+  idx num_subdomains = 0;
+};
+
+/// 2D problem with ~target DOFs per subdomain on a 2x2 subdomain grid.
+inline BuiltProblem build_2d(fem::Physics physics, idx cells_per_subdomain,
+                             mesh::ElementOrder order) {
+  const idx c = cells_per_subdomain, splits = 2;
+  mesh::Mesh m = mesh::make_grid_2d(c * splits, c * splits, order);
+  auto dec = mesh::decompose_2d(m, c * splits, c * splits, splits, splits);
+  BuiltProblem bp{decomp::build_feti_problem(dec, physics), 0,
+                  static_cast<idx>(dec.subdomains.size())};
+  bp.dofs_per_subdomain = bp.problem.max_subdomain_dofs();
+  return bp;
+}
+
+/// 3D problem with ~target DOFs per subdomain on a 2x2x2 subdomain grid.
+inline BuiltProblem build_3d(fem::Physics physics, idx cells_per_subdomain,
+                             mesh::ElementOrder order) {
+  const idx c = cells_per_subdomain, splits = 2;
+  mesh::Mesh m = mesh::make_grid_3d(c * splits, c * splits, c * splits, order);
+  auto dec = mesh::decompose_3d(m, c * splits, c * splits, c * splits, splits,
+                                splits, splits);
+  BuiltProblem bp{decomp::build_feti_problem(dec, physics), 0,
+                  static_cast<idx>(dec.subdomains.size())};
+  bp.dofs_per_subdomain = bp.problem.max_subdomain_dofs();
+  return bp;
+}
+
+inline BuiltProblem build_problem(int dim, fem::Physics physics,
+                                  idx cells_per_subdomain,
+                                  mesh::ElementOrder order) {
+  return dim == 2 ? build_2d(physics, cells_per_subdomain, order)
+                  : build_3d(physics, cells_per_subdomain, order);
+}
+
+/// Measured per-subdomain times of one dual-operator configuration.
+struct DualOpTiming {
+  double preprocess_ms = 0.0;  ///< per subdomain
+  double apply_ms = 0.0;       ///< per subdomain, per application
+};
+
+/// Prepares the operator, then measures median preprocessing and
+/// application times (normalized per subdomain).
+inline DualOpTiming measure_dualop(const decomp::FetiProblem& problem,
+                                   const core::DualOpConfig& config,
+                                   gpu::Device& device, int reps = 3,
+                                   double min_seconds = 0.02) {
+  auto op = core::make_dual_operator(problem, config, &device);
+  op->prepare();
+  op->preprocess();  // warm-up
+  DualOpTiming t;
+  t.preprocess_ms =
+      measure_median_seconds(reps, min_seconds, [&] { op->preprocess(); }) *
+      1e3 / problem.num_subdomains();
+  std::vector<double> x(static_cast<std::size_t>(problem.num_lambdas), 1.0);
+  std::vector<double> y(x.size(), 0.0);
+  op->apply(x.data(), y.data());  // warm-up
+  t.apply_ms = measure_median_seconds(std::max(reps, 5), min_seconds,
+                                      [&] { op->apply(x.data(), y.data()); }) *
+               1e3 / problem.num_subdomains();
+  return t;
+}
+
+inline core::DualOpConfig config_for(core::Approach approach, int dim,
+                                     idx dofs) {
+  core::DualOpConfig cfg;
+  cfg.approach = approach;
+  const auto api = approach == core::Approach::ExplModern ||
+                           approach == core::Approach::ImplModern
+                       ? gpu::sparse::Api::Modern
+                       : gpu::sparse::Api::Legacy;
+  cfg.gpu = core::recommend_options(api, dim, dofs);
+  return cfg;
+}
+
+/// Emits the standard harness footer: a PASS/DEVIATION line per shape check.
+inline void shape_check(const char* claim, bool holds) {
+  std::printf("shape-check [%s]: %s\n", holds ? "PASS" : "DEVIATION", claim);
+}
+
+}  // namespace feti::bench

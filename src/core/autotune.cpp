@@ -1,0 +1,41 @@
+#include "core/autotune.hpp"
+
+namespace feti::core {
+
+ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
+                                     idx dofs_per_subdomain) {
+  ExplicitGpuOptions opt;
+  // Table II, row "path": SYRK for both API generations.
+  opt.path = Path::Syrk;
+  // Scatter/gather: GPU ("better for a wider range of subdomain sizes",
+  // Section V-A-e).
+  opt.scatter_gather = SgLocation::Gpu;
+
+  if (api == gpu::sparse::Api::Modern) {
+    // Modern generic API: the sparse TRSM underperforms, so dense storage
+    // always wins; dense factors are kept col-major; the RHS order follows
+    // the aspect ratio of B̃ᵀ (2D: narrow -> col-major, 3D: wide ->
+    // row-major).
+    opt.fwd_storage = FactorStorage::Dense;
+    opt.bwd_storage = FactorStorage::Dense;
+    opt.fwd_order = la::Layout::ColMajor;
+    opt.bwd_order = la::Layout::ColMajor;
+    opt.rhs_order = dim == 2 ? la::Layout::ColMajor : la::Layout::RowMajor;
+  } else {
+    // Legacy API: 2D factors stay very sparse -> sparse storage; 3D factors
+    // are denser -> dense below ~12k DOFs, sparse above. Sparse factors are
+    // passed row-major (CSC costs extra memory), dense ones col-major. The
+    // RHS is row-major (col-major costs a temporary copy of the RHS).
+    const bool sparse_factor =
+        dim == 2 || dofs_per_subdomain > 12000;
+    opt.fwd_storage =
+        sparse_factor ? FactorStorage::Sparse : FactorStorage::Dense;
+    opt.bwd_storage = opt.fwd_storage;
+    opt.fwd_order = sparse_factor ? la::Layout::RowMajor : la::Layout::ColMajor;
+    opt.bwd_order = opt.fwd_order;
+    opt.rhs_order = la::Layout::RowMajor;
+  }
+  return opt;
+}
+
+}  // namespace feti::core

@@ -1,0 +1,17 @@
+#pragma once
+
+// Auto-configuration of the explicit-assembly parameters — the Table-II
+// recommendation logic of the paper ("In our implementation, we have an
+// option to auto-configure these parameters based on the problem that is
+// being solved").
+
+#include "core/config.hpp"
+
+namespace feti::core {
+
+/// Returns the recommended Table-II parameter set for a given CUDA API
+/// generation, problem dimensionality, and subdomain size (DOFs).
+ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
+                                     idx dofs_per_subdomain);
+
+}  // namespace feti::core

@@ -1,0 +1,81 @@
+#include "core/config.hpp"
+
+namespace feti::core {
+
+const char* to_string(Approach a) {
+  switch (a) {
+    case Approach::ImplMkl: return "impl mkl";
+    case Approach::ImplCholmod: return "impl cholmod";
+    case Approach::ImplLegacy: return "impl legacy";
+    case Approach::ImplModern: return "impl modern";
+    case Approach::ExplMkl: return "expl mkl";
+    case Approach::ExplCholmod: return "expl cholmod";
+    case Approach::ExplLegacy: return "expl legacy";
+    case Approach::ExplModern: return "expl modern";
+    case Approach::ExplHybrid: return "expl hybrid";
+  }
+  return "?";
+}
+
+std::vector<Approach> all_approaches() {
+  return {Approach::ImplMkl,     Approach::ImplCholmod, Approach::ImplLegacy,
+          Approach::ImplModern,  Approach::ExplMkl,     Approach::ExplCholmod,
+          Approach::ExplLegacy,  Approach::ExplModern,  Approach::ExplHybrid};
+}
+
+bool uses_gpu(Approach a) {
+  switch (a) {
+    case Approach::ImplLegacy:
+    case Approach::ImplModern:
+    case Approach::ExplLegacy:
+    case Approach::ExplModern:
+    case Approach::ExplHybrid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_explicit(Approach a) {
+  switch (a) {
+    case Approach::ExplMkl:
+    case Approach::ExplCholmod:
+    case Approach::ExplLegacy:
+    case Approach::ExplModern:
+    case Approach::ExplHybrid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* to_string(Path p) { return p == Path::Trsm ? "TRSM" : "SYRK"; }
+
+const char* to_string(FactorStorage s) {
+  return s == FactorStorage::Sparse ? "sparse" : "dense";
+}
+
+const char* to_string(SgLocation s) { return s == SgLocation::Cpu ? "CPU" : "GPU"; }
+
+std::string ExplicitGpuOptions::describe() const {
+  std::string out;
+  out += "path=";
+  out += to_string(path);
+  out += " fwd=";
+  out += to_string(fwd_storage);
+  out += "/";
+  out += la::to_string(fwd_order);
+  if (path == Path::Trsm) {
+    out += " bwd=";
+    out += to_string(bwd_storage);
+    out += "/";
+    out += la::to_string(bwd_order);
+  }
+  out += " rhs=";
+  out += la::to_string(rhs_order);
+  out += " sg=";
+  out += to_string(scatter_gather);
+  return out;
+}
+
+}  // namespace feti::core

@@ -1,0 +1,77 @@
+#pragma once
+
+// Configuration of the dual-operator approaches (Table III) and of the
+// explicit GPU assembly parameter space (Table I).
+
+#include <string>
+#include <vector>
+
+#include "gpu/sparse.hpp"
+#include "la/dense.hpp"
+#include "sparse/ordering.hpp"
+
+namespace feti::core {
+
+/// The nine dual-operator approaches of Table III. The "mkl" and "cholmod"
+/// names refer to the stand-in backends: supernodal (Schur-capable, no
+/// factor export — like MKL PARDISO) and simplicial (factor export — like
+/// CHOLMOD).
+enum class Approach {
+  ImplMkl,      ///< implicit, supernodal solver on CPU
+  ImplCholmod,  ///< implicit, simplicial solver on CPU
+  ImplLegacy,   ///< implicit on GPU, legacy sparse API, simplicial factors
+  ImplModern,   ///< implicit on GPU, modern sparse API, simplicial factors
+  ExplMkl,      ///< explicit via augmented Schur complement on CPU
+  ExplCholmod,  ///< explicit via factor extraction + TRSM on CPU
+  ExplLegacy,   ///< explicit assembly on GPU, legacy sparse API
+  ExplModern,   ///< explicit assembly on GPU, modern sparse API
+  ExplHybrid,   ///< assembly like ExplMkl on CPU, application on GPU
+};
+
+const char* to_string(Approach a);
+std::vector<Approach> all_approaches();
+[[nodiscard]] bool uses_gpu(Approach a);
+[[nodiscard]] bool is_explicit(Approach a);
+
+/// Assembly path for the explicit GPU operator (Table I / Section IV-C).
+enum class Path : std::uint8_t {
+  Trsm,  ///< F = B (U^{-1} (U^{-T} B^T)): two TRSMs + SpMM
+  Syrk,  ///< F = (U^{-T} B^T)^T (U^{-T} B^T): one TRSM + SYRK
+};
+
+/// Sparse vs dense triangular solve (cuSPARSE vs cuBLAS kernels).
+enum class FactorStorage : std::uint8_t { Sparse, Dense };
+
+/// Where the dual-vector scatter/gather runs (Section IV-C).
+enum class SgLocation : std::uint8_t { Cpu, Gpu };
+
+const char* to_string(Path p);
+const char* to_string(FactorStorage s);
+const char* to_string(SgLocation s);
+
+/// The full Table-I parameter set for the explicit GPU assembly.
+struct ExplicitGpuOptions {
+  Path path = Path::Syrk;
+  FactorStorage fwd_storage = FactorStorage::Dense;
+  FactorStorage bwd_storage = FactorStorage::Dense;  ///< TRSM path only
+  la::Layout fwd_order = la::Layout::ColMajor;
+  la::Layout bwd_order = la::Layout::ColMajor;
+  la::Layout rhs_order = la::Layout::RowMajor;
+  SgLocation scatter_gather = SgLocation::Gpu;
+  /// Number of CUDA streams (the paper uses one per OpenMP thread).
+  int streams = 4;
+  /// Footnote 1 of the paper: when F̃ᵢ is symmetric (SYRK path), store only
+  /// one triangle and pack two opposite triangles of equally sized
+  /// subdomains into a single allocation.
+  bool symmetric_pack = false;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct DualOpConfig {
+  Approach approach = Approach::ImplMkl;
+  ExplicitGpuOptions gpu;  ///< consumed by the Expl{Legacy,Modern} operators
+  sparse::OrderingKind ordering = sparse::OrderingKind::MinimumDegree;
+};
+
+}  // namespace feti::core

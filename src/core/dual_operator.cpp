@@ -1,0 +1,107 @@
+#include "core/dual_operator.hpp"
+
+#include <omp.h>
+
+#include "core/dualop_impls.hpp"
+#include "util/omp_guard.hpp"
+#include "la/blas_dense.hpp"
+#include "la/blas_sparse.hpp"
+
+namespace feti::core {
+
+void DualOperator::scatter_cpu(const double* cluster, idx sub,
+                               double* local) const {
+  const auto& map = p_.sub[sub].lm_l2c;
+  for (std::size_t i = 0; i < map.size(); ++i) local[i] = cluster[map[i]];
+}
+
+void DualOperator::gather_add_cpu(const double* local, idx sub,
+                                  double* cluster) const {
+  const auto& map = p_.sub[sub].lm_l2c;
+  for (std::size_t i = 0; i < map.size(); ++i) cluster[map[i]] += local[i];
+}
+
+void DualOperator::compute_d(double* d) const {
+  const idx nsub = p_.num_subdomains();
+  std::vector<std::vector<double>> q(static_cast<std::size_t>(nsub));
+  OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+  for (idx s = 0; s < nsub; ++s) {
+    guard.run([&, s] {
+      const auto& fs = p_.sub[s];
+      std::vector<double> x(static_cast<std::size_t>(fs.ndof()));
+      kplus_solve(s, fs.sys.f.data(), x.data());
+      q[s].assign(static_cast<std::size_t>(fs.num_local_lambdas()), 0.0);
+      la::spmv(1.0, fs.b, x.data(), 0.0, q[s].data());
+    });
+  }
+  guard.rethrow();
+  for (idx j = 0; j < p_.num_lambdas; ++j) d[j] = -p_.c[j];
+  for (idx s = 0; s < nsub; ++s) gather_add_cpu(q[s].data(), s, d);
+}
+
+void DualOperator::primal_solution(
+    const double* lambda, const std::vector<double>& alpha,
+    std::vector<std::vector<double>>& u) const {
+  const idx nsub = p_.num_subdomains();
+  check(alpha.size() == static_cast<std::size_t>(p_.total_kernel_dim()),
+        "primal_solution: alpha size mismatch");
+  u.resize(static_cast<std::size_t>(nsub));
+  std::vector<idx> alpha_offset(static_cast<std::size_t>(nsub) + 1, 0);
+  for (idx s = 0; s < nsub; ++s)
+    alpha_offset[s + 1] = alpha_offset[s] + p_.sub[s].kernel_dim();
+  OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+  for (idx s = 0; s < nsub; ++s) {
+    guard.run([&, s] {
+      const auto& fs = p_.sub[s];
+      std::vector<double> lam(static_cast<std::size_t>(fs.num_local_lambdas()));
+      scatter_cpu(lambda, s, lam.data());
+      std::vector<double> rhs(fs.sys.f);
+      la::spmv_trans(-1.0, fs.b, lam.data(), 1.0, rhs.data());
+      u[s].assign(static_cast<std::size_t>(fs.ndof()), 0.0);
+      kplus_solve(s, rhs.data(), u[s].data());
+      // + Rᵢ αᵢ.
+      la::gemv(1.0, fs.r.cview(), la::Trans::No,
+               alpha.data() + alpha_offset[s], 1.0, u[s].data());
+    });
+  }
+  guard.rethrow();
+}
+
+std::unique_ptr<DualOperator> make_dual_operator(
+    const decomp::FetiProblem& problem, const DualOpConfig& config,
+    gpu::Device* device) {
+  if (uses_gpu(config.approach))
+    check(device != nullptr,
+          "make_dual_operator: this approach requires a GPU device");
+  switch (config.approach) {
+    case Approach::ImplMkl:
+      return make_implicit_cpu(problem, sparse::Backend::Supernodal,
+                               config.ordering);
+    case Approach::ImplCholmod:
+      return make_implicit_cpu(problem, sparse::Backend::Simplicial,
+                               config.ordering);
+    case Approach::ImplLegacy:
+      return make_implicit_gpu(problem, gpu::sparse::Api::Legacy,
+                               config.ordering, *device, config.gpu.streams);
+    case Approach::ImplModern:
+      return make_implicit_gpu(problem, gpu::sparse::Api::Modern,
+                               config.ordering, *device, config.gpu.streams);
+    case Approach::ExplMkl:
+      return make_explicit_cpu_schur(problem, config.ordering);
+    case Approach::ExplCholmod:
+      return make_explicit_cpu_trsm(problem, config.ordering);
+    case Approach::ExplLegacy:
+      return make_explicit_gpu(problem, gpu::sparse::Api::Legacy, config.gpu,
+                               config.ordering, *device);
+    case Approach::ExplModern:
+      return make_explicit_gpu(problem, gpu::sparse::Api::Modern, config.gpu,
+                               config.ordering, *device);
+    case Approach::ExplHybrid:
+      return make_hybrid(problem, config.gpu, config.ordering, *device);
+  }
+  throw std::invalid_argument("make_dual_operator: unknown approach");
+}
+
+}  // namespace feti::core

@@ -1,0 +1,70 @@
+#pragma once
+
+// The FETI dual operator F = B K^+ B^T and its nine implementations
+// (Table III). Lifecycle mirrors Algorithm 2 of the paper:
+//
+//   prepare()     — once: symbolic factorization, persistent GPU memory,
+//                   kernel analysis ("preparation").
+//   preprocess()  — per time step: numeric factorization and, for explicit
+//                   approaches, assembly of the local dual operators F̃ᵢ
+//                   ("FETI preprocessing").
+//   apply(x, y)   — per PCPG iteration: y = F x on cluster-wide dual
+//                   vectors (scatter → local apply → gather).
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "decomp/feti_problem.hpp"
+#include "gpu/runtime.hpp"
+#include "util/timer.hpp"
+
+namespace feti::core {
+
+class DualOperator {
+ public:
+  explicit DualOperator(const decomp::FetiProblem& p) : p_(p) {}
+  virtual ~DualOperator() = default;
+
+  DualOperator(const DualOperator&) = delete;
+  DualOperator& operator=(const DualOperator&) = delete;
+
+  virtual void prepare() = 0;
+  virtual void preprocess() = 0;
+  /// y = F x; x and y are cluster-wide dual vectors (host memory).
+  virtual void apply(const double* x, double* y) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// x = K^+ b for one subdomain (valid after preprocess()).
+  virtual void kplus_solve(idx sub, const double* b, double* x) const = 0;
+
+  // -- shared derived operations --
+
+  /// d = sum_i B̃ᵢ K⁺ᵢ fᵢ − c (right-hand side of the dual system, eq. (7)).
+  void compute_d(double* d) const;
+
+  /// Subdomain solutions uᵢ = K⁺ᵢ(fᵢ − B̃ᵢᵀ λᵢ) + Rᵢ αᵢ (eq. (5)); `alpha`
+  /// holds the concatenated per-subdomain kernel coefficients.
+  void primal_solution(const double* lambda, const std::vector<double>& alpha,
+                       std::vector<std::vector<double>>& u) const;
+
+  [[nodiscard]] const decomp::FetiProblem& problem() const { return p_; }
+  [[nodiscard]] TimingRegistry& timings() { return timings_; }
+
+ protected:
+  /// local[i] = cluster[map_i[i]] for subdomain `sub`.
+  void scatter_cpu(const double* cluster, idx sub, double* local) const;
+  /// cluster[map_i[i]] += local[i]; caller serializes across subdomains.
+  void gather_add_cpu(const double* local, idx sub, double* cluster) const;
+
+  const decomp::FetiProblem& p_;
+  mutable TimingRegistry timings_;
+};
+
+/// Creates the dual operator for the configured approach. `device` is
+/// required for the GPU-backed approaches and ignored otherwise.
+std::unique_ptr<DualOperator> make_dual_operator(
+    const decomp::FetiProblem& problem, const DualOpConfig& config,
+    gpu::Device* device = nullptr);
+
+}  // namespace feti::core

@@ -1,0 +1,289 @@
+// CPU dual-operator implementations:
+//   * implicit (supernodal = "impl mkl", simplicial = "impl cholmod"):
+//     apply = SpMV(B^T) -> forward/backward solve -> SpMV(B), per
+//     subdomain, right-to-left as in eq. (13);
+//   * explicit via augmented Schur complement ("expl mkl"): F̃ᵢ assembled by
+//     the supernodal backend's partial factorization, exploiting the
+//     sparsity of B̃ᵢ;
+//   * explicit via factor extraction + dense-RHS TRSM ("expl cholmod"):
+//     F̃ᵢ = (L^{-1} B̃ᵢᵀ)^T (L^{-1} B̃ᵢᵀ) with a densified right-hand side
+//     (no B̃ᵢ sparsity exploited — the paper's reason it is slowest).
+
+#include <omp.h>
+
+#include "core/dualop_impls.hpp"
+#include "util/omp_guard.hpp"
+#include "la/blas_dense.hpp"
+#include "la/blas_sparse.hpp"
+#include "sparse/simplicial_cholesky.hpp"
+#include "sparse/supernodal_cholesky.hpp"
+
+namespace feti::core {
+
+namespace {
+
+/// Column-permutes B̃ᵢ by the solver's fill-reducing permutation:
+/// (B P^T)(:, new) = B(:, perm[new]), so entry (r, j) moves to (r, iperm[j]).
+la::Csr permute_columns(const la::Csr& b, const std::vector<idx>& perm) {
+  const std::vector<idx> iperm = la::invert_permutation(perm);
+  std::vector<la::Triplet> t;
+  t.reserve(static_cast<std::size_t>(b.nnz()));
+  for (idx r = 0; r < b.nrows(); ++r)
+    for (idx k = b.row_begin(r); k < b.row_end(r); ++k)
+      t.push_back({r, iperm[b.col(k)], b.val(k)});
+  return la::Csr::from_triplets(b.nrows(), b.ncols(), std::move(t));
+}
+
+// ---------------------------------------------------------------------------
+// Implicit CPU (impl mkl / impl cholmod)
+// ---------------------------------------------------------------------------
+
+class ImplicitCpuDualOp final : public DualOperator {
+ public:
+  ImplicitCpuDualOp(const decomp::FetiProblem& p, sparse::Backend backend,
+                    sparse::OrderingKind ordering)
+      : DualOperator(p), backend_(backend), ordering_(ordering) {}
+
+  void prepare() override {
+    ScopedTimer t(timings_, "prepare");
+    const idx nsub = p_.num_subdomains();
+    solvers_.resize(static_cast<std::size_t>(nsub));
+    lam_.resize(solvers_.size());
+    tmp_.resize(solvers_.size());
+    tmp2_.resize(solvers_.size());
+    q_.resize(solvers_.size());
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        solvers_[s] = sparse::make_solver(backend_);
+        solvers_[s]->analyze(p_.sub[s].k_reg, ordering_);
+        lam_[s].resize(static_cast<std::size_t>(p_.sub[s].num_local_lambdas()));
+        tmp_[s].resize(static_cast<std::size_t>(p_.sub[s].ndof()));
+        tmp2_[s].resize(static_cast<std::size_t>(p_.sub[s].ndof()));
+        q_[s].resize(lam_[s].size());
+      });
+    }
+    guard.rethrow();
+  }
+
+  void preprocess() override {
+    ScopedTimer t(timings_, "preprocess");
+    const idx nsub = p_.num_subdomains();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] { solvers_[s]->factorize(p_.sub[s].k_reg); });
+    }
+    guard.rethrow();
+  }
+
+  void apply(const double* x, double* y) override {
+    ScopedTimer t(timings_, "apply");
+    const idx nsub = p_.num_subdomains();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[s];
+        scatter_cpu(x, s, lam_[s].data());
+        la::spmv_trans(1.0, fs.b, lam_[s].data(), 0.0, tmp_[s].data());
+        solvers_[s]->solve(tmp_[s].data(), tmp2_[s].data());
+        la::spmv(1.0, fs.b, tmp2_[s].data(), 0.0, q_[s].data());
+      });
+    }
+    guard.rethrow();
+    std::fill_n(y, p_.num_lambdas, 0.0);
+    for (idx s = 0; s < nsub; ++s) gather_add_cpu(q_[s].data(), s, y);
+  }
+
+  void kplus_solve(idx sub, const double* b, double* x) const override {
+    solvers_[sub]->solve(b, x);
+  }
+
+  [[nodiscard]] const char* name() const override {
+    return backend_ == sparse::Backend::Supernodal ? "impl mkl"
+                                                   : "impl cholmod";
+  }
+
+ private:
+  sparse::Backend backend_;
+  sparse::OrderingKind ordering_;
+  std::vector<std::unique_ptr<sparse::DirectSolver>> solvers_;
+  std::vector<std::vector<double>> lam_, tmp_, tmp2_, q_;
+};
+
+// ---------------------------------------------------------------------------
+// Shared pieces of the explicit CPU operators.
+// ---------------------------------------------------------------------------
+
+/// Common explicit-CPU state: dense F̃ᵢ (upper triangle) + SYMV application.
+class ExplicitCpuBase : public DualOperator {
+ public:
+  using DualOperator::DualOperator;
+
+  void apply(const double* x, double* y) override {
+    ScopedTimer t(timings_, "apply");
+    const idx nsub = p_.num_subdomains();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        scatter_cpu(x, s, lam_[s].data());
+        la::symv(la::Uplo::Upper, 1.0, f_[s].cview(), lam_[s].data(), 0.0,
+                 q_[s].data());
+      });
+    }
+    guard.rethrow();
+    std::fill_n(y, p_.num_lambdas, 0.0);
+    for (idx s = 0; s < nsub; ++s) gather_add_cpu(q_[s].data(), s, y);
+  }
+
+ protected:
+  void alloc_dense_f() {
+    const idx nsub = p_.num_subdomains();
+    f_.resize(static_cast<std::size_t>(nsub));
+    lam_.resize(f_.size());
+    q_.resize(f_.size());
+    for (idx s = 0; s < nsub; ++s) {
+      const idx m = p_.sub[s].num_local_lambdas();
+      f_[s] = la::DenseMatrix(m, m, la::Layout::ColMajor);
+      lam_[s].resize(static_cast<std::size_t>(m));
+      q_[s].resize(static_cast<std::size_t>(m));
+    }
+  }
+
+  std::vector<la::DenseMatrix> f_;
+  std::vector<std::vector<double>> lam_, q_;
+};
+
+/// expl mkl: augmented incomplete factorization (Schur path).
+class ExplicitCpuSchurDualOp final : public ExplicitCpuBase {
+ public:
+  ExplicitCpuSchurDualOp(const decomp::FetiProblem& p,
+                         sparse::OrderingKind ordering)
+      : ExplicitCpuBase(p), ordering_(ordering) {}
+
+  void prepare() override {
+    ScopedTimer t(timings_, "prepare");
+    const idx nsub = p_.num_subdomains();
+    solvers_.resize(static_cast<std::size_t>(nsub));
+    alloc_dense_f();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        solvers_[s] = std::make_unique<sparse::SupernodalCholesky>();
+        solvers_[s]->analyze_schur(p_.sub[s].k_reg, p_.sub[s].b, ordering_);
+      });
+    }
+    guard.rethrow();
+  }
+
+  void preprocess() override {
+    ScopedTimer t(timings_, "preprocess");
+    const idx nsub = p_.num_subdomains();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        solvers_[s]->factorize_schur(p_.sub[s].k_reg, p_.sub[s].b,
+                                     f_[s].view(), la::Uplo::Upper);
+      });
+    }
+    guard.rethrow();
+  }
+
+  void kplus_solve(idx sub, const double* b, double* x) const override {
+    solvers_[sub]->solve(b, x);
+  }
+
+  [[nodiscard]] const char* name() const override { return "expl mkl"; }
+
+ private:
+  sparse::OrderingKind ordering_;
+  std::vector<std::unique_ptr<sparse::SupernodalCholesky>> solvers_;
+};
+
+/// expl cholmod: factor extraction, densified B̃ᵀ, TRSM + SYRK.
+class ExplicitCpuTrsmDualOp final : public ExplicitCpuBase {
+ public:
+  ExplicitCpuTrsmDualOp(const decomp::FetiProblem& p,
+                        sparse::OrderingKind ordering)
+      : ExplicitCpuBase(p), ordering_(ordering) {}
+
+  void prepare() override {
+    ScopedTimer t(timings_, "prepare");
+    const idx nsub = p_.num_subdomains();
+    solvers_.resize(static_cast<std::size_t>(nsub));
+    bperm_.resize(solvers_.size());
+    alloc_dense_f();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        solvers_[s] = std::make_unique<sparse::SimplicialCholesky>();
+        solvers_[s]->analyze(p_.sub[s].k_reg, ordering_);
+        bperm_[s] = permute_columns(p_.sub[s].b, solvers_[s]->permutation());
+      });
+    }
+    guard.rethrow();
+  }
+
+  void preprocess() override {
+    ScopedTimer t(timings_, "preprocess");
+    const idx nsub = p_.num_subdomains();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[s];
+        solvers_[s]->factorize(fs.k_reg);
+        const la::Csr& u = solvers_[s]->factor_upper();
+        // Densified right-hand side X = (B̃ᵢ P^T)^T — the point the paper
+        // makes about this approach: the sparsity of B̃ᵢ is not used.
+        la::DenseMatrix x(fs.ndof(), fs.num_local_lambdas(),
+                          la::Layout::RowMajor);
+        for (idx r = 0; r < bperm_[s].nrows(); ++r)
+          for (idx k = bperm_[s].row_begin(r); k < bperm_[s].row_end(r); ++k)
+            x.at(bperm_[s].col(k), r) = bperm_[s].val(k);
+        // Forward solve L X = X (U^T X = X), then F = X^T X.
+        la::sp_trsm(la::Uplo::Upper, la::Trans::Yes, u, x.view());
+        la::syrk(la::Uplo::Upper, la::Trans::Yes, 1.0, x.cview(), 0.0,
+                 f_[s].view());
+      });
+    }
+    guard.rethrow();
+  }
+
+  void kplus_solve(idx sub, const double* b, double* x) const override {
+    solvers_[sub]->solve(b, x);
+  }
+
+  [[nodiscard]] const char* name() const override { return "expl cholmod"; }
+
+ private:
+  sparse::OrderingKind ordering_;
+  std::vector<std::unique_ptr<sparse::SimplicialCholesky>> solvers_;
+  std::vector<la::Csr> bperm_;
+};
+
+}  // namespace
+
+std::unique_ptr<DualOperator> make_implicit_cpu(
+    const decomp::FetiProblem& p, sparse::Backend backend,
+    sparse::OrderingKind ordering) {
+  return std::make_unique<ImplicitCpuDualOp>(p, backend, ordering);
+}
+
+std::unique_ptr<DualOperator> make_explicit_cpu_schur(
+    const decomp::FetiProblem& p, sparse::OrderingKind ordering) {
+  return std::make_unique<ExplicitCpuSchurDualOp>(p, ordering);
+}
+
+std::unique_ptr<DualOperator> make_explicit_cpu_trsm(
+    const decomp::FetiProblem& p, sparse::OrderingKind ordering) {
+  return std::make_unique<ExplicitCpuTrsmDualOp>(p, ordering);
+}
+
+}  // namespace feti::core

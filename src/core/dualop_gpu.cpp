@@ -1,0 +1,669 @@
+// GPU dual-operator implementations (Section IV of the paper):
+//
+//  * ExplicitGpuDualOp — the paper's contribution: assembly of the local
+//    dual operators F̃ᵢ on the (virtual) GPU with the full Table-I
+//    parameter space (path, factor storage/order per solve, RHS order,
+//    scatter/gather location), one stream per worker thread, persistent vs
+//    temporary memory discipline, and CPU-GPU overlap (numeric
+//    factorization of subdomain i+1 runs while the GPU assembles i).
+//  * ImplicitGpuDualOp — factors from the simplicial (CHOLMOD-like)
+//    solver copied to the device; application via SpMV + two sparse
+//    triangular solves + SpMV per subdomain.
+//  * HybridDualOp — the prior-work baseline: assembly via the CPU Schur
+//    path ("expl mkl"), application on the GPU.
+
+#include <omp.h>
+
+#include <map>
+
+#include "core/dualop_impls.hpp"
+#include "util/omp_guard.hpp"
+#include "gpu/blas.hpp"
+#include "gpu/kernels.hpp"
+#include "gpu/sparse.hpp"
+#include "la/blas_dense.hpp"
+#include "la/blas_sparse.hpp"
+#include "sparse/simplicial_cholesky.hpp"
+#include "sparse/supernodal_cholesky.hpp"
+
+namespace feti::core {
+
+namespace {
+
+la::Csr permute_columns(const la::Csr& b, const std::vector<idx>& perm) {
+  const std::vector<idx> iperm = la::invert_permutation(perm);
+  std::vector<la::Triplet> t;
+  t.reserve(static_cast<std::size_t>(b.nnz()));
+  for (idx r = 0; r < b.nrows(); ++r)
+    for (idx k = b.row_begin(r); k < b.row_end(r); ++k)
+      t.push_back({r, iperm[b.col(k)], b.val(k)});
+  return la::Csr::from_triplets(b.nrows(), b.ncols(), std::move(t));
+}
+
+/// Per-subdomain device dual vectors + cluster vectors + maps, and the two
+/// scatter/gather application strategies of Section IV-C.
+class GpuDualVectors {
+ public:
+  void prepare(gpu::Device& dev, gpu::Stream& s,
+               const decomp::FetiProblem& p) {
+    dev_ = &dev;
+    const idx nsub = p.num_subdomains();
+    subs_.resize(static_cast<std::size_t>(nsub));
+    host_lam_.resize(subs_.size());
+    host_q_.resize(subs_.size());
+    for (idx i = 0; i < nsub; ++i) {
+      const idx m = p.sub[i].num_local_lambdas();
+      subs_[i].n = m;
+      subs_[i].lam = dev.alloc_n<double>(static_cast<std::size_t>(m));
+      subs_[i].q = dev.alloc_n<double>(static_cast<std::size_t>(m));
+      subs_[i].map = gpu::upload_array(dev, s, p.sub[i].lm_l2c);
+      host_lam_[i].resize(static_cast<std::size_t>(m));
+      host_q_[i].resize(static_cast<std::size_t>(m));
+    }
+    d_x_ = dev.alloc_n<double>(static_cast<std::size_t>(p.num_lambdas));
+    d_y_ = dev.alloc_n<double>(static_cast<std::size_t>(p.num_lambdas));
+    nlambda_ = p.num_lambdas;
+    s.synchronize();
+  }
+
+  ~GpuDualVectors() {
+    if (dev_ == nullptr) return;
+    for (auto& sv : subs_) {
+      dev_->free(sv.lam);
+      dev_->free(sv.q);
+      dev_->free(const_cast<idx*>(sv.map));
+    }
+    dev_->free(d_x_);
+    dev_->free(d_y_);
+  }
+
+  struct SubVec {
+    double* lam = nullptr;
+    double* q = nullptr;
+    const idx* map = nullptr;
+    idx n = 0;
+  };
+
+  /// GPU scatter/gather: one H2D copy + a single scatter kernel, the
+  /// per-subdomain kernels, a single gather kernel + one D2H copy.
+  template <typename SubmitLocal>
+  void apply_sg_gpu(gpu::Stream& main, std::vector<gpu::Stream>& streams,
+                    const double* x, double* y, SubmitLocal&& submit_local) {
+    main.memcpy_h2d(d_x_, x, static_cast<std::size_t>(nlambda_) *
+                                 sizeof(double));
+    std::vector<gpu::kernels::DualMap> scatter_jobs;
+    scatter_jobs.reserve(subs_.size());
+    for (auto& sv : subs_) scatter_jobs.push_back({sv.map, sv.n, sv.lam});
+    gpu::kernels::scatter_batch(main, d_x_, std::move(scatter_jobs));
+    gpu::Event scattered = main.record();
+
+    const std::size_t nstreams = streams.size();
+    std::vector<bool> used(nstreams, false);
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+      gpu::Stream& st = streams[i % nstreams];
+      if (!used[i % nstreams]) {
+        st.wait(scattered);
+        used[i % nstreams] = true;
+      }
+      submit_local(static_cast<idx>(i), st, subs_[i].lam, subs_[i].q);
+    }
+    for (std::size_t k = 0; k < nstreams; ++k)
+      if (used[k]) main.wait(streams[k].record());
+
+    std::vector<gpu::kernels::DualMap> gather_jobs;
+    gather_jobs.reserve(subs_.size());
+    for (auto& sv : subs_) gather_jobs.push_back({sv.map, sv.n, sv.q});
+    gpu::kernels::gather_batch(main, d_y_, nlambda_, std::move(gather_jobs));
+    main.memcpy_d2h(y, d_y_, static_cast<std::size_t>(nlambda_) *
+                                 sizeof(double));
+    main.synchronize();
+  }
+
+  /// CPU scatter/gather: per-subdomain H2D/D2H copies around each kernel —
+  /// more submissions (overhead) but more copy/compute concurrency.
+  template <typename SubmitLocal>
+  void apply_sg_cpu(std::vector<gpu::Stream>& streams,
+                    const decomp::FetiProblem& p, const double* x, double* y,
+                    SubmitLocal&& submit_local) {
+    const std::size_t nstreams = streams.size();
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+      const auto& map = p.sub[static_cast<idx>(i)].lm_l2c;
+      for (std::size_t k = 0; k < map.size(); ++k)
+        host_lam_[i][k] = x[map[k]];
+      gpu::Stream& st = streams[i % nstreams];
+      st.memcpy_h2d(subs_[i].lam, host_lam_[i].data(),
+                    host_lam_[i].size() * sizeof(double));
+      submit_local(static_cast<idx>(i), st, subs_[i].lam, subs_[i].q);
+      st.memcpy_d2h(host_q_[i].data(), subs_[i].q,
+                    host_q_[i].size() * sizeof(double));
+    }
+    for (auto& st : streams) st.synchronize();
+    std::fill_n(y, nlambda_, 0.0);
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+      const auto& map = p.sub[static_cast<idx>(i)].lm_l2c;
+      for (std::size_t k = 0; k < map.size(); ++k)
+        y[map[k]] += host_q_[i][k];
+    }
+  }
+
+ private:
+  gpu::Device* dev_ = nullptr;
+  std::vector<SubVec> subs_;
+  std::vector<std::vector<double>> host_lam_, host_q_;
+  double* d_x_ = nullptr;
+  double* d_y_ = nullptr;
+  idx nlambda_ = 0;
+};
+
+int clamp_streams(int requested) {
+  return std::max(1, std::min(requested, 32));
+}
+
+// ---------------------------------------------------------------------------
+// Explicit GPU (the contribution)
+// ---------------------------------------------------------------------------
+
+class ExplicitGpuDualOp final : public DualOperator {
+ public:
+  ExplicitGpuDualOp(const decomp::FetiProblem& p, gpu::sparse::Api api,
+                    const ExplicitGpuOptions& opt,
+                    sparse::OrderingKind ordering, gpu::Device& dev)
+      : DualOperator(p), api_(api), opt_(opt), ordering_(ordering),
+        dev_(dev) {}
+
+  ~ExplicitGpuDualOp() override {
+    dev_.synchronize();
+    for (auto& b : bperm_dev_) gpu::free_csr(dev_, b);
+    for (auto& f : factor_dev_) gpu::free_csr(dev_, f);
+    // packed_ stays empty if prepare() failed before allocate_f().
+    for (std::size_t s = 0; s < f_.size(); ++s)
+      if (s >= packed_.size() || !packed_[s]) gpu::free_dense(dev_, f_[s]);
+    for (double* buf : pack_buffers_) dev_.free(buf);
+  }
+
+  void prepare() override {
+    ScopedTimer t(timings_, "prepare");
+    const idx nsub = p_.num_subdomains();
+    const int nstreams = clamp_streams(opt_.streams);
+    main_stream_ = dev_.create_stream();
+    streams_.clear();
+    for (int i = 0; i < nstreams; ++i) streams_.push_back(dev_.create_stream());
+
+    solvers_.resize(static_cast<std::size_t>(nsub));
+    bperm_host_.resize(solvers_.size());
+    bperm_dev_.resize(solvers_.size());
+    factor_dev_.resize(solvers_.size());
+    fwd_plan_.resize(solvers_.size());
+    bwd_plan_.resize(solvers_.size());
+    f_.resize(solvers_.size());
+
+    const bool need_dense_factor =
+        opt_.fwd_storage == FactorStorage::Dense ||
+        (opt_.path == Path::Trsm && opt_.bwd_storage == FactorStorage::Dense);
+
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[s];
+        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+        // Symbolic factorization on the CPU.
+        solvers_[s] = std::make_unique<sparse::SimplicialCholesky>();
+        solvers_[s]->analyze(fs.k_reg, ordering_);
+        // Constant data to the device: the (column-permuted) gluing matrix
+        // and the factor structure.
+        bperm_host_[s] = permute_columns(fs.b, solvers_[s]->permutation());
+        bperm_dev_[s] = gpu::upload_csr(dev_, st, bperm_host_[s]);
+        const la::Csr& u = solvers_[s]->factor_upper_structure();
+        if (need_dense_factor) factor_dev_[s] = gpu::upload_csr(dev_, st, u);
+        const idx m = fs.num_local_lambdas();
+        if (opt_.fwd_storage == FactorStorage::Sparse)
+          fwd_plan_[s] = gpu::sparse::SpTrsmPlan(
+              dev_, st, api_, u, opt_.fwd_order, /*forward=*/true,
+              opt_.rhs_order, m);
+        if (opt_.path == Path::Trsm &&
+            opt_.bwd_storage == FactorStorage::Sparse)
+          bwd_plan_[s] = gpu::sparse::SpTrsmPlan(
+              dev_, st, api_, u, opt_.bwd_order, /*forward=*/false,
+              opt_.rhs_order, m);
+      });
+    }
+    guard.rethrow();
+    allocate_f();
+    vectors_.prepare(dev_, main_stream_, p_);
+    dev_.synchronize();
+    // Remaining device memory feeds the temporary-buffer pool (Sec. IV-A).
+    dev_.ensure_temp_pool();
+  }
+
+  void preprocess() override {
+    ScopedTimer t(timings_, "preprocess");
+    const idx nsub = p_.num_subdomains();
+    auto& temp = dev_.temp();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[s];
+        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+        const idx n = fs.ndof();
+        const idx m = fs.num_local_lambdas();
+
+        // Numeric factorization on the CPU; overlaps with the GPU work of
+        // previously submitted subdomains.
+        solvers_[s]->factorize(fs.k_reg);
+        const la::Csr& u = solvers_[s]->factor_upper();
+        if (fwd_plan_[s].valid()) fwd_plan_[s].update_values(st, u);
+        if (bwd_plan_[s].valid()) bwd_plan_[s].update_values(st, u);
+        if (factor_dev_[s].vals != nullptr)
+          gpu::update_csr_values(st, factor_dev_[s], u);
+
+        // Temporary buffers for this subdomain (blocking pool allocator).
+        auto* x_buf = static_cast<double*>(
+            temp.alloc(sizeof(double) * static_cast<std::size_t>(n) * m));
+        gpu::DeviceDense x{x_buf, n, m,
+                           opt_.rhs_order == la::Layout::RowMajor ? m : n,
+                           opt_.rhs_order};
+        double* dense_fwd = nullptr;
+        double* dense_bwd = nullptr;
+        void* ws_fwd = nullptr;
+        void* ws_bwd = nullptr;
+
+        // Dense RHS X = (B̃ᵢ P^T)^T, converted on the device.
+        gpu::sparse::csr_to_dense_transposed(st, bperm_dev_[s], x);
+
+        // Forward solve L X = X.
+        if (opt_.fwd_storage == FactorStorage::Sparse) {
+          const std::size_t wb = fwd_plan_[s].workspace_bytes(m);
+          if (wb > 0) ws_fwd = temp.alloc(wb);
+          fwd_plan_[s].solve(st, x, ws_fwd);
+        } else {
+          dense_fwd = static_cast<double*>(
+              temp.alloc(sizeof(double) * static_cast<std::size_t>(n) * n));
+          gpu::DeviceDense df{dense_fwd, n, n, n, opt_.fwd_order};
+          gpu::sparse::csr_to_dense(st, factor_dev_[s], df);
+          gpu::blas::trsm(st, la::Uplo::Upper, la::Trans::Yes, df, x);
+        }
+
+        if (opt_.path == Path::Syrk) {
+          // F̃ᵢ = X^T X; the stored triangle is per-subdomain when triangle
+          // packing is active (footnote 1).
+          gpu::blas::syrk(st, uplo_[s], la::Trans::Yes, 1.0, x, 0.0, f_[s]);
+        } else {
+          // Backward solve U Y = X, then F̃ᵢ = B̃ᵢ Y (SpMM).
+          if (opt_.bwd_storage == FactorStorage::Sparse) {
+            const std::size_t wb = bwd_plan_[s].workspace_bytes(m);
+            if (wb > 0) ws_bwd = temp.alloc(wb);
+            bwd_plan_[s].solve(st, x, ws_bwd);
+          } else {
+            if (opt_.fwd_storage == FactorStorage::Dense &&
+                opt_.bwd_order == opt_.fwd_order) {
+              // Reuse the forward dense factor.
+              gpu::DeviceDense df{dense_fwd, n, n, n, opt_.bwd_order};
+              gpu::blas::trsm(st, la::Uplo::Upper, la::Trans::No, df, x);
+            } else {
+              dense_bwd = static_cast<double*>(temp.alloc(
+                  sizeof(double) * static_cast<std::size_t>(n) * n));
+              gpu::DeviceDense df{dense_bwd, n, n, n, opt_.bwd_order};
+              gpu::sparse::csr_to_dense(st, factor_dev_[s], df);
+              gpu::blas::trsm(st, la::Uplo::Upper, la::Trans::No, df, x);
+            }
+          }
+          gpu::sparse::spmm(st, 1.0, bperm_dev_[s], la::Trans::No, x, 0.0,
+                            f_[s]);
+        }
+
+        // Stream-ordered release of the temporaries: they are freed once the
+        // kernels of this subdomain have executed.
+        st.submit([&temp, x_buf, dense_fwd, dense_bwd, ws_fwd, ws_bwd] {
+          temp.free(x_buf);
+          if (dense_fwd != nullptr) temp.free(dense_fwd);
+          if (dense_bwd != nullptr) temp.free(dense_bwd);
+          if (ws_fwd != nullptr) temp.free(ws_fwd);
+          if (ws_bwd != nullptr) temp.free(ws_bwd);
+        });
+      });
+    }
+    guard.rethrow();
+    dev_.synchronize();
+  }
+
+  void apply(const double* x, double* y) override {
+    ScopedTimer t(timings_, "apply");
+    const bool symmetric = opt_.path == Path::Syrk;
+    auto submit_local = [this, symmetric](idx s, gpu::Stream& st,
+                                          const double* lam, double* q) {
+      if (symmetric)
+        gpu::blas::symv(st, uplo_[s], 1.0, f_[s], lam, 0.0, q);
+      else
+        gpu::blas::gemv(st, 1.0, f_[s], la::Trans::No, lam, 0.0, q);
+    };
+    if (opt_.scatter_gather == SgLocation::Gpu)
+      vectors_.apply_sg_gpu(main_stream_, streams_, x, y, submit_local);
+    else
+      vectors_.apply_sg_cpu(streams_, p_, x, y, submit_local);
+  }
+
+  void kplus_solve(idx sub, const double* b, double* x) const override {
+    solvers_[sub]->solve(b, x);
+  }
+
+  [[nodiscard]] const char* name() const override {
+    return api_ == gpu::sparse::Api::Legacy ? "expl legacy" : "expl modern";
+  }
+
+  /// Bytes of device memory held by the F̃ᵢ matrices (packing ablation).
+  [[nodiscard]] std::size_t f_storage_bytes() const {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < f_.size(); ++s)
+      if (!packed_[s]) total += f_[s].bytes();
+    for (std::size_t i = 0; i < pack_buffers_.size(); ++i)
+      total += pack_sizes_[i];
+    return total;
+  }
+
+ private:
+  /// Allocates the persistent F̃ᵢ buffers. With the SYRK path and
+  /// symmetric_pack enabled, equally sized subdomains are paired and the
+  /// upper triangle of one shares a (m+1)-leading-dimension allocation with
+  /// the lower triangle of the other (paper footnote 1): A's (i,j), i<=j,
+  /// lives at i + j(m+1), B's (i,j), i>=j, at 1 + i + j(m+1) — disjoint.
+  void allocate_f() {
+    const idx nsub = p_.num_subdomains();
+    f_.resize(static_cast<std::size_t>(nsub));
+    uplo_.assign(static_cast<std::size_t>(nsub), la::Uplo::Upper);
+    packed_.assign(static_cast<std::size_t>(nsub), false);
+    const bool pack = opt_.symmetric_pack && opt_.path == Path::Syrk;
+
+    std::map<idx, std::vector<idx>> by_size;
+    for (idx s = 0; s < nsub; ++s)
+      by_size[p_.sub[s].num_local_lambdas()].push_back(s);
+
+    for (auto& [m, subs] : by_size) {
+      std::size_t i = 0;
+      if (pack) {
+        for (; i + 1 < subs.size(); i += 2) {
+          const idx a = subs[i], b = subs[i + 1];
+          const std::size_t bytes =
+              sizeof(double) * static_cast<std::size_t>(m) * (m + 1);
+          auto* buf = static_cast<double*>(dev_.alloc(bytes));
+          pack_buffers_.push_back(buf);
+          pack_sizes_.push_back(bytes);
+          f_[a] = gpu::DeviceDense{buf, m, m, m + 1, la::Layout::ColMajor};
+          f_[b] = gpu::DeviceDense{buf + 1, m, m, m + 1,
+                                   la::Layout::ColMajor};
+          uplo_[a] = la::Uplo::Upper;
+          uplo_[b] = la::Uplo::Lower;
+          packed_[a] = packed_[b] = true;
+        }
+      }
+      for (; i < subs.size(); ++i)
+        f_[subs[i]] = gpu::alloc_dense(dev_, m, m, la::Layout::ColMajor);
+    }
+  }
+
+  gpu::sparse::Api api_;
+  ExplicitGpuOptions opt_;
+  sparse::OrderingKind ordering_;
+  gpu::Device& dev_;
+  gpu::Stream main_stream_;
+  std::vector<gpu::Stream> streams_;
+  std::vector<std::unique_ptr<sparse::SimplicialCholesky>> solvers_;
+  std::vector<la::Csr> bperm_host_;
+  std::vector<gpu::DeviceCsr> bperm_dev_;
+  std::vector<gpu::DeviceCsr> factor_dev_;
+  std::vector<gpu::sparse::SpTrsmPlan> fwd_plan_, bwd_plan_;
+  std::vector<gpu::DeviceDense> f_;
+  std::vector<la::Uplo> uplo_;
+  std::vector<bool> packed_;
+  std::vector<double*> pack_buffers_;
+  std::vector<std::size_t> pack_sizes_;
+  GpuDualVectors vectors_;
+};
+
+// ---------------------------------------------------------------------------
+// Implicit GPU
+// ---------------------------------------------------------------------------
+
+class ImplicitGpuDualOp final : public DualOperator {
+ public:
+  ImplicitGpuDualOp(const decomp::FetiProblem& p, gpu::sparse::Api api,
+                    sparse::OrderingKind ordering, gpu::Device& dev,
+                    int streams)
+      : DualOperator(p), api_(api), ordering_(ordering), dev_(dev),
+        nstreams_(clamp_streams(streams)) {}
+
+  ~ImplicitGpuDualOp() override {
+    dev_.synchronize();
+    for (auto& b : bperm_dev_) gpu::free_csr(dev_, b);
+    for (auto* t : tmp_dev_) dev_.free(t);
+  }
+
+  void prepare() override {
+    ScopedTimer t(timings_, "prepare");
+    const idx nsub = p_.num_subdomains();
+    main_stream_ = dev_.create_stream();
+    streams_.clear();
+    for (int i = 0; i < nstreams_; ++i)
+      streams_.push_back(dev_.create_stream());
+    solvers_.resize(static_cast<std::size_t>(nsub));
+    bperm_host_.resize(solvers_.size());
+    bperm_dev_.resize(solvers_.size());
+    fwd_plan_.resize(solvers_.size());
+    bwd_plan_.resize(solvers_.size());
+    tmp_dev_.resize(solvers_.size());
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[s];
+        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+        solvers_[s] = std::make_unique<sparse::SimplicialCholesky>();
+        solvers_[s]->analyze(fs.k_reg, ordering_);
+        bperm_host_[s] = permute_columns(fs.b, solvers_[s]->permutation());
+        bperm_dev_[s] = gpu::upload_csr(dev_, st, bperm_host_[s]);
+        const la::Csr& u = solvers_[s]->factor_upper_structure();
+        fwd_plan_[s] = gpu::sparse::SpTrsmPlan(dev_, st, api_, u,
+                                               la::Layout::ColMajor,
+                                               /*forward=*/true,
+                                               la::Layout::ColMajor, 1);
+        bwd_plan_[s] = gpu::sparse::SpTrsmPlan(dev_, st, api_, u,
+                                               la::Layout::ColMajor,
+                                               /*forward=*/false,
+                                               la::Layout::ColMajor, 1);
+        tmp_dev_[s] = dev_.alloc_n<double>(static_cast<std::size_t>(fs.ndof()));
+      });
+    }
+    guard.rethrow();
+    vectors_.prepare(dev_, main_stream_, p_);
+    dev_.synchronize();
+    dev_.ensure_temp_pool();
+  }
+
+  void preprocess() override {
+    // Implicit preprocessing = numeric factorization + factor copies.
+    ScopedTimer t(timings_, "preprocess");
+    const idx nsub = p_.num_subdomains();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+        solvers_[s]->factorize(p_.sub[s].k_reg);
+        const la::Csr& u = solvers_[s]->factor_upper();
+        fwd_plan_[s].update_values(st, u);
+        bwd_plan_[s].update_values(st, u);
+      });
+    }
+    guard.rethrow();
+    dev_.synchronize();
+  }
+
+  void apply(const double* x, double* y) override {
+    ScopedTimer t(timings_, "apply");
+    auto& temp = dev_.temp();
+    auto submit_local = [this, &temp](idx s, gpu::Stream& st,
+                                      const double* lam, double* q) {
+      const idx n = p_.sub[s].ndof();
+      gpu::DeviceCsr b = bperm_dev_[s];
+      double* tvec = tmp_dev_[s];
+      gpu::sparse::spmv(st, 1.0, b, la::Trans::Yes, lam, 0.0, tvec);
+      gpu::DeviceDense tview{tvec, n, 1, n, la::Layout::ColMajor};
+      void* ws_f = nullptr;
+      void* ws_b = nullptr;
+      const std::size_t wf = fwd_plan_[s].workspace_bytes(1);
+      const std::size_t wb = bwd_plan_[s].workspace_bytes(1);
+      if (wf > 0) ws_f = temp.alloc(wf);
+      fwd_plan_[s].solve(st, tview, ws_f);
+      if (wb > 0) ws_b = temp.alloc(wb);
+      bwd_plan_[s].solve(st, tview, ws_b);
+      gpu::sparse::spmv(st, 1.0, b, la::Trans::No, tvec, 0.0, q);
+      if (ws_f != nullptr || ws_b != nullptr)
+        st.submit([&temp, ws_f, ws_b] {
+          if (ws_f != nullptr) temp.free(ws_f);
+          if (ws_b != nullptr) temp.free(ws_b);
+        });
+    };
+    vectors_.apply_sg_gpu(main_stream_, streams_, x, y, submit_local);
+  }
+
+  void kplus_solve(idx sub, const double* b, double* x) const override {
+    solvers_[sub]->solve(b, x);
+  }
+
+  [[nodiscard]] const char* name() const override {
+    return api_ == gpu::sparse::Api::Legacy ? "impl legacy" : "impl modern";
+  }
+
+ private:
+  gpu::sparse::Api api_;
+  sparse::OrderingKind ordering_;
+  gpu::Device& dev_;
+  int nstreams_;
+  gpu::Stream main_stream_;
+  std::vector<gpu::Stream> streams_;
+  std::vector<std::unique_ptr<sparse::SimplicialCholesky>> solvers_;
+  std::vector<la::Csr> bperm_host_;
+  std::vector<gpu::DeviceCsr> bperm_dev_;
+  std::vector<gpu::sparse::SpTrsmPlan> fwd_plan_, bwd_plan_;
+  std::vector<double*> tmp_dev_;
+  GpuDualVectors vectors_;
+};
+
+// ---------------------------------------------------------------------------
+// Hybrid (assembly on CPU via Schur, application on GPU)
+// ---------------------------------------------------------------------------
+
+class HybridDualOp final : public DualOperator {
+ public:
+  HybridDualOp(const decomp::FetiProblem& p, const ExplicitGpuOptions& opt,
+               sparse::OrderingKind ordering, gpu::Device& dev)
+      : DualOperator(p), opt_(opt), ordering_(ordering), dev_(dev) {}
+
+  ~HybridDualOp() override {
+    dev_.synchronize();
+    for (auto& f : f_dev_) gpu::free_dense(dev_, f);
+  }
+
+  void prepare() override {
+    ScopedTimer t(timings_, "prepare");
+    const idx nsub = p_.num_subdomains();
+    main_stream_ = dev_.create_stream();
+    streams_.clear();
+    for (int i = 0; i < clamp_streams(opt_.streams); ++i)
+      streams_.push_back(dev_.create_stream());
+    solvers_.resize(static_cast<std::size_t>(nsub));
+    f_host_.resize(solvers_.size());
+    f_dev_.resize(solvers_.size());
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[s];
+        solvers_[s] = std::make_unique<sparse::SupernodalCholesky>();
+        solvers_[s]->analyze_schur(fs.k_reg, fs.b, ordering_);
+        const idx m = fs.num_local_lambdas();
+        f_host_[s] = la::DenseMatrix(m, m, la::Layout::ColMajor);
+        f_dev_[s] = gpu::alloc_dense(dev_, m, m, la::Layout::ColMajor);
+      });
+    }
+    guard.rethrow();
+    vectors_.prepare(dev_, main_stream_, p_);
+    dev_.synchronize();
+    dev_.ensure_temp_pool();
+  }
+
+  void preprocess() override {
+    ScopedTimer t(timings_, "preprocess");
+    const idx nsub = p_.num_subdomains();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[s];
+        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+        solvers_[s]->factorize_schur(fs.k_reg, fs.b, f_host_[s].view(),
+                                     la::Uplo::Upper);
+        st.memcpy_h2d(f_dev_[s].data, f_host_[s].data(),
+                      f_host_[s].size() * sizeof(double));
+      });
+    }
+    guard.rethrow();
+    dev_.synchronize();
+  }
+
+  void apply(const double* x, double* y) override {
+    ScopedTimer t(timings_, "apply");
+    auto submit_local = [this](idx s, gpu::Stream& st, const double* lam,
+                               double* q) {
+      gpu::blas::symv(st, la::Uplo::Upper, 1.0, f_dev_[s], lam, 0.0, q);
+    };
+    if (opt_.scatter_gather == SgLocation::Gpu)
+      vectors_.apply_sg_gpu(main_stream_, streams_, x, y, submit_local);
+    else
+      vectors_.apply_sg_cpu(streams_, p_, x, y, submit_local);
+  }
+
+  void kplus_solve(idx sub, const double* b, double* x) const override {
+    solvers_[sub]->solve(b, x);
+  }
+
+  [[nodiscard]] const char* name() const override { return "expl hybrid"; }
+
+ private:
+  ExplicitGpuOptions opt_;
+  sparse::OrderingKind ordering_;
+  gpu::Device& dev_;
+  gpu::Stream main_stream_;
+  std::vector<gpu::Stream> streams_;
+  std::vector<std::unique_ptr<sparse::SupernodalCholesky>> solvers_;
+  std::vector<la::DenseMatrix> f_host_;
+  std::vector<gpu::DeviceDense> f_dev_;
+  GpuDualVectors vectors_;
+};
+
+}  // namespace
+
+std::unique_ptr<DualOperator> make_implicit_gpu(
+    const decomp::FetiProblem& p, gpu::sparse::Api api,
+    sparse::OrderingKind ordering, gpu::Device& device, int streams) {
+  return std::make_unique<ImplicitGpuDualOp>(p, api, ordering, device,
+                                             streams);
+}
+
+std::unique_ptr<DualOperator> make_explicit_gpu(
+    const decomp::FetiProblem& p, gpu::sparse::Api api,
+    const ExplicitGpuOptions& options, sparse::OrderingKind ordering,
+    gpu::Device& device) {
+  return std::make_unique<ExplicitGpuDualOp>(p, api, options, ordering,
+                                             device);
+}
+
+std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
+                                          const ExplicitGpuOptions& options,
+                                          sparse::OrderingKind ordering,
+                                          gpu::Device& device) {
+  return std::make_unique<HybridDualOp>(p, options, ordering, device);
+}
+
+}  // namespace feti::core

@@ -1,0 +1,39 @@
+#pragma once
+
+// Internal factory functions for the concrete dual-operator
+// implementations (one per Table-III approach family). Used by
+// make_dual_operator; exposed for white-box tests.
+
+#include "core/dual_operator.hpp"
+#include "sparse/solver.hpp"
+
+namespace feti::core {
+
+std::unique_ptr<DualOperator> make_implicit_cpu(
+    const decomp::FetiProblem& p, sparse::Backend backend,
+    sparse::OrderingKind ordering);
+
+/// expl mkl: augmented Schur complement on the CPU.
+std::unique_ptr<DualOperator> make_explicit_cpu_schur(
+    const decomp::FetiProblem& p, sparse::OrderingKind ordering);
+
+/// expl cholmod: factor extraction + dense-RHS TRSM on the CPU.
+std::unique_ptr<DualOperator> make_explicit_cpu_trsm(
+    const decomp::FetiProblem& p, sparse::OrderingKind ordering);
+
+std::unique_ptr<DualOperator> make_implicit_gpu(
+    const decomp::FetiProblem& p, gpu::sparse::Api api,
+    sparse::OrderingKind ordering, gpu::Device& device, int streams);
+
+std::unique_ptr<DualOperator> make_explicit_gpu(
+    const decomp::FetiProblem& p, gpu::sparse::Api api,
+    const ExplicitGpuOptions& options, sparse::OrderingKind ordering,
+    gpu::Device& device);
+
+/// expl hybrid: Schur assembly on CPU, application on the GPU.
+std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
+                                          const ExplicitGpuOptions& options,
+                                          sparse::OrderingKind ordering,
+                                          gpu::Device& device);
+
+}  // namespace feti::core

@@ -1,0 +1,47 @@
+#include "core/feti_solver.hpp"
+
+#include "util/timer.hpp"
+
+namespace feti::core {
+
+FetiSolver::FetiSolver(const decomp::FetiProblem& problem,
+                       FetiSolverOptions options, gpu::Device* device)
+    : problem_(problem), options_(options),
+      dualop_(make_dual_operator(problem, options.dualop, device)),
+      projector_(problem) {}
+
+void FetiSolver::prepare() {
+  dualop_->prepare();
+  prepared_ = true;
+}
+
+FetiStepResult FetiSolver::solve_step() {
+  check(prepared_, "FetiSolver: prepare() must be called first");
+  Timer step_timer;
+  FetiStepResult result;
+
+  {
+    Timer t;
+    dualop_->preprocess();
+    result.preprocess_seconds = t.seconds();
+  }
+
+  std::vector<double> d(static_cast<std::size_t>(problem_.num_lambdas));
+  dualop_->compute_d(d.data());
+
+  const double apply_before = dualop_->timings().total("apply");
+  Pcpg pcpg(*dualop_, projector_, options_.pcpg);
+  PcpgResult pr = pcpg.solve(d);
+  result.iterations = pr.iterations;
+  result.rel_residual = pr.rel_residual;
+  result.converged = pr.converged;
+  result.apply_seconds = dualop_->timings().total("apply") - apply_before;
+
+  std::vector<std::vector<double>> u_local;
+  dualop_->primal_solution(pr.lambda.data(), pr.alpha, u_local);
+  result.u = decomp::gather_solution(problem_, u_local);
+  result.step_seconds = step_timer.seconds();
+  return result;
+}
+
+}  // namespace feti::core

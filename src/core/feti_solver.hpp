@@ -1,0 +1,51 @@
+#pragma once
+
+// The Total FETI solver driver — Algorithm 2 of the paper: one preparation
+// phase, then per time step a FETI preprocessing (numeric factorization +
+// explicit assembly where configured) followed by the PCPG iteration and
+// primal recovery.
+
+#include <memory>
+
+#include "core/pcpg.hpp"
+
+namespace feti::core {
+
+struct FetiSolverOptions {
+  DualOpConfig dualop;
+  PcpgOptions pcpg;
+};
+
+struct FetiStepResult {
+  std::vector<double> u;       ///< gathered global solution
+  int iterations = 0;
+  double rel_residual = 0.0;
+  bool converged = false;
+  double preprocess_seconds = 0.0;
+  double apply_seconds = 0.0;  ///< total dual-operator application time
+  double step_seconds = 0.0;
+};
+
+class FetiSolver {
+ public:
+  FetiSolver(const decomp::FetiProblem& problem, FetiSolverOptions options,
+             gpu::Device* device = nullptr);
+
+  /// Preparation (Algorithm 2, line 1).
+  void prepare();
+
+  /// One time step (lines 2-7): preprocessing + PCPG + primal solution.
+  FetiStepResult solve_step();
+
+  [[nodiscard]] DualOperator& dual_operator() { return *dualop_; }
+  [[nodiscard]] const Projector& projector() const { return projector_; }
+
+ private:
+  const decomp::FetiProblem& problem_;
+  FetiSolverOptions options_;
+  std::unique_ptr<DualOperator> dualop_;
+  Projector projector_;
+  bool prepared_ = false;
+};
+
+}  // namespace feti::core

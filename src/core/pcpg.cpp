@@ -1,0 +1,88 @@
+#include "core/pcpg.hpp"
+
+#include <cmath>
+
+#include "la/blas_dense.hpp"
+
+namespace feti::core {
+
+const char* to_string(PreconditionerKind p) {
+  return p == PreconditionerKind::None ? "none" : "lumped";
+}
+
+Pcpg::Pcpg(DualOperator& f, const Projector& projector, PcpgOptions options)
+    : f_(f), projector_(projector), options_(options) {}
+
+PcpgResult Pcpg::solve(const std::vector<double>& d) {
+  const idx n = f_.problem().num_lambdas;
+  check(d.size() == static_cast<std::size_t>(n), "Pcpg: rhs size mismatch");
+
+  LumpedPreconditioner lumped(f_.problem());
+  const bool use_precond =
+      options_.preconditioner == PreconditionerKind::Lumped;
+
+  std::vector<double> lambda(static_cast<std::size_t>(n));
+  std::vector<double> r(static_cast<std::size_t>(n));
+  std::vector<double> w(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  std::vector<double> p(static_cast<std::size_t>(n));
+  std::vector<double> q(static_cast<std::size_t>(n));
+  std::vector<double> t(static_cast<std::size_t>(n));
+
+  // Lines 1-5 of Algorithm 1.
+  projector_.initial_lambda(lambda.data());
+  f_.apply(lambda.data(), q.data());
+  for (idx i = 0; i < n; ++i) r[i] = d[i] - q[i];
+  projector_.apply(r.data(), w.data());
+  if (use_precond) {
+    lumped.apply(w.data(), t.data());
+    projector_.apply(t.data(), y.data());
+  } else {
+    y = w;
+  }
+  p = y;
+
+  const double w0_norm = la::nrm2(n, w.data());
+  PcpgResult result;
+  if (w0_norm == 0.0) {
+    result.lambda = std::move(lambda);
+    result.alpha = projector_.alpha(r.data());
+    result.converged = true;
+    return result;
+  }
+
+  double wy = la::dot(n, w.data(), y.data());
+  int k = 0;
+  double rel = 1.0;
+  for (; k < options_.max_iterations; ++k) {
+    rel = la::nrm2(n, w.data()) / w0_norm;
+    if (rel <= options_.rel_tolerance) break;
+
+    f_.apply(p.data(), q.data());                       // line 7
+    const double pq = la::dot(n, p.data(), q.data());
+    check(pq > 0.0, "Pcpg: operator lost positive definiteness");
+    const double delta = wy / pq;                       // line 8
+    la::axpy(n, delta, p.data(), lambda.data());        // line 9
+    la::axpy(n, -delta, q.data(), r.data());            // line 10
+    projector_.apply(r.data(), w.data());               // line 11
+    if (use_precond) {                                  // line 12
+      lumped.apply(w.data(), t.data());
+      projector_.apply(t.data(), y.data());
+    } else {
+      y = w;
+    }
+    const double wy_next = la::dot(n, w.data(), y.data());
+    const double beta = wy_next / wy;                   // line 13
+    wy = wy_next;
+    for (idx i = 0; i < n; ++i) p[i] = y[i] + beta * p[i];  // line 14
+  }
+
+  result.iterations = k;
+  result.rel_residual = rel;
+  result.converged = rel <= options_.rel_tolerance;
+  result.alpha = projector_.alpha(r.data());
+  result.lambda = std::move(lambda);
+  return result;
+}
+
+}  // namespace feti::core

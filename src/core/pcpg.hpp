@@ -1,0 +1,45 @@
+#pragma once
+
+// The preconditioned conjugate projected gradient method — Algorithm 1 of
+// the paper, verbatim: the dual operator F is applied once per iteration
+// (line 7), the projector twice, the preconditioner once.
+
+#include <vector>
+
+#include "core/dual_operator.hpp"
+#include "core/projector.hpp"
+
+namespace feti::core {
+
+enum class PreconditionerKind : std::uint8_t { None, Lumped };
+
+const char* to_string(PreconditionerKind p);
+
+struct PcpgOptions {
+  double rel_tolerance = 1e-9;
+  int max_iterations = 1000;
+  PreconditionerKind preconditioner = PreconditionerKind::None;
+};
+
+struct PcpgResult {
+  std::vector<double> lambda;
+  std::vector<double> alpha;   ///< kernel coefficients (eq. (9))
+  int iterations = 0;
+  double rel_residual = 0.0;
+  bool converged = false;
+};
+
+class Pcpg {
+ public:
+  Pcpg(DualOperator& f, const Projector& projector, PcpgOptions options);
+
+  /// Solves F λ = d subject to Gᵀλ = e.
+  PcpgResult solve(const std::vector<double>& d);
+
+ private:
+  DualOperator& f_;
+  const Projector& projector_;
+  PcpgOptions options_;
+};
+
+}  // namespace feti::core

@@ -1,0 +1,101 @@
+#include "core/projector.hpp"
+
+#include <cmath>
+
+#include "la/blas_dense.hpp"
+#include "la/blas_sparse.hpp"
+
+namespace feti::core {
+
+Projector::Projector(const decomp::FetiProblem& p) : p_(p) {
+  const idx nl = p.num_lambdas;
+  const idx rt = p.total_kernel_dim();
+  g_ = la::DenseMatrix(nl, rt, la::Layout::ColMajor);
+
+  idx off = 0;
+  for (const auto& fs : p.sub) {
+    const idx r = fs.kernel_dim();
+    std::vector<double> brj(static_cast<std::size_t>(fs.num_local_lambdas()));
+    for (idx j = 0; j < r; ++j) {
+      const double* rcol = fs.r.data() + static_cast<widx>(j) * fs.ndof();
+      la::spmv(1.0, fs.b, rcol, 0.0, brj.data());
+      double* gcol = g_.data() + static_cast<widx>(off + j) * nl;
+      for (std::size_t i = 0; i < fs.lm_l2c.size(); ++i)
+        gcol[fs.lm_l2c[i]] += brj[i];
+    }
+    off += r;
+  }
+
+  gtg_ = la::DenseMatrix(rt, rt, la::Layout::ColMajor);
+  la::gemm(1.0, g_.cview(), la::Trans::Yes, g_.cview(), la::Trans::No, 0.0,
+           gtg_.view());
+  check(la::potrf_lower(gtg_.view()),
+        "Projector: G^T G is singular — check subdomain kernels");
+}
+
+void Projector::coarse_solve(std::vector<double>& s) const {
+  la::trsv(la::Uplo::Lower, la::Trans::No, gtg_.cview(), s.data());
+  la::trsv(la::Uplo::Lower, la::Trans::Yes, gtg_.cview(), s.data());
+}
+
+void Projector::apply(const double* x, double* y) const {
+  const idx nl = p_.num_lambdas;
+  std::vector<double> s(static_cast<std::size_t>(g_.cols()));
+  la::gemv(1.0, g_.cview(), la::Trans::Yes, x, 0.0, s.data());
+  coarse_solve(s);
+  std::copy_n(x, nl, y);
+  la::gemv(-1.0, g_.cview(), la::Trans::No, s.data(), 1.0, y);
+}
+
+std::vector<double> Projector::compute_e() const {
+  std::vector<double> e(static_cast<std::size_t>(g_.cols()), 0.0);
+  idx off = 0;
+  for (const auto& fs : p_.sub) {
+    for (idx j = 0; j < fs.kernel_dim(); ++j) {
+      const double* rcol = fs.r.data() + static_cast<widx>(j) * fs.ndof();
+      e[off + j] = la::dot(fs.ndof(), rcol, fs.sys.f.data());
+    }
+    off += fs.kernel_dim();
+  }
+  return e;
+}
+
+void Projector::initial_lambda(double* lambda0) const {
+  std::vector<double> s = compute_e();
+  coarse_solve(s);
+  std::fill_n(lambda0, p_.num_lambdas, 0.0);
+  la::gemv(1.0, g_.cview(), la::Trans::No, s.data(), 1.0, lambda0);
+}
+
+std::vector<double> Projector::alpha(const double* r) const {
+  std::vector<double> s(static_cast<std::size_t>(g_.cols()));
+  la::gemv(-1.0, g_.cview(), la::Trans::Yes, r, 0.0, s.data());
+  coarse_solve(s);
+  return s;
+}
+
+double Projector::gt_norm(const double* x) const {
+  std::vector<double> s(static_cast<std::size_t>(g_.cols()));
+  la::gemv(1.0, g_.cview(), la::Trans::Yes, x, 0.0, s.data());
+  double m = 0.0;
+  for (double v : s) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void LumpedPreconditioner::apply(const double* x, double* y) const {
+  std::fill_n(y, p_.num_lambdas, 0.0);
+  for (const auto& fs : p_.sub) {
+    std::vector<double> lam(static_cast<std::size_t>(fs.num_local_lambdas()));
+    for (std::size_t i = 0; i < fs.lm_l2c.size(); ++i)
+      lam[i] = x[fs.lm_l2c[i]];
+    std::vector<double> t(static_cast<std::size_t>(fs.ndof()));
+    std::vector<double> kt(static_cast<std::size_t>(fs.ndof()));
+    la::spmv_trans(1.0, fs.b, lam.data(), 0.0, t.data());
+    la::spmv(1.0, fs.sys.k, t.data(), 0.0, kt.data());
+    la::spmv(1.0, fs.b, kt.data(), 0.0, lam.data());
+    for (std::size_t i = 0; i < fs.lm_l2c.size(); ++i)
+      y[fs.lm_l2c[i]] += lam[i];
+  }
+}
+
+}  // namespace feti::core

@@ -1,0 +1,58 @@
+#pragma once
+
+// The FETI projector P = I − G (GᵀG)⁻¹ Gᵀ with G = B R (eq. (8)), the
+// coarse-problem solves behind it, and the kernel coefficients α (eq. (9)).
+
+#include <vector>
+
+#include "decomp/feti_problem.hpp"
+#include "la/dense.hpp"
+
+namespace feti::core {
+
+class Projector {
+ public:
+  /// Builds G column-block by column-block (G_i = B̃ᵢ Rᵢ scattered through
+  /// the subdomain→cluster multiplier maps), assembles and factorizes GᵀG,
+  /// and computes e = Rᵀ f.
+  explicit Projector(const decomp::FetiProblem& p);
+
+  /// y = P x.
+  void apply(const double* x, double* y) const;
+
+  /// λ₀ = G (GᵀG)⁻¹ e — the initial multiplier satisfying Gᵀλ = e. The
+  /// vector e = Rᵀ f is recomputed from the problem's current load vectors,
+  /// so multi-step simulations with changing values stay consistent.
+  void initial_lambda(double* lambda0) const;
+
+  /// α = −(GᵀG)⁻¹ Gᵀ r with r = d − Fλ (eq. (9)).
+  [[nodiscard]] std::vector<double> alpha(const double* r) const;
+
+  /// e = Rᵀ f from the problem's current load vectors.
+  [[nodiscard]] std::vector<double> compute_e() const;
+  [[nodiscard]] idx kernel_total() const { return g_.cols(); }
+
+  /// ‖Gᵀ x‖∞ — test/diagnostic helper (should vanish for projected x).
+  [[nodiscard]] double gt_norm(const double* x) const;
+
+ private:
+  /// t = (GᵀG)⁻¹ s via the Cholesky factor.
+  void coarse_solve(std::vector<double>& s) const;
+
+  const decomp::FetiProblem& p_;
+  la::DenseMatrix g_;        ///< num_lambdas x total_kernel, col-major
+  la::DenseMatrix gtg_;      ///< Cholesky factor (lower) of GᵀG
+};
+
+/// The lumped preconditioner M = Σᵢ B̃ᵢ Kᵢ B̃ᵢᵀ (applied with the original,
+/// singular subdomain stiffness).
+class LumpedPreconditioner {
+ public:
+  explicit LumpedPreconditioner(const decomp::FetiProblem& p) : p_(p) {}
+  void apply(const double* x, double* y) const;
+
+ private:
+  const decomp::FetiProblem& p_;
+};
+
+}  // namespace feti::core

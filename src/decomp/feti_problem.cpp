@@ -1,0 +1,72 @@
+#include "decomp/feti_problem.hpp"
+
+#include <algorithm>
+
+namespace feti::decomp {
+
+FetiProblem build_feti_problem(const mesh::Decomposition& dec,
+                               fem::Physics physics,
+                               const fem::Material& material,
+                               Redundancy redundancy) {
+  FetiProblem p;
+  check(!dec.subdomains.empty(), "build_feti_problem: empty decomposition");
+  p.physics = physics;
+  p.dim = dec.subdomains.front().local.dim;
+  const int dpn = fem::dofs_per_node(physics, p.dim);
+  p.global_dofs = dec.global_nodes * dpn;
+
+  Gluing gluing = build_gluing(dec, dpn, redundancy);
+  p.num_lambdas = gluing.num_lambdas;
+  p.c = std::move(gluing.c);
+
+  const idx nsub = static_cast<idx>(dec.subdomains.size());
+  p.sub.resize(nsub);
+  for (idx s = 0; s < nsub; ++s) {
+    FetiSubdomain& fs = p.sub[s];
+    const mesh::Mesh& local = dec.subdomains[s].local;
+    fs.sys = fem::assemble(local, physics, material);
+    fs.r = build_kernel(local, physics);
+    Regularization reg = regularize(fs.sys.k, fs.r.cview(), local, physics);
+    fs.k_reg = std::move(reg.k_reg);
+    fs.fixing_dofs = std::move(reg.fixing_dofs);
+    fs.b = std::move(gluing.b[s]);
+    fs.lm_l2c = std::move(gluing.lm_l2c[s]);
+    fs.dof_l2g.resize(static_cast<std::size_t>(fs.sys.ndof));
+    const auto& l2g = dec.subdomains[s].node_l2g;
+    for (idx node = 0; node < local.num_nodes; ++node)
+      for (int c = 0; c < dpn; ++c)
+        fs.dof_l2g[node * dpn + c] = l2g[node] * dpn + c;
+  }
+  return p;
+}
+
+void scale_step(FetiProblem& p, double factor) {
+  check(factor > 0.0, "scale_step: factor must be positive");
+  for (auto& s : p.sub) {
+    for (auto& v : s.sys.k.vals()) v *= factor;
+    for (auto& v : s.k_reg.vals()) v *= factor;
+    for (auto& v : s.sys.f) v *= factor;
+  }
+}
+
+std::vector<double> gather_solution(
+    const FetiProblem& p, const std::vector<std::vector<double>>& u_local) {
+  check(u_local.size() == p.sub.size(),
+        "gather_solution: subdomain count mismatch");
+  std::vector<double> u(static_cast<std::size_t>(p.global_dofs), 0.0);
+  std::vector<idx> mult(static_cast<std::size_t>(p.global_dofs), 0);
+  for (std::size_t s = 0; s < p.sub.size(); ++s) {
+    const auto& fs = p.sub[s];
+    check(u_local[s].size() == static_cast<std::size_t>(fs.ndof()),
+          "gather_solution: local solution size mismatch");
+    for (idx l = 0; l < fs.ndof(); ++l) {
+      u[fs.dof_l2g[l]] += u_local[s][l];
+      mult[fs.dof_l2g[l]] += 1;
+    }
+  }
+  for (idx g = 0; g < p.global_dofs; ++g)
+    if (mult[g] > 0) u[g] /= mult[g];
+  return u;
+}
+
+}  // namespace feti::decomp

@@ -1,0 +1,71 @@
+#pragma once
+
+// The assembled Total FETI problem: everything the dual-operator
+// implementations and the PCPG solver need, per subdomain and cluster-wide.
+
+#include <vector>
+
+#include "decomp/kernel.hpp"
+#include "decomp/lagrange.hpp"
+#include "decomp/regularization.hpp"
+#include "fem/assembler.hpp"
+#include "mesh/grid.hpp"
+
+namespace feti::decomp {
+
+struct FetiSubdomain {
+  fem::SubdomainSystem sys;    ///< K (singular), f, local Dirichlet DOFs
+  la::Csr k_reg;               ///< regularized SPD stiffness
+  la::DenseMatrix r;           ///< orthonormal kernel basis (ndof x rdim)
+  la::Csr b;                   ///< local gluing matrix B̃ᵢ
+  std::vector<idx> lm_l2c;     ///< local λ -> cluster λ
+  std::vector<idx> fixing_dofs;
+  std::vector<idx> dof_l2g;    ///< local DOF -> global DOF
+
+  [[nodiscard]] idx ndof() const { return sys.ndof; }
+  [[nodiscard]] idx num_local_lambdas() const { return b.nrows(); }
+  [[nodiscard]] idx kernel_dim() const { return r.cols(); }
+};
+
+struct FetiProblem {
+  fem::Physics physics = fem::Physics::HeatTransfer;
+  int dim = 2;
+  idx num_lambdas = 0;          ///< cluster-wide dual dimension
+  idx global_dofs = 0;
+  std::vector<double> c;        ///< constraint right-hand side
+  std::vector<FetiSubdomain> sub;
+
+  [[nodiscard]] idx num_subdomains() const {
+    return static_cast<idx>(sub.size());
+  }
+  [[nodiscard]] idx total_kernel_dim() const {
+    idx t = 0;
+    for (const auto& s : sub) t += s.kernel_dim();
+    return t;
+  }
+  /// Largest subdomain primal dimension (the paper's per-subdomain DOFs).
+  [[nodiscard]] idx max_subdomain_dofs() const {
+    idx t = 0;
+    for (const auto& s : sub) t = std::max(t, s.ndof());
+    return t;
+  }
+};
+
+/// Assembles the complete FETI problem from a mesh decomposition.
+FetiProblem build_feti_problem(const mesh::Decomposition& dec,
+                               fem::Physics physics,
+                               const fem::Material& material = {},
+                               Redundancy redundancy = Redundancy::Full);
+
+/// Multi-step support: scales all stiffness values by `factor` (pattern
+/// unchanged), emulating material coefficients that change between time
+/// steps; K_reg is updated consistently. The right-hand side is scaled too,
+/// so the exact solution is step-invariant (handy for validation).
+void scale_step(FetiProblem& p, double factor);
+
+/// Gathers the subdomain solution vectors into a global solution, averaging
+/// the (identical, up to solver tolerance) interface copies.
+std::vector<double> gather_solution(
+    const FetiProblem& p, const std::vector<std::vector<double>>& u_local);
+
+}  // namespace feti::decomp

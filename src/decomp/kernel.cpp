@@ -1,0 +1,64 @@
+#include "decomp/kernel.hpp"
+
+#include <cmath>
+
+#include "la/blas_dense.hpp"
+
+namespace feti::decomp {
+
+void orthonormalize_columns(la::DenseView a) {
+  check(a.layout == la::Layout::ColMajor,
+        "orthonormalize_columns: col-major storage required");
+  for (idx j = 0; j < a.cols; ++j) {
+    double* col = a.data + static_cast<widx>(j) * a.ld;
+    for (idx k = 0; k < j; ++k) {
+      const double* prev = a.data + static_cast<widx>(k) * a.ld;
+      const double proj = la::dot(a.rows, prev, col);
+      la::axpy(a.rows, -proj, prev, col);
+    }
+    const double norm = la::nrm2(a.rows, col);
+    check(norm > 1e-12 * std::sqrt(static_cast<double>(a.rows)),
+          "orthonormalize_columns: linearly dependent columns");
+    la::scal(a.rows, 1.0 / norm, col);
+  }
+}
+
+la::DenseMatrix build_kernel(const mesh::Mesh& mesh, fem::Physics physics) {
+  const int dim = mesh.dim;
+  const int r = kernel_dim(physics, dim);
+  const int dpn = fem::dofs_per_node(physics, dim);
+  const idx ndof = mesh.num_nodes * dpn;
+  la::DenseMatrix kernel(ndof, r, la::Layout::ColMajor);
+
+  if (physics == fem::Physics::HeatTransfer) {
+    for (idx n = 0; n < mesh.num_nodes; ++n) kernel.at(n, 0) = 1.0;
+  } else {
+    // Translations.
+    for (int d = 0; d < dim; ++d)
+      for (idx n = 0; n < mesh.num_nodes; ++n)
+        kernel.at(n * dim + d, d) = 1.0;
+    // Rotations (about the subdomain centroid for better conditioning).
+    double centroid[3] = {0, 0, 0};
+    for (idx n = 0; n < mesh.num_nodes; ++n)
+      for (int d = 0; d < dim; ++d) centroid[d] += mesh.coord(n, d);
+    for (int d = 0; d < dim; ++d) centroid[d] /= mesh.num_nodes;
+    auto rel = [&](idx n, int d) { return mesh.coord(n, d) - centroid[d]; };
+    if (dim == 2) {
+      for (idx n = 0; n < mesh.num_nodes; ++n) {
+        kernel.at(n * 2 + 0, 2) = -rel(n, 1);
+        kernel.at(n * 2 + 1, 2) = rel(n, 0);
+      }
+    } else {
+      const int planes[3][2] = {{0, 1}, {1, 2}, {0, 2}};
+      for (int p = 0; p < 3; ++p)
+        for (idx n = 0; n < mesh.num_nodes; ++n) {
+          kernel.at(n * 3 + planes[p][0], 3 + p) = -rel(n, planes[p][1]);
+          kernel.at(n * 3 + planes[p][1], 3 + p) = rel(n, planes[p][0]);
+        }
+    }
+  }
+  orthonormalize_columns(kernel.view());
+  return kernel;
+}
+
+}  // namespace feti::decomp

@@ -1,0 +1,31 @@
+#pragma once
+
+// Kernel bases R_i of the singular subdomain stiffness matrices.
+//
+// In Total FETI every subdomain floats, so the kernels are known
+// analytically: the constant function for heat transfer, and the rigid body
+// modes (translations + rotations) for elasticity. The basis is
+// orthonormalized, which both stabilizes the coarse problem G^T G and makes
+// the fixing-nodes regularization analysis exact.
+
+#include "fem/physics.hpp"
+#include "la/dense.hpp"
+#include "mesh/grid.hpp"
+
+namespace feti::decomp {
+
+/// Number of kernel vectors for the physics/dimension combination.
+[[nodiscard]] constexpr int kernel_dim(fem::Physics p, int dim) {
+  if (p == fem::Physics::HeatTransfer) return 1;
+  return dim == 2 ? 3 : 6;
+}
+
+/// Builds the orthonormal kernel basis (ndof x kernel_dim, col-major) for a
+/// subdomain mesh.
+la::DenseMatrix build_kernel(const mesh::Mesh& mesh, fem::Physics physics);
+
+/// Modified Gram-Schmidt orthonormalization of the columns of `a` (in
+/// place). Throws if the columns are linearly dependent.
+void orthonormalize_columns(la::DenseView a);
+
+}  // namespace feti::decomp

@@ -1,0 +1,95 @@
+#include "decomp/lagrange.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace feti::decomp {
+
+const char* to_string(Redundancy r) {
+  return r == Redundancy::Full ? "full-redundant" : "non-redundant";
+}
+
+Gluing build_gluing(const mesh::Decomposition& dec, int dofs_per_node,
+                    Redundancy redundancy) {
+  const idx nsub = static_cast<idx>(dec.subdomains.size());
+  check(nsub > 0, "build_gluing: empty decomposition");
+
+  // Owner lists per shared global node: (global node, subdomain, local node).
+  std::vector<std::tuple<idx, idx, idx>> owners;
+  for (idx s = 0; s < nsub; ++s) {
+    const auto& l2g = dec.subdomains[s].node_l2g;
+    for (idx l = 0; l < static_cast<idx>(l2g.size()); ++l)
+      if (dec.node_multiplicity[l2g[l]] > 1)
+        owners.emplace_back(l2g[l], s, l);
+  }
+  std::sort(owners.begin(), owners.end());
+
+  Gluing g;
+  g.b.resize(nsub);
+  g.lm_l2c.resize(nsub);
+  std::vector<std::vector<la::Triplet>> triplets(nsub);
+
+  auto add_entry = [&](idx sub, idx local_dof, double value) {
+    // Rows are appended in ascending cluster-λ order, so the local row index
+    // is simply the current size of the map.
+    auto& map = g.lm_l2c[sub];
+    if (map.empty() || map.back() != g.num_lambdas)
+      map.push_back(g.num_lambdas);
+    triplets[sub].push_back(
+        {static_cast<idx>(map.size()) - 1, local_dof, value});
+  };
+
+  // Interface constraints: iterate shared nodes grouped by global id.
+  for (std::size_t i = 0; i < owners.size();) {
+    std::size_t j = i;
+    while (j < owners.size() &&
+           std::get<0>(owners[j]) == std::get<0>(owners[i]))
+      ++j;
+    const idx count = static_cast<idx>(j - i);
+    for (int comp = 0; comp < dofs_per_node; ++comp) {
+      auto dof = [&](std::size_t k) {
+        return std::get<2>(owners[k]) * dofs_per_node + comp;
+      };
+      if (redundancy == Redundancy::Full) {
+        for (idx a = 0; a < count; ++a)
+          for (idx b = a + 1; b < count; ++b) {
+            add_entry(std::get<1>(owners[i + a]), dof(i + a), 1.0);
+            add_entry(std::get<1>(owners[i + b]), dof(i + b), -1.0);
+            g.c.push_back(0.0);
+            g.num_lambdas += 1;
+          }
+      } else {
+        for (idx a = 0; a + 1 < count; ++a) {
+          add_entry(std::get<1>(owners[i + a]), dof(i + a), 1.0);
+          add_entry(std::get<1>(owners[i + a + 1]), dof(i + a + 1), -1.0);
+          g.c.push_back(0.0);
+          g.num_lambdas += 1;
+        }
+      }
+    }
+    i = j;
+  }
+
+  // Dirichlet rows appended after all interface rows (Total FETI).
+  for (idx s = 0; s < nsub; ++s) {
+    const auto& mesh = dec.subdomains[s].local;
+    for (idx node : mesh.dirichlet_nodes)
+      for (int comp = 0; comp < dofs_per_node; ++comp) {
+        add_entry(s, node * dofs_per_node + comp, 1.0);
+        g.c.push_back(0.0);  // homogeneous boundary condition
+        g.num_lambdas += 1;
+        g.num_dirichlet_rows += 1;
+      }
+  }
+
+  // Materialize the per-subdomain CSR matrices.
+  for (idx s = 0; s < nsub; ++s) {
+    const idx local_rows = static_cast<idx>(g.lm_l2c[s].size());
+    const idx ndof =
+        dec.subdomains[s].local.num_nodes * dofs_per_node;
+    g.b[s] = la::Csr::from_triplets(local_rows, ndof, std::move(triplets[s]));
+  }
+  return g;
+}
+
+}  // namespace feti::decomp

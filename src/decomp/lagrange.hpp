@@ -1,0 +1,48 @@
+#pragma once
+
+// Construction of the Total FETI gluing matrix B.
+//
+// Two kinds of rows (paper Section II): equality constraints between
+// subdomain copies of shared interface DOFs (u_i - u_j = 0), and Dirichlet
+// rows appended to B so the boundary conditions are enforced through
+// Lagrange multipliers, keeping every subdomain matrix singular.
+//
+// Each subdomain stores only the multipliers connected to it (the local
+// gluing matrix B̃ᵢ) together with a local-to-cluster multiplier map, which
+// is what the scatter/gather operations in the solver use.
+
+#include <vector>
+
+#include "la/csr.hpp"
+#include "mesh/grid.hpp"
+
+namespace feti::decomp {
+
+/// How interface DOFs shared by k > 2 subdomains are glued.
+enum class Redundancy {
+  Full,           ///< all k(k-1)/2 pairwise constraints (ESPRESO default)
+  NonRedundant,   ///< k-1 chain constraints
+};
+
+const char* to_string(Redundancy r);
+
+struct Gluing {
+  idx num_lambdas = 0;
+  /// Per subdomain: local gluing matrix B̃ᵢ (local λ count x ndof_i).
+  std::vector<la::Csr> b;
+  /// Per subdomain: local λ row -> cluster λ index (ascending).
+  std::vector<std::vector<idx>> lm_l2c;
+  /// Constraint right-hand side c (zeros for interface rows, Dirichlet
+  /// values for Dirichlet rows; homogeneous here).
+  std::vector<double> c;
+  /// Number of Dirichlet rows (they follow all interface rows).
+  idx num_dirichlet_rows = 0;
+};
+
+/// Builds the gluing for a decomposition. `dofs_per_node` comes from the
+/// physics (1 for heat, dim for elasticity). Dirichlet DOFs are read from
+/// each subdomain's local mesh.
+Gluing build_gluing(const mesh::Decomposition& dec, int dofs_per_node,
+                    Redundancy redundancy = Redundancy::Full);
+
+}  // namespace feti::decomp

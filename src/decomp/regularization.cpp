@@ -1,0 +1,103 @@
+#include "decomp/regularization.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace feti::decomp {
+
+std::vector<idx> select_fixing_dofs(const mesh::Mesh& mesh,
+                                    fem::Physics physics) {
+  const int dim = mesh.dim;
+  const int dpn = fem::dofs_per_node(physics, dim);
+
+  // Bounding box.
+  double lo[3] = {1e300, 1e300, 1e300}, hi[3] = {-1e300, -1e300, -1e300};
+  for (idx n = 0; n < mesh.num_nodes; ++n)
+    for (int d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], mesh.coord(n, d));
+      hi[d] = std::max(hi[d], mesh.coord(n, d));
+    }
+
+  // Target points: centroid for heat; spread non-collinear (2D) or
+  // non-coplanar (3D) corners for elasticity.
+  std::vector<std::array<double, 3>> targets;
+  if (physics == fem::Physics::HeatTransfer) {
+    targets.push_back({(lo[0] + hi[0]) / 2, (lo[1] + hi[1]) / 2,
+                       dim == 3 ? (lo[2] + hi[2]) / 2 : 0.0});
+  } else if (dim == 2) {
+    targets.push_back({lo[0], lo[1], 0});
+    targets.push_back({hi[0], lo[1], 0});
+    targets.push_back({lo[0], hi[1], 0});
+  } else {
+    targets.push_back({lo[0], lo[1], lo[2]});
+    targets.push_back({hi[0], lo[1], lo[2]});
+    targets.push_back({lo[0], hi[1], lo[2]});
+    targets.push_back({lo[0], lo[1], hi[2]});
+  }
+
+  std::vector<idx> nodes;
+  for (const auto& t : targets) {
+    idx best = -1;
+    double best_d = std::numeric_limits<double>::max();
+    for (idx n = 0; n < mesh.num_nodes; ++n) {
+      if (std::find(nodes.begin(), nodes.end(), n) != nodes.end()) continue;
+      double d2 = 0.0;
+      for (int d = 0; d < dim; ++d) {
+        const double dd = mesh.coord(n, d) - t[d];
+        d2 += dd * dd;
+      }
+      if (d2 < best_d) {
+        best_d = d2;
+        best = n;
+      }
+    }
+    FETI_ASSERT(best >= 0, "select_fixing_dofs: no nodes available");
+    nodes.push_back(best);
+  }
+
+  std::vector<idx> dofs;
+  for (idx n : nodes)
+    for (int c = 0; c < dpn; ++c) dofs.push_back(n * dpn + c);
+  std::sort(dofs.begin(), dofs.end());
+  return dofs;
+}
+
+Regularization regularize(const la::Csr& k, la::ConstDenseView kernel,
+                          const mesh::Mesh& mesh, fem::Physics physics) {
+  Regularization reg;
+  reg.fixing_dofs = select_fixing_dofs(mesh, physics);
+  const idx nf = static_cast<idx>(reg.fixing_dofs.size());
+  const idx r = kernel.cols;
+  check(nf >= r, "regularize: too few fixing DOFs for the kernel dimension");
+
+  // rho scaled to the matrix magnitude keeps the regularized spectrum
+  // balanced.
+  double diag_sum = 0.0;
+  for (idx i = 0; i < k.nrows(); ++i) diag_sum += k.at(i, i);
+  reg.rho = diag_sum / k.nrows();
+
+  // Dense fixing block: M M^T with M = kernel rows at the fixing DOFs.
+  la::DenseMatrix m(nf, r, la::Layout::ColMajor);
+  for (idx i = 0; i < nf; ++i)
+    for (idx j = 0; j < r; ++j) m.at(i, j) = kernel.at(reg.fixing_dofs[i], j);
+
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(k.nnz()) +
+                   static_cast<std::size_t>(nf) * nf);
+  for (idx row = 0; row < k.nrows(); ++row)
+    for (idx p = k.row_begin(row); p < k.row_end(row); ++p)
+      triplets.push_back({row, k.col(p), k.val(p)});
+  for (idx i = 0; i < nf; ++i)
+    for (idx j = 0; j < nf; ++j) {
+      double v = 0.0;
+      for (idx q = 0; q < r; ++q) v += m.at(i, q) * m.at(j, q);
+      triplets.push_back({reg.fixing_dofs[i], reg.fixing_dofs[j],
+                          reg.rho * v});
+    }
+  reg.k_reg = la::Csr::from_triplets(k.nrows(), k.ncols(), std::move(triplets));
+  return reg;
+}
+
+}  // namespace feti::decomp

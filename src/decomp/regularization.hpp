@@ -1,0 +1,36 @@
+#pragma once
+
+// Analytic regularization of the singular subdomain stiffness matrices
+// (fixing nodes, paper reference [11]).
+//
+// K_reg = K + rho * (E E^T R)(E E^T R)^T, where E selects a small set of
+// "fixing" DOFs and R is the (orthonormal) kernel. Provided E^T R has full
+// column rank, range(E E^T R) intersects range(K) trivially, which makes
+// K_reg^{-1} an *exact* generalized inverse of K — while only adding a tiny
+// dense block at the fixing DOFs, so sparsity is preserved.
+
+#include <vector>
+
+#include "fem/physics.hpp"
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "mesh/grid.hpp"
+
+namespace feti::decomp {
+
+struct Regularization {
+  la::Csr k_reg;                  ///< SPD regularized matrix
+  std::vector<idx> fixing_dofs;   ///< DOFs carrying the regularization block
+  double rho = 0.0;               ///< scaling used
+};
+
+/// Selects well-spread fixing nodes for the mesh (1 for heat, 3 for 2D
+/// elasticity, 4 for 3D elasticity) and returns their DOF indices.
+std::vector<idx> select_fixing_dofs(const mesh::Mesh& mesh,
+                                    fem::Physics physics);
+
+/// Builds K_reg from the subdomain stiffness and its orthonormal kernel.
+Regularization regularize(const la::Csr& k, la::ConstDenseView kernel,
+                          const mesh::Mesh& mesh, fem::Physics physics);
+
+}  // namespace feti::decomp

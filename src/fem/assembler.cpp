@@ -1,0 +1,118 @@
+#include "fem/assembler.hpp"
+
+#include <algorithm>
+
+#include "sparse/solver.hpp"
+
+namespace feti::fem {
+
+namespace {
+
+/// Shared element loop: scatters element systems into triplets + load.
+void assemble_into(const mesh::Mesh& m, Physics phys, const Material& mat,
+                   std::vector<la::Triplet>& triplets,
+                   std::vector<double>& f) {
+  const int dim = m.dim;
+  const int npe = mesh::nodes_per_element(m.type);
+  const int dpn = dofs_per_node(phys, dim);
+  const int ndof_e = npe * dpn;
+  la::DenseMatrix ke(ndof_e, ndof_e, la::Layout::RowMajor);
+  std::vector<double> fe(static_cast<std::size_t>(ndof_e));
+  std::vector<double> coords(static_cast<std::size_t>(npe) * dim);
+  for (idx e = 0; e < m.num_elements(); ++e) {
+    const idx* en = m.element(e);
+    for (int a = 0; a < npe; ++a)
+      for (int d = 0; d < dim; ++d)
+        coords[static_cast<std::size_t>(a) * dim + d] = m.coord(en[a], d);
+    element_system(phys, m.type, coords.data(), mat, ke.view(), fe.data());
+    for (int a = 0; a < ndof_e; ++a) {
+      const idx ga = en[a / dpn] * dpn + a % dpn;
+      f[ga] += fe[a];
+      for (int b = 0; b < ndof_e; ++b) {
+        const idx gb = en[b / dpn] * dpn + b % dpn;
+        triplets.push_back({ga, gb, ke.at(a, b)});
+      }
+    }
+  }
+}
+
+std::vector<idx> dirichlet_dof_list(const mesh::Mesh& m, int dpn) {
+  std::vector<idx> dofs;
+  dofs.reserve(m.dirichlet_nodes.size() * dpn);
+  for (idx node : m.dirichlet_nodes)
+    for (int c = 0; c < dpn; ++c) dofs.push_back(node * dpn + c);
+  std::sort(dofs.begin(), dofs.end());
+  return dofs;
+}
+
+}  // namespace
+
+SubdomainSystem assemble(const mesh::Mesh& m, Physics phys,
+                         const Material& mat) {
+  SubdomainSystem sys;
+  sys.dofs_per_node = dofs_per_node(phys, m.dim);
+  sys.ndof = m.num_nodes * sys.dofs_per_node;
+  sys.f.assign(static_cast<std::size_t>(sys.ndof), 0.0);
+  std::vector<la::Triplet> triplets;
+  assemble_into(m, phys, mat, triplets, sys.f);
+  sys.k = la::Csr::from_triplets(sys.ndof, sys.ndof, std::move(triplets));
+  sys.dirichlet_dofs = dirichlet_dof_list(m, sys.dofs_per_node);
+  return sys;
+}
+
+GlobalSystem assemble_global(const mesh::Mesh& m, Physics phys,
+                             const Material& mat) {
+  GlobalSystem sys;
+  sys.dofs_per_node = dofs_per_node(phys, m.dim);
+  sys.ndof = m.num_nodes * sys.dofs_per_node;
+  sys.f.assign(static_cast<std::size_t>(sys.ndof), 0.0);
+  std::vector<la::Triplet> triplets;
+  assemble_into(m, phys, mat, triplets, sys.f);
+  sys.k = la::Csr::from_triplets(sys.ndof, sys.ndof, std::move(triplets));
+  sys.dirichlet_dofs = dirichlet_dof_list(m, sys.dofs_per_node);
+  return sys;
+}
+
+std::vector<double> reference_solve(const GlobalSystem& sys) {
+  const idx n = sys.ndof;
+  // Map free DOFs to a compact range.
+  std::vector<idx> free_of(static_cast<std::size_t>(n), -1);
+  idx nfree = 0;
+  {
+    std::size_t d = 0;
+    for (idx i = 0; i < n; ++i) {
+      if (d < sys.dirichlet_dofs.size() && sys.dirichlet_dofs[d] == i) {
+        ++d;
+        continue;
+      }
+      free_of[i] = nfree++;
+    }
+  }
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(sys.k.nnz()));
+  for (idx r = 0; r < n; ++r) {
+    if (free_of[r] == -1) continue;
+    for (idx k = sys.k.row_begin(r); k < sys.k.row_end(r); ++k) {
+      const idx c = sys.k.col(k);
+      if (free_of[c] == -1) continue;  // homogeneous boundary: drop column
+      triplets.push_back({free_of[r], free_of[c], sys.k.val(k)});
+    }
+  }
+  la::Csr kr = la::Csr::from_triplets(nfree, nfree, std::move(triplets));
+  std::vector<double> fr(static_cast<std::size_t>(nfree));
+  for (idx i = 0; i < n; ++i)
+    if (free_of[i] != -1) fr[free_of[i]] = sys.f[i];
+
+  auto solver = sparse::make_solver(sparse::Backend::Supernodal);
+  solver->analyze(kr, sparse::OrderingKind::MinimumDegree);
+  solver->factorize(kr);
+  std::vector<double> xr(static_cast<std::size_t>(nfree));
+  solver->solve(fr.data(), xr.data());
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  for (idx i = 0; i < n; ++i)
+    if (free_of[i] != -1) x[i] = xr[free_of[i]];
+  return x;
+}
+
+}  // namespace feti::fem

@@ -1,0 +1,50 @@
+#pragma once
+
+// Assembly of subdomain and global FEM systems.
+//
+// In Total FETI (the variant the paper uses) the Dirichlet conditions are
+// NOT eliminated from the subdomain matrices — they are enforced through
+// extra rows of the gluing matrix B, which keeps every subdomain stiffness
+// matrix singular. The assembler therefore returns the raw singular K plus
+// the list of constrained DOFs; src/decomp turns those into B rows.
+
+#include <vector>
+
+#include "fem/physics.hpp"
+#include "la/csr.hpp"
+#include "mesh/grid.hpp"
+
+namespace feti::fem {
+
+/// One subdomain's FEM system.
+struct SubdomainSystem {
+  la::Csr k;                        ///< stiffness (full symmetric, singular)
+  std::vector<double> f;            ///< load vector
+  idx ndof = 0;
+  int dofs_per_node = 1;
+  std::vector<idx> dirichlet_dofs;  ///< local DOFs on the Dirichlet boundary
+};
+
+/// Assembles the subdomain system for `m` (typically a Subdomain::local
+/// mesh). DOF numbering: node * dofs_per_node + component.
+SubdomainSystem assemble(const mesh::Mesh& m, Physics phys,
+                         const Material& mat = {});
+
+/// Global (undecomposed) system used as the reference in tests/examples.
+struct GlobalSystem {
+  la::Csr k;
+  std::vector<double> f;
+  idx ndof = 0;
+  int dofs_per_node = 1;
+  std::vector<idx> dirichlet_dofs;
+};
+
+GlobalSystem assemble_global(const mesh::Mesh& m, Physics phys,
+                             const Material& mat = {});
+
+/// Reference solution: eliminates the (homogeneous) Dirichlet DOFs, solves
+/// the reduced SPD system with a direct solver, returns the full-length
+/// solution vector with zeros on the boundary.
+std::vector<double> reference_solve(const GlobalSystem& sys);
+
+}  // namespace feti::fem

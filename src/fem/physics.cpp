@@ -1,0 +1,177 @@
+#include "fem/physics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "fem/quadrature.hpp"
+#include "fem/shape.hpp"
+
+namespace feti::fem {
+
+const char* to_string(Physics p) {
+  return p == Physics::HeatTransfer ? "heat-transfer" : "linear-elasticity";
+}
+
+namespace {
+
+/// Affine simplex geometry: J(:, r) = x_{r+1} - x_0 over corner nodes.
+/// Returns |det J| and fills the inverse.
+double affine_jacobian(int dim, const double* coords, double* jinv) {
+  double j[9];
+  for (int r = 0; r < dim; ++r)
+    for (int d = 0; d < dim; ++d)
+      j[d * dim + r] = coords[(r + 1) * dim + d] - coords[d];
+  double det;
+  if (dim == 2) {
+    det = j[0] * j[3] - j[1] * j[2];
+    check(det != 0.0, "element_system: degenerate element");
+    const double inv = 1.0 / det;
+    jinv[0] = j[3] * inv;
+    jinv[1] = -j[1] * inv;
+    jinv[2] = -j[2] * inv;
+    jinv[3] = j[0] * inv;
+  } else {
+    det = j[0] * (j[4] * j[8] - j[5] * j[7]) -
+          j[1] * (j[3] * j[8] - j[5] * j[6]) +
+          j[2] * (j[3] * j[7] - j[4] * j[6]);
+    check(det != 0.0, "element_system: degenerate element");
+    const double inv = 1.0 / det;
+    jinv[0] = (j[4] * j[8] - j[5] * j[7]) * inv;
+    jinv[1] = (j[2] * j[7] - j[1] * j[8]) * inv;
+    jinv[2] = (j[1] * j[5] - j[2] * j[4]) * inv;
+    jinv[3] = (j[5] * j[6] - j[3] * j[8]) * inv;
+    jinv[4] = (j[0] * j[8] - j[2] * j[6]) * inv;
+    jinv[5] = (j[2] * j[3] - j[0] * j[5]) * inv;
+    jinv[6] = (j[3] * j[7] - j[4] * j[6]) * inv;
+    jinv[7] = (j[1] * j[6] - j[0] * j[7]) * inv;
+    jinv[8] = (j[0] * j[4] - j[1] * j[3]) * inv;
+  }
+  return std::fabs(det);
+}
+
+/// Physical gradients: g_phys = Jinv^T * g_ref per node.
+void physical_gradients(int dim, int npe, const double* jinv,
+                        const double* dn_ref, double* dn_phys) {
+  for (int a = 0; a < npe; ++a)
+    for (int d = 0; d < dim; ++d) {
+      double acc = 0.0;
+      for (int r = 0; r < dim; ++r)
+        acc += jinv[r * dim + d] * dn_ref[a * dim + r];
+      dn_phys[a * dim + d] = acc;
+    }
+}
+
+void heat_element(mesh::ElementType type, const double* coords,
+                  const Material& mat, la::DenseView ke, double* fe) {
+  const int dim = mesh::element_dim(type);
+  const int npe = mesh::nodes_per_element(type);
+  const int degree =
+      (type == mesh::ElementType::Tri3 || type == mesh::ElementType::Tet4)
+          ? 1 : 2;
+  const auto rule = simplex_rule(dim, std::max(2, degree));
+  double jinv[9];
+  const double detj = affine_jacobian(dim, coords, jinv);
+  std::array<double, 10> n;
+  std::array<double, 30> dn_ref, dn;
+  for (const auto& qp : rule) {
+    shape_values(type, qp.xi.data(), n.data());
+    shape_gradients(type, qp.xi.data(), dn_ref.data());
+    physical_gradients(dim, npe, jinv, dn_ref.data(), dn.data());
+    const double wq = qp.weight * detj;
+    for (int a = 0; a < npe; ++a) {
+      for (int b = 0; b < npe; ++b) {
+        double g = 0.0;
+        for (int d = 0; d < dim; ++d) g += dn[a * dim + d] * dn[b * dim + d];
+        ke.at(a, b) += mat.conductivity * wq * g;
+      }
+      fe[a] += wq * n[a];  // unit volumetric source
+    }
+  }
+}
+
+void elasticity_element(mesh::ElementType type, const double* coords,
+                        const Material& mat, la::DenseView ke, double* fe) {
+  const int dim = mesh::element_dim(type);
+  const int npe = mesh::nodes_per_element(type);
+  const auto rule = simplex_rule(dim, 2);
+  double jinv[9];
+  const double detj = affine_jacobian(dim, coords, jinv);
+  const double e = mat.youngs_modulus, nu = mat.poisson_ratio;
+  const double lambda = e * nu / ((1 + nu) * (1 - 2 * nu));
+  const double mu = e / (2 * (1 + nu));
+
+  std::array<double, 10> n;
+  std::array<double, 30> dn_ref, dn;
+  const int nstrain = dim == 2 ? 3 : 6;
+  // D matrix (Voigt), isotropic.
+  double d[36] = {0};
+  for (int i = 0; i < dim; ++i)
+    for (int j = 0; j < dim; ++j)
+      d[i * nstrain + j] = i == j ? lambda + 2 * mu : lambda;
+  for (int i = dim; i < nstrain; ++i) d[i * nstrain + i] = mu;
+
+  std::array<double, 6 * 30> b{};  // B (nstrain x npe*dim), row-major
+  for (const auto& qp : rule) {
+    shape_values(type, qp.xi.data(), n.data());
+    shape_gradients(type, qp.xi.data(), dn_ref.data());
+    physical_gradients(dim, npe, jinv, dn_ref.data(), dn.data());
+    const double wq = qp.weight * detj;
+    const int ncol = npe * dim;
+    std::fill(b.begin(), b.begin() + nstrain * ncol, 0.0);
+    auto bset = [&](int row, int col, double v) { b[row * ncol + col] = v; };
+    for (int a = 0; a < npe; ++a) {
+      const double gx = dn[a * dim], gy = dn[a * dim + 1];
+      if (dim == 2) {
+        bset(0, 2 * a, gx);
+        bset(1, 2 * a + 1, gy);
+        bset(2, 2 * a, gy);
+        bset(2, 2 * a + 1, gx);
+      } else {
+        const double gz = dn[a * dim + 2];
+        bset(0, 3 * a, gx);
+        bset(1, 3 * a + 1, gy);
+        bset(2, 3 * a + 2, gz);
+        bset(3, 3 * a, gy);      // gamma_xy
+        bset(3, 3 * a + 1, gx);
+        bset(4, 3 * a + 1, gz);  // gamma_yz
+        bset(4, 3 * a + 2, gy);
+        bset(5, 3 * a, gz);      // gamma_zx
+        bset(5, 3 * a + 2, gx);
+      }
+    }
+    // ke += wq * B^T D B.
+    for (int i = 0; i < ncol; ++i)
+      for (int s = 0; s < nstrain; ++s) {
+        double dbsi = 0.0;
+        for (int r = 0; r < nstrain; ++r)
+          dbsi += d[s * nstrain + r] * b[r * ncol + i];
+        if (dbsi == 0.0) continue;
+        for (int j = 0; j < ncol; ++j)
+          ke.at(i, j) += wq * b[s * ncol + j] * dbsi;
+      }
+    // Unit downward body force on the last component.
+    for (int a = 0; a < npe; ++a)
+      fe[a * dim + (dim - 1)] += -wq * n[a];
+  }
+}
+
+}  // namespace
+
+void element_system(Physics phys, mesh::ElementType type,
+                    const double* coords, const Material& mat,
+                    la::DenseView ke, double* fe) {
+  const int ndof =
+      mesh::nodes_per_element(type) * dofs_per_node(phys, mesh::element_dim(type));
+  check(ke.rows == ndof && ke.cols == ndof,
+        "element_system: ke dimension mismatch");
+  for (idx r = 0; r < ke.rows; ++r)
+    for (idx c = 0; c < ke.cols; ++c) ke.at(r, c) = 0.0;
+  std::fill(fe, fe + ndof, 0.0);
+  if (phys == Physics::HeatTransfer)
+    heat_element(type, coords, mat, ke, fe);
+  else
+    elasticity_element(type, coords, mat, ke, fe);
+}
+
+}  // namespace feti::fem

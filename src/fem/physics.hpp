@@ -1,0 +1,36 @@
+#pragma once
+
+// Element-level physics: heat transfer (scalar diffusion) and linear
+// elasticity (isotropic, plane strain in 2D). These are the two physics
+// the paper benchmarks with.
+
+#include "la/dense.hpp"
+#include "mesh/grid.hpp"
+
+namespace feti::fem {
+
+enum class Physics : std::uint8_t { HeatTransfer, LinearElasticity };
+
+const char* to_string(Physics p);
+
+[[nodiscard]] constexpr int dofs_per_node(Physics p, int dim) {
+  return p == Physics::HeatTransfer ? 1 : dim;
+}
+
+/// Material parameters. Heat uses `conductivity`; elasticity uses
+/// `youngs_modulus` and `poisson_ratio`.
+struct Material {
+  double conductivity = 1.0;
+  double youngs_modulus = 1.0;
+  double poisson_ratio = 0.3;
+};
+
+/// Computes the element stiffness matrix `ke` (ndof x ndof where
+/// ndof = nodes_per_element * dofs_per_node) and load vector `fe` for the
+/// element with corner-first node coordinates `coords` (npe x dim,
+/// row-major). The load is a unit heat source / unit downward body force.
+void element_system(Physics phys, mesh::ElementType type,
+                    const double* coords, const Material& mat,
+                    la::DenseView ke, double* fe);
+
+}  // namespace feti::fem

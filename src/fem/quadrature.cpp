@@ -1,0 +1,67 @@
+#include "fem/quadrature.hpp"
+
+namespace feti::fem {
+
+std::vector<QuadraturePoint> simplex_rule(int dim, int degree) {
+  check(dim == 2 || dim == 3, "simplex_rule: dim must be 2 or 3");
+  check(degree >= 1 && degree <= 4, "simplex_rule: degree must be in 1..4");
+  std::vector<QuadraturePoint> pts;
+  if (dim == 2) {
+    if (degree <= 1) {
+      pts.push_back({{1.0 / 3, 1.0 / 3, 0.0}, 0.5});
+    } else if (degree == 2) {
+      const double w = 1.0 / 6.0;
+      pts.push_back({{1.0 / 6, 1.0 / 6, 0.0}, w});
+      pts.push_back({{2.0 / 3, 1.0 / 6, 0.0}, w});
+      pts.push_back({{1.0 / 6, 2.0 / 3, 0.0}, w});
+    } else {
+      // Degree 4: 6-point Dunavant rule.
+      const double a1 = 0.445948490915965, w1 = 0.223381589678011 / 2;
+      const double a2 = 0.091576213509771, w2 = 0.109951743655322 / 2;
+      pts.push_back({{a1, a1, 0.0}, w1});
+      pts.push_back({{1 - 2 * a1, a1, 0.0}, w1});
+      pts.push_back({{a1, 1 - 2 * a1, 0.0}, w1});
+      pts.push_back({{a2, a2, 0.0}, w2});
+      pts.push_back({{1 - 2 * a2, a2, 0.0}, w2});
+      pts.push_back({{a2, 1 - 2 * a2, 0.0}, w2});
+    }
+  } else {
+    if (degree <= 1) {
+      pts.push_back({{0.25, 0.25, 0.25}, 1.0 / 6});
+    } else if (degree == 2) {
+      const double a = 0.585410196624969, b = 0.138196601125011;
+      const double w = 1.0 / 24;
+      pts.push_back({{a, b, b}, w});
+      pts.push_back({{b, a, b}, w});
+      pts.push_back({{b, b, a}, w});
+      pts.push_back({{b, b, b}, w});
+    } else {
+      // Degree 4: 14-point Keast-style rule (positive weights).
+      const double w0 = 0.073493043116362 / 6, a0 = 0.092735250310891;
+      const double w1 = 0.112687925718016 / 6, a1 = 0.310885919263301;
+      const double w2 = 0.042546020777082 / 6, a2 = 0.045503704125650;
+      auto push4 = [&](double a, double w) {
+        const double b = 1.0 - 3.0 * a;
+        pts.push_back({{b, a, a}, w});
+        pts.push_back({{a, b, a}, w});
+        pts.push_back({{a, a, b}, w});
+        pts.push_back({{a, a, a}, w});
+      };
+      push4(a0, w0);
+      push4(a1, w1);
+      auto push6 = [&](double a, double w) {
+        const double b = 0.5 - a;
+        pts.push_back({{a, a, b}, w});
+        pts.push_back({{a, b, a}, w});
+        pts.push_back({{b, a, a}, w});
+        pts.push_back({{a, b, b}, w});
+        pts.push_back({{b, a, b}, w});
+        pts.push_back({{b, b, a}, w});
+      };
+      push6(a2, w2);
+    }
+  }
+  return pts;
+}
+
+}  // namespace feti::fem

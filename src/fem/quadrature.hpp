@@ -1,0 +1,23 @@
+#pragma once
+
+// Gauss quadrature rules on reference simplices (triangle, tetrahedron).
+// Reference triangle: vertices (0,0), (1,0), (0,1); area 1/2.
+// Reference tetrahedron: vertices at the origin and unit axes; volume 1/6.
+
+#include <array>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace feti::fem {
+
+struct QuadraturePoint {
+  std::array<double, 3> xi;  ///< reference coordinates (z unused in 2D)
+  double weight;             ///< includes the reference simplex measure
+};
+
+/// Returns a rule exact for polynomials up to `degree` on the reference
+/// simplex of dimension `dim` (2 or 3). Supported degrees: 1..4.
+std::vector<QuadraturePoint> simplex_rule(int dim, int degree);
+
+}  // namespace feti::fem

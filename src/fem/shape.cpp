@@ -1,0 +1,108 @@
+#include "fem/shape.hpp"
+
+#include <algorithm>
+
+namespace feti::fem {
+
+using mesh::ElementType;
+
+void shape_values(ElementType t, const double* xi, double* n) {
+  const double x = xi[0], y = xi[1];
+  switch (t) {
+    case ElementType::Tri3: {
+      n[0] = 1.0 - x - y;
+      n[1] = x;
+      n[2] = y;
+      return;
+    }
+    case ElementType::Tri6: {
+      const double l0 = 1.0 - x - y, l1 = x, l2 = y;
+      n[0] = l0 * (2 * l0 - 1);
+      n[1] = l1 * (2 * l1 - 1);
+      n[2] = l2 * (2 * l2 - 1);
+      n[3] = 4 * l0 * l1;
+      n[4] = 4 * l1 * l2;
+      n[5] = 4 * l2 * l0;
+      return;
+    }
+    case ElementType::Tet4: {
+      const double z = xi[2];
+      n[0] = 1.0 - x - y - z;
+      n[1] = x;
+      n[2] = y;
+      n[3] = z;
+      return;
+    }
+    case ElementType::Tet10: {
+      const double z = xi[2];
+      const double l0 = 1.0 - x - y - z, l1 = x, l2 = y, l3 = z;
+      n[0] = l0 * (2 * l0 - 1);
+      n[1] = l1 * (2 * l1 - 1);
+      n[2] = l2 * (2 * l2 - 1);
+      n[3] = l3 * (2 * l3 - 1);
+      n[4] = 4 * l0 * l1;
+      n[5] = 4 * l1 * l2;
+      n[6] = 4 * l0 * l2;
+      n[7] = 4 * l0 * l3;
+      n[8] = 4 * l1 * l3;
+      n[9] = 4 * l2 * l3;
+      return;
+    }
+  }
+  FETI_ASSERT(false, "shape_values: unknown element type");
+}
+
+void shape_gradients(ElementType t, const double* xi, double* dn) {
+  const double x = xi[0], y = xi[1];
+  switch (t) {
+    case ElementType::Tri3: {
+      const double g[6] = {-1, -1, 1, 0, 0, 1};
+      std::copy(g, g + 6, dn);
+      return;
+    }
+    case ElementType::Tri6: {
+      const double l0 = 1.0 - x - y, l1 = x, l2 = y;
+      // dLi/d(x,y): L0 -> (-1,-1), L1 -> (1,0), L2 -> (0,1).
+      auto set = [&](int a, double gx, double gy) {
+        dn[2 * a] = gx;
+        dn[2 * a + 1] = gy;
+      };
+      set(0, -(4 * l0 - 1), -(4 * l0 - 1));
+      set(1, 4 * l1 - 1, 0.0);
+      set(2, 0.0, 4 * l2 - 1);
+      set(3, 4 * (l0 - l1), -4 * l1);
+      set(4, 4 * l2, 4 * l1);
+      set(5, -4 * l2, 4 * (l0 - l2));
+      return;
+    }
+    case ElementType::Tet4: {
+      const double g[12] = {-1, -1, -1, 1, 0, 0, 0, 1, 0, 0, 0, 1};
+      std::copy(g, g + 12, dn);
+      return;
+    }
+    case ElementType::Tet10: {
+      const double z = xi[2];
+      const double l0 = 1.0 - x - y - z, l1 = x, l2 = y, l3 = z;
+      auto set = [&](int a, double gx, double gy, double gz) {
+        dn[3 * a] = gx;
+        dn[3 * a + 1] = gy;
+        dn[3 * a + 2] = gz;
+      };
+      const double d0 = 4 * l0 - 1;
+      set(0, -d0, -d0, -d0);
+      set(1, 4 * l1 - 1, 0, 0);
+      set(2, 0, 4 * l2 - 1, 0);
+      set(3, 0, 0, 4 * l3 - 1);
+      set(4, 4 * (l0 - l1), -4 * l1, -4 * l1);       // mid(0,1)
+      set(5, 4 * l2, 4 * l1, 0);                     // mid(1,2)
+      set(6, -4 * l2, 4 * (l0 - l2), -4 * l2);       // mid(0,2)
+      set(7, -4 * l3, -4 * l3, 4 * (l0 - l3));       // mid(0,3)
+      set(8, 4 * l3, 0, 4 * l1);                     // mid(1,3)
+      set(9, 0, 4 * l3, 4 * l2);                     // mid(2,3)
+      return;
+    }
+  }
+  FETI_ASSERT(false, "shape_gradients: unknown element type");
+}
+
+}  // namespace feti::fem

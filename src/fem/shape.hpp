@@ -1,0 +1,20 @@
+#pragma once
+
+// Shape functions and reference gradients for linear and quadratic
+// simplices (Tri3/Tri6/Tet4/Tet10). Node ordering matches mesh/grid.cpp:
+// corners first, then mid-edge nodes in the order (01), (12), (20) for
+// triangles and (01), (12), (02), (03), (13), (23) for tetrahedra.
+
+#include "mesh/grid.hpp"
+
+namespace feti::fem {
+
+/// Evaluates all shape functions at reference point xi. N must hold
+/// nodes_per_element(t) entries.
+void shape_values(mesh::ElementType t, const double* xi, double* n);
+
+/// Evaluates reference-space gradients at xi. dn is row-major
+/// [node][direction], with element_dim(t) directions per node.
+void shape_gradients(mesh::ElementType t, const double* xi, double* dn);
+
+}  // namespace feti::fem

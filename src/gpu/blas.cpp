@@ -1,0 +1,33 @@
+#include "gpu/blas.hpp"
+
+#include "la/blas_dense.hpp"
+
+namespace feti::gpu::blas {
+
+void gemv(Stream& s, double alpha, DeviceDense a, la::Trans trans,
+          const double* x, double beta, double* y) {
+  s.submit([=] { la::gemv(alpha, a.cview(), trans, x, beta, y); });
+}
+
+void symv(Stream& s, la::Uplo uplo, double alpha, DeviceDense a,
+          const double* x, double beta, double* y) {
+  s.submit([=] { la::symv(uplo, alpha, a.cview(), x, beta, y); });
+}
+
+void trsm(Stream& s, la::Uplo uplo, la::Trans trans, DeviceDense a,
+          DeviceDense b) {
+  s.submit([=] { la::trsm(uplo, trans, a.cview(), b.view()); });
+}
+
+void syrk(Stream& s, la::Uplo uplo, la::Trans trans, double alpha,
+          DeviceDense a, double beta, DeviceDense c) {
+  s.submit([=] { la::syrk(uplo, trans, alpha, a.cview(), beta, c.view()); });
+}
+
+void gemm(Stream& s, double alpha, DeviceDense a, la::Trans ta, DeviceDense b,
+          la::Trans tb, double beta, DeviceDense c) {
+  s.submit(
+      [=] { la::gemm(alpha, a.cview(), ta, b.cview(), tb, beta, c.view()); });
+}
+
+}  // namespace feti::gpu::blas

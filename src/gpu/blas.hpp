@@ -1,0 +1,31 @@
+#pragma once
+
+// vcuBLAS: dense BLAS kernels with stream semantics (the cuBLAS substitute).
+// Every call submits one stream-ordered operation and returns immediately.
+
+#include "gpu/data.hpp"
+#include "gpu/runtime.hpp"
+
+namespace feti::gpu::blas {
+
+/// y = alpha * op(A) * x + beta * y (x, y device pointers).
+void gemv(Stream& s, double alpha, DeviceDense a, la::Trans trans,
+          const double* x, double beta, double* y);
+
+/// Symmetric y = alpha * A * x + beta * y, one stored triangle.
+void symv(Stream& s, la::Uplo uplo, double alpha, DeviceDense a,
+          const double* x, double beta, double* y);
+
+/// In-place triangular solve op(A) X = B with dense factor.
+void trsm(Stream& s, la::Uplo uplo, la::Trans trans, DeviceDense a,
+          DeviceDense b);
+
+/// C = alpha * op(A) op(A)^T + beta * C (one triangle written).
+void syrk(Stream& s, la::Uplo uplo, la::Trans trans, double alpha,
+          DeviceDense a, double beta, DeviceDense c);
+
+/// C = alpha * op(A) op(B) + beta * C.
+void gemm(Stream& s, double alpha, DeviceDense a, la::Trans ta, DeviceDense b,
+          la::Trans tb, double beta, DeviceDense c);
+
+}  // namespace feti::gpu::blas

@@ -1,0 +1,55 @@
+#include "gpu/data.hpp"
+
+namespace feti::gpu {
+
+DeviceDense alloc_dense(Device& dev, idx rows, idx cols, la::Layout layout) {
+  DeviceDense d;
+  d.rows = rows;
+  d.cols = cols;
+  d.layout = layout;
+  d.ld = layout == la::Layout::RowMajor ? cols : rows;
+  d.data = dev.alloc_n<double>(static_cast<std::size_t>(
+      std::max<widx>(1, static_cast<widx>(rows) * cols)));
+  return d;
+}
+
+void free_dense(Device& dev, DeviceDense& d) {
+  dev.free(d.data);
+  d = DeviceDense{};
+}
+
+DeviceCsr upload_csr(Device& dev, Stream& s, const la::Csr& m) {
+  DeviceCsr d;
+  d.nrows = m.nrows();
+  d.ncols = m.ncols();
+  d.nnz = m.nnz();
+  d.rowptr = dev.alloc_n<idx>(static_cast<std::size_t>(d.nrows) + 1);
+  d.colidx = dev.alloc_n<idx>(std::max<idx>(1, d.nnz));
+  d.vals = dev.alloc_n<double>(std::max<idx>(1, d.nnz));
+  s.memcpy_h2d(d.rowptr, m.rowptr().data(),
+               (static_cast<std::size_t>(d.nrows) + 1) * sizeof(idx));
+  if (d.nnz > 0) {
+    s.memcpy_h2d(d.colidx, m.colidx().data(),
+                 static_cast<std::size_t>(d.nnz) * sizeof(idx));
+    if (!m.vals().empty())
+      s.memcpy_h2d(d.vals, m.vals().data(),
+                   static_cast<std::size_t>(d.nnz) * sizeof(double));
+  }
+  return d;
+}
+
+void update_csr_values(Stream& s, const DeviceCsr& d, const la::Csr& m) {
+  check(d.nnz == m.nnz(), "update_csr_values: nnz mismatch");
+  if (d.nnz > 0)
+    s.memcpy_h2d(d.vals, m.vals().data(),
+                 static_cast<std::size_t>(d.nnz) * sizeof(double));
+}
+
+void free_csr(Device& dev, DeviceCsr& d) {
+  dev.free(d.rowptr);
+  dev.free(d.colidx);
+  dev.free(d.vals);
+  d = DeviceCsr{};
+}
+
+}  // namespace feti::gpu

@@ -1,0 +1,74 @@
+#pragma once
+
+// Device-resident matrix descriptors and upload helpers.
+//
+// Device memory is host memory here (see gpu/runtime.hpp), but every buffer
+// below is allocated through Device::alloc and filled through stream-ordered
+// copies, preserving the persistent-allocation discipline and transfer
+// points of the paper's implementation.
+
+#include "gpu/runtime.hpp"
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+
+namespace feti::gpu {
+
+/// Dense matrix in device memory (descriptor; owner frees via free_dense).
+struct DeviceDense {
+  double* data = nullptr;
+  idx rows = 0;
+  idx cols = 0;
+  idx ld = 0;
+  la::Layout layout = la::Layout::ColMajor;
+
+  [[nodiscard]] la::DenseView view() const {
+    return {data, rows, cols, ld, layout};
+  }
+  [[nodiscard]] la::ConstDenseView cview() const {
+    return {data, rows, cols, ld, layout};
+  }
+  [[nodiscard]] std::size_t bytes() const {
+    const widx span = layout == la::Layout::RowMajor
+                          ? static_cast<widx>(rows) * ld
+                          : static_cast<widx>(cols) * ld;
+    return static_cast<std::size_t>(span) * sizeof(double);
+  }
+};
+
+DeviceDense alloc_dense(Device& dev, idx rows, idx cols, la::Layout layout);
+void free_dense(Device& dev, DeviceDense& d);
+
+/// CSR matrix in device memory.
+struct DeviceCsr {
+  idx nrows = 0;
+  idx ncols = 0;
+  idx nnz = 0;
+  idx* rowptr = nullptr;
+  idx* colidx = nullptr;
+  double* vals = nullptr;
+
+  /// Host-side view over the device arrays (valid because the virtual
+  /// device shares the address space; kernels use this internally).
+  [[nodiscard]] la::Csr as_host_csr() const {
+    return la::Csr(nrows, ncols,
+                   std::vector<idx>(rowptr, rowptr + nrows + 1),
+                   std::vector<idx>(colidx, colidx + nnz),
+                   std::vector<double>(vals, vals + nnz));
+  }
+};
+
+/// Allocates and uploads a full CSR matrix (structure + values).
+DeviceCsr upload_csr(Device& dev, Stream& s, const la::Csr& m);
+/// Stream-ordered value refresh (structure must match).
+void update_csr_values(Stream& s, const DeviceCsr& d, const la::Csr& m);
+void free_csr(Device& dev, DeviceCsr& d);
+
+/// Uploads a plain array.
+template <typename T>
+T* upload_array(Device& dev, Stream& s, const std::vector<T>& host) {
+  T* p = dev.alloc_n<T>(host.size());
+  s.memcpy_h2d(p, host.data(), host.size() * sizeof(T));
+  return p;
+}
+
+}  // namespace feti::gpu

@@ -1,0 +1,28 @@
+#include "gpu/kernels.hpp"
+
+#include <algorithm>
+
+namespace feti::gpu::kernels {
+
+void scatter_batch(Stream& s, const double* cluster,
+                   std::vector<DualMap> jobs) {
+  s.submit([cluster, jobs = std::move(jobs)] {
+    for (const auto& j : jobs)
+      for (idx i = 0; i < j.n; ++i) j.local[i] = cluster[j.map[i]];
+  });
+}
+
+void gather_batch(Stream& s, double* cluster, idx cluster_size,
+                  std::vector<DualMap> jobs) {
+  s.submit([cluster, cluster_size, jobs = std::move(jobs)] {
+    std::fill_n(cluster, cluster_size, 0.0);
+    for (const auto& j : jobs)
+      for (idx i = 0; i < j.n; ++i) cluster[j.map[i]] += j.local[i];
+  });
+}
+
+void fill_zero(Stream& s, double* data, idx n) {
+  s.submit([data, n] { std::fill_n(data, n, 0.0); });
+}
+
+}  // namespace feti::gpu::kernels

@@ -1,0 +1,35 @@
+#pragma once
+
+// Auxiliary device kernels: batched scatter/gather between the cluster-wide
+// dual vector and the per-subdomain dual vectors (Section IV-B/IV-C of the
+// paper: a single kernel handles all subdomains when scatter/gather runs on
+// the GPU), plus small vector utilities.
+
+#include <vector>
+
+#include "gpu/data.hpp"
+#include "gpu/runtime.hpp"
+
+namespace feti::gpu::kernels {
+
+/// One subdomain's slice of a scatter/gather: `map[i]` is the cluster index
+/// of local lambda i.
+struct DualMap {
+  const idx* map = nullptr;  ///< device array, length n
+  idx n = 0;
+  double* local = nullptr;   ///< device subdomain vector, length n
+};
+
+/// Single submission: local[i] = cluster[map[i]] for every subdomain.
+void scatter_batch(Stream& s, const double* cluster,
+                   std::vector<DualMap> jobs);
+
+/// Single submission: cluster = sum of scattered locals; zero-fills the
+/// cluster vector first.
+void gather_batch(Stream& s, double* cluster, idx cluster_size,
+                  std::vector<DualMap> jobs);
+
+/// Sets a device vector to zero.
+void fill_zero(Stream& s, double* data, idx n);
+
+}  // namespace feti::gpu::kernels

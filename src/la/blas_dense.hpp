@@ -1,0 +1,57 @@
+#pragma once
+
+// Dense BLAS-like kernels operating on layout-aware views.
+//
+// These are the CPU reference kernels; the virtual GPU library (src/gpu)
+// wraps them with stream semantics and cuBLAS-style calling conventions.
+// All kernels accept any combination of row-/col-major operands because the
+// paper's Table-I parameter space explicitly sweeps memory orders.
+
+#include "la/dense.hpp"
+
+namespace feti::la {
+
+// ---- level 1 ----
+
+double dot(idx n, const double* x, const double* y);
+void axpy(idx n, double alpha, const double* x, double* y);
+void scal(idx n, double alpha, double* x);
+double nrm2(idx n, const double* x);
+
+// ---- level 2 ----
+
+/// y = alpha * op(A) * x + beta * y.
+void gemv(double alpha, ConstDenseView a, Trans trans, const double* x,
+          double beta, double* y);
+
+/// y = alpha * A * x + beta * y for symmetric A with only the `uplo`
+/// triangle stored/referenced.
+void symv(Uplo uplo, double alpha, ConstDenseView a, const double* x,
+          double beta, double* y);
+
+/// Solves op(A) x = b in place; A triangular (`uplo` names A's stored
+/// triangle before transposition).
+void trsv(Uplo uplo, Trans trans, ConstDenseView a, double* x);
+
+// ---- level 3 ----
+
+/// C = alpha * op(A) * op(B) + beta * C.
+void gemm(double alpha, ConstDenseView a, Trans ta, ConstDenseView b,
+          Trans tb, double beta, DenseView c);
+
+/// Symmetric rank-k update writing one triangle of C:
+///   trans == No : C = alpha * A * A^T + beta * C   (A is n x k)
+///   trans == Yes: C = alpha * A^T * A + beta * C   (A is k x n)
+void syrk(Uplo uplo, Trans trans, double alpha, ConstDenseView a, double beta,
+          DenseView c);
+
+/// Solves op(A) * X = B in place of B (left side, unit diagonal not
+/// supported — factors here always carry explicit diagonals).
+void trsm(Uplo uplo, Trans trans, ConstDenseView a, DenseView b);
+
+/// Dense Cholesky factorization A = L L^T in place (lower triangle holds L,
+/// strict upper triangle is zeroed). Returns false if A is not positive
+/// definite. Used for the FETI coarse problem G^T G.
+bool potrf_lower(DenseView a);
+
+}  // namespace feti::la

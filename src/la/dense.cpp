@@ -1,0 +1,48 @@
+#include "la/dense.hpp"
+
+#include <cmath>
+
+namespace feti::la {
+
+void copy(ConstDenseView src, DenseView dst) {
+  check(src.rows == dst.rows && src.cols == dst.cols,
+        "copy: dimension mismatch");
+  if (src.layout == dst.layout && src.ld == dst.ld &&
+      ((src.layout == Layout::RowMajor && src.ld == src.cols) ||
+       (src.layout == Layout::ColMajor && src.ld == src.rows))) {
+    std::copy_n(src.data,
+                static_cast<widx>(src.rows) * src.cols, dst.data);
+    return;
+  }
+  // Iterate in destination-contiguous order for write locality.
+  if (dst.layout == Layout::RowMajor) {
+    for (idx r = 0; r < dst.rows; ++r)
+      for (idx c = 0; c < dst.cols; ++c) dst.at(r, c) = src.at(r, c);
+  } else {
+    for (idx c = 0; c < dst.cols; ++c)
+      for (idx r = 0; r < dst.rows; ++r) dst.at(r, c) = src.at(r, c);
+  }
+}
+
+double max_abs_diff(ConstDenseView a, ConstDenseView b) {
+  check(a.rows == b.rows && a.cols == b.cols,
+        "max_abs_diff: dimension mismatch");
+  double m = 0.0;
+  for (idx r = 0; r < a.rows; ++r)
+    for (idx c = 0; c < a.cols; ++c)
+      m = std::max(m, std::fabs(a.at(r, c) - b.at(r, c)));
+  return m;
+}
+
+void symmetrize_from(DenseView a, Uplo stored) {
+  check(a.rows == a.cols, "symmetrize_from: matrix must be square");
+  if (stored == Uplo::Upper) {
+    for (idx c = 0; c < a.cols; ++c)
+      for (idx r = 0; r < c; ++r) a.at(c, r) = a.at(r, c);
+  } else {
+    for (idx c = 0; c < a.cols; ++c)
+      for (idx r = 0; r < c; ++r) a.at(r, c) = a.at(c, r);
+  }
+}
+
+}  // namespace feti::la

@@ -1,0 +1,117 @@
+#pragma once
+
+// Dense matrix containers and views.
+//
+// The paper's assembly parameter space (Table I) includes the memory order of
+// the dense factor and of the right-hand side, so layout is a runtime
+// property here, and every dense kernel in la/blas_dense.hpp handles both
+// orders (with specialized fast paths where it matters).
+
+#include <algorithm>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace feti::la {
+
+enum class Layout : std::uint8_t { RowMajor, ColMajor };
+
+inline const char* to_string(Layout l) {
+  return l == Layout::RowMajor ? "row-major" : "col-major";
+}
+
+/// Which triangle of a symmetric/triangular matrix is referenced.
+enum class Uplo : std::uint8_t { Lower, Upper };
+
+enum class Trans : std::uint8_t { No, Yes };
+
+/// Non-owning mutable view of a dense matrix.
+struct DenseView {
+  double* data = nullptr;
+  idx rows = 0;
+  idx cols = 0;
+  idx ld = 0;  ///< leading dimension: row stride (RowMajor) or column stride
+  Layout layout = Layout::ColMajor;
+
+  [[nodiscard]] double& at(idx r, idx c) const {
+    return layout == Layout::RowMajor ? data[static_cast<widx>(r) * ld + c]
+                                      : data[static_cast<widx>(c) * ld + r];
+  }
+  [[nodiscard]] bool empty() const { return rows == 0 || cols == 0; }
+};
+
+/// Non-owning read-only view of a dense matrix.
+struct ConstDenseView {
+  const double* data = nullptr;
+  idx rows = 0;
+  idx cols = 0;
+  idx ld = 0;
+  Layout layout = Layout::ColMajor;
+
+  ConstDenseView() = default;
+  ConstDenseView(const double* d, idx r, idx c, idx l, Layout lay)
+      : data(d), rows(r), cols(c), ld(l), layout(lay) {}
+  /// Implicit widening from a mutable view.
+  ConstDenseView(const DenseView& v)  // NOLINT(google-explicit-constructor)
+      : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld), layout(v.layout) {}
+
+  [[nodiscard]] double at(idx r, idx c) const {
+    return layout == Layout::RowMajor ? data[static_cast<widx>(r) * ld + c]
+                                      : data[static_cast<widx>(c) * ld + r];
+  }
+  [[nodiscard]] bool empty() const { return rows == 0 || cols == 0; }
+};
+
+/// Owning dense matrix. Storage is zero-initialized.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(idx rows, idx cols, Layout layout = Layout::ColMajor)
+      : rows_(rows), cols_(cols), layout_(layout),
+        ld_(layout == Layout::RowMajor ? cols : rows),
+        data_(static_cast<std::size_t>(
+                  std::max<widx>(1, static_cast<widx>(ld_)) *
+                  (layout == Layout::RowMajor ? rows : cols)),
+              0.0) {
+    check(rows >= 0 && cols >= 0, "DenseMatrix: negative dimension");
+  }
+
+  [[nodiscard]] idx rows() const { return rows_; }
+  [[nodiscard]] idx cols() const { return cols_; }
+  [[nodiscard]] Layout layout() const { return layout_; }
+  [[nodiscard]] idx ld() const { return ld_; }
+
+  [[nodiscard]] double& at(idx r, idx c) { return view().at(r, c); }
+  [[nodiscard]] double at(idx r, idx c) const { return cview().at(r, c); }
+
+  [[nodiscard]] DenseView view() {
+    return {data_.data(), rows_, cols_, ld_, layout_};
+  }
+  [[nodiscard]] ConstDenseView cview() const {
+    return {data_.data(), rows_, cols_, ld_, layout_};
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+ private:
+  idx rows_ = 0;
+  idx cols_ = 0;
+  Layout layout_ = Layout::ColMajor;
+  idx ld_ = 0;
+  std::vector<double> data_;
+};
+
+/// Copies `src` into `dst` element-wise (layouts may differ).
+void copy(ConstDenseView src, DenseView dst);
+
+/// Max-abs difference between two equally sized views (test helper).
+double max_abs_diff(ConstDenseView a, ConstDenseView b);
+
+/// Mirrors the stored triangle of a symmetric matrix to the other triangle.
+void symmetrize_from(DenseView a, Uplo stored);
+
+}  // namespace feti::la

@@ -1,0 +1,276 @@
+#include "mesh/grid.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace feti::mesh {
+
+const char* to_string(ElementType t) {
+  switch (t) {
+    case ElementType::Tri3: return "tri3";
+    case ElementType::Tri6: return "tri6";
+    case ElementType::Tet4: return "tet4";
+    case ElementType::Tet10: return "tet10";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Lattice helper: nodes live on an (s*nx+1) x (s*ny+1) [x (s*nz+1)] grid
+/// where s = 1 (linear) or 2 (quadratic, midpoints on the half grid).
+struct Lattice2 {
+  idx nx, ny;
+  int s;
+  [[nodiscard]] idx id(idx i, idx j) const { return j * (s * nx + 1) + i; }
+  [[nodiscard]] idx count() const { return (s * nx + 1) * (s * ny + 1); }
+};
+
+struct Lattice3 {
+  idx nx, ny, nz;
+  int s;
+  [[nodiscard]] idx id(idx i, idx j, idx k) const {
+    return (k * (s * ny + 1) + j) * (s * nx + 1) + i;
+  }
+  [[nodiscard]] widx count() const {
+    return static_cast<widx>(s * nx + 1) * (s * ny + 1) * (s * nz + 1);
+  }
+};
+
+struct Pt2 {
+  idx i, j;
+};
+struct Pt3 {
+  idx i, j, k;
+};
+
+Pt2 mid(Pt2 a, Pt2 b) { return {(a.i + b.i) / 2, (a.j + b.j) / 2}; }
+Pt3 mid(Pt3 a, Pt3 b) {
+  return {(a.i + b.i) / 2, (a.j + b.j) / 2, (a.k + b.k) / 2};
+}
+
+void emit_triangle(const Lattice2& lat, ElementOrder order, Pt2 a, Pt2 b,
+                   Pt2 c, std::vector<idx>& elems) {
+  elems.push_back(lat.id(a.i, a.j));
+  elems.push_back(lat.id(b.i, b.j));
+  elems.push_back(lat.id(c.i, c.j));
+  if (order == ElementOrder::Quadratic) {
+    const Pt2 ab = mid(a, b), bc = mid(b, c), ca = mid(c, a);
+    elems.push_back(lat.id(ab.i, ab.j));
+    elems.push_back(lat.id(bc.i, bc.j));
+    elems.push_back(lat.id(ca.i, ca.j));
+  }
+}
+
+void emit_tet(const Lattice3& lat, ElementOrder order, Pt3 a, Pt3 b, Pt3 c,
+              Pt3 d, std::vector<idx>& elems) {
+  auto id = [&](Pt3 p) { return lat.id(p.i, p.j, p.k); };
+  elems.push_back(id(a));
+  elems.push_back(id(b));
+  elems.push_back(id(c));
+  elems.push_back(id(d));
+  if (order == ElementOrder::Quadratic) {
+    elems.push_back(id(mid(a, b)));
+    elems.push_back(id(mid(b, c)));
+    elems.push_back(id(mid(a, c)));
+    elems.push_back(id(mid(a, d)));
+    elems.push_back(id(mid(b, d)));
+    elems.push_back(id(mid(c, d)));
+  }
+}
+
+/// Appends both triangles of cell (ci, cj) to `elems`.
+void cell_triangles(const Lattice2& lat, ElementOrder order, idx ci, idx cj,
+                    std::vector<idx>& elems) {
+  const idx s = lat.s;
+  const Pt2 p00{s * ci, s * cj}, p10{s * ci + s, s * cj},
+      p11{s * ci + s, s * cj + s}, p01{s * ci, s * cj + s};
+  emit_triangle(lat, order, p00, p10, p11, elems);
+  emit_triangle(lat, order, p00, p11, p01, elems);
+}
+
+/// Appends the six Kuhn tetrahedra of cell (ci, cj, ck) to `elems`. All six
+/// share the main diagonal v0-v7, yielding a conforming mesh.
+void cell_tets(const Lattice3& lat, ElementOrder order, idx ci, idx cj,
+               idx ck, std::vector<idx>& elems) {
+  const idx s = lat.s;
+  const Pt3 v0{s * ci, s * cj, s * ck};
+  const Pt3 v7{s * ci + s, s * cj + s, s * ck + s};
+  static constexpr int perms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                      {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (const auto& p : perms) {
+    Pt3 a = v0, b = v0, c = v0;
+    auto step = [s](Pt3 q, int axis) {
+      if (axis == 0) q.i += s;
+      if (axis == 1) q.j += s;
+      if (axis == 2) q.k += s;
+      return q;
+    };
+    b = step(a, p[0]);
+    c = step(b, p[1]);
+    emit_tet(lat, order, a, b, c, v7, elems);
+  }
+}
+
+}  // namespace
+
+Mesh make_grid_2d(idx nx, idx ny, ElementOrder order) {
+  check(nx >= 1 && ny >= 1, "make_grid_2d: need at least one cell per axis");
+  const int s = order == ElementOrder::Linear ? 1 : 2;
+  const Lattice2 lat{nx, ny, s};
+  Mesh m;
+  m.dim = 2;
+  m.type = order == ElementOrder::Linear ? ElementType::Tri3
+                                         : ElementType::Tri6;
+  m.num_nodes = lat.count();
+  m.coords.resize(static_cast<widx>(m.num_nodes) * 2);
+  const double hx = 1.0 / (s * nx), hy = 1.0 / (s * ny);
+  for (idx j = 0; j <= s * ny; ++j)
+    for (idx i = 0; i <= s * nx; ++i) {
+      const idx n = lat.id(i, j);
+      m.coords[2 * static_cast<widx>(n)] = i * hx;
+      m.coords[2 * static_cast<widx>(n) + 1] = j * hy;
+    }
+  for (idx cj = 0; cj < ny; ++cj)
+    for (idx ci = 0; ci < nx; ++ci) cell_triangles(lat, order, ci, cj, m.elems);
+  for (idx j = 0; j <= s * ny; ++j) m.dirichlet_nodes.push_back(lat.id(0, j));
+  std::sort(m.dirichlet_nodes.begin(), m.dirichlet_nodes.end());
+  return m;
+}
+
+Mesh make_grid_3d(idx nx, idx ny, idx nz, ElementOrder order) {
+  check(nx >= 1 && ny >= 1 && nz >= 1,
+        "make_grid_3d: need at least one cell per axis");
+  const int s = order == ElementOrder::Linear ? 1 : 2;
+  const Lattice3 lat{nx, ny, nz, s};
+  Mesh m;
+  m.dim = 3;
+  m.type = order == ElementOrder::Linear ? ElementType::Tet4
+                                         : ElementType::Tet10;
+  m.num_nodes = static_cast<idx>(lat.count());
+  m.coords.resize(static_cast<widx>(m.num_nodes) * 3);
+  const double hx = 1.0 / (s * nx), hy = 1.0 / (s * ny), hz = 1.0 / (s * nz);
+  for (idx k = 0; k <= s * nz; ++k)
+    for (idx j = 0; j <= s * ny; ++j)
+      for (idx i = 0; i <= s * nx; ++i) {
+        const idx n = lat.id(i, j, k);
+        m.coords[3 * static_cast<widx>(n)] = i * hx;
+        m.coords[3 * static_cast<widx>(n) + 1] = j * hy;
+        m.coords[3 * static_cast<widx>(n) + 2] = k * hz;
+      }
+  for (idx ck = 0; ck < nz; ++ck)
+    for (idx cj = 0; cj < ny; ++cj)
+      for (idx ci = 0; ci < nx; ++ci)
+        cell_tets(lat, order, ci, cj, ck, m.elems);
+  for (idx k = 0; k <= s * nz; ++k)
+    for (idx j = 0; j <= s * ny; ++j)
+      m.dirichlet_nodes.push_back(lat.id(0, j, k));
+  std::sort(m.dirichlet_nodes.begin(), m.dirichlet_nodes.end());
+  return m;
+}
+
+namespace {
+
+/// Extracts the subdomain submesh given the element index list.
+Subdomain extract(const Mesh& mesh, const std::vector<idx>& element_ids) {
+  const int npe = nodes_per_element(mesh.type);
+  Subdomain sd;
+  sd.local.dim = mesh.dim;
+  sd.local.type = mesh.type;
+  // Collect the global node set.
+  std::vector<idx> nodes;
+  nodes.reserve(element_ids.size() * npe);
+  for (idx e : element_ids) {
+    const idx* en = mesh.element(e);
+    nodes.insert(nodes.end(), en, en + npe);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  sd.node_l2g = nodes;
+  sd.local.num_nodes = static_cast<idx>(nodes.size());
+  sd.local.coords.resize(static_cast<widx>(nodes.size()) * mesh.dim);
+  for (std::size_t l = 0; l < nodes.size(); ++l)
+    for (int c = 0; c < mesh.dim; ++c)
+      sd.local.coords[l * mesh.dim + c] = mesh.coord(nodes[l], c);
+  // Renumber elements.
+  sd.local.elems.reserve(element_ids.size() * npe);
+  for (idx e : element_ids) {
+    const idx* en = mesh.element(e);
+    for (int a = 0; a < npe; ++a) {
+      const auto it = std::lower_bound(nodes.begin(), nodes.end(), en[a]);
+      sd.local.elems.push_back(static_cast<idx>(it - nodes.begin()));
+    }
+  }
+  // Local Dirichlet nodes.
+  for (std::size_t l = 0; l < nodes.size(); ++l)
+    if (std::binary_search(mesh.dirichlet_nodes.begin(),
+                           mesh.dirichlet_nodes.end(), nodes[l]))
+      sd.local.dirichlet_nodes.push_back(static_cast<idx>(l));
+  return sd;
+}
+
+void finalize(Decomposition& dec, const Mesh& mesh, idx clusters) {
+  const idx nsub = static_cast<idx>(dec.subdomains.size());
+  check(clusters >= 1 && clusters <= nsub,
+        "decompose: cluster count must be in [1, #subdomains]");
+  dec.num_clusters = clusters;
+  dec.cluster_of.resize(nsub);
+  for (idx s = 0; s < nsub; ++s)
+    dec.cluster_of[s] = s * clusters / nsub;
+  dec.global_nodes = mesh.num_nodes;
+  dec.node_multiplicity.assign(mesh.num_nodes, 0);
+  for (const auto& sd : dec.subdomains)
+    for (idx g : sd.node_l2g) dec.node_multiplicity[g] += 1;
+}
+
+/// Block boundary of axis length n split into p parts.
+idx block_lo(idx n, idx p, idx b) { return b * n / p; }
+
+}  // namespace
+
+Decomposition decompose_2d(const Mesh& mesh, idx nx, idx ny, idx sx, idx sy,
+                           idx clusters) {
+  check(element_dim(mesh.type) == 2, "decompose_2d: mesh is not 2D");
+  check(sx >= 1 && sx <= nx && sy >= 1 && sy <= ny,
+        "decompose_2d: invalid subdomain grid");
+  Decomposition dec;
+  for (idx q = 0; q < sy; ++q)
+    for (idx p = 0; p < sx; ++p) {
+      std::vector<idx> elems;
+      for (idx cj = block_lo(ny, sy, q); cj < block_lo(ny, sy, q + 1); ++cj)
+        for (idx ci = block_lo(nx, sx, p); ci < block_lo(nx, sx, p + 1); ++ci) {
+          const idx cell = cj * nx + ci;
+          elems.push_back(2 * cell);
+          elems.push_back(2 * cell + 1);
+        }
+      dec.subdomains.push_back(extract(mesh, elems));
+    }
+  finalize(dec, mesh, clusters);
+  return dec;
+}
+
+Decomposition decompose_3d(const Mesh& mesh, idx nx, idx ny, idx nz, idx sx,
+                           idx sy, idx sz, idx clusters) {
+  check(element_dim(mesh.type) == 3, "decompose_3d: mesh is not 3D");
+  check(sx >= 1 && sx <= nx && sy >= 1 && sy <= ny && sz >= 1 && sz <= nz,
+        "decompose_3d: invalid subdomain grid");
+  Decomposition dec;
+  for (idx r = 0; r < sz; ++r)
+    for (idx q = 0; q < sy; ++q)
+      for (idx p = 0; p < sx; ++p) {
+        std::vector<idx> elems;
+        for (idx ck = block_lo(nz, sz, r); ck < block_lo(nz, sz, r + 1); ++ck)
+          for (idx cj = block_lo(ny, sy, q); cj < block_lo(ny, sy, q + 1);
+               ++cj)
+            for (idx ci = block_lo(nx, sx, p); ci < block_lo(nx, sx, p + 1);
+                 ++ci) {
+              const idx cell = (ck * ny + cj) * nx + ci;
+              for (idx t = 0; t < 6; ++t) elems.push_back(6 * cell + t);
+            }
+        dec.subdomains.push_back(extract(mesh, elems));
+      }
+  finalize(dec, mesh, clusters);
+  return dec;
+}
+
+}  // namespace feti::mesh

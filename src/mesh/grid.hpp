@@ -1,0 +1,100 @@
+#pragma once
+
+// Structured simplex meshes on the unit square / unit cube, and their
+// decomposition into subdomains and clusters.
+//
+// This mirrors the paper's evaluation setup (Section V): "a square or cube
+// domain discretized into a mesh composed of triangles or tetrahedral
+// elements", linear or quadratic, split into a grid of subdomains that are
+// grouped into clusters (Fig. 1). Quadratic meshes place their mid-edge
+// nodes on the half-spacing lattice, so node coordinates are exact lattice
+// points for both orders.
+
+#include <array>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace feti::mesh {
+
+enum class ElementOrder : std::uint8_t { Linear, Quadratic };
+
+enum class ElementType : std::uint8_t { Tri3, Tri6, Tet4, Tet10 };
+
+[[nodiscard]] constexpr int nodes_per_element(ElementType t) {
+  switch (t) {
+    case ElementType::Tri3: return 3;
+    case ElementType::Tri6: return 6;
+    case ElementType::Tet4: return 4;
+    case ElementType::Tet10: return 10;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr int element_dim(ElementType t) {
+  return (t == ElementType::Tri3 || t == ElementType::Tri6) ? 2 : 3;
+}
+
+const char* to_string(ElementType t);
+
+/// Simplex mesh with lattice coordinates.
+struct Mesh {
+  int dim = 2;
+  ElementType type = ElementType::Tri3;
+  idx num_nodes = 0;
+  std::vector<double> coords;  ///< dim * num_nodes, interleaved
+  std::vector<idx> elems;      ///< nodes_per_element(type) * num_elements
+  /// Nodes on the Dirichlet boundary (the x = 0 face), sorted.
+  std::vector<idx> dirichlet_nodes;
+
+  [[nodiscard]] idx num_elements() const {
+    return static_cast<idx>(elems.size()) /
+           nodes_per_element(type);
+  }
+  [[nodiscard]] const idx* element(idx e) const {
+    return elems.data() + static_cast<widx>(e) * nodes_per_element(type);
+  }
+  [[nodiscard]] double coord(idx node, int c) const {
+    return coords[static_cast<widx>(node) * dim + c];
+  }
+};
+
+/// Uniform triangle mesh of the unit square with nx-by-ny cells (two
+/// triangles per cell).
+Mesh make_grid_2d(idx nx, idx ny, ElementOrder order);
+
+/// Uniform tetrahedral mesh of the unit cube with nx-by-ny-by-nz cells
+/// (six tetrahedra per cell, Kuhn subdivision).
+Mesh make_grid_3d(idx nx, idx ny, idx nz, ElementOrder order);
+
+/// One subdomain of a decomposition: a compactly renumbered submesh plus
+/// the mapping back to global node ids.
+struct Subdomain {
+  Mesh local;
+  std::vector<idx> node_l2g;  ///< local node -> global node
+};
+
+/// Decomposition of a structured mesh into a grid of subdomains, with
+/// subdomains grouped into clusters (each cluster maps to one process/GPU in
+/// the paper's model; here: one virtual GPU).
+struct Decomposition {
+  std::vector<Subdomain> subdomains;
+  /// cluster id per subdomain (contiguous blocks of equal size).
+  std::vector<idx> cluster_of;
+  idx num_clusters = 1;
+  /// Global node multiplicity (how many subdomains own each node).
+  std::vector<idx> node_multiplicity;
+  idx global_nodes = 0;
+};
+
+/// Splits the structured mesh produced by make_grid_2d into sx-by-sy
+/// subdomain blocks (cell ranges), grouped into `clusters` clusters.
+Decomposition decompose_2d(const Mesh& mesh, idx nx, idx ny, idx sx, idx sy,
+                           idx clusters = 1);
+
+/// Splits the structured mesh produced by make_grid_3d into sx-by-sy-by-sz
+/// subdomain blocks, grouped into `clusters` clusters.
+Decomposition decompose_3d(const Mesh& mesh, idx nx, idx ny, idx nz, idx sx,
+                           idx sy, idx sz, idx clusters = 1);
+
+}  // namespace feti::mesh

@@ -1,0 +1,115 @@
+#include "sparse/etree.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace feti::sparse {
+
+std::vector<idx> elimination_tree(const la::Csr& a) {
+  check(a.nrows() == a.ncols(), "elimination_tree: matrix must be square");
+  const idx n = a.nrows();
+  std::vector<idx> parent(n, -1), ancestor(n, -1);
+  for (idx i = 0; i < n; ++i) {
+    for (idx k = a.row_begin(i); k < a.row_end(i); ++k) {
+      idx j = a.col(k);
+      if (j >= i) continue;
+      // Walk up with path compression until reaching i or a root.
+      while (j != -1 && j != i) {
+        const idx next = ancestor[j];
+        ancestor[j] = i;
+        if (next == -1) parent[j] = i;
+        j = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<idx> postorder_forest(const std::vector<idx>& parent) {
+  const idx n = static_cast<idx>(parent.size());
+  // Build child lists (children end up in increasing order).
+  std::vector<idx> head(n, -1), next(n, -1);
+  for (idx v = n - 1; v >= 0; --v) {
+    if (parent[v] == -1) continue;
+    next[v] = head[parent[v]];
+    head[parent[v]] = v;
+  }
+  std::vector<idx> post;
+  post.reserve(n);
+  std::vector<idx> stack;
+  for (idx root = 0; root < n; ++root) {
+    if (parent[root] != -1) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const idx v = stack.back();
+      if (head[v] != -1) {
+        // Descend into the next unvisited child.
+        const idx c = head[v];
+        head[v] = next[c];
+        stack.push_back(c);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  FETI_ASSERT(static_cast<idx>(post.size()) == n,
+              "postorder_forest: cycle in parent array");
+  return post;
+}
+
+SymbolicFactor symbolic_cholesky(const la::Csr& a) {
+  check(a.nrows() == a.ncols(), "symbolic_cholesky: matrix must be square");
+  const idx n = a.nrows();
+  SymbolicFactor s;
+  s.n = n;
+  s.parent = elimination_tree(a);
+  s.colcount.assign(n, 1);  // diagonal
+  s.rowpat_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // First pass: sizes of the row patterns (ereach of each row).
+  std::vector<idx> flag(n, -1);
+  for (idx k = 0; k < n; ++k) {
+    flag[k] = k;
+    idx count = 0;
+    for (idx p = a.row_begin(k); p < a.row_end(k); ++p) {
+      idx j = a.col(p);
+      if (j >= k) continue;
+      while (flag[j] != k) {
+        FETI_ASSERT(j >= 0 && j < k, "symbolic_cholesky: broken etree walk");
+        flag[j] = k;
+        ++count;
+        s.colcount[j] += 1;
+        j = s.parent[j];
+      }
+    }
+    s.rowpat_ptr[k + 1] = s.rowpat_ptr[k] + count;
+  }
+
+  // Second pass: fill row patterns, then sort each row ascending.
+  s.rowpat.resize(static_cast<std::size_t>(s.rowpat_ptr[n]));
+  std::fill(flag.begin(), flag.end(), -1);
+  for (idx k = 0; k < n; ++k) {
+    flag[k] = k;
+    idx pos = s.rowpat_ptr[k];
+    for (idx p = a.row_begin(k); p < a.row_end(k); ++p) {
+      idx j = a.col(p);
+      if (j >= k) continue;
+      while (flag[j] != k) {
+        flag[j] = k;
+        s.rowpat[pos++] = j;
+        j = s.parent[j];
+      }
+    }
+    std::sort(s.rowpat.begin() + s.rowpat_ptr[k],
+              s.rowpat.begin() + s.rowpat_ptr[k + 1]);
+  }
+
+  s.colptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (idx j = 0; j < n; ++j) s.colptr[j + 1] = s.colptr[j] + s.colcount[j];
+  s.nnz = s.colptr[n];
+  return s;
+}
+
+}  // namespace feti::sparse

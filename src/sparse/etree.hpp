@@ -1,0 +1,42 @@
+#pragma once
+
+// Elimination tree and symbolic Cholesky analysis.
+//
+// The paper's solvers split factorization into symbolic and numerical stages
+// (Section III); this header provides the symbolic stage shared by the
+// simplicial and supernodal numeric factorizations. The symbolic pass is run
+// once per subdomain in the preparation phase; numeric factorization is
+// repeated every time step.
+
+#include <vector>
+
+#include "la/csr.hpp"
+
+namespace feti::sparse {
+
+/// Elimination tree of a symmetric matrix given by its full pattern
+/// (both triangles). parent[i] is the parent column, -1 for roots.
+std::vector<idx> elimination_tree(const la::Csr& a);
+
+/// Postorder of the forest described by parent[] (children in increasing
+/// order). Returns post[new] = old, usable as a symmetric permutation.
+std::vector<idx> postorder_forest(const std::vector<idx>& parent);
+
+/// Result of the symbolic Cholesky analysis of a (permuted) matrix.
+struct SymbolicFactor {
+  idx n = 0;
+  std::vector<idx> parent;      ///< elimination tree
+  std::vector<idx> colcount;    ///< nnz per column of L, incl. diagonal
+  std::vector<idx> colptr;      ///< CSC column pointers of L (size n+1)
+  /// Row-wise pattern of L excluding the diagonal: row k's strictly-lower
+  /// column indices, ascending, in rowpat[rowpat_ptr[k] .. rowpat_ptr[k+1]).
+  std::vector<idx> rowpat_ptr;
+  std::vector<idx> rowpat;
+  widx nnz = 0;  ///< total nnz(L) including the diagonal
+};
+
+/// Full symbolic analysis (etree + row patterns + column counts) of a
+/// symmetric positive definite pattern. `a` must already be permuted.
+SymbolicFactor symbolic_cholesky(const la::Csr& a);
+
+}  // namespace feti::sparse

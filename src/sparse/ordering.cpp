@@ -1,0 +1,364 @@
+#include "sparse/ordering.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+
+#include "sparse/etree.hpp"
+#include "util/common.hpp"
+
+namespace feti::sparse {
+
+const char* to_string(OrderingKind k) {
+  switch (k) {
+    case OrderingKind::MinimumDegree: return "minimum-degree";
+    case OrderingKind::RCM: return "rcm";
+    case OrderingKind::Natural: return "natural";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Quotient-graph minimum degree with supervariable merging.
+//
+// Bookkeeping follows the classic scheme: the graph holds *variables* (not
+// yet eliminated, possibly merged into supervariables) and *elements*
+// (cliques created by eliminations). A variable's adjacency is the union of
+// its variable neighbours and the variables of its adjacent elements. The
+// degree is approximated as |var neighbours| + sum of element sizes, an
+// upper bound in the AMD spirit (cheap to maintain, good quality on meshes).
+// ---------------------------------------------------------------------------
+
+class MinimumDegree {
+ public:
+  explicit MinimumDegree(const la::Csr& pattern) : n_(pattern.nrows()) {
+    var_adj_.resize(n_);
+    var_elems_.resize(n_);
+    weight_.assign(n_, 1);
+    alive_.assign(n_, true);
+    merged_into_.assign(n_, -1);
+    for (idx r = 0; r < n_; ++r) {
+      auto& adj = var_adj_[r];
+      for (idx k = pattern.row_begin(r); k < pattern.row_end(r); ++k) {
+        const idx c = pattern.col(k);
+        if (c != r) adj.push_back(c);
+      }
+      std::sort(adj.begin(), adj.end());
+      adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    }
+    degree_.resize(n_);
+    for (idx i = 0; i < n_; ++i)
+      degree_[i] = static_cast<idx>(var_adj_[i].size());
+  }
+
+  std::vector<idx> run() {
+    std::vector<idx> order;
+    order.reserve(n_);
+    // Bucketed min-degree selection with lazy degree entries.
+    buckets_.assign(static_cast<std::size_t>(n_) + 1, {});
+    for (idx i = 0; i < n_; ++i)
+      buckets_[degree_[i]].push_back(i);
+    idx scan = 0;
+    idx eliminated = 0;
+    while (eliminated < n_) {
+      const idx p = pop_min(scan);
+      eliminate(p);
+      emit(p, order);
+      eliminated += weight_[p];
+    }
+    FETI_ASSERT(static_cast<idx>(order.size()) == n_,
+                "minimum degree: incomplete ordering");
+    return order;
+  }
+
+ private:
+  idx pop_min(idx& scan) {
+    for (;;) {
+      while (scan <= n_ && buckets_[scan].empty()) ++scan;
+      FETI_ASSERT(scan <= n_, "minimum degree: buckets exhausted");
+      const idx v = buckets_[scan].back();
+      buckets_[scan].pop_back();
+      if (alive_[v] && degree_[v] == scan) return v;
+      if (alive_[v] && degree_[v] < scan) {
+        // Stale entry with a better bucket pending; requeue there.
+        buckets_[degree_[v]].push_back(v);
+        scan = std::min(scan, degree_[v]);
+      }
+      // Dead or duplicate entries are dropped.
+    }
+  }
+
+  void requeue(idx v, idx& scan) {
+    buckets_[degree_[v]].push_back(v);
+    scan = std::min(scan, degree_[v]);
+  }
+
+  /// Gathers the element variables reachable from p (its future clique).
+  void gather_clique(idx p, std::vector<idx>& clique) {
+    clique.clear();
+    stamp_ += 1;
+    auto push = [&](idx v) {
+      if (v != p && alive_[v] && mark_[v] != stamp_) {
+        mark_[v] = stamp_;
+        clique.push_back(v);
+      }
+    };
+    for (idx v : var_adj_[p]) push(v);
+    for (idx e : var_elems_[p])
+      for (idx v : elem_vars_[e]) push(v);
+  }
+
+  void eliminate(idx p) {
+    if (mark_.empty()) mark_.assign(n_, 0);
+    std::vector<idx> clique;
+    gather_clique(p, clique);
+    std::sort(clique.begin(), clique.end());
+
+    // Absorb p's elements into the new element.
+    const idx ep = static_cast<idx>(elem_vars_.size());
+    for (idx e : var_elems_[p]) elem_alive_[e] = false;
+    elem_vars_.push_back(clique);
+    elem_alive_.push_back(true);
+
+    alive_[p] = false;
+
+    // Update each clique member: prune variable adjacency (edges inside the
+    // clique are now represented by ep), drop absorbed elements, add ep.
+    for (idx v : clique) {
+      auto& adj = var_adj_[v];
+      adj.erase(std::remove_if(adj.begin(), adj.end(),
+                               [&](idx u) {
+                                 return u == p || !alive_[u] ||
+                                        mark_[u] == stamp_;
+                               }),
+                adj.end());
+      auto& elems = var_elems_[v];
+      elems.erase(std::remove_if(elems.begin(), elems.end(),
+                                 [&](idx e) { return !elem_alive_[e]; }),
+                  elems.end());
+      elems.push_back(ep);
+    }
+
+    // Supervariable detection: hash clique members by their adjacency and
+    // merge indistinguishable ones. This is what keeps mesh orderings fast.
+    merge_supervariables(clique);
+
+    // Degree update (upper-bound approximation).
+    idx scan_unused = 0;
+    for (idx v : clique) {
+      if (!alive_[v]) continue;
+      widx d = 0;
+      for (idx u : var_adj_[v])
+        if (alive_[u]) d += weight_[u];
+      stamp_ += 1;
+      for (idx e : var_elems_[v]) {
+        for (idx u : elem_vars_[e]) {
+          if (u != v && alive_[u] && mark_[u] != stamp_) {
+            mark_[u] = stamp_;
+            d += weight_[u];
+          }
+        }
+      }
+      degree_[v] = static_cast<idx>(std::min<widx>(d, n_ - 1));
+      requeue(v, scan_unused);
+    }
+  }
+
+  void merge_supervariables(const std::vector<idx>& clique) {
+    // Group members by a cheap adjacency hash, then confirm exact equality.
+    std::vector<std::pair<std::uint64_t, idx>> hashes;
+    hashes.reserve(clique.size());
+    for (idx v : clique) {
+      if (!alive_[v]) continue;
+      std::uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](std::uint64_t x) {
+        h ^= x + 0x9e3779b97f4a7c15ull;
+        h *= 1099511628211ull;
+      };
+      for (idx u : var_adj_[v])
+        if (alive_[u]) mix(static_cast<std::uint64_t>(u) * 2 + 1);
+      for (idx e : var_elems_[v])
+        if (elem_alive_[e]) mix(static_cast<std::uint64_t>(e) * 2);
+      hashes.emplace_back(h, v);
+    }
+    std::sort(hashes.begin(), hashes.end());
+    for (std::size_t i = 0; i + 1 < hashes.size();) {
+      std::size_t j = i + 1;
+      while (j < hashes.size() && hashes[j].first == hashes[i].first) ++j;
+      for (std::size_t a = i; a < j; ++a) {
+        const idx va = hashes[a].second;
+        if (!alive_[va]) continue;
+        for (std::size_t b = a + 1; b < j; ++b) {
+          const idx vb = hashes[b].second;
+          if (!alive_[vb]) continue;
+          if (indistinguishable(va, vb)) {
+            // Merge vb into va.
+            weight_[va] += weight_[vb];
+            alive_[vb] = false;
+            merged_into_[vb] = va;
+            merged_children_[va].push_back(vb);
+          }
+        }
+      }
+      i = j;
+    }
+  }
+
+  bool indistinguishable(idx a, idx b) {
+    auto live_equal = [&](const std::vector<idx>& xs,
+                          const std::vector<idx>& ys, auto live,
+                          idx skip_a, idx skip_b) {
+      std::size_t i = 0, j = 0;
+      for (;;) {
+        while (i < xs.size() && (!live(xs[i]) || xs[i] == skip_b)) ++i;
+        while (j < ys.size() && (!live(ys[j]) || ys[j] == skip_a)) ++j;
+        const bool ei = i == xs.size(), ej = j == ys.size();
+        if (ei || ej) return ei && ej;
+        if (xs[i] != ys[j]) return false;
+        ++i;
+        ++j;
+      }
+    };
+    // Variable adjacency must match up to each other; element lists must be
+    // identical (sorted? they are append-ordered; sort copies).
+    auto ea = var_elems_[a];
+    auto eb = var_elems_[b];
+    std::sort(ea.begin(), ea.end());
+    std::sort(eb.begin(), eb.end());
+    auto live_elem = [&](idx e) { return static_cast<bool>(elem_alive_[e]); };
+    if (!live_equal(ea, eb, live_elem, -1, -1)) return false;
+    auto va = var_adj_[a];
+    auto vb = var_adj_[b];
+    std::sort(va.begin(), va.end());
+    std::sort(vb.begin(), vb.end());
+    auto live_var = [&](idx v) { return static_cast<bool>(alive_[v]); };
+    return live_equal(va, vb, live_var, a, b);
+  }
+
+  void emit(idx p, std::vector<idx>& order) {
+    // Emit p and (recursively) everything merged into it.
+    std::vector<idx> stack{p};
+    while (!stack.empty()) {
+      const idx v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      auto it = merged_children_.find(v);
+      if (it != merged_children_.end())
+        for (idx c : it->second) stack.push_back(c);
+    }
+  }
+
+  idx n_;
+  std::vector<std::vector<idx>> var_adj_;
+  std::vector<std::vector<idx>> var_elems_;
+  std::vector<std::vector<idx>> elem_vars_;
+  std::vector<char> elem_alive_;
+  std::vector<idx> weight_;
+  std::vector<char> alive_;
+  std::vector<idx> merged_into_;
+  std::map<idx, std::vector<idx>> merged_children_;
+  std::vector<idx> degree_;
+  std::vector<std::vector<idx>> buckets_;
+  std::vector<idx> mark_;
+  idx stamp_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Reverse Cuthill-McKee.
+// ---------------------------------------------------------------------------
+
+idx pseudo_peripheral(const la::Csr& a, idx start, std::vector<idx>& level) {
+  const idx n = a.nrows();
+  idx node = start;
+  idx depth = -1;
+  for (int pass = 0; pass < 4; ++pass) {
+    std::fill(level.begin(), level.end(), -1);
+    std::deque<idx> q{node};
+    level[node] = 0;
+    idx last = node, maxlev = 0;
+    while (!q.empty()) {
+      const idx v = q.front();
+      q.pop_front();
+      for (idx k = a.row_begin(v); k < a.row_end(v); ++k) {
+        const idx u = a.col(k);
+        if (u < n && level[u] == -1) {
+          level[u] = level[v] + 1;
+          maxlev = std::max(maxlev, level[u]);
+          last = u;
+          q.push_back(u);
+        }
+      }
+    }
+    if (maxlev <= depth) break;
+    depth = maxlev;
+    node = last;
+  }
+  return node;
+}
+
+std::vector<idx> rcm_ordering(const la::Csr& a) {
+  const idx n = a.nrows();
+  std::vector<idx> perm;
+  perm.reserve(n);
+  std::vector<char> visited(n, 0);
+  std::vector<idx> level(n, -1);
+  std::vector<idx> degree(n);
+  for (idx i = 0; i < n; ++i)
+    degree[i] = a.row_end(i) - a.row_begin(i);
+
+  for (idx seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    const idx start = pseudo_peripheral(a, seed, level);
+    std::deque<idx> q{start};
+    visited[start] = 1;
+    while (!q.empty()) {
+      const idx v = q.front();
+      q.pop_front();
+      perm.push_back(v);
+      std::vector<idx> nbrs;
+      for (idx k = a.row_begin(v); k < a.row_end(v); ++k) {
+        const idx u = a.col(k);
+        if (u != v && !visited[u]) {
+          visited[u] = 1;
+          nbrs.push_back(u);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(),
+                [&](idx x, idx y) { return degree[x] < degree[y]; });
+      for (idx u : nbrs) q.push_back(u);
+    }
+  }
+  std::reverse(perm.begin(), perm.end());
+  return perm;
+}
+
+}  // namespace
+
+std::vector<idx> compute_ordering(const la::Csr& pattern, OrderingKind kind) {
+  check(pattern.nrows() == pattern.ncols(),
+        "compute_ordering: matrix must be square");
+  const idx n = pattern.nrows();
+  switch (kind) {
+    case OrderingKind::Natural: {
+      std::vector<idx> perm(static_cast<std::size_t>(n));
+      std::iota(perm.begin(), perm.end(), 0);
+      return perm;
+    }
+    case OrderingKind::RCM:
+      return rcm_ordering(pattern);
+    case OrderingKind::MinimumDegree:
+      return MinimumDegree(pattern).run();
+  }
+  throw std::invalid_argument("compute_ordering: unknown kind");
+}
+
+widx cholesky_fill(const la::Csr& pattern, const std::vector<idx>& perm) {
+  const la::Csr p = pattern.permuted_symmetric(perm);
+  const SymbolicFactor sym = symbolic_cholesky(p);
+  return sym.nnz;
+}
+
+}  // namespace feti::sparse

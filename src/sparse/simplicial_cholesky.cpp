@@ -1,0 +1,142 @@
+#include "sparse/simplicial_cholesky.hpp"
+
+#include <cmath>
+
+#include "la/blas_sparse.hpp"
+
+namespace feti::sparse {
+
+namespace {
+
+/// Permutes `a` symmetrically while recording where each permuted value
+/// comes from, so repeated factorizations avoid re-sorting triplets.
+la::Csr permute_with_map(const la::Csr& a, const std::vector<idx>& perm,
+                         std::vector<idx>& value_map) {
+  const std::vector<idx> iperm = la::invert_permutation(perm);
+  std::vector<la::Triplet> t;
+  t.reserve(static_cast<std::size_t>(a.nnz()));
+  for (idx r = 0; r < a.nrows(); ++r)
+    for (idx k = a.row_begin(r); k < a.row_end(r); ++k)
+      t.push_back({iperm[r], iperm[a.col(k)], static_cast<double>(k)});
+  la::Csr p = la::Csr::from_triplets(a.nrows(), a.ncols(), std::move(t));
+  value_map.resize(static_cast<std::size_t>(p.nnz()));
+  for (idx k = 0; k < p.nnz(); ++k)
+    value_map[k] = static_cast<idx>(p.vals()[k]);
+  return p;
+}
+
+}  // namespace
+
+void SimplicialCholesky::analyze(const la::Csr& a, OrderingKind ordering) {
+  check(a.nrows() == a.ncols(), "analyze: matrix must be square");
+  n_ = a.nrows();
+  lower_valid_ = false;
+  factorized_ = false;
+
+  // Fill-reducing ordering refined by an etree postorder (better locality,
+  // and a prerequisite shared with the supernodal backend).
+  std::vector<idx> perm1 = compute_ordering(a, ordering);
+  {
+    std::vector<idx> dummy_map;
+    la::Csr a1 = permute_with_map(a, perm1, dummy_map);
+    const std::vector<idx> parent = elimination_tree(a1);
+    const std::vector<idx> post = postorder_forest(parent);
+    perm_.resize(static_cast<std::size_t>(n_));
+    for (idx i = 0; i < n_; ++i) perm_[i] = perm1[post[i]];
+  }
+  iperm_ = la::invert_permutation(perm_);
+
+  ap_ = permute_with_map(a, perm_, value_map_);
+  sym_ = symbolic_cholesky(ap_);
+
+  // Build the fixed structure of U = L^T (CSR, diag first then ascending
+  // row indices of L's column = ascending k with j in rowpat(k)).
+  std::vector<idx> rowptr(sym_.colptr.begin(), sym_.colptr.end());
+  std::vector<idx> colidx(static_cast<std::size_t>(sym_.nnz));
+  std::vector<idx> fill(static_cast<std::size_t>(n_));
+  for (idx j = 0; j < n_; ++j) {
+    colidx[rowptr[j]] = j;  // diagonal first
+    fill[j] = rowptr[j] + 1;
+  }
+  for (idx k = 0; k < n_; ++k)
+    for (idx p = sym_.rowpat_ptr[k]; p < sym_.rowpat_ptr[k + 1]; ++p)
+      colidx[fill[sym_.rowpat[p]]++] = k;
+  upper_ = la::Csr(n_, n_, std::move(rowptr), std::move(colidx),
+                   std::vector<double>(static_cast<std::size_t>(sym_.nnz)));
+  analyzed_ = true;
+}
+
+void SimplicialCholesky::factorize(const la::Csr& a) {
+  check(analyzed_, "factorize: analyze() must be called first");
+  check(a.nnz() == static_cast<idx>(value_map_.size()),
+        "factorize: pattern differs from the analyzed one");
+  lower_valid_ = false;
+
+  // Route original values into the permuted pattern.
+  for (idx k = 0; k < ap_.nnz(); ++k) ap_.vals()[k] = a.vals()[value_map_[k]];
+
+  auto& ux = upper_.vals();
+  const auto& ui = upper_.colidx();
+  const auto& up = upper_.rowptr();
+
+  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+  std::vector<idx> fill(static_cast<std::size_t>(n_));
+  for (idx j = 0; j < n_; ++j) fill[j] = up[j] + 1;  // skip diagonal slot
+
+  for (idx k = 0; k < n_; ++k) {
+    // Scatter A(k, 0..k) into the workspace.
+    double d = 0.0;
+    for (idx p = ap_.row_begin(k); p < ap_.row_end(k); ++p) {
+      const idx c = ap_.col(p);
+      if (c < k)
+        x[c] = ap_.val(p);
+      else if (c == k)
+        d = ap_.val(p);
+    }
+    // Up-looking solve along the row pattern (ascending columns).
+    for (idx p = sym_.rowpat_ptr[k]; p < sym_.rowpat_ptr[k + 1]; ++p) {
+      const idx j = sym_.rowpat[p];
+      const double xj = x[j];
+      x[j] = 0.0;
+      const double lkj = xj / ux[up[j]];  // divide by L(j,j)
+      // Apply previously computed entries of column j to the workspace.
+      for (idx q = up[j] + 1; q < fill[j]; ++q) x[ui[q]] -= ux[q] * lkj;
+      d -= lkj * lkj;
+      FETI_ASSERT(ui[fill[j]] == k, "factorize: symbolic/numeric mismatch");
+      ux[fill[j]++] = lkj;
+    }
+    if (d <= 0.0)
+      throw std::runtime_error(
+          "SimplicialCholesky: matrix is not positive definite at column " +
+          std::to_string(k));
+    ux[up[k]] = std::sqrt(d);
+  }
+  factorized_ = true;
+}
+
+void SimplicialCholesky::solve(const double* b, double* x) const {
+  check(factorized_, "solve: factorize() must be called first");
+  std::vector<double> y(static_cast<std::size_t>(n_));
+  for (idx i = 0; i < n_; ++i) y[i] = b[perm_[i]];
+  la::DenseView yv{y.data(), n_, 1, n_, la::Layout::ColMajor};
+  // P A P^T = L L^T; U = L^T: forward solve is U^T y = b, backward U x = y.
+  la::sp_trsm(la::Uplo::Upper, la::Trans::Yes, upper_, yv);
+  la::sp_trsm(la::Uplo::Upper, la::Trans::No, upper_, yv);
+  for (idx i = 0; i < n_; ++i) x[perm_[i]] = y[i];
+}
+
+const la::Csr& SimplicialCholesky::factor_upper() const {
+  check(factorized_, "factor_upper: factorize() must be called first");
+  return upper_;
+}
+
+const la::Csr& SimplicialCholesky::factor_lower() const {
+  check(factorized_, "factor_lower: factorize() must be called first");
+  if (!lower_valid_) {
+    lower_ = upper_.transposed();
+    lower_valid_ = true;
+  }
+  return lower_;
+}
+
+}  // namespace feti::sparse

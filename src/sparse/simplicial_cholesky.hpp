@@ -1,0 +1,60 @@
+#pragma once
+
+// Simplicial (up-looking) sparse Cholesky — the CHOLMOD stand-in.
+//
+// Stores the factor as U = L^T in CSR with the diagonal first in each row,
+// which is simultaneously L in CSC — the natural format both for the
+// up-looking numeric kernel and for feeding the GPU assembly (which wants the
+// factor in either CSR or CSC depending on the Table-I "factor order"
+// parameter).
+
+#include "sparse/etree.hpp"
+#include "sparse/solver.hpp"
+
+namespace feti::sparse {
+
+class SimplicialCholesky final : public DirectSolver {
+ public:
+  void analyze(const la::Csr& a, OrderingKind ordering) override;
+  void factorize(const la::Csr& a) override;
+  void solve(const double* b, double* x) const override;
+
+  [[nodiscard]] idx dim() const override { return n_; }
+  [[nodiscard]] widx factor_nnz() const override { return sym_.nnz; }
+  [[nodiscard]] const std::vector<idx>& permutation() const override {
+    return perm_;
+  }
+
+  [[nodiscard]] bool supports_factor_extraction() const override {
+    return true;
+  }
+  [[nodiscard]] const la::Csr& factor_lower() const override;
+  [[nodiscard]] const la::Csr& factor_upper() const override;
+
+  /// Elimination tree of the permuted matrix (exposed for tests).
+  [[nodiscard]] const SymbolicFactor& symbolic() const { return sym_; }
+
+  /// Factor structure (pattern, values zero until factorize()) available
+  /// right after analyze(); the GPU preparation phase uses it to create
+  /// triangular-solve plans before any numeric factorization has run.
+  [[nodiscard]] const la::Csr& factor_upper_structure() const {
+    check(analyzed_, "factor_upper_structure: analyze() first");
+    return upper_;
+  }
+
+ private:
+  idx n_ = 0;
+  bool analyzed_ = false;
+  bool factorized_ = false;
+  std::vector<idx> perm_, iperm_;
+  SymbolicFactor sym_;
+  /// Permuted pattern with value_map_ routing original values into it.
+  la::Csr ap_;
+  std::vector<idx> value_map_;
+  /// U = L^T, CSR, diagonal first per row; structure fixed by analyze().
+  la::Csr upper_;
+  mutable la::Csr lower_;
+  mutable bool lower_valid_ = false;
+};
+
+}  // namespace feti::sparse

@@ -1,0 +1,57 @@
+#include "sparse/solver.hpp"
+
+#include "sparse/simplicial_cholesky.hpp"
+#include "sparse/supernodal_cholesky.hpp"
+
+namespace feti::sparse {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::Simplicial: return "simplicial (cholmod stand-in)";
+    case Backend::Supernodal: return "supernodal (pardiso stand-in)";
+  }
+  return "?";
+}
+
+void DirectSolver::solve_many(la::ConstDenseView b, la::DenseView x) const {
+  check(b.rows == dim() && x.rows == dim() && b.cols == x.cols,
+        "solve_many: dimension mismatch");
+  std::vector<double> bi(static_cast<std::size_t>(dim()));
+  std::vector<double> xi(static_cast<std::size_t>(dim()));
+  for (idx j = 0; j < b.cols; ++j) {
+    for (idx i = 0; i < dim(); ++i) bi[i] = b.at(i, j);
+    solve(bi.data(), xi.data());
+    for (idx i = 0; i < dim(); ++i) x.at(i, j) = xi[i];
+  }
+}
+
+const la::Csr& DirectSolver::factor_lower() const {
+  throw std::logic_error(
+      "factor extraction is not supported by this backend (the supernodal "
+      "backend mirrors MKL PARDISO, which does not export factors)");
+}
+
+const la::Csr& DirectSolver::factor_upper() const {
+  throw std::logic_error(
+      "factor extraction is not supported by this backend (the supernodal "
+      "backend mirrors MKL PARDISO, which does not export factors)");
+}
+
+void DirectSolver::factorize_schur(const la::Csr&, const la::Csr&,
+                                   la::DenseView, la::Uplo) {
+  throw std::logic_error(
+      "Schur complement is not supported by this backend (the simplicial "
+      "backend mirrors CHOLMOD, which has no augmented-factorization path)");
+}
+
+std::unique_ptr<DirectSolver> make_solver(Backend backend) {
+  switch (backend) {
+    case Backend::Simplicial:
+      return std::make_unique<SimplicialCholesky>();
+    case Backend::Supernodal:
+      return std::make_unique<SupernodalCholesky>();
+  }
+  throw std::invalid_argument("make_solver: unknown backend");
+}
+
+}  // namespace feti::sparse

@@ -1,0 +1,82 @@
+#pragma once
+
+// Common interface of the two sparse direct solver backends.
+//
+// The two backends deliberately mirror the capability split that shapes the
+// paper's design space (Section V):
+//
+//  * SimplicialCholesky ("CHOLMOD stand-in") — somewhat slower numeric
+//    factorization, but *exports its factors*, which is what feeds the GPU
+//    assembly and the explicit CPU TRSM path.
+//  * SupernodalCholesky ("MKL PARDISO stand-in") — faster numeric
+//    factorization (dense BLAS-3 panels) and provides the augmented
+//    Schur-complement path, but does *not* export factors, so it cannot feed
+//    the GPU assembly — exactly the constraint the paper reports for MKL.
+
+#include <memory>
+#include <vector>
+
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "sparse/ordering.hpp"
+
+namespace feti::sparse {
+
+enum class Backend {
+  Simplicial,  ///< CHOLMOD stand-in (factor extraction supported)
+  Supernodal,  ///< MKL PARDISO stand-in (Schur complement supported)
+};
+
+const char* to_string(Backend b);
+
+class DirectSolver {
+ public:
+  virtual ~DirectSolver() = default;
+
+  /// Symbolic analysis: ordering + elimination structure. `a` is the full
+  /// symmetric SPD matrix (both triangles stored). Call once per pattern.
+  virtual void analyze(const la::Csr& a,
+                       OrderingKind ordering = OrderingKind::MinimumDegree) = 0;
+
+  /// Numeric factorization. The pattern must match the analyzed one; values
+  /// may change between calls (multi-step simulations re-enter here).
+  virtual void factorize(const la::Csr& a) = 0;
+
+  /// x = A^{-1} b (dense vectors of size dim()).
+  virtual void solve(const double* b, double* x) const = 0;
+
+  /// X = A^{-1} B column-wise.
+  virtual void solve_many(la::ConstDenseView b, la::DenseView x) const;
+
+  [[nodiscard]] virtual idx dim() const = 0;
+  [[nodiscard]] virtual widx factor_nnz() const = 0;
+
+  /// Fill-reducing permutation used internally, perm[new] = old.
+  [[nodiscard]] virtual const std::vector<idx>& permutation() const = 0;
+
+  // -- factor extraction (simplicial backend only) --
+
+  [[nodiscard]] virtual bool supports_factor_extraction() const {
+    return false;
+  }
+  /// Lower-triangular factor L of P A P^T = L L^T, CSR with sorted rows and
+  /// the diagonal as the last entry of each row. Throws if unsupported.
+  [[nodiscard]] virtual const la::Csr& factor_lower() const;
+  /// Upper-triangular factor L^T, CSR with the diagonal first in each row
+  /// (equivalently: L in CSC). Throws if unsupported.
+  [[nodiscard]] virtual const la::Csr& factor_upper() const;
+
+  // -- Schur complement (supernodal backend only) --
+
+  [[nodiscard]] virtual bool supports_schur() const { return false; }
+  /// Factorizes A and simultaneously computes S = B A^{-1} B^T through a
+  /// partial factorization of the augmented matrix [[A, B^T], [B, 0]]
+  /// (the augmented incomplete factorization of the paper's reference [6]).
+  /// Only the `uplo` triangle of `s` is written. Throws if unsupported.
+  virtual void factorize_schur(const la::Csr& a, const la::Csr& b,
+                               la::DenseView s, la::Uplo uplo);
+};
+
+std::unique_ptr<DirectSolver> make_solver(Backend backend);
+
+}  // namespace feti::sparse

@@ -1,0 +1,390 @@
+#include "sparse/supernodal_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas_dense.hpp"
+
+namespace feti::sparse {
+
+namespace {
+
+/// Value-routing codes: an ap_ entry either reads A (code = k), reads B
+/// (code = a_nnz + k, used for both B and B^T mirror entries), or is a
+/// structural zero of the trailing block (code = -1).
+constexpr idx kZeroCode = -1;
+
+}  // namespace
+
+void SupernodalCholesky::analyze(const la::Csr& a, OrderingKind ordering) {
+  check(a.nrows() == a.ncols(), "analyze: matrix must be square");
+  schur_mode_ = false;
+  n_aug_ = a.nrows();
+  nelim_ = a.nrows();
+  a_nnz_ = a.nnz();
+
+  // Ordering on A, refined by postorder inside analyze_internal.
+  std::vector<idx> perm1 = compute_ordering(a, ordering);
+  std::vector<la::Triplet> t;
+  t.reserve(static_cast<std::size_t>(a.nnz()));
+  const std::vector<idx> iperm1 = la::invert_permutation(perm1);
+  for (idx r = 0; r < a.nrows(); ++r)
+    for (idx k = a.row_begin(r); k < a.row_end(r); ++k)
+      t.push_back({iperm1[r], iperm1[a.col(k)], static_cast<double>(k)});
+  ap_ = la::Csr::from_triplets(n_aug_, n_aug_, std::move(t));
+  perm_ = std::move(perm1);
+  analyze_internal(nelim_, ordering);
+}
+
+void SupernodalCholesky::analyze_schur(const la::Csr& a, const la::Csr& b,
+                                       OrderingKind ordering) {
+  check(a.nrows() == a.ncols(), "analyze_schur: A must be square");
+  check(b.ncols() == a.nrows(), "analyze_schur: B column count must match A");
+  schur_mode_ = true;
+  const idx n = a.nrows(), m = b.nrows();
+  n_aug_ = n + m;
+  nelim_ = n;
+  a_nnz_ = a.nnz();
+
+  // Fill-reducing ordering is computed on A only; the m B-rows are pinned to
+  // the end so that the partial factorization eliminates exactly A.
+  std::vector<idx> perm1 = compute_ordering(a, ordering);
+  const std::vector<idx> iperm1 = la::invert_permutation(perm1);
+
+  std::vector<la::Triplet> t;
+  t.reserve(static_cast<std::size_t>(a.nnz() + 2 * b.nnz() + m));
+  for (idx r = 0; r < n; ++r)
+    for (idx k = a.row_begin(r); k < a.row_end(r); ++k)
+      t.push_back({iperm1[r], iperm1[a.col(k)], static_cast<double>(k)});
+  for (idx r = 0; r < m; ++r) {
+    for (idx k = b.row_begin(r); k < b.row_end(r); ++k) {
+      const double code = static_cast<double>(a_nnz_ + k);
+      t.push_back({n + r, iperm1[b.col(k)], code});
+      t.push_back({iperm1[b.col(k)], n + r, code});
+    }
+    t.push_back({n + r, n + r, static_cast<double>(kZeroCode)});
+  }
+  ap_ = la::Csr::from_triplets(n_aug_, n_aug_, std::move(t));
+  perm_.resize(static_cast<std::size_t>(n_aug_));
+  for (idx i = 0; i < n; ++i) perm_[i] = perm1[i];
+  for (idx i = 0; i < m; ++i) perm_[n + i] = n + i;
+  analyze_internal(nelim_, ordering);
+}
+
+void SupernodalCholesky::analyze_internal(idx nelim, OrderingKind) {
+  factorized_ = false;
+  // Postorder the etree of the eliminated block. Postordering must keep the
+  // trailing (non-eliminated) columns in place, so restrict it to [0,nelim).
+  {
+    std::vector<idx> parent = elimination_tree(ap_);
+    // Cut links into the trailing block so postorder_forest only permutes
+    // the eliminated columns among themselves.
+    std::vector<idx> parent_elim(parent.begin(), parent.begin() + nelim);
+    for (idx i = 0; i < nelim; ++i)
+      if (parent_elim[i] >= nelim) parent_elim[i] = -1;
+    const std::vector<idx> post = postorder_forest(parent_elim);
+    // Compose: new perm[i] = old_perm[post[i]] for i < nelim.
+    std::vector<idx> perm2(perm_);
+    for (idx i = 0; i < nelim; ++i) perm2[i] = perm_[post[i]];
+    perm_ = std::move(perm2);
+    // Re-permute ap_ accordingly (identity on the trailing block).
+    std::vector<idx> relabel(static_cast<std::size_t>(n_aug_));
+    for (idx i = 0; i < nelim; ++i) relabel[i] = post[i];
+    for (idx i = nelim; i < n_aug_; ++i) relabel[i] = i;
+    ap_ = ap_.permuted_symmetric(relabel);
+  }
+  value_map_.resize(static_cast<std::size_t>(ap_.nnz()));
+  for (idx k = 0; k < ap_.nnz(); ++k)
+    value_map_[k] = static_cast<idx>(ap_.vals()[k]);
+
+  perm_elim_.assign(perm_.begin(), perm_.begin() + nelim);
+
+  sym_ = symbolic_cholesky(ap_);
+
+  // Fundamental supernodes over the eliminated columns: extend while the
+  // parent chain is consecutive and column counts shrink by exactly one.
+  sn_start_.clear();
+  sn_start_.push_back(0);
+  for (idx j = 1; j < nelim; ++j) {
+    const idx prev = j - 1;
+    const bool chain = sym_.parent[prev] == j &&
+                       sym_.colcount[prev] == sym_.colcount[j] + 1;
+    if (!chain) sn_start_.push_back(j);
+  }
+  if (nelim > 0) sn_start_.push_back(nelim);
+  const idx nsn = static_cast<idx>(sn_start_.size()) - 1;
+
+  sn_of_col_.assign(static_cast<std::size_t>(nelim), -1);
+  for (idx s = 0; s < nsn; ++s)
+    for (idx j = sn_start_[s]; j < sn_start_[s + 1]; ++j) sn_of_col_[j] = s;
+
+  // Per-supernode row lists = pattern of the first column: {c0} ∪ rows k
+  // with c0 in rowpat(k). Built by one sweep over row patterns.
+  rows_ptr_.assign(static_cast<std::size_t>(nsn) + 1, 0);
+  for (idx s = 0; s < nsn; ++s)
+    rows_ptr_[s + 1] = sym_.colcount[sn_start_[s]];
+  for (idx s = 0; s < nsn; ++s) rows_ptr_[s + 1] += rows_ptr_[s];
+  rows_.assign(static_cast<std::size_t>(rows_ptr_[nsn]), -1);
+  {
+    std::vector<idx> fill(static_cast<std::size_t>(nsn));
+    for (idx s = 0; s < nsn; ++s) {
+      fill[s] = rows_ptr_[s] + 1;
+      rows_[rows_ptr_[s]] = sn_start_[s];  // the first column itself
+    }
+    for (idx k = 0; k < n_aug_; ++k) {
+      for (idx p = sym_.rowpat_ptr[k]; p < sym_.rowpat_ptr[k + 1]; ++p) {
+        const idx j = sym_.rowpat[p];
+        if (j < nelim && j == sn_start_[sn_of_col_[j]])
+          rows_[fill[sn_of_col_[j]]++] = k;
+      }
+    }
+    for (idx s = 0; s < nsn; ++s)
+      FETI_ASSERT(fill[s] == rows_ptr_[s + 1],
+                  "supernodal: row list size mismatch");
+  }
+
+  // Supernode tree: parent supernode of s owns the etree parent of s's last
+  // column; a parent at/after nelim means the update flows to the Schur
+  // block (or is empty for true roots).
+  sn_parent_.assign(static_cast<std::size_t>(nsn), -1);
+  sn_children_.assign(static_cast<std::size_t>(nsn), 0);
+  for (idx s = 0; s < nsn; ++s) {
+    const idx last = sn_start_[s + 1] - 1;
+    const idx p = sym_.parent[last];
+    if (p != -1 && p < nelim) {
+      sn_parent_[s] = sn_of_col_[p];
+      sn_children_[sn_of_col_[p]] += 1;
+    }
+  }
+
+  // Panel storage layout and stats.
+  panel_ptr_.assign(static_cast<std::size_t>(nsn) + 1, 0);
+  factor_nnz_ = 0;
+  max_front_ = 0;
+  for (idx s = 0; s < nsn; ++s) {
+    const idx ns = sn_start_[s + 1] - sn_start_[s];
+    const idx fr = rows_ptr_[s + 1] - rows_ptr_[s];
+    panel_ptr_[s + 1] = panel_ptr_[s] + static_cast<widx>(fr) * ns;
+    factor_nnz_ +=
+        static_cast<widx>(ns) * fr - static_cast<widx>(ns) * (ns - 1) / 2;
+    max_front_ = std::max(max_front_, fr);
+  }
+  panels_.assign(static_cast<std::size_t>(panel_ptr_[nsn]), 0.0);
+  analyzed_ = true;
+}
+
+void SupernodalCholesky::route_values(const la::Csr& a, const la::Csr* b) {
+  check(analyzed_, "factorize: analyze() must be called first");
+  check(a.nnz() == a_nnz_, "factorize: A pattern differs from analysis");
+  auto& vals = ap_.vals();
+  for (idx k = 0; k < ap_.nnz(); ++k) {
+    const idx code = value_map_[k];
+    if (code == kZeroCode)
+      vals[k] = 0.0;
+    else if (code < a_nnz_)
+      vals[k] = a.vals()[code];
+    else {
+      FETI_ASSERT(b != nullptr, "factorize: B values required but absent");
+      vals[k] = b->vals()[code - a_nnz_];
+    }
+  }
+}
+
+void SupernodalCholesky::numeric(la::DenseView* schur, la::Uplo uplo) {
+  const idx nsn = num_supernodes();
+  const idx m = n_aug_ - nelim_;
+  if (schur != nullptr) {
+    check(schur->rows == m && schur->cols == m,
+          "factorize_schur: Schur output dimension mismatch");
+    for (idx r = 0; r < m; ++r)
+      for (idx c = 0; c < m; ++c)
+        if ((uplo == la::Uplo::Upper && c >= r) ||
+            (uplo == la::Uplo::Lower && c <= r))
+          schur->at(r, c) = 0.0;
+  }
+
+  // Update stack: LIFO arena of children update matrices (dense, packed
+  // col-major, paired with their global row lists).
+  struct Update {
+    widx offset;
+    idx nr;
+    idx rows_begin;  // index into rows_ of the owning supernode
+  };
+  std::vector<double> arena;
+  std::vector<Update> stack;
+
+  std::vector<double> front;
+  std::vector<idx> gmap(static_cast<std::size_t>(n_aug_), -1);
+
+  for (idx s = 0; s < nsn; ++s) {
+    const idx c0 = sn_start_[s], c1 = sn_start_[s + 1];
+    const idx ns = c1 - c0;
+    const idx rb = rows_ptr_[s], re = rows_ptr_[s + 1];
+    const idx fr = re - rb;
+    front.assign(static_cast<std::size_t>(fr) * fr, 0.0);
+    auto f = [&](idx i, idx j) -> double& {
+      return front[static_cast<widx>(j) * fr + i];
+    };
+    for (idx i = rb; i < re; ++i) gmap[rows_[i]] = i - rb;
+
+    // Assemble the A columns of this supernode (lower triangle: column j of
+    // the lower part equals row j of ap_ restricted to cols >= j).
+    for (idx j = c0; j < c1; ++j) {
+      const idx jl = gmap[j];
+      for (idx p = ap_.row_begin(j); p < ap_.row_end(j); ++p) {
+        const idx i = ap_.col(p);
+        if (i < j) continue;
+        FETI_ASSERT(gmap[i] >= 0, "supernodal: A entry outside pattern");
+        f(gmap[i], jl) += ap_.val(p);
+      }
+    }
+
+    // Extend-add the children updates (they sit on top of the stack).
+    for (idx c = 0; c < sn_children_[s]; ++c) {
+      FETI_ASSERT(!stack.empty(), "supernodal: update stack underflow");
+      const Update u = stack.back();
+      stack.pop_back();
+      const double* ud = arena.data() + u.offset;
+      for (idx cj = 0; cj < u.nr; ++cj) {
+        const idx gj = rows_[u.rows_begin + cj];
+        const idx lj = gmap[gj];
+        FETI_ASSERT(lj >= 0, "supernodal: update column outside front");
+        for (idx ci = cj; ci < u.nr; ++ci) {
+          const idx gi = rows_[u.rows_begin + ci];
+          const idx li = gmap[gi];
+          FETI_ASSERT(li >= 0, "supernodal: update row outside front");
+          f(li, lj) += ud[static_cast<widx>(cj) * u.nr + ci];
+        }
+      }
+      arena.resize(static_cast<std::size_t>(u.offset));
+    }
+
+    // Dense right-looking partial Cholesky of the leading ns columns,
+    // updating the full trailing block. Columns are contiguous.
+    for (idx j = 0; j < ns; ++j) {
+      double d = f(j, j);
+      if (d <= 0.0)
+        throw std::runtime_error(
+            "SupernodalCholesky: matrix is not positive definite at column " +
+            std::to_string(c0 + j));
+      d = std::sqrt(d);
+      f(j, j) = d;
+      const double dinv = 1.0 / d;
+      double* colj = &f(j, j);
+      la::scal(fr - j - 1, dinv, colj + 1);
+      for (idx k = j + 1; k < fr; ++k) {
+        const double fkj = colj[k - j];
+        if (fkj == 0.0) continue;
+        la::axpy(fr - k, -fkj, colj + (k - j),
+                 &front[static_cast<widx>(k) * fr + k]);
+      }
+    }
+
+    // Persist the factored panel (first ns columns, rows j..fr).
+    std::copy_n(front.data(), static_cast<widx>(fr) * ns,
+                panels_.data() + panel_ptr_[s]);
+
+    // Route the update matrix: parent front, Schur block, or empty.
+    const idx nr = fr - ns;
+    if (sn_parent_[s] != -1) {
+      const widx off = static_cast<widx>(arena.size());
+      arena.resize(arena.size() + static_cast<std::size_t>(nr) * nr);
+      double* ud = arena.data() + off;
+      for (idx cj = 0; cj < nr; ++cj)
+        std::copy_n(&f(ns + cj, ns + cj), nr - cj,
+                    ud + static_cast<widx>(cj) * nr + cj);
+      stack.push_back({off, nr, rb + ns});
+    } else if (nr > 0) {
+      // All remaining rows are in the Schur block (asserted below): the
+      // trailing front block accumulates into -S.
+      FETI_ASSERT(schur != nullptr && rows_[rb + ns] >= nelim_,
+                  "supernodal: root update without Schur target");
+      for (idx cj = 0; cj < nr; ++cj) {
+        const idx gj = rows_[rb + ns + cj] - nelim_;
+        for (idx ci = cj; ci < nr; ++ci) {
+          const idx gi = rows_[rb + ns + ci] - nelim_;
+          const double v = f(ns + ci, ns + cj);
+          // Schur = -(trailing block): S = B A^{-1} B^T.
+          if (uplo == la::Uplo::Upper)
+            schur->at(std::min(gi, gj), std::max(gi, gj)) -= v;
+          else
+            schur->at(std::max(gi, gj), std::min(gi, gj)) -= v;
+        }
+      }
+    }
+
+    for (idx i = rb; i < re; ++i) gmap[rows_[i]] = -1;
+  }
+  FETI_ASSERT(stack.empty(), "supernodal: updates left on the stack");
+  factorized_ = true;
+}
+
+void SupernodalCholesky::factorize(const la::Csr& a) {
+  check(!schur_mode_, "factorize: solver was analyzed for the Schur path");
+  route_values(a, nullptr);
+  numeric(nullptr, la::Uplo::Upper);
+}
+
+void SupernodalCholesky::factorize_schur(const la::Csr& a, const la::Csr& b,
+                                         la::DenseView s, la::Uplo uplo) {
+  check(schur_mode_, "factorize_schur: call analyze_schur() first");
+  route_values(a, &b);
+  numeric(&s, uplo);
+}
+
+void SupernodalCholesky::solve(const double* b, double* x) const {
+  check(factorized_, "solve: factorize() must be called first");
+  const idx n = nelim_;
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) y[i] = b[perm_elim_[i]];
+
+  const idx nsn = num_supernodes();
+  // Forward substitution over panels: L y = Pb.
+  for (idx s = 0; s < nsn; ++s) {
+    const idx c0 = sn_start_[s];
+    const idx ns = sn_start_[s + 1] - c0;
+    const idx rb = rows_ptr_[s];
+    const idx fr = rows_ptr_[s + 1] - rb;
+    const double* panel = panels_.data() + panel_ptr_[s];
+    // Diagonal block: dense lower triangular solve.
+    for (idx j = 0; j < ns; ++j) {
+      const double* col = panel + static_cast<widx>(j) * fr;
+      y[c0 + j] /= col[j];
+      const double yj = y[c0 + j];
+      for (idx i = j + 1; i < ns; ++i) y[c0 + i] -= col[i] * yj;
+    }
+    // Off-diagonal rows (skip Schur-block rows in schur mode).
+    for (idx j = 0; j < ns; ++j) {
+      const double yj = y[c0 + j];
+      if (yj == 0.0) continue;
+      const double* col = panel + static_cast<widx>(j) * fr;
+      for (idx i = ns; i < fr; ++i) {
+        const idx g = rows_[rb + i];
+        if (g >= n) break;  // rows are sorted; the tail is the Schur block
+        y[g] -= col[i] * yj;
+      }
+    }
+  }
+  // Backward substitution: L^T x = y.
+  for (idx s = nsn - 1; s >= 0; --s) {
+    const idx c0 = sn_start_[s];
+    const idx ns = sn_start_[s + 1] - c0;
+    const idx rb = rows_ptr_[s];
+    const idx fr = rows_ptr_[s + 1] - rb;
+    const double* panel = panels_.data() + panel_ptr_[s];
+    for (idx j = ns - 1; j >= 0; --j) {
+      const double* col = panel + static_cast<widx>(j) * fr;
+      double acc = y[c0 + j];
+      for (idx i = j + 1; i < ns; ++i) acc -= col[i] * y[c0 + i];
+      for (idx i = ns; i < fr; ++i) {
+        const idx g = rows_[rb + i];
+        if (g >= n) break;
+        acc -= col[i] * y[g];
+      }
+      y[c0 + j] = acc / col[j];
+    }
+  }
+  for (idx i = 0; i < n; ++i) x[perm_elim_[i]] = y[i];
+}
+
+}  // namespace feti::sparse

@@ -1,0 +1,86 @@
+#pragma once
+
+// Supernodal multifrontal sparse Cholesky — the MKL PARDISO stand-in.
+//
+// Columns with identical factor structure are grouped into fundamental
+// supernodes; each supernode is factored inside a dense frontal matrix with
+// contiguous (BLAS-3-style) inner loops, which is what makes this backend
+// faster than the simplicial one on matrices with denser factors (3D FEM),
+// mirroring the MKL-vs-CHOLMOD relationship in the paper.
+//
+// The backend additionally implements the *augmented incomplete
+// factorization* Schur path (paper reference [6]): a partial factorization
+// of [[A, B^T], [B, 0]] that eliminates only the A columns; the trailing
+// update block is -S = -B A^{-1} B^T. The B sparsity is exploited through
+// the symbolic structure of the augmented matrix. Factors are intentionally
+// NOT exportable, matching the MKL constraint the paper reports.
+
+#include "sparse/etree.hpp"
+#include "sparse/solver.hpp"
+
+namespace feti::sparse {
+
+class SupernodalCholesky final : public DirectSolver {
+ public:
+  void analyze(const la::Csr& a, OrderingKind ordering) override;
+  void factorize(const la::Csr& a) override;
+  void solve(const double* b, double* x) const override;
+
+  [[nodiscard]] idx dim() const override { return nelim_; }
+  [[nodiscard]] widx factor_nnz() const override { return factor_nnz_; }
+  [[nodiscard]] const std::vector<idx>& permutation() const override {
+    return perm_elim_;
+  }
+
+  [[nodiscard]] bool supports_schur() const override { return true; }
+
+  /// Symbolic analysis of the augmented matrix [[A, B^T], [B, 0]] for the
+  /// Schur path. A is n x n SPD, B is m x n.
+  void analyze_schur(const la::Csr& a, const la::Csr& b,
+                     OrderingKind ordering = OrderingKind::MinimumDegree);
+
+  void factorize_schur(const la::Csr& a, const la::Csr& b, la::DenseView s,
+                       la::Uplo uplo) override;
+
+  // Introspection for tests and benches.
+  [[nodiscard]] idx num_supernodes() const {
+    return static_cast<idx>(sn_start_.size()) - 1;
+  }
+  [[nodiscard]] idx largest_front() const { return max_front_; }
+
+ private:
+  /// Shared symbolic pipeline; `aug` is the (possibly augmented) full
+  /// symmetric pattern already carrying value-routing codes, `nelim` the
+  /// number of leading columns to eliminate.
+  void analyze_internal(idx nelim, OrderingKind ordering);
+  void route_values(const la::Csr& a, const la::Csr* b);
+  void numeric(la::DenseView* schur, la::Uplo uplo);
+
+  // -- problem structure --
+  idx n_aug_ = 0;    ///< dimension of the (augmented) matrix
+  idx nelim_ = 0;    ///< number of eliminated columns (= dim of A)
+  idx a_nnz_ = 0;    ///< nnz of A at analysis (value routing)
+  bool schur_mode_ = false;
+  bool analyzed_ = false;
+  bool factorized_ = false;
+
+  std::vector<idx> perm_;       ///< augmented permutation, perm[new] = old
+  std::vector<idx> perm_elim_;  ///< restriction to the eliminated block
+  la::Csr ap_;                  ///< permuted augmented pattern with values
+  std::vector<idx> value_map_;  ///< code per ap_ entry (see route_values)
+  SymbolicFactor sym_;
+
+  // -- supernode structure (columns [0, nelim_) only) --
+  std::vector<idx> sn_start_;   ///< size #sn+1, column ranges
+  std::vector<idx> sn_of_col_;  ///< column -> supernode
+  std::vector<idx> sn_parent_;  ///< parent supernode, -1 = root/Schur
+  std::vector<idx> sn_children_;///< number of tree children per supernode
+  std::vector<idx> rows_ptr_;   ///< per-supernode row list offsets
+  std::vector<idx> rows_;       ///< ascending global row indices per sn
+  std::vector<widx> panel_ptr_; ///< offsets into panel storage
+  std::vector<double> panels_;  ///< dense col-major panels, ld = front rows
+  widx factor_nnz_ = 0;
+  idx max_front_ = 0;
+};
+
+}  // namespace feti::sparse

@@ -1,0 +1,38 @@
+#pragma once
+
+// Common scalar/index typedefs and assertion helpers shared by all modules.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace feti {
+
+/// Index type used for matrix dimensions and sparse indices. Subdomain-local
+/// systems in this library stay far below 2^31 nonzeros, and 32-bit indices
+/// halve the memory traffic of sparse kernels.
+using idx = std::int32_t;
+
+/// Wide index for global counters (total nonzeros across subdomains, etc.).
+using widx = std::int64_t;
+
+/// Throwing check used for API misuse that must be caught in release builds
+/// as well (dimension mismatches, invalid configurations).
+inline void check(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// Internal invariant check; compiled in all build types because the library
+/// is numerical and silent corruption is worse than an abort.
+#define FETI_ASSERT(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "FETI_ASSERT failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, msg);                            \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+}  // namespace feti

@@ -1,0 +1,37 @@
+#pragma once
+
+// Exception transport across OpenMP parallel regions. Exceptions must not
+// propagate out of a parallel loop (the runtime calls std::terminate), so
+// loop bodies run through this guard and the first captured exception is
+// rethrown on the calling thread after the join. Device-memory exhaustion
+// inside the preparation loops is the practical case.
+
+#include <exception>
+#include <mutex>
+
+namespace feti {
+
+class OmpExceptionGuard {
+ public:
+  /// Runs `f()`, capturing the first exception thrown by any thread.
+  template <typename F>
+  void run(F&& f) noexcept {
+    try {
+      f();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+
+  /// Rethrows the captured exception, if any. Call after the parallel region.
+  void rethrow() const {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace feti

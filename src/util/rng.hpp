@@ -1,0 +1,34 @@
+#pragma once
+
+// Deterministic random number helpers. Tests and benches must be
+// reproducible run-to-run, so everything takes an explicit seed.
+
+#include <cstdint>
+#include <random>
+
+namespace feti {
+
+/// Thin wrapper over a fixed-algorithm engine so results are stable across
+/// standard library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return lo + (hi - lo) * (static_cast<double>(engine_() >> 11) * 0x1.0p-53);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  long integer(long lo, long hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+    return lo + static_cast<long>(engine_() % span);
+  }
+
+  std::uint64_t raw() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace feti

@@ -1,0 +1,34 @@
+#pragma once
+
+// Plain-text table / CSV emitter used by the bench harnesses to print the
+// rows and series of the paper's tables and figures.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace feti {
+
+/// Column-aligned text table with an optional CSV dump. Cells are strings;
+/// numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Pretty-print with column alignment.
+  void print(std::ostream& os = std::cout) const;
+
+  /// Machine-readable CSV (comma separated, header first).
+  void print_csv(std::ostream& os) const;
+
+  static std::string num(double v, int precision = 4);
+  static std::string sci(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace feti

@@ -1,0 +1,70 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace feti {
+
+ThreadPool::ThreadPool(int threads) {
+  threads = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(long begin, long end,
+                              const std::function<void(long)>& body) {
+  const long n = end - begin;
+  if (n <= 0) return;
+  const long chunks = std::min<long>(n, size());
+  std::atomic<long> next(begin);
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto run_chunk = [&] {
+    for (;;) {
+      const long i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(static_cast<std::size_t>(chunks - 1));
+  for (long c = 1; c < chunks; ++c) futs.push_back(submit(run_chunk));
+  run_chunk();  // calling thread participates
+  for (auto& f : futs) f.get();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace feti

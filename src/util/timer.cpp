@@ -1,0 +1,22 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace feti {
+
+double measure_median_seconds(int min_reps, double min_seconds,
+                              const std::function<void()>& body) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(min_reps));
+  Timer budget;
+  do {
+    Timer t;
+    body();
+    samples.push_back(t.seconds());
+  } while (static_cast<int>(samples.size()) < min_reps ||
+           budget.seconds() < min_seconds);
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace feti

@@ -1,0 +1,103 @@
+#pragma once
+
+// Wall-clock timing utilities used by the benchmark harnesses and by the
+// solver's internal phase accounting (preparation / preprocessing /
+// application, mirroring Algorithm 2 of the paper).
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace feti {
+
+/// Monotonic stopwatch with microsecond-or-better resolution.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named durations across repeated phases. Thread-safe; every
+/// dual-operator implementation reports its preprocessing/application split
+/// through one of these so the figure harnesses can read consistent numbers.
+class TimingRegistry {
+ public:
+  void add(const std::string& name, double seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& e = entries_[name];
+    e.total += seconds;
+    e.count += 1;
+    e.last = seconds;
+  }
+
+  struct Entry {
+    double total = 0.0;
+    long count = 0;
+    double last = 0.0;
+  };
+
+  [[nodiscard]] Entry get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    return it == entries_.end() ? Entry{} : it->second;
+  }
+
+  [[nodiscard]] double total(const std::string& name) const {
+    return get(name).total;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::string, Entry>> snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {entries_.begin(), entries_.end()};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII helper: measures its own lifetime into a registry entry.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimingRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+  ~ScopedTimer() { registry_.add(name_, timer_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimingRegistry& registry_;
+  std::string name_;
+  Timer timer_;
+};
+
+/// Median-of-repetitions measurement loop for the figure harnesses: runs
+/// `body` until both `min_reps` repetitions and `min_seconds` of total time
+/// are reached, returns the median single-run time in seconds.
+double measure_median_seconds(int min_reps, double min_seconds,
+                              const std::function<void()>& body);
+
+}  // namespace feti

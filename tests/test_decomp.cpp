@@ -1,0 +1,270 @@
+// Tests for the Total FETI structure: gluing matrix B, kernels R,
+// fixing-nodes regularization (exact generalized-inverse property), and the
+// assembled FETI problem.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "decomp/feti_problem.hpp"
+#include "la/blas_dense.hpp"
+#include "la/blas_sparse.hpp"
+#include "sparse/solver.hpp"
+#include "test_helpers.hpp"
+
+namespace feti::decomp {
+namespace {
+
+using fem::Physics;
+using mesh::ElementOrder;
+
+mesh::Decomposition grid_decomposition(int dim, ElementOrder order, idx cells,
+                                       idx splits) {
+  if (dim == 2) {
+    mesh::Mesh m = mesh::make_grid_2d(cells, cells, order);
+    return mesh::decompose_2d(m, cells, cells, splits, splits);
+  }
+  mesh::Mesh m = mesh::make_grid_3d(cells, cells, cells, order);
+  return mesh::decompose_3d(m, cells, cells, cells, splits, splits, splits);
+}
+
+TEST(Gluing, InterfaceRowsHaveMatchedPairs) {
+  auto dec = grid_decomposition(2, ElementOrder::Linear, 4, 2);
+  Gluing g = build_gluing(dec, 1, Redundancy::Full);
+  ASSERT_GT(g.num_lambdas, 0);
+  // Collect per-cluster-row entries across subdomains.
+  std::map<idx, std::vector<double>> row_entries;
+  for (std::size_t s = 0; s < g.b.size(); ++s) {
+    const la::Csr& b = g.b[s];
+    for (idx r = 0; r < b.nrows(); ++r)
+      for (idx k = b.row_begin(r); k < b.row_end(r); ++k)
+        row_entries[g.lm_l2c[s][r]].push_back(b.val(k));
+  }
+  const idx ninterface = g.num_lambdas - g.num_dirichlet_rows;
+  for (const auto& [row, entries] : row_entries) {
+    if (row < ninterface) {
+      ASSERT_EQ(entries.size(), 2u) << "interface row " << row;
+      EXPECT_DOUBLE_EQ(entries[0] + entries[1], 0.0);
+      EXPECT_DOUBLE_EQ(std::fabs(entries[0]), 1.0);
+    } else {
+      ASSERT_EQ(entries.size(), 1u) << "dirichlet row " << row;
+      EXPECT_DOUBLE_EQ(entries[0], 1.0);
+    }
+  }
+  EXPECT_EQ(static_cast<idx>(row_entries.size()), g.num_lambdas);
+}
+
+TEST(Gluing, RedundancyChangesConstraintCount) {
+  // A 2x2 subdomain split has one corner node shared by 4 subdomains:
+  // full gluing emits C(4,2)=6 rows there, non-redundant 3.
+  auto dec = grid_decomposition(2, ElementOrder::Linear, 4, 2);
+  Gluing full = build_gluing(dec, 1, Redundancy::Full);
+  Gluing chain = build_gluing(dec, 1, Redundancy::NonRedundant);
+  EXPECT_GT(full.num_lambdas, chain.num_lambdas);
+  EXPECT_EQ(full.num_dirichlet_rows, chain.num_dirichlet_rows);
+  EXPECT_EQ(full.num_lambdas - chain.num_lambdas, 3);
+}
+
+TEST(Gluing, ContinuousFieldSatisfiesInterfaceConstraints) {
+  auto dec = grid_decomposition(2, ElementOrder::Quadratic, 4, 2);
+  Gluing g = build_gluing(dec, 1, Redundancy::Full);
+  // Sample a smooth global field into local vectors; B u must vanish on
+  // interface rows (and equal the field value on Dirichlet rows).
+  std::vector<double> bu(static_cast<std::size_t>(g.num_lambdas), 0.0);
+  for (std::size_t s = 0; s < g.b.size(); ++s) {
+    const auto& sd = dec.subdomains[s];
+    std::vector<double> ul(static_cast<std::size_t>(sd.local.num_nodes));
+    for (idx l = 0; l < sd.local.num_nodes; ++l)
+      ul[l] = std::sin(3.0 * sd.local.coord(l, 0)) +
+              2.0 * sd.local.coord(l, 1);
+    std::vector<double> local(static_cast<std::size_t>(g.b[s].nrows()), 0.0);
+    la::spmv(1.0, g.b[s], ul.data(), 0.0, local.data());
+    for (idx r = 0; r < g.b[s].nrows(); ++r) bu[g.lm_l2c[s][r]] += local[r];
+  }
+  const idx ninterface = g.num_lambdas - g.num_dirichlet_rows;
+  for (idx r = 0; r < ninterface; ++r) EXPECT_NEAR(bu[r], 0.0, 1e-12);
+}
+
+TEST(Gluing, LocalToClusterMapsAreSortedUnique) {
+  auto dec = grid_decomposition(3, ElementOrder::Linear, 3, 2);
+  Gluing g = build_gluing(dec, 3, Redundancy::Full);
+  for (const auto& map : g.lm_l2c)
+    for (std::size_t i = 1; i < map.size(); ++i)
+      EXPECT_LT(map[i - 1], map[i]);
+}
+
+class KernelParam
+    : public ::testing::TestWithParam<std::tuple<Physics, int, ElementOrder>> {
+};
+
+TEST_P(KernelParam, KernelAnnihilatesStiffness) {
+  const auto [phys, dim, order] = GetParam();
+  mesh::Mesh m = dim == 2 ? mesh::make_grid_2d(3, 3, order)
+                          : mesh::make_grid_3d(2, 2, 2, order);
+  fem::SubdomainSystem sys = fem::assemble(m, phys);
+  la::DenseMatrix r = build_kernel(m, phys);
+  EXPECT_EQ(r.cols(), kernel_dim(phys, dim));
+  // K * R ≈ 0 column by column.
+  std::vector<double> y(static_cast<std::size_t>(sys.ndof));
+  for (idx j = 0; j < r.cols(); ++j) {
+    la::spmv(1.0, sys.k, r.data() + static_cast<widx>(j) * sys.ndof, 0.0,
+             y.data());
+    for (idx i = 0; i < sys.ndof; ++i) EXPECT_NEAR(y[i], 0.0, 1e-10);
+  }
+}
+
+TEST_P(KernelParam, KernelIsOrthonormal) {
+  const auto [phys, dim, order] = GetParam();
+  mesh::Mesh m = dim == 2 ? mesh::make_grid_2d(3, 2, order)
+                          : mesh::make_grid_3d(2, 2, 2, order);
+  la::DenseMatrix r = build_kernel(m, phys);
+  for (idx i = 0; i < r.cols(); ++i)
+    for (idx j = 0; j < r.cols(); ++j) {
+      const double d = la::dot(r.rows(), r.data() + static_cast<widx>(i) * r.rows(),
+                               r.data() + static_cast<widx>(j) * r.rows());
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, KernelParam,
+    ::testing::Combine(::testing::Values(Physics::HeatTransfer,
+                                         Physics::LinearElasticity),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(ElementOrder::Linear,
+                                         ElementOrder::Quadratic)));
+
+class RegularizationParam
+    : public ::testing::TestWithParam<std::tuple<Physics, int>> {};
+
+TEST_P(RegularizationParam, RegularizedMatrixIsSpd) {
+  const auto [phys, dim] = GetParam();
+  mesh::Mesh m = dim == 2 ? mesh::make_grid_2d(3, 3, ElementOrder::Linear)
+                          : mesh::make_grid_3d(2, 2, 2, ElementOrder::Linear);
+  fem::SubdomainSystem sys = fem::assemble(m, phys);
+  la::DenseMatrix r = build_kernel(m, phys);
+  Regularization reg = regularize(sys.k, r.cview(), m, phys);
+  auto solver = sparse::make_solver(sparse::Backend::Supernodal);
+  solver->analyze(reg.k_reg, sparse::OrderingKind::MinimumDegree);
+  EXPECT_NO_THROW(solver->factorize(reg.k_reg));
+}
+
+TEST_P(RegularizationParam, InverseIsExactGeneralizedInverse) {
+  // The core correctness property: K * K_reg^{-1} * K == K.
+  const auto [phys, dim] = GetParam();
+  mesh::Mesh m = dim == 2 ? mesh::make_grid_2d(3, 3, ElementOrder::Quadratic)
+                          : mesh::make_grid_3d(2, 2, 2, ElementOrder::Linear);
+  fem::SubdomainSystem sys = fem::assemble(m, phys);
+  la::DenseMatrix r = build_kernel(m, phys);
+  Regularization reg = regularize(sys.k, r.cview(), m, phys);
+  auto solver = sparse::make_solver(sparse::Backend::Simplicial);
+  solver->analyze(reg.k_reg, sparse::OrderingKind::MinimumDegree);
+  solver->factorize(reg.k_reg);
+  const idx n = sys.ndof;
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> y(static_cast<std::size_t>(n));
+    for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+    std::vector<double> z(static_cast<std::size_t>(n), 0.0);
+    la::spmv(1.0, sys.k, y.data(), 0.0, z.data());  // z = K y (in range K)
+    std::vector<double> w(static_cast<std::size_t>(n), 0.0);
+    solver->solve(z.data(), w.data());              // w = K_reg^{-1} z
+    std::vector<double> kw(static_cast<std::size_t>(n), 0.0);
+    la::spmv(1.0, sys.k, w.data(), 0.0, kw.data()); // K w must equal z
+    double scale = 0.0;
+    for (idx i = 0; i < n; ++i) scale = std::max(scale, std::fabs(z[i]));
+    for (idx i = 0; i < n; ++i)
+      EXPECT_NEAR(kw[i], z[i], 1e-8 * std::max(1.0, scale));
+  }
+}
+
+TEST_P(RegularizationParam, FixingDofsCoverKernel) {
+  const auto [phys, dim] = GetParam();
+  mesh::Mesh m = dim == 2 ? mesh::make_grid_2d(4, 4, ElementOrder::Linear)
+                          : mesh::make_grid_3d(3, 3, 3, ElementOrder::Linear);
+  la::DenseMatrix r = build_kernel(m, phys);
+  auto dofs = select_fixing_dofs(m, phys);
+  ASSERT_GE(static_cast<idx>(dofs.size()), r.cols());
+  // E^T R must have full column rank: Gram matrix invertible.
+  const idx nf = static_cast<idx>(dofs.size()), rc = r.cols();
+  la::DenseMatrix gram(rc, rc);
+  for (idx i = 0; i < rc; ++i)
+    for (idx j = 0; j < rc; ++j) {
+      double v = 0.0;
+      for (idx k = 0; k < nf; ++k)
+        v += r.at(dofs[k], i) * r.at(dofs[k], j);
+      gram.at(i, j) = v;
+    }
+  EXPECT_TRUE(feti::testing::dense_cholesky_lower(gram));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, RegularizationParam,
+    ::testing::Combine(::testing::Values(Physics::HeatTransfer,
+                                         Physics::LinearElasticity),
+                       ::testing::Values(2, 3)));
+
+class ProblemParam
+    : public ::testing::TestWithParam<std::tuple<Physics, int, ElementOrder>> {
+};
+
+TEST_P(ProblemParam, BuildsConsistentProblem) {
+  const auto [phys, dim, order] = GetParam();
+  auto dec = grid_decomposition(dim, order, 4, 2);
+  FetiProblem p = build_feti_problem(dec, phys);
+  EXPECT_EQ(p.dim, dim);
+  EXPECT_GT(p.num_lambdas, 0);
+  EXPECT_EQ(p.c.size(), static_cast<std::size_t>(p.num_lambdas));
+  EXPECT_EQ(p.num_subdomains(), dim == 2 ? 4 : 8);
+  for (const auto& s : p.sub) {
+    EXPECT_EQ(s.b.ncols(), s.ndof());
+    EXPECT_EQ(s.lm_l2c.size(), static_cast<std::size_t>(s.b.nrows()));
+    EXPECT_EQ(s.r.rows(), s.ndof());
+    EXPECT_EQ(s.dof_l2g.size(), static_cast<std::size_t>(s.ndof()));
+    for (idx g : s.dof_l2g) {
+      EXPECT_GE(g, 0);
+      EXPECT_LT(g, p.global_dofs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ProblemParam,
+    ::testing::Combine(::testing::Values(Physics::HeatTransfer,
+                                         Physics::LinearElasticity),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(ElementOrder::Linear,
+                                         ElementOrder::Quadratic)));
+
+TEST(Problem, ScaleStepScalesConsistently) {
+  auto dec = grid_decomposition(2, ElementOrder::Linear, 4, 2);
+  FetiProblem p = build_feti_problem(dec, Physics::HeatTransfer);
+  const double k0 = p.sub[0].sys.k.vals()[0];
+  const double kr0 = p.sub[0].k_reg.vals()[0];
+  const double f0 = p.sub[0].sys.f[5];
+  scale_step(p, 2.5);
+  EXPECT_DOUBLE_EQ(p.sub[0].sys.k.vals()[0], 2.5 * k0);
+  EXPECT_DOUBLE_EQ(p.sub[0].k_reg.vals()[0], 2.5 * kr0);
+  EXPECT_DOUBLE_EQ(p.sub[0].sys.f[5], 2.5 * f0);
+  EXPECT_THROW(scale_step(p, -1.0), std::invalid_argument);
+}
+
+TEST(Problem, GatherSolutionAveragesInterface) {
+  auto dec = grid_decomposition(2, ElementOrder::Linear, 2, 2);
+  FetiProblem p = build_feti_problem(dec, Physics::HeatTransfer);
+  // Fill each subdomain with its global x coordinate; gather must return it.
+  std::vector<std::vector<double>> ul(p.sub.size());
+  for (std::size_t s = 0; s < p.sub.size(); ++s) {
+    const auto& local = dec.subdomains[s].local;
+    ul[s].resize(static_cast<std::size_t>(p.sub[s].ndof()));
+    for (idx l = 0; l < local.num_nodes; ++l) ul[s][l] = local.coord(l, 0);
+  }
+  auto u = gather_solution(p, ul);
+  mesh::Mesh m = mesh::make_grid_2d(2, 2, ElementOrder::Linear);
+  for (idx n = 0; n < m.num_nodes; ++n)
+    EXPECT_NEAR(u[n], m.coord(n, 0), 1e-14);
+}
+
+}  // namespace
+}  // namespace feti::decomp

@@ -1,0 +1,329 @@
+// Tests for dense containers and BLAS kernels across every combination of
+// memory layout, transposition, and triangle the Table-I parameter space can
+// produce. Reference results come from naive triple loops.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "la/blas_dense.hpp"
+#include "la/dense.hpp"
+#include "util/rng.hpp"
+
+namespace feti::la {
+namespace {
+
+DenseMatrix random_matrix(idx rows, idx cols, Layout layout,
+                          std::uint64_t seed) {
+  DenseMatrix m(rows, cols, layout);
+  Rng rng(seed);
+  for (idx r = 0; r < rows; ++r)
+    for (idx c = 0; c < cols; ++c) m.at(r, c) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+/// Well-conditioned triangular factor with dominant diagonal.
+DenseMatrix random_triangular(idx n, Uplo uplo, Layout layout,
+                              std::uint64_t seed) {
+  DenseMatrix m(n, n, layout);
+  Rng rng(seed);
+  for (idx r = 0; r < n; ++r) {
+    for (idx c = 0; c < n; ++c) {
+      const bool stored = uplo == Uplo::Lower ? c <= r : c >= r;
+      if (!stored) continue;
+      m.at(r, c) = r == c ? 2.0 + rng.uniform(0.0, 1.0)
+                          : rng.uniform(-0.5, 0.5);
+    }
+  }
+  return m;
+}
+
+std::vector<double> random_vector(idx n, std::uint64_t seed) {
+  std::vector<double> v(static_cast<std::size_t>(n));
+  Rng rng(seed);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+double ref_op_at(ConstDenseView a, Trans t, idx i, idx j) {
+  return t == Trans::No ? a.at(i, j) : a.at(j, i);
+}
+
+TEST(DenseMatrix, StorageRoundTripBothLayouts) {
+  for (Layout layout : {Layout::RowMajor, Layout::ColMajor}) {
+    DenseMatrix m(3, 4, layout);
+    double v = 1.0;
+    for (idx r = 0; r < 3; ++r)
+      for (idx c = 0; c < 4; ++c) m.at(r, c) = v++;
+    v = 1.0;
+    for (idx r = 0; r < 3; ++r)
+      for (idx c = 0; c < 4; ++c) EXPECT_EQ(m.at(r, c), v++);
+  }
+}
+
+TEST(DenseMatrix, LeadingDimensionMatchesLayout) {
+  DenseMatrix rm(3, 5, Layout::RowMajor);
+  EXPECT_EQ(rm.ld(), 5);
+  DenseMatrix cm(3, 5, Layout::ColMajor);
+  EXPECT_EQ(cm.ld(), 3);
+}
+
+TEST(DenseCopy, ConvertsBetweenLayouts) {
+  DenseMatrix a = random_matrix(7, 5, Layout::RowMajor, 1);
+  DenseMatrix b(7, 5, Layout::ColMajor);
+  copy(a.cview(), b.view());
+  EXPECT_EQ(max_abs_diff(a.cview(), b.cview()), 0.0);
+}
+
+TEST(DenseSymmetrize, MirrorsUpperToLower) {
+  DenseMatrix a = random_matrix(6, 6, Layout::ColMajor, 2);
+  symmetrize_from(a.view(), Uplo::Upper);
+  for (idx r = 0; r < 6; ++r)
+    for (idx c = 0; c < 6; ++c) EXPECT_EQ(a.at(r, c), a.at(c, r));
+}
+
+TEST(Level1, DotAxpyScalNrm2) {
+  auto x = random_vector(100, 3);
+  auto y = random_vector(100, 4);
+  double ref = 0.0;
+  for (int i = 0; i < 100; ++i) ref += x[i] * y[i];
+  EXPECT_NEAR(dot(100, x.data(), y.data()), ref, 1e-12);
+
+  auto y2 = y;
+  axpy(100, 0.5, x.data(), y2.data());
+  for (int i = 0; i < 100; ++i) EXPECT_NEAR(y2[i], y[i] + 0.5 * x[i], 1e-14);
+
+  scal(100, 2.0, y2.data());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_NEAR(y2[i], 2.0 * (y[i] + 0.5 * x[i]), 1e-14);
+
+  EXPECT_NEAR(nrm2(100, x.data()), std::sqrt(dot(100, x.data(), x.data())),
+              1e-12);
+}
+
+class GemvParam
+    : public ::testing::TestWithParam<std::tuple<Layout, Trans>> {};
+
+TEST_P(GemvParam, MatchesReference) {
+  const auto [layout, trans] = GetParam();
+  const idx rows = 13, cols = 9;
+  DenseMatrix a = random_matrix(rows, cols, layout, 5);
+  const idx m = trans == Trans::No ? rows : cols;
+  const idx n = trans == Trans::No ? cols : rows;
+  auto x = random_vector(n, 6);
+  auto y = random_vector(m, 7);
+  auto ref = y;
+  for (idx i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (idx j = 0; j < n; ++j)
+      acc += ref_op_at(a.cview(), trans, i, j) * x[j];
+    ref[i] = 1.5 * acc + 0.25 * ref[i];
+  }
+  gemv(1.5, a.cview(), trans, x.data(), 0.25, y.data());
+  for (idx i = 0; i < m; ++i) EXPECT_NEAR(y[i], ref[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, GemvParam,
+    ::testing::Combine(::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Trans::No, Trans::Yes)));
+
+class SymvParam
+    : public ::testing::TestWithParam<std::tuple<Layout, Uplo>> {};
+
+TEST_P(SymvParam, MatchesFullProduct) {
+  const auto [layout, uplo] = GetParam();
+  const idx n = 11;
+  DenseMatrix full = random_matrix(n, n, layout, 8);
+  symmetrize_from(full.view(), Uplo::Upper);
+  // Destroy the non-referenced triangle to prove symv ignores it.
+  DenseMatrix tri(n, n, layout);
+  for (idx r = 0; r < n; ++r)
+    for (idx c = 0; c < n; ++c) {
+      const bool stored = uplo == Uplo::Upper ? c >= r : c <= r;
+      tri.at(r, c) = stored ? full.at(r, c) : 999.0;
+    }
+  auto x = random_vector(n, 9);
+  std::vector<double> y(n, 0.0), ref(n, 0.0);
+  for (idx r = 0; r < n; ++r)
+    for (idx c = 0; c < n; ++c) ref[r] += full.at(r, c) * x[c];
+  symv(uplo, 1.0, tri.cview(), x.data(), 0.0, y.data());
+  for (idx i = 0; i < n; ++i) EXPECT_NEAR(y[i], ref[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SymvParam,
+    ::testing::Combine(::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Uplo::Upper, Uplo::Lower)));
+
+class GemmParam : public ::testing::TestWithParam<
+                      std::tuple<Layout, Layout, Layout, Trans, Trans>> {};
+
+TEST_P(GemmParam, MatchesReference) {
+  const auto [la_, lb, lc, ta, tb] = GetParam();
+  const idx m = 7, k = 5, n = 6;
+  DenseMatrix a = random_matrix(ta == Trans::No ? m : k,
+                                ta == Trans::No ? k : m, la_, 10);
+  DenseMatrix b = random_matrix(tb == Trans::No ? k : n,
+                                tb == Trans::No ? n : k, lb, 11);
+  DenseMatrix c = random_matrix(m, n, lc, 12);
+  DenseMatrix ref(m, n, Layout::ColMajor);
+  for (idx i = 0; i < m; ++i)
+    for (idx j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (idx p = 0; p < k; ++p)
+        acc += ref_op_at(a.cview(), ta, i, p) * ref_op_at(b.cview(), tb, p, j);
+      ref.at(i, j) = 2.0 * acc - 1.0 * c.at(i, j);
+    }
+  gemm(2.0, a.cview(), ta, b.cview(), tb, -1.0, c.view());
+  EXPECT_LT(max_abs_diff(c.cview(), ref.cview()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, GemmParam,
+    ::testing::Combine(::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Trans::No, Trans::Yes)));
+
+class SyrkParam : public ::testing::TestWithParam<
+                      std::tuple<Layout, Layout, Trans, Uplo>> {};
+
+TEST_P(SyrkParam, MatchesReference) {
+  const auto [la_, lc, trans, uplo] = GetParam();
+  const idx n = 8, k = 12;
+  DenseMatrix a = random_matrix(trans == Trans::No ? n : k,
+                                trans == Trans::No ? k : n, la_, 13);
+  DenseMatrix c = random_matrix(n, n, lc, 14);
+  DenseMatrix ref(n, n, Layout::ColMajor);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (idx p = 0; p < k; ++p)
+        acc += ref_op_at(a.cview(), trans, i, p) *
+               ref_op_at(a.cview(), trans, j, p);
+      ref.at(i, j) = 0.5 * acc + 2.0 * c.at(i, j);
+    }
+  syrk(uplo, trans, 0.5, a.cview(), 2.0, c.view());
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) {
+      const bool stored = uplo == Uplo::Upper ? j >= i : j <= i;
+      if (stored) EXPECT_NEAR(c.at(i, j), ref.at(i, j), 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SyrkParam,
+    ::testing::Combine(::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Uplo::Upper, Uplo::Lower)));
+
+class TrsmParam : public ::testing::TestWithParam<
+                      std::tuple<Layout, Layout, Uplo, Trans>> {};
+
+TEST_P(TrsmParam, SolvesAgainstMultiply) {
+  const auto [lt, lb, uplo, trans] = GetParam();
+  const idx n = 10, w = 4;
+  DenseMatrix t = random_triangular(n, uplo, lt, 15);
+  DenseMatrix x_true = random_matrix(n, w, lb, 16);
+  // B = op(T) * X.
+  DenseMatrix b(n, w, lb);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < w; ++j) {
+      double acc = 0.0;
+      for (idx p = 0; p < n; ++p)
+        acc += ref_op_at(t.cview(), trans, i, p) * x_true.at(p, j);
+      b.at(i, j) = acc;
+    }
+  trsm(uplo, trans, t.cview(), b.view());
+  EXPECT_LT(max_abs_diff(b.cview(), x_true.cview()), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TrsmParam,
+    ::testing::Combine(::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Uplo::Upper, Uplo::Lower),
+                       ::testing::Values(Trans::No, Trans::Yes)));
+
+TEST(Trsv, MatchesTrsm) {
+  const idx n = 9;
+  DenseMatrix t = random_triangular(n, Uplo::Lower, Layout::ColMajor, 17);
+  auto b = random_vector(n, 18);
+  auto b2 = b;
+  trsv(Uplo::Lower, Trans::No, t.cview(), b.data());
+  DenseView bv{b2.data(), n, 1, n, Layout::ColMajor};
+  trsm(Uplo::Lower, Trans::No, t.cview(), bv);
+  for (idx i = 0; i < n; ++i) EXPECT_NEAR(b[i], b2[i], 1e-13);
+}
+
+TEST(Trsm, EmptyRhsIsNoop) {
+  DenseMatrix t = random_triangular(4, Uplo::Upper, Layout::ColMajor, 19);
+  DenseMatrix b(4, 0, Layout::ColMajor);
+  EXPECT_NO_THROW(trsm(Uplo::Upper, Trans::No, t.cview(), b.view()));
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  DenseMatrix a(3, 4), b(5, 2), c(3, 2);
+  EXPECT_THROW(
+      gemm(1.0, a.cview(), Trans::No, b.cview(), Trans::No, 0.0, c.view()),
+      std::invalid_argument);
+}
+
+
+TEST(PaddedViews, KernelsHonorNonNaturalLeadingDimension) {
+  // The symmetric triangle packing stores two m x m triangles in one
+  // m x (m+1) buffer, so every kernel must respect ld > rows.
+  const idx m = 7;
+  std::vector<double> buf(static_cast<std::size_t>(m) * (m + 1), -7.0);
+  DenseView packed_upper{buf.data(), m, m, m + 1, Layout::ColMajor};
+  DenseView packed_lower{buf.data() + 1, m, m, m + 1, Layout::ColMajor};
+
+  DenseMatrix a = random_matrix(12, m, Layout::RowMajor, 71);
+  DenseMatrix b = random_matrix(12, m, Layout::RowMajor, 72);
+  syrk(Uplo::Upper, Trans::Yes, 1.0, a.cview(), 0.0, packed_upper);
+  syrk(Uplo::Lower, Trans::Yes, 1.0, b.cview(), 0.0, packed_lower);
+
+  // Reference results in plain storage.
+  DenseMatrix ra(m, m), rb(m, m);
+  syrk(Uplo::Upper, Trans::Yes, 1.0, a.cview(), 0.0, ra.view());
+  syrk(Uplo::Lower, Trans::Yes, 1.0, b.cview(), 0.0, rb.view());
+  for (idx r = 0; r < m; ++r)
+    for (idx c = 0; c < m; ++c) {
+      if (c >= r) EXPECT_NEAR(packed_upper.at(r, c), ra.at(r, c), 1e-13);
+      if (c <= r) EXPECT_NEAR(packed_lower.at(r, c), rb.at(r, c), 1e-13);
+    }
+
+  // SYMV through both packed views must match the plain ones.
+  auto x = random_vector(m, 73);
+  std::vector<double> y1(m, 0.0), y2(m, 0.0);
+  symv(Uplo::Upper, 1.0, ConstDenseView(packed_upper), x.data(), 0.0,
+       y1.data());
+  symv(Uplo::Upper, 1.0, ra.cview(), x.data(), 0.0, y2.data());
+  for (idx i = 0; i < m; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+  std::vector<double> y3(m, 0.0), y4(m, 0.0);
+  symv(Uplo::Lower, 1.0, ConstDenseView(packed_lower), x.data(), 0.0,
+       y3.data());
+  symv(Uplo::Lower, 1.0, rb.cview(), x.data(), 0.0, y4.data());
+  for (idx i = 0; i < m; ++i) EXPECT_NEAR(y3[i], y4[i], 1e-13);
+}
+
+TEST(PaddedViews, PackedTrianglesDoNotOverlap) {
+  const idx m = 9;
+  std::vector<double> buf(static_cast<std::size_t>(m) * (m + 1), 0.0);
+  DenseView up{buf.data(), m, m, m + 1, Layout::ColMajor};
+  DenseView lo{buf.data() + 1, m, m, m + 1, Layout::ColMajor};
+  for (idx r = 0; r < m; ++r)
+    for (idx c = r; c < m; ++c) up.at(r, c) = 1.0;
+  for (idx r = 0; r < m; ++r)
+    for (idx c = 0; c <= r; ++c) lo.at(r, c) = 2.0;
+  // The upper triangle written first must be intact.
+  for (idx r = 0; r < m; ++r)
+    for (idx c = r; c < m; ++c) EXPECT_EQ(up.at(r, c), 1.0);
+}
+
+}  // namespace
+}  // namespace feti::la

@@ -1,0 +1,216 @@
+// Tests for structured mesh generation and domain decomposition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "mesh/grid.hpp"
+
+namespace feti::mesh {
+namespace {
+
+double tri_area(const Mesh& m, idx e) {
+  const idx* n = m.element(e);
+  const double x0 = m.coord(n[0], 0), y0 = m.coord(n[0], 1);
+  const double x1 = m.coord(n[1], 0), y1 = m.coord(n[1], 1);
+  const double x2 = m.coord(n[2], 0), y2 = m.coord(n[2], 1);
+  return 0.5 * std::fabs((x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0));
+}
+
+double tet_volume(const Mesh& m, idx e) {
+  const idx* n = m.element(e);
+  double v[3][3];
+  for (int r = 0; r < 3; ++r)
+    for (int d = 0; d < 3; ++d)
+      v[r][d] = m.coord(n[r + 1], d) - m.coord(n[0], d);
+  const double det = v[0][0] * (v[1][1] * v[2][2] - v[1][2] * v[2][1]) -
+                     v[0][1] * (v[1][0] * v[2][2] - v[1][2] * v[2][0]) +
+                     v[0][2] * (v[1][0] * v[2][1] - v[1][1] * v[2][0]);
+  return std::fabs(det) / 6.0;
+}
+
+TEST(Grid2D, LinearCounts) {
+  Mesh m = make_grid_2d(4, 3, ElementOrder::Linear);
+  EXPECT_EQ(m.type, ElementType::Tri3);
+  EXPECT_EQ(m.num_nodes, 5 * 4);
+  EXPECT_EQ(m.num_elements(), 2 * 4 * 3);
+}
+
+TEST(Grid2D, QuadraticCounts) {
+  Mesh m = make_grid_2d(4, 3, ElementOrder::Quadratic);
+  EXPECT_EQ(m.type, ElementType::Tri6);
+  EXPECT_EQ(m.num_nodes, 9 * 7);
+  EXPECT_EQ(m.num_elements(), 2 * 4 * 3);
+}
+
+TEST(Grid3D, LinearCounts) {
+  Mesh m = make_grid_3d(3, 2, 2, ElementOrder::Linear);
+  EXPECT_EQ(m.type, ElementType::Tet4);
+  EXPECT_EQ(m.num_nodes, 4 * 3 * 3);
+  EXPECT_EQ(m.num_elements(), 6 * 3 * 2 * 2);
+}
+
+TEST(Grid3D, QuadraticCounts) {
+  Mesh m = make_grid_3d(2, 2, 2, ElementOrder::Quadratic);
+  EXPECT_EQ(m.type, ElementType::Tet10);
+  EXPECT_EQ(m.num_nodes, 5 * 5 * 5);
+  EXPECT_EQ(m.num_elements(), 6 * 8);
+}
+
+TEST(Grid2D, AreasSumToOne) {
+  for (auto order : {ElementOrder::Linear, ElementOrder::Quadratic}) {
+    Mesh m = make_grid_2d(5, 4, order);
+    double total = 0.0;
+    for (idx e = 0; e < m.num_elements(); ++e) total += tri_area(m, e);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Grid3D, VolumesSumToOne) {
+  for (auto order : {ElementOrder::Linear, ElementOrder::Quadratic}) {
+    Mesh m = make_grid_3d(3, 3, 2, order);
+    double total = 0.0;
+    for (idx e = 0; e < m.num_elements(); ++e) total += tet_volume(m, e);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Grid2D, ElementNodesDistinctAndInRange) {
+  Mesh m = make_grid_2d(3, 3, ElementOrder::Quadratic);
+  for (idx e = 0; e < m.num_elements(); ++e) {
+    const idx* n = m.element(e);
+    std::set<idx> uniq(n, n + 6);
+    EXPECT_EQ(uniq.size(), 6u);
+    for (int a = 0; a < 6; ++a) {
+      EXPECT_GE(n[a], 0);
+      EXPECT_LT(n[a], m.num_nodes);
+    }
+  }
+}
+
+TEST(Grid2D, QuadraticMidNodesAtEdgeMidpoints) {
+  Mesh m = make_grid_2d(3, 2, ElementOrder::Quadratic);
+  for (idx e = 0; e < m.num_elements(); ++e) {
+    const idx* n = m.element(e);
+    const int pairs[3][2] = {{0, 1}, {1, 2}, {2, 0}};
+    for (int k = 0; k < 3; ++k)
+      for (int d = 0; d < 2; ++d)
+        EXPECT_NEAR(m.coord(n[3 + k], d),
+                    0.5 * (m.coord(n[pairs[k][0]], d) +
+                           m.coord(n[pairs[k][1]], d)),
+                    1e-14);
+  }
+}
+
+TEST(Grid3D, QuadraticMidNodesAtEdgeMidpoints) {
+  Mesh m = make_grid_3d(2, 2, 2, ElementOrder::Quadratic);
+  const int pairs[6][2] = {{0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}, {2, 3}};
+  for (idx e = 0; e < m.num_elements(); ++e) {
+    const idx* n = m.element(e);
+    for (int k = 0; k < 6; ++k)
+      for (int d = 0; d < 3; ++d)
+        EXPECT_NEAR(m.coord(n[4 + k], d),
+                    0.5 * (m.coord(n[pairs[k][0]], d) +
+                           m.coord(n[pairs[k][1]], d)),
+                    1e-14);
+  }
+}
+
+TEST(Grid2D, DirichletNodesOnXZeroFace) {
+  Mesh m = make_grid_2d(4, 4, ElementOrder::Quadratic);
+  EXPECT_EQ(m.dirichlet_nodes.size(), 9u);
+  for (idx n : m.dirichlet_nodes) EXPECT_EQ(m.coord(n, 0), 0.0);
+  // No other node has x == 0.
+  idx zero_count = 0;
+  for (idx n = 0; n < m.num_nodes; ++n)
+    if (m.coord(n, 0) == 0.0) ++zero_count;
+  EXPECT_EQ(zero_count, static_cast<idx>(m.dirichlet_nodes.size()));
+}
+
+TEST(Grid3D, DirichletNodesOnXZeroFace) {
+  Mesh m = make_grid_3d(2, 3, 2, ElementOrder::Linear);
+  EXPECT_EQ(m.dirichlet_nodes.size(), 4u * 3u);
+  for (idx n : m.dirichlet_nodes) EXPECT_EQ(m.coord(n, 0), 0.0);
+}
+
+class Decompose2DParam
+    : public ::testing::TestWithParam<std::tuple<ElementOrder, idx, idx>> {};
+
+TEST_P(Decompose2DParam, PartitionIsConsistent) {
+  const auto [order, sx, sy] = GetParam();
+  const idx nx = 6, ny = 6;
+  Mesh m = make_grid_2d(nx, ny, order);
+  Decomposition dec = decompose_2d(m, nx, ny, sx, sy);
+  ASSERT_EQ(dec.subdomains.size(), static_cast<std::size_t>(sx * sy));
+
+  // Element coverage: total local elements == global elements.
+  idx total_elems = 0;
+  for (const auto& sd : dec.subdomains) total_elems += sd.local.num_elements();
+  EXPECT_EQ(total_elems, m.num_elements());
+
+  // Local coordinates must match global through l2g.
+  for (const auto& sd : dec.subdomains) {
+    ASSERT_EQ(sd.node_l2g.size(),
+              static_cast<std::size_t>(sd.local.num_nodes));
+    for (idx l = 0; l < sd.local.num_nodes; ++l)
+      for (int d = 0; d < 2; ++d)
+        EXPECT_EQ(sd.local.coord(l, d), m.coord(sd.node_l2g[l], d));
+  }
+
+  // Multiplicity: every node covered; interface nodes shared.
+  idx shared = 0;
+  for (idx g = 0; g < m.num_nodes; ++g) {
+    EXPECT_GE(dec.node_multiplicity[g], 1);
+    if (dec.node_multiplicity[g] > 1) ++shared;
+  }
+  if (sx * sy > 1) EXPECT_GT(shared, 0);
+
+  // Dirichlet nodes propagate to local meshes.
+  for (const auto& sd : dec.subdomains)
+    for (idx l : sd.local.dirichlet_nodes)
+      EXPECT_EQ(sd.local.coord(l, 0), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, Decompose2DParam,
+    ::testing::Combine(::testing::Values(ElementOrder::Linear,
+                                         ElementOrder::Quadratic),
+                       ::testing::Values<idx>(1, 2, 3),
+                       ::testing::Values<idx>(1, 2)));
+
+TEST(Decompose3D, PartitionIsConsistent) {
+  const idx nx = 4, ny = 4, nz = 2;
+  Mesh m = make_grid_3d(nx, ny, nz, ElementOrder::Linear);
+  Decomposition dec = decompose_3d(m, nx, ny, nz, 2, 2, 1);
+  ASSERT_EQ(dec.subdomains.size(), 4u);
+  idx total = 0;
+  for (const auto& sd : dec.subdomains) total += sd.local.num_elements();
+  EXPECT_EQ(total, m.num_elements());
+  for (const auto& sd : dec.subdomains)
+    for (idx l = 0; l < sd.local.num_nodes; ++l)
+      for (int d = 0; d < 3; ++d)
+        EXPECT_EQ(sd.local.coord(l, d), m.coord(sd.node_l2g[l], d));
+}
+
+TEST(Decompose, ClusterAssignmentBalanced) {
+  Mesh m = make_grid_2d(8, 8, ElementOrder::Linear);
+  Decomposition dec = decompose_2d(m, 8, 8, 4, 2, 2);
+  EXPECT_EQ(dec.num_clusters, 2);
+  idx c0 = 0, c1 = 0;
+  for (idx c : dec.cluster_of) (c == 0 ? c0 : c1) += 1;
+  EXPECT_EQ(c0, 4);
+  EXPECT_EQ(c1, 4);
+}
+
+TEST(Decompose, InvalidArgumentsThrow) {
+  Mesh m = make_grid_2d(4, 4, ElementOrder::Linear);
+  EXPECT_THROW(decompose_2d(m, 4, 4, 5, 1), std::invalid_argument);
+  EXPECT_THROW(decompose_2d(m, 4, 4, 1, 1, 2), std::invalid_argument);
+  Mesh m3 = make_grid_3d(2, 2, 2, ElementOrder::Linear);
+  EXPECT_THROW(decompose_2d(m3, 2, 2, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace feti::mesh

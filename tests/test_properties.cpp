@@ -1,0 +1,217 @@
+// Property-based sweeps: randomized invariants checked across many seeds
+// and sizes for the numerical substrates, plus the paper's memory-capacity
+// behaviour (the modern API's large persistent buffers limit the maximum
+// problem size — Section V-A-b).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/autotune.hpp"
+#include "core/feti_solver.hpp"
+#include "gpu/sparse.hpp"
+#include "la/blas_sparse.hpp"
+#include "sparse/simplicial_cholesky.hpp"
+#include "sparse/supernodal_cholesky.hpp"
+#include "test_helpers.hpp"
+
+namespace feti {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sparse solver invariants over random matrices.
+// ---------------------------------------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, BothBackendsAgreeOnRandomSpd) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const idx n = static_cast<idx>(rng.integer(5, 80));
+  const double density = rng.uniform(0.05, 0.3);
+  la::Csr a = testing::random_spd(n, density, seed * 7 + 1);
+
+  sparse::SimplicialCholesky simplicial;
+  sparse::SupernodalCholesky supernodal;
+  simplicial.analyze(a, sparse::OrderingKind::MinimumDegree);
+  simplicial.factorize(a);
+  supernodal.analyze(a, sparse::OrderingKind::MinimumDegree);
+  supernodal.factorize(a);
+
+  auto b = testing::random_vector(n, seed * 7 + 2);
+  std::vector<double> x1(static_cast<std::size_t>(n));
+  std::vector<double> x2(static_cast<std::size_t>(n));
+  simplicial.solve(b.data(), x1.data());
+  supernodal.solve(b.data(), x2.data());
+  for (idx i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-8);
+
+  // Residual check against the original matrix.
+  std::vector<double> r(b);
+  la::spmv(-1.0, a, x1.data(), 1.0, r.data());
+  EXPECT_LT(la::nrm2(n, r.data()), 1e-8 * (1.0 + la::nrm2(n, b.data())));
+}
+
+TEST_P(SeedSweep, SameOrderingGivesSameFill) {
+  // Both backends run the same symbolic pipeline; with identical ordering
+  // their factor fill must match (supernodal counts panel entries).
+  const std::uint64_t seed = GetParam();
+  la::Csr a = testing::random_spd(40, 0.12, seed);
+  sparse::SimplicialCholesky simplicial;
+  sparse::SupernodalCholesky supernodal;
+  simplicial.analyze(a, sparse::OrderingKind::Natural);
+  supernodal.analyze(a, sparse::OrderingKind::Natural);
+  // Supernodal panels cover at least the simplicial nnz (trapezoidal
+  // padding inside supernodes never removes entries).
+  EXPECT_GE(supernodal.factor_nnz(), simplicial.factor_nnz());
+  simplicial.factorize(a);
+  supernodal.factorize(a);
+}
+
+TEST_P(SeedSweep, SchurMatchesSolveComposition) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed + 1000);
+  const idx n = static_cast<idx>(rng.integer(10, 60));
+  const idx m = static_cast<idx>(rng.integer(1, 10));
+  la::Csr a = testing::random_spd(n, 0.15, seed * 3 + 1);
+  la::Csr b = testing::random_sparse(m, n, 0.2, seed * 3 + 2);
+  sparse::SupernodalCholesky sn;
+  sn.analyze_schur(a, b);
+  la::DenseMatrix s(m, m);
+  sn.factorize_schur(a, b, s.view(), la::Uplo::Upper);
+  // Compare S y against B A^{-1} B^T y for a random vector.
+  auto y = testing::random_vector(m, seed * 3 + 3);
+  std::vector<double> bty(static_cast<std::size_t>(n), 0.0);
+  la::spmv_trans(1.0, b, y.data(), 0.0, bty.data());
+  std::vector<double> ainv(static_cast<std::size_t>(n), 0.0);
+  sn.solve(bty.data(), ainv.data());
+  std::vector<double> ref(static_cast<std::size_t>(m), 0.0);
+  la::spmv(1.0, b, ainv.data(), 0.0, ref.data());
+  la::symmetrize_from(s.view(), la::Uplo::Upper);
+  std::vector<double> sy(static_cast<std::size_t>(m), 0.0);
+  la::gemv(1.0, s.cview(), la::Trans::No, y.data(), 0.0, sy.data());
+  for (idx i = 0; i < m; ++i)
+    EXPECT_NEAR(sy[i], ref[i], 1e-8 * (1.0 + std::fabs(ref[i])));
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, SeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Memory capacity behaviour (paper Section V-A-b)
+// ---------------------------------------------------------------------------
+
+TEST(MemoryLimits, ModernPersistentBuffersLimitProblemSize) {
+  // "The kernel also requires very large persistently allocated memory
+  // buffers, which very significantly limits the maximum problem size."
+  // On a deliberately tiny device, the legacy plan fits where the modern
+  // plan (persistent dense RHS workspace) exhausts device memory.
+  la::Csr a = testing::random_spd(600, 0.05, 42);
+  la::Csr u = a.triangle(la::Uplo::Upper);
+  const idx wide_rhs = 512;
+
+  gpu::DeviceConfig cfg;
+  cfg.worker_threads = 2;
+  cfg.launch_latency_us = 0.0;
+  // Budget: legacy needs O(nnz) only; modern adds n * wide_rhs doubles.
+  cfg.memory_bytes = sizeof(double) * 600 * 512 / 2;
+  {
+    gpu::Device dev(cfg);
+    gpu::Stream s = dev.create_stream();
+    EXPECT_NO_THROW(gpu::sparse::SpTrsmPlan(
+        dev, s, gpu::sparse::Api::Legacy, u, la::Layout::ColMajor, true,
+        la::Layout::RowMajor, wide_rhs));
+  }
+  {
+    gpu::Device dev(cfg);
+    gpu::Stream s = dev.create_stream();
+    EXPECT_THROW(gpu::sparse::SpTrsmPlan(
+                     dev, s, gpu::sparse::Api::Modern, u,
+                     la::Layout::ColMajor, true, la::Layout::RowMajor,
+                     wide_rhs),
+                 std::bad_alloc);
+  }
+}
+
+TEST(MemoryLimits, ExplicitGpuOperatorReportsExhaustionCleanly) {
+  mesh::Mesh m = mesh::make_grid_2d(12, 12, mesh::ElementOrder::Quadratic);
+  auto dec = mesh::decompose_2d(m, 12, 12, 2, 2);
+  auto p = decomp::build_feti_problem(dec, fem::Physics::HeatTransfer);
+  gpu::DeviceConfig cfg;
+  cfg.worker_threads = 2;
+  cfg.launch_latency_us = 0.0;
+  cfg.memory_bytes = 64 << 10;  // absurdly small device
+  gpu::Device dev(cfg);
+  core::DualOpConfig c;
+  c.approach = core::Approach::ExplLegacy;
+  c.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 2, 500);
+  auto op = core::make_dual_operator(p, c, &dev);
+  EXPECT_THROW(op->prepare(), std::bad_alloc);
+}
+
+// ---------------------------------------------------------------------------
+// FETI invariants under randomized configurations
+// ---------------------------------------------------------------------------
+
+class RandomConfigSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomConfigSweep, RandomTableOneConfigMatchesReference) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 31);
+  decomp::FetiProblem p = [&] {
+    mesh::Mesh m = mesh::make_grid_2d(6, 6, mesh::ElementOrder::Linear);
+    auto dec = mesh::decompose_2d(m, 6, 6, 2, 2);
+    return decomp::build_feti_problem(dec, fem::Physics::HeatTransfer);
+  }();
+
+  static gpu::Device dev([] {
+    gpu::DeviceConfig cfg;
+    cfg.worker_threads = 4;
+    cfg.launch_latency_us = 0.0;
+    cfg.memory_bytes = 256ull << 20;
+    return cfg;
+  }());
+
+  core::DualOpConfig cfg;
+  cfg.approach = rng.integer(0, 1) ? core::Approach::ExplLegacy
+                                   : core::Approach::ExplModern;
+  auto coin = [&] { return rng.integer(0, 1) == 1; };
+  cfg.gpu.path = coin() ? core::Path::Syrk : core::Path::Trsm;
+  cfg.gpu.fwd_storage = coin() ? core::FactorStorage::Sparse
+                               : core::FactorStorage::Dense;
+  cfg.gpu.bwd_storage = coin() ? core::FactorStorage::Sparse
+                               : core::FactorStorage::Dense;
+  cfg.gpu.fwd_order = coin() ? la::Layout::RowMajor : la::Layout::ColMajor;
+  cfg.gpu.bwd_order = coin() ? la::Layout::RowMajor : la::Layout::ColMajor;
+  cfg.gpu.rhs_order = coin() ? la::Layout::RowMajor : la::Layout::ColMajor;
+  cfg.gpu.scatter_gather = coin() ? core::SgLocation::Cpu
+                                  : core::SgLocation::Gpu;
+  cfg.gpu.symmetric_pack = coin();
+  cfg.gpu.streams = static_cast<int>(rng.integer(1, 6));
+
+  auto op = core::make_dual_operator(p, cfg, &dev);
+  op->prepare();
+  op->preprocess();
+
+  core::DualOpConfig ref_cfg;
+  ref_cfg.approach = core::Approach::ImplMkl;
+  auto ref = core::make_dual_operator(p, ref_cfg, nullptr);
+  ref->prepare();
+  ref->preprocess();
+
+  std::vector<double> x(static_cast<std::size_t>(p.num_lambdas));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y(x.size()), y_ref(x.size());
+  op->apply(x.data(), y.data());
+  ref->apply(x.data(), y_ref.data());
+  double scale = 0.0;
+  for (double v : y_ref) scale = std::max(scale, std::fabs(v));
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], y_ref[i], 1e-8 * std::max(1.0, scale))
+        << "seed " << seed << " config " << cfg.gpu.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, RandomConfigSweep,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace feti

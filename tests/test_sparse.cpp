@@ -1,0 +1,451 @@
+// Tests for the sparse direct solver substrate: orderings, elimination
+// trees, symbolic analysis, both Cholesky backends, and the augmented
+// Schur-complement path.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "la/blas_dense.hpp"
+#include "la/blas_sparse.hpp"
+#include "sparse/etree.hpp"
+#include "sparse/ordering.hpp"
+#include "sparse/simplicial_cholesky.hpp"
+#include "sparse/solver.hpp"
+#include "sparse/supernodal_cholesky.hpp"
+#include "test_helpers.hpp"
+
+namespace feti::sparse {
+namespace {
+
+using feti::testing::dense_cholesky_lower;
+using feti::testing::grid_laplacian;
+using feti::testing::random_sparse;
+using feti::testing::random_spd;
+using feti::testing::random_vector;
+
+void expect_valid_permutation(const std::vector<idx>& perm, idx n) {
+  ASSERT_EQ(perm.size(), static_cast<std::size_t>(n));
+  std::vector<char> seen(n, 0);
+  for (idx p : perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, n);
+    ASSERT_FALSE(seen[p]);
+    seen[p] = 1;
+  }
+}
+
+class OrderingParam : public ::testing::TestWithParam<OrderingKind> {};
+
+TEST_P(OrderingParam, ProducesValidPermutationOnRandom) {
+  la::Csr a = random_spd(60, 0.1, 40);
+  auto perm = compute_ordering(a, GetParam());
+  expect_valid_permutation(perm, 60);
+}
+
+TEST_P(OrderingParam, ProducesValidPermutationOnGrid) {
+  la::Csr a = grid_laplacian(13, 11);
+  auto perm = compute_ordering(a, GetParam());
+  expect_valid_permutation(perm, 13 * 11);
+}
+
+TEST_P(OrderingParam, HandlesDiagonalOnlyMatrix) {
+  std::vector<la::Triplet> t;
+  for (idx i = 0; i < 10; ++i) t.push_back({i, i, 1.0});
+  la::Csr a = la::Csr::from_triplets(10, 10, std::move(t));
+  auto perm = compute_ordering(a, GetParam());
+  expect_valid_permutation(perm, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, OrderingParam,
+                         ::testing::Values(OrderingKind::MinimumDegree,
+                                           OrderingKind::RCM,
+                                           OrderingKind::Natural));
+
+TEST(Ordering, MinimumDegreeReducesGridFill) {
+  la::Csr a = grid_laplacian(24, 24);
+  const auto natural =
+      compute_ordering(a, OrderingKind::Natural);
+  const auto md = compute_ordering(a, OrderingKind::MinimumDegree);
+  const widx fill_nat = cholesky_fill(a, natural);
+  const widx fill_md = cholesky_fill(a, md);
+  // Banded natural ordering on a k x k grid gives ~k^3 fill; MD should cut
+  // it substantially.
+  EXPECT_LT(fill_md, fill_nat * 3 / 4);
+}
+
+TEST(Ordering, RcmReducesGridFillVsWorstCase) {
+  la::Csr a = grid_laplacian(16, 16);
+  const auto rcm = compute_ordering(a, OrderingKind::RCM);
+  expect_valid_permutation(rcm, 16 * 16);
+  EXPECT_GT(cholesky_fill(a, rcm), 0);
+}
+
+TEST(Etree, MatchesBruteForceOnSmallMatrices) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    la::Csr a = random_spd(25, 0.15, seed);
+    const auto parent = elimination_tree(a);
+    // Brute force: dense symbolic factorization, parent[j] = min row > j
+    // with L(i, j) != 0.
+    la::DenseMatrix d = a.to_dense();
+    ASSERT_TRUE(dense_cholesky_lower(d));
+    for (idx j = 0; j < 25; ++j) {
+      idx expect = -1;
+      for (idx i = j + 1; i < 25; ++i)
+        if (d.at(i, j) != 0.0) {
+          expect = i;
+          break;
+        }
+      EXPECT_EQ(parent[j], expect) << "column " << j << " seed " << seed;
+    }
+  }
+}
+
+TEST(Etree, PostorderIsValid) {
+  la::Csr a = random_spd(40, 0.1, 5);
+  const auto parent = elimination_tree(a);
+  const auto post = postorder_forest(parent);
+  expect_valid_permutation(post, 40);
+  // Every node must appear after all of its descendants.
+  std::vector<idx> pos(40);
+  for (idx i = 0; i < 40; ++i) pos[post[i]] = i;
+  for (idx v = 0; v < 40; ++v)
+    if (parent[v] != -1) EXPECT_LT(pos[v], pos[parent[v]]);
+}
+
+TEST(Symbolic, NnzMatchesDenseFactorization) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    la::Csr a = random_spd(30, 0.12, seed);
+    const SymbolicFactor sym = symbolic_cholesky(a);
+    la::DenseMatrix d = a.to_dense();
+    ASSERT_TRUE(dense_cholesky_lower(d));
+    widx nnz = 0;
+    for (idx j = 0; j < 30; ++j)
+      for (idx i = j; i < 30; ++i)
+        if (d.at(i, j) != 0.0) ++nnz;
+    EXPECT_EQ(sym.nnz, nnz) << "seed " << seed;
+  }
+}
+
+TEST(Symbolic, ColumnCountsConsistent) {
+  la::Csr a = grid_laplacian(9, 9);
+  const SymbolicFactor sym = symbolic_cholesky(a);
+  widx total = 0;
+  for (idx c : sym.colcount) total += c;
+  EXPECT_EQ(total, sym.nnz);
+  EXPECT_EQ(sym.colptr.back(), sym.nnz);
+  // Row patterns strictly below diagonal, ascending.
+  for (idx k = 0; k < sym.n; ++k)
+    for (idx p = sym.rowpat_ptr[k]; p < sym.rowpat_ptr[k + 1]; ++p) {
+      EXPECT_LT(sym.rowpat[p], k);
+      if (p > sym.rowpat_ptr[k]) EXPECT_LT(sym.rowpat[p - 1], sym.rowpat[p]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend-parameterized solver tests.
+// ---------------------------------------------------------------------------
+
+class SolverParam
+    : public ::testing::TestWithParam<std::tuple<Backend, OrderingKind>> {};
+
+TEST_P(SolverParam, SolvesRandomSpdSystems) {
+  const auto [backend, ordering] = GetParam();
+  for (idx n : {1, 2, 17, 50}) {
+    la::Csr a = random_spd(n, 0.15, 100 + static_cast<std::uint64_t>(n));
+    auto solver = make_solver(backend);
+    solver->analyze(a, ordering);
+    solver->factorize(a);
+    auto x_true = random_vector(n, 7);
+    std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+    la::spmv(1.0, a, x_true.data(), 0.0, b.data());
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    solver->solve(b.data(), x.data());
+    for (idx i = 0; i < n; ++i)
+      EXPECT_NEAR(x[i], x_true[i], 1e-9) << "n=" << n;
+  }
+}
+
+TEST_P(SolverParam, SolvesGridLaplacian) {
+  const auto [backend, ordering] = GetParam();
+  la::Csr a = grid_laplacian(15, 12);
+  const idx n = a.nrows();
+  auto solver = make_solver(backend);
+  solver->analyze(a, ordering);
+  solver->factorize(a);
+  auto x_true = random_vector(n, 8);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  la::spmv(1.0, a, x_true.data(), 0.0, b.data());
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  solver->solve(b.data(), x.data());
+  double err = 0.0;
+  for (idx i = 0; i < n; ++i) err = std::max(err, std::fabs(x[i] - x_true[i]));
+  EXPECT_LT(err, 1e-8);
+}
+
+TEST_P(SolverParam, RefactorizeWithNewValues) {
+  const auto [backend, ordering] = GetParam();
+  la::Csr a = random_spd(30, 0.15, 200);
+  auto solver = make_solver(backend);
+  solver->analyze(a, ordering);
+  solver->factorize(a);
+  // Scale values (same pattern) and refactorize — the multi-step flow.
+  la::Csr a2 = a;
+  for (auto& v : a2.vals()) v *= 3.0;
+  solver->factorize(a2);
+  auto x_true = random_vector(30, 9);
+  std::vector<double> b(30, 0.0);
+  la::spmv(1.0, a2, x_true.data(), 0.0, b.data());
+  std::vector<double> x(30, 0.0);
+  solver->solve(b.data(), x.data());
+  for (idx i = 0; i < 30; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST_P(SolverParam, SolveManyMatchesRepeatedSolve) {
+  const auto [backend, ordering] = GetParam();
+  la::Csr a = random_spd(20, 0.2, 300);
+  auto solver = make_solver(backend);
+  solver->analyze(a, ordering);
+  solver->factorize(a);
+  la::DenseMatrix b(20, 3, la::Layout::ColMajor);
+  Rng rng(301);
+  for (idx r = 0; r < 20; ++r)
+    for (idx c = 0; c < 3; ++c) b.at(r, c) = rng.uniform(-1.0, 1.0);
+  la::DenseMatrix x(20, 3, la::Layout::RowMajor);
+  solver->solve_many(b.cview(), x.view());
+  for (idx c = 0; c < 3; ++c) {
+    std::vector<double> bi(20), xi(20);
+    for (idx r = 0; r < 20; ++r) bi[r] = b.at(r, c);
+    solver->solve(bi.data(), xi.data());
+    for (idx r = 0; r < 20; ++r) EXPECT_NEAR(x.at(r, c), xi[r], 1e-12);
+  }
+}
+
+TEST_P(SolverParam, ThrowsOnIndefiniteMatrix) {
+  const auto [backend, ordering] = GetParam();
+  la::Csr a = random_spd(10, 0.3, 400);
+  // Make it indefinite.
+  la::Csr bad = a;
+  for (idx k = bad.row_begin(5); k < bad.row_end(5); ++k)
+    if (bad.colidx()[k] == 5) bad.vals()[k] = -100.0;
+  auto solver = make_solver(backend);
+  solver->analyze(bad, ordering);
+  EXPECT_THROW(solver->factorize(bad), std::runtime_error);
+}
+
+TEST_P(SolverParam, FactorizeBeforeAnalyzeThrows) {
+  const auto [backend, ordering] = GetParam();
+  (void)ordering;
+  la::Csr a = random_spd(5, 0.4, 500);
+  auto solver = make_solver(backend);
+  EXPECT_THROW(solver->factorize(a), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, SolverParam,
+    ::testing::Combine(::testing::Values(Backend::Simplicial,
+                                         Backend::Supernodal),
+                       ::testing::Values(OrderingKind::MinimumDegree,
+                                         OrderingKind::RCM,
+                                         OrderingKind::Natural)));
+
+// ---------------------------------------------------------------------------
+// Simplicial specifics: factor extraction.
+// ---------------------------------------------------------------------------
+
+TEST(Simplicial, FactorReproducesPermutedMatrix) {
+  la::Csr a = random_spd(35, 0.12, 600);
+  SimplicialCholesky chol;
+  chol.analyze(a, OrderingKind::MinimumDegree);
+  chol.factorize(a);
+  ASSERT_TRUE(chol.supports_factor_extraction());
+  const la::Csr& u = chol.factor_upper();
+  const auto& perm = chol.permutation();
+  // L L^T must equal P A P^T.
+  la::DenseMatrix ud = u.to_dense();
+  la::DenseMatrix prod(35, 35);
+  la::gemm(1.0, ud.cview(), la::Trans::Yes, ud.cview(), la::Trans::No, 0.0,
+           prod.view());
+  for (idx r = 0; r < 35; ++r)
+    for (idx c = 0; c < 35; ++c)
+      EXPECT_NEAR(prod.at(r, c), a.at(perm[r], perm[c]), 1e-10);
+}
+
+TEST(Simplicial, LowerAndUpperAreTransposes) {
+  la::Csr a = random_spd(25, 0.15, 700);
+  SimplicialCholesky chol;
+  chol.analyze(a, OrderingKind::MinimumDegree);
+  chol.factorize(a);
+  const la::Csr& l = chol.factor_lower();
+  const la::Csr& u = chol.factor_upper();
+  EXPECT_EQ(l.nnz(), u.nnz());
+  for (idx r = 0; r < 25; ++r)
+    for (idx k = l.row_begin(r); k < l.row_end(r); ++k)
+      EXPECT_DOUBLE_EQ(u.at(l.col(k), r), l.val(k));
+}
+
+TEST(Simplicial, UpperHasDiagFirstLowerHasDiagLast) {
+  la::Csr a = grid_laplacian(8, 8);
+  SimplicialCholesky chol;
+  chol.analyze(a, OrderingKind::MinimumDegree);
+  chol.factorize(a);
+  const la::Csr& u = chol.factor_upper();
+  const la::Csr& l = chol.factor_lower();
+  for (idx r = 0; r < u.nrows(); ++r) {
+    ASSERT_LT(u.row_begin(r), u.row_end(r));
+    EXPECT_EQ(u.col(u.row_begin(r)), r);
+    EXPECT_EQ(l.col(l.row_end(r) - 1), r);
+  }
+}
+
+TEST(Simplicial, SchurUnsupported) {
+  la::Csr a = random_spd(10, 0.3, 800);
+  la::Csr b = random_sparse(3, 10, 0.3, 801);
+  SimplicialCholesky chol;
+  chol.analyze(a, OrderingKind::MinimumDegree);
+  la::DenseMatrix s(3, 3);
+  EXPECT_FALSE(chol.supports_schur());
+  EXPECT_THROW(chol.factorize_schur(a, b, s.view(), la::Uplo::Upper),
+               std::logic_error);
+}
+
+TEST(Simplicial, FactorNnzMatchesSymbolic) {
+  la::Csr a = grid_laplacian(10, 10);
+  SimplicialCholesky chol;
+  chol.analyze(a, OrderingKind::MinimumDegree);
+  chol.factorize(a);
+  EXPECT_EQ(chol.factor_nnz(), chol.factor_upper().nnz());
+}
+
+// ---------------------------------------------------------------------------
+// Supernodal specifics: structure and the Schur path.
+// ---------------------------------------------------------------------------
+
+TEST(Supernodal, FormsSupernodesOnGrid) {
+  la::Csr a = grid_laplacian(12, 12);
+  SupernodalCholesky sn;
+  sn.analyze(a, OrderingKind::MinimumDegree);
+  // Mesh problems must form non-trivial supernodes (fewer than columns).
+  EXPECT_LT(sn.num_supernodes(), a.nrows());
+  EXPECT_GT(sn.num_supernodes(), 0);
+  EXPECT_GT(sn.largest_front(), 1);
+}
+
+TEST(Supernodal, FactorExtractionUnsupported) {
+  la::Csr a = random_spd(10, 0.3, 900);
+  SupernodalCholesky sn;
+  sn.analyze(a, OrderingKind::MinimumDegree);
+  sn.factorize(a);
+  EXPECT_FALSE(sn.supports_factor_extraction());
+  EXPECT_THROW(sn.factor_lower(), std::logic_error);
+  EXPECT_THROW(sn.factor_upper(), std::logic_error);
+}
+
+class SchurParam
+    : public ::testing::TestWithParam<std::tuple<idx, idx, la::Uplo>> {};
+
+TEST_P(SchurParam, MatchesDenseReference) {
+  const auto [n, m, uplo] = GetParam();
+  la::Csr a = random_spd(n, 0.15, 1000 + static_cast<std::uint64_t>(n));
+  la::Csr b = random_sparse(m, n, 0.1, 2000 + static_cast<std::uint64_t>(m));
+  SupernodalCholesky sn;
+  sn.analyze_schur(a, b);
+  la::DenseMatrix s(m, m);
+  sn.factorize_schur(a, b, s.view(), uplo);
+  // Dense reference: S = B A^{-1} B^T.
+  la::DenseMatrix ad = a.to_dense();
+  ASSERT_TRUE(dense_cholesky_lower(ad));
+  la::DenseMatrix bt = b.transposed().to_dense();
+  la::trsm(la::Uplo::Lower, la::Trans::No, ad.cview(), bt.view());
+  la::DenseMatrix ref(m, m);
+  la::syrk(uplo, la::Trans::Yes, 1.0, bt.cview(), 0.0, ref.view());
+  for (idx r = 0; r < m; ++r)
+    for (idx c = 0; c < m; ++c) {
+      const bool stored = uplo == la::Uplo::Upper ? c >= r : c <= r;
+      if (stored)
+        EXPECT_NEAR(s.at(r, c), ref.at(r, c), 1e-8)
+            << "n=" << n << " m=" << m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SchurParam,
+    ::testing::Combine(::testing::Values<idx>(10, 40, 80),
+                       ::testing::Values<idx>(1, 5, 15),
+                       ::testing::Values(la::Uplo::Upper, la::Uplo::Lower)));
+
+TEST(Supernodal, SolveWorksAfterSchurFactorization) {
+  la::Csr a = random_spd(40, 0.15, 3000);
+  la::Csr b = random_sparse(8, 40, 0.1, 3001);
+  SupernodalCholesky sn;
+  sn.analyze_schur(a, b);
+  la::DenseMatrix s(8, 8);
+  sn.factorize_schur(a, b, s.view(), la::Uplo::Upper);
+  auto x_true = random_vector(40, 10);
+  std::vector<double> rhs(40, 0.0), x(40, 0.0);
+  la::spmv(1.0, a, x_true.data(), 0.0, rhs.data());
+  sn.solve(rhs.data(), x.data());
+  for (idx i = 0; i < 40; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Supernodal, SchurOnGridLaplacianWithBoundaryB) {
+  // B selects boundary nodes (structured sparsity, like gluing matrices).
+  la::Csr a = grid_laplacian(10, 10, 1.0);
+  std::vector<la::Triplet> bt;
+  for (idx i = 0; i < 10; ++i) bt.push_back({i, i, 1.0});  // first grid row
+  la::Csr b = la::Csr::from_triplets(10, 100, std::move(bt));
+  SupernodalCholesky sn;
+  sn.analyze_schur(a, b);
+  la::DenseMatrix s(10, 10);
+  sn.factorize_schur(a, b, s.view(), la::Uplo::Upper);
+  // Reference via solves: S(i, j) = e_i^T A^{-1} e_j over selected columns.
+  SimplicialCholesky chol;
+  chol.analyze(a, OrderingKind::MinimumDegree);
+  chol.factorize(a);
+  for (idx i = 0; i < 10; ++i) {
+    std::vector<double> e(100, 0.0), x(100, 0.0);
+    e[i] = 1.0;
+    chol.solve(e.data(), x.data());
+    for (idx j = static_cast<idx>(i); j < 10; ++j)
+      EXPECT_NEAR(s.at(i, j), x[j], 1e-9);
+  }
+}
+
+TEST(Supernodal, SchurRequiresAnalyzeSchur) {
+  la::Csr a = random_spd(10, 0.3, 4000);
+  la::Csr b = random_sparse(2, 10, 0.4, 4001);
+  SupernodalCholesky sn;
+  sn.analyze(a, OrderingKind::MinimumDegree);
+  la::DenseMatrix s(2, 2);
+  EXPECT_THROW(sn.factorize_schur(a, b, s.view(), la::Uplo::Upper),
+               std::invalid_argument);
+  // And the reverse: plain factorize after analyze_schur is rejected.
+  SupernodalCholesky sn2;
+  sn2.analyze_schur(a, b);
+  EXPECT_THROW(sn2.factorize(a), std::invalid_argument);
+}
+
+TEST(Supernodal, SchurRefactorizeWithNewValues) {
+  la::Csr a = random_spd(30, 0.15, 5000);
+  la::Csr b = random_sparse(5, 30, 0.15, 5001);
+  SupernodalCholesky sn;
+  sn.analyze_schur(a, b);
+  la::DenseMatrix s1(5, 5), s2(5, 5);
+  sn.factorize_schur(a, b, s1.view(), la::Uplo::Upper);
+  la::Csr a2 = a;
+  for (auto& v : a2.vals()) v *= 2.0;
+  sn.factorize_schur(a2, b, s2.view(), la::Uplo::Upper);
+  // S scales as B (2A)^{-1} B^T = S/2.
+  for (idx r = 0; r < 5; ++r)
+    for (idx c = r; c < 5; ++c)
+      EXPECT_NEAR(s2.at(r, c), 0.5 * s1.at(r, c), 1e-9);
+}
+
+TEST(BackendToString, Distinct) {
+  EXPECT_STRNE(to_string(Backend::Simplicial), to_string(Backend::Supernodal));
+  EXPECT_STRNE(to_string(OrderingKind::MinimumDegree),
+               to_string(OrderingKind::RCM));
+}
+
+}  // namespace
+}  // namespace feti::sparse
