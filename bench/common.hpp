@@ -65,18 +65,18 @@ struct DualOpTiming {
   double apply_ms = 0.0;       ///< per subdomain, per application
 };
 
-/// Prepares the operator, then measures median preprocessing and
-/// application times (normalized per subdomain).
+/// Prepares the operator, then measures median value-update
+/// ("preprocessing") and application times (normalized per subdomain).
 inline DualOpTiming measure_dualop(const decomp::FetiProblem& problem,
                                    const core::DualOpConfig& config,
                                    gpu::Device& device, int reps = 3,
                                    double min_seconds = 0.02) {
   auto op = core::make_dual_operator(problem, config, &device);
   op->prepare();
-  op->preprocess();  // warm-up
+  op->update_values();  // warm-up
   DualOpTiming t;
   t.preprocess_ms =
-      measure_median_seconds(reps, min_seconds, [&] { op->preprocess(); }) *
+      measure_median_seconds(reps, min_seconds, [&] { op->update_values(); }) *
       1e3 / problem.num_subdomains();
   std::vector<double> x(static_cast<std::size_t>(problem.num_lambdas), 1.0);
   std::vector<double> y(x.size(), 0.0);
@@ -87,16 +87,11 @@ inline DualOpTiming measure_dualop(const decomp::FetiProblem& problem,
   return t;
 }
 
+/// Table-II-tuned configuration for one approach; the API generation and
+/// the GPU parameter block follow from the approach's axis tuple.
 inline core::DualOpConfig config_for(core::Approach approach, int dim,
                                      idx dofs) {
-  core::DualOpConfig cfg;
-  cfg.approach = approach;
-  const auto api = approach == core::Approach::ExplModern ||
-                           approach == core::Approach::ImplModern
-                       ? gpu::sparse::Api::Modern
-                       : gpu::sparse::Api::Legacy;
-  cfg.gpu = core::recommend_options(api, dim, dofs);
-  return cfg;
+  return core::recommend_config(core::axes_of(approach), dim, dofs);
 }
 
 /// Emits the standard harness footer: a PASS/DEVIATION line per shape check.

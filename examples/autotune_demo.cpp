@@ -22,8 +22,8 @@ double measure_preprocess(const decomp::FetiProblem& problem,
   auto op = core::make_dual_operator(problem, cfg,
                                      &gpu::Device::default_device());
   op->prepare();
-  op->preprocess();  // warm-up
-  return measure_median_seconds(3, 0.05, [&] { op->preprocess(); });
+  op->update_values();  // warm-up
+  return measure_median_seconds(3, 0.05, [&] { op->update_values(); });
 }
 
 }  // namespace

@@ -26,6 +26,8 @@ int main() {
               problem.num_lambdas);
 
   core::FetiSolverOptions opts;
+  // Selection via the legacy Approach enum — kept working as a thin alias
+  // over the axis tuple / registry key ("expl legacy").
   opts.dualop.approach = core::Approach::ExplLegacy;
   opts.dualop.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 2,
                                             problem.max_subdomain_dofs());

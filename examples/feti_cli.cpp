@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/autotune.hpp"
+#include "core/dualop_registry.hpp"
 #include "core/feti_solver.hpp"
 #include "util/table.hpp"
 
@@ -40,12 +41,16 @@ void usage() {
       "  --splits N             subdomains per axis         (default 2)\n"
       "  --physics {heat|elasticity}                        (default heat)\n"
       "  --order {linear|quadratic}                         (default linear)\n"
-      "  --approach NAME        one of the Table-III names, e.g.\n"
-      "                         'impl mkl', 'expl legacy', 'expl hybrid'\n"
+      "  --approach NAME        a registered dual-operator key (see below)\n"
       "  --precond {none|lumped}                            (default none)\n"
       "  --steps N              time steps (Algorithm 2)    (default 1)\n"
       "  --tol X                PCPG relative tolerance     (default 1e-8)\n"
-      "  --verify               compare against a monolithic direct solve\n");
+      "  --verify               compare against a monolithic direct solve\n"
+      "\nregistered dual-operator approaches:\n");
+  const auto& registry = core::DualOperatorRegistry::instance();
+  for (const std::string& key : registry.keys())
+    std::printf("  %-13s %s\n", key.c_str(),
+                registry.info(key).summary.c_str());
 }
 
 bool parse(int argc, char** argv, Cli& cli) {
@@ -72,13 +77,6 @@ bool parse(int argc, char** argv, Cli& cli) {
     }
   }
   return true;
-}
-
-core::Approach parse_approach(const std::string& name) {
-  for (core::Approach a : core::all_approaches())
-    if (name == core::to_string(a)) return a;
-  throw std::invalid_argument("unknown approach: " + name +
-                              " (see --help for the Table-III names)");
 }
 
 }  // namespace
@@ -113,21 +111,26 @@ int main(int argc, char** argv) {
               problem.global_dofs, problem.sub.size(),
               problem.max_subdomain_dofs(), problem.num_lambdas);
 
+  const auto& registry = core::DualOperatorRegistry::instance();
+  if (!registry.contains(cli.approach)) {
+    std::printf("unknown approach '%s'; registered keys:\n",
+                cli.approach.c_str());
+    for (const std::string& key : registry.keys())
+      std::printf("  %s\n", key.c_str());
+    return 1;
+  }
   core::FetiSolverOptions opts;
-  opts.dualop.approach = parse_approach(cli.approach);
-  const auto api = opts.dualop.approach == core::Approach::ExplModern ||
-                           opts.dualop.approach == core::Approach::ImplModern
-                       ? gpu::sparse::Api::Modern
-                       : gpu::sparse::Api::Legacy;
-  opts.dualop.gpu = core::recommend_options(api, cli.dim,
-                                            problem.max_subdomain_dofs());
+  opts.dualop = core::recommend_config(registry.info(cli.approach).axes,
+                                       cli.dim,
+                                       problem.max_subdomain_dofs());
   opts.pcpg.rel_tolerance = cli.tol;
   opts.pcpg.max_iterations = 5000;
   opts.pcpg.preconditioner = cli.precond == "lumped"
                                  ? core::PreconditionerKind::Lumped
                                  : core::PreconditionerKind::None;
-  std::printf("approach: %s  (%s)\n", cli.approach.c_str(),
-              core::is_explicit(opts.dualop.approach)
+  std::printf("approach: %s [%s]  (%s)\n", cli.approach.c_str(),
+              opts.dualop.axes().describe().c_str(),
+              registry.is_explicit(cli.approach)
                   ? opts.dualop.gpu.describe().c_str()
                   : "implicit application");
 

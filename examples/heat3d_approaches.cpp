@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/autotune.hpp"
+#include "core/dualop_registry.hpp"
 #include "core/feti_solver.hpp"
 #include "util/table.hpp"
 
@@ -35,25 +36,25 @@ int main() {
   };
   std::vector<Row> rows;
 
-  for (core::Approach approach : core::all_approaches()) {
+  // Every implementation registered in the dual-operator registry — new
+  // approaches show up here without touching this example.
+  auto& registry = core::DualOperatorRegistry::instance();
+  for (const std::string& key : registry.keys()) {
     core::FetiSolverOptions opts;
-    opts.dualop.approach = approach;
-    opts.dualop.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 3,
-                                              problem.max_subdomain_dofs());
+    opts.dualop = core::recommend_config(registry.info(key).axes, 3,
+                                         problem.max_subdomain_dofs());
     opts.pcpg.rel_tolerance = 1e-9;
     core::FetiSolver solver(problem, opts, &device);
     solver.prepare();
     core::FetiStepResult res = solver.solve_step();
     const double apply_per_iter =
         res.iterations > 0 ? res.apply_seconds / (res.iterations + 1) : 0.0;
-    table.add_row({core::to_string(approach),
-                   Table::num(res.preprocess_seconds * 1e3, 3),
+    table.add_row({key, Table::num(res.preprocess_seconds * 1e3, 3),
                    Table::num(apply_per_iter * 1e3, 4),
                    std::to_string(res.iterations),
                    Table::sci(res.rel_residual, 1)});
-    rows.push_back({core::to_string(approach), res.preprocess_seconds,
-                    apply_per_iter});
-    if (approach == core::Approach::ImplMkl) {
+    rows.push_back({key, res.preprocess_seconds, apply_per_iter});
+    if (key == "impl mkl") {
       impl_mkl_apply = apply_per_iter;
       impl_mkl_preproc = res.preprocess_seconds;
     }

@@ -1,0 +1,75 @@
+// Batched multi-RHS lifecycle demo: several dual systems F λ = d (shared
+// coarse constraint Gᵀλ = e, different right-hand sides — residual probes,
+// deflation vectors, load-case studies) solved in lockstep through
+// Pcpg::solve_many. Each PCPG iteration funnels all still-active systems
+// through one DualOperator::apply(X, Y, nrhs) call, which an explicit CPU
+// operator serves with a single SYMM per subdomain instead of nrhs SYMVs.
+//
+// The demo verifies that the batched solves match independent sequential
+// solves, then compares wall-clock times.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/autotune.hpp"
+#include "core/dualop_registry.hpp"
+#include "core/pcpg.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace feti;
+
+  const idx cells = 48, splits = 4;
+  mesh::Mesh m = mesh::make_grid_2d(cells, cells, mesh::ElementOrder::Linear);
+  mesh::Decomposition dec =
+      mesh::decompose_2d(m, cells, cells, splits, splits);
+  decomp::FetiProblem problem =
+      decomp::build_feti_problem(dec, fem::Physics::HeatTransfer);
+  std::printf("heat 2D: %d DOFs, %d multipliers\n", problem.global_dofs,
+              problem.num_lambdas);
+
+  core::DualOpConfig cfg = core::recommend_config(
+      core::parse_axes("expl mkl"), 2, problem.max_subdomain_dofs());
+  auto op = core::make_dual_operator(problem, cfg);
+  op->prepare();
+  op->update_values();
+
+  // One physical right-hand side plus scaled probes of it.
+  const int nrhs = 6;
+  std::vector<double> d0(static_cast<std::size_t>(problem.num_lambdas));
+  op->compute_d(d0.data());
+  std::vector<std::vector<double>> ds(nrhs, d0);
+  for (int j = 0; j < nrhs; ++j)
+    for (auto& v : ds[j]) v *= 1.0 + 0.25 * j;
+
+  core::Projector projector(problem);
+  core::PcpgOptions popts;
+  popts.rel_tolerance = 1e-9;
+  core::Pcpg pcpg(*op, projector, popts);
+
+  Timer t_seq;
+  std::vector<core::PcpgResult> sequential;
+  sequential.reserve(nrhs);
+  for (const auto& d : ds) sequential.push_back(pcpg.solve(d));
+  const double seq_ms = t_seq.millis();
+
+  Timer t_batch;
+  std::vector<core::PcpgResult> batched = pcpg.solve_many(ds);
+  const double batch_ms = t_batch.millis();
+
+  double max_diff = 0.0;
+  for (int j = 0; j < nrhs; ++j) {
+    if (!batched[j].converged || !sequential[j].converged) {
+      std::printf("system %d did not converge\n", j);
+      return 1;
+    }
+    for (std::size_t i = 0; i < d0.size(); ++i)
+      max_diff = std::max(max_diff, std::fabs(batched[j].lambda[i] -
+                                              sequential[j].lambda[i]));
+  }
+  std::printf("%d systems: sequential %.2f ms, batched %.2f ms "
+              "(max |Δλ| = %.2e)\n",
+              nrhs, seq_ms, batch_ms, max_diff);
+  return max_diff < 1e-7 ? 0 : 1;
+}

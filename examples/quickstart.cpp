@@ -31,13 +31,18 @@ int main() {
   std::printf("dual dimension (lagrange multipliers): %d\n",
               problem.num_lambdas);
 
-  // 3. Configure the solver: explicit assembly of F̃ᵢ on the (virtual) GPU,
-  //    legacy sparse API, parameters recommended by the paper's Table II.
+  // 3. Configure the solver along the orthogonal axes: explicit assembly of
+  //    F̃ᵢ on the (virtual) GPU through the legacy sparse API, with the
+  //    Table-II recommended assembly parameters filled in by the autotuner.
+  core::ApproachAxes axes;
+  axes.repr = core::Representation::Explicit;
+  axes.device = core::ExecDevice::Gpu;
+  axes.backend = sparse::Backend::Simplicial;
+  axes.api = gpu::sparse::Api::Legacy;
   core::FetiSolverOptions opts;
-  opts.dualop.approach = core::Approach::ExplLegacy;
-  opts.dualop.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 2,
-                                            problem.max_subdomain_dofs());
+  opts.dualop = core::recommend_config(axes, 2, problem.max_subdomain_dofs());
   opts.pcpg.rel_tolerance = 1e-9;
+  std::printf("dual operator: %s\n", opts.dualop.resolved_key().c_str());
   std::printf("explicit assembly parameters: %s\n",
               opts.dualop.gpu.describe().c_str());
 

@@ -1,5 +1,7 @@
 #include "core/autotune.hpp"
 
+#include <algorithm>
+
 namespace feti::core {
 
 ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
@@ -36,6 +38,26 @@ ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
     opt.rhs_order = la::Layout::RowMajor;
   }
   return opt;
+}
+
+ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
+                                     idx dofs_per_subdomain, int nrhs_hint) {
+  ExplicitGpuOptions opt = recommend_options(api, dim, dofs_per_subdomain);
+  // Batched applications keep more subdomain kernels in flight; give the
+  // scheduler one stream per simultaneous RHS up to a modest cap (never
+  // fewer than the single-RHS recommendation).
+  if (nrhs_hint > 1)
+    opt.streams = std::min(std::max(nrhs_hint, opt.streams), 8);
+  return opt;
+}
+
+DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
+                              idx dofs_per_subdomain, int nrhs_hint) {
+  DualOpConfig cfg;
+  cfg.select(axes);
+  if (axes.device != ExecDevice::Cpu)
+    cfg.gpu = recommend_options(axes.api, dim, dofs_per_subdomain, nrhs_hint);
+  return cfg;
 }
 
 }  // namespace feti::core

@@ -14,4 +14,18 @@ namespace feti::core {
 ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
                                      idx dofs_per_subdomain);
 
+/// Batched-workload variant: `nrhs_hint` is the number of simultaneous
+/// right-hand sides the application phase is expected to serve (block PCPG
+/// / multi-load-case runs). More in-flight RHS favour more streams, up to
+/// the per-device sweet spot.
+ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
+                                     idx dofs_per_subdomain, int nrhs_hint);
+
+/// One-stop recommendation for an axis tuple: selects the implementation
+/// (DualOpConfig::key) and, for the GPU-backed axes, fills the Table-II
+/// assembly parameters for that tuple's sparse API generation. CPU axes
+/// keep the defaults (the explicit CPU paths have no Table-I knobs).
+DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
+                              idx dofs_per_subdomain, int nrhs_hint = 1);
+
 }  // namespace feti::core

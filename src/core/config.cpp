@@ -1,6 +1,166 @@
 #include "core/config.hpp"
 
+#include <array>
+#include <stdexcept>
+
+#include "util/common.hpp"
+
 namespace feti::core {
+
+namespace {
+
+std::string bad_token(std::string_view what, std::string_view s) {
+  return std::string(what) + ": unknown value '" + std::string(s) + "'";
+}
+
+/// Short backend name as used inside Table-III keys.
+const char* backend_key_name(sparse::Backend b) {
+  return b == sparse::Backend::Supernodal ? "mkl" : "cholmod";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Axis enums
+// ---------------------------------------------------------------------------
+
+const char* to_string(Representation r) {
+  return r == Representation::Implicit ? "implicit" : "explicit";
+}
+
+const char* to_string(ExecDevice d) {
+  switch (d) {
+    case ExecDevice::Cpu: return "cpu";
+    case ExecDevice::Gpu: return "gpu";
+    case ExecDevice::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+Representation parse_representation(std::string_view s) {
+  if (s == "implicit" || s == "impl") return Representation::Implicit;
+  if (s == "explicit" || s == "expl") return Representation::Explicit;
+  throw std::invalid_argument(bad_token("parse_representation", s));
+}
+
+ExecDevice parse_exec_device(std::string_view s) {
+  if (s == "cpu" || s == "CPU") return ExecDevice::Cpu;
+  if (s == "gpu" || s == "GPU") return ExecDevice::Gpu;
+  if (s == "hybrid") return ExecDevice::Hybrid;
+  throw std::invalid_argument(bad_token("parse_exec_device", s));
+}
+
+// ---------------------------------------------------------------------------
+// ApproachAxes
+// ---------------------------------------------------------------------------
+
+bool ApproachAxes::valid() const {
+  switch (device) {
+    case ExecDevice::Cpu:
+      return true;  // any representation x backend pairing exists on the CPU
+    case ExecDevice::Gpu:
+      // Both GPU paths consume exported factors — simplicial only.
+      return backend == sparse::Backend::Simplicial;
+    case ExecDevice::Hybrid:
+      // Hybrid = explicit Schur assembly (supernodal) + GPU application.
+      return repr == Representation::Explicit &&
+             backend == sparse::Backend::Supernodal;
+  }
+  return false;
+}
+
+std::string ApproachAxes::key() const {
+  check(valid(), "ApproachAxes::key: invalid axis combination " + describe());
+  std::string out = repr == Representation::Implicit ? "impl " : "expl ";
+  switch (device) {
+    case ExecDevice::Cpu: out += backend_key_name(backend); break;
+    case ExecDevice::Gpu: out += gpu::sparse::to_string(api); break;
+    case ExecDevice::Hybrid: out += "hybrid"; break;
+  }
+  return out;
+}
+
+std::string ApproachAxes::describe() const {
+  std::string out = to_string(repr);
+  out += '/';
+  out += to_string(device);
+  out += '/';
+  out += sparse::axis_name(backend);
+  if (device != ExecDevice::Cpu) {
+    out += '/';
+    out += gpu::sparse::to_string(api);
+  }
+  return out;
+}
+
+ApproachAxes parse_axes(std::string_view key) {
+  const std::size_t space = key.find(' ');
+  if (space != std::string_view::npos) {
+    const std::string_view repr_tok = key.substr(0, space);
+    const std::string_view variant = key.substr(space + 1);
+    if (repr_tok == "impl" || repr_tok == "expl") {
+      ApproachAxes axes;
+      axes.repr = parse_representation(repr_tok);
+      if (variant == "mkl" || variant == "cholmod") {
+        axes.device = ExecDevice::Cpu;
+        axes.backend = variant == "mkl" ? sparse::Backend::Supernodal
+                                        : sparse::Backend::Simplicial;
+      } else if (variant == "legacy" || variant == "modern") {
+        axes.device = ExecDevice::Gpu;
+        axes.backend = sparse::Backend::Simplicial;
+        axes.api = gpu::sparse::parse_api(variant);
+      } else if (variant == "hybrid") {
+        axes.device = ExecDevice::Hybrid;
+        axes.backend = sparse::Backend::Supernodal;
+      } else {
+        throw std::invalid_argument(bad_token("parse_axes", key));
+      }
+      if (!axes.valid())
+        throw std::invalid_argument(bad_token("parse_axes", key));
+      return axes;
+    }
+  }
+  throw std::invalid_argument(bad_token("parse_axes", key));
+}
+
+// ---------------------------------------------------------------------------
+// Legacy Approach alias
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ApproachRow {
+  Approach approach;
+  ApproachAxes axes;
+};
+
+const std::array<ApproachRow, 9>& approach_table() {
+  using R = Representation;
+  using D = ExecDevice;
+  using B = sparse::Backend;
+  using A = gpu::sparse::Api;
+  static const std::array<ApproachRow, 9> table = {{
+      {Approach::ImplMkl, {R::Implicit, D::Cpu, B::Supernodal, A::Legacy}},
+      {Approach::ImplCholmod,
+       {R::Implicit, D::Cpu, B::Simplicial, A::Legacy}},
+      {Approach::ImplLegacy,
+       {R::Implicit, D::Gpu, B::Simplicial, A::Legacy}},
+      {Approach::ImplModern,
+       {R::Implicit, D::Gpu, B::Simplicial, A::Modern}},
+      {Approach::ExplMkl, {R::Explicit, D::Cpu, B::Supernodal, A::Legacy}},
+      {Approach::ExplCholmod,
+       {R::Explicit, D::Cpu, B::Simplicial, A::Legacy}},
+      {Approach::ExplLegacy,
+       {R::Explicit, D::Gpu, B::Simplicial, A::Legacy}},
+      {Approach::ExplModern,
+       {R::Explicit, D::Gpu, B::Simplicial, A::Modern}},
+      {Approach::ExplHybrid,
+       {R::Explicit, D::Hybrid, B::Supernodal, A::Legacy}},
+  }};
+  return table;
+}
+
+}  // namespace
 
 const char* to_string(Approach a) {
   switch (a) {
@@ -18,36 +178,44 @@ const char* to_string(Approach a) {
 }
 
 std::vector<Approach> all_approaches() {
-  return {Approach::ImplMkl,     Approach::ImplCholmod, Approach::ImplLegacy,
-          Approach::ImplModern,  Approach::ExplMkl,     Approach::ExplCholmod,
-          Approach::ExplLegacy,  Approach::ExplModern,  Approach::ExplHybrid};
+  std::vector<Approach> out;
+  out.reserve(approach_table().size());
+  for (const auto& row : approach_table()) out.push_back(row.approach);
+  return out;
 }
 
-bool uses_gpu(Approach a) {
-  switch (a) {
-    case Approach::ImplLegacy:
-    case Approach::ImplModern:
-    case Approach::ExplLegacy:
-    case Approach::ExplModern:
-    case Approach::ExplHybrid:
-      return true;
-    default:
-      return false;
-  }
+ApproachAxes axes_of(Approach a) {
+  for (const auto& row : approach_table())
+    if (row.approach == a) return row.axes;
+  throw std::invalid_argument("axes_of: unknown approach");
 }
 
-bool is_explicit(Approach a) {
-  switch (a) {
-    case Approach::ExplMkl:
-    case Approach::ExplCholmod:
-    case Approach::ExplLegacy:
-    case Approach::ExplModern:
-    case Approach::ExplHybrid:
-      return true;
-    default:
-      return false;
+Approach approach_of(const ApproachAxes& axes) {
+  // The api axis only distinguishes implementations on the GPU; CPU and
+  // hybrid tuples ignore it (matching valid()/key()).
+  const bool api_relevant = axes.device == ExecDevice::Gpu;
+  for (const auto& row : approach_table()) {
+    if (row.axes.repr == axes.repr && row.axes.device == axes.device &&
+        row.axes.backend == axes.backend &&
+        (!api_relevant || row.axes.api == axes.api))
+      return row.approach;
   }
+  throw std::invalid_argument("approach_of: no legacy enumerator for axes " +
+                              axes.describe());
 }
+
+Approach parse_approach(std::string_view name) {
+  for (const auto& row : approach_table())
+    if (name == to_string(row.approach)) return row.approach;
+  throw std::invalid_argument(bad_token("parse_approach", name));
+}
+
+// uses_gpu / is_explicit live in dualop_registry.cpp: they are answered
+// from the registered implementation metadata.
+
+// ---------------------------------------------------------------------------
+// Explicit GPU assembly parameters
+// ---------------------------------------------------------------------------
 
 const char* to_string(Path p) { return p == Path::Trsm ? "TRSM" : "SYRK"; }
 
@@ -77,5 +245,17 @@ std::string ExplicitGpuOptions::describe() const {
   out += to_string(scatter_gather);
   return out;
 }
+
+// ---------------------------------------------------------------------------
+// DualOpConfig
+// ---------------------------------------------------------------------------
+
+std::string DualOpConfig::resolved_key() const {
+  return key.empty() ? axes_of(approach).key() : key;
+}
+
+// DualOpConfig::axes() lives in dualop_registry.cpp: registered keys
+// resolve through the registry metadata (so out-of-tree registrations
+// work), with parse_axes as the fallback for unregistered spellings.
 
 }  // namespace feti::core

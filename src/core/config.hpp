@@ -1,21 +1,95 @@
 #pragma once
 
-// Configuration of the dual-operator approaches (Table III) and of the
+// Configuration of the dual-operator variants (Table III) and of the
 // explicit GPU assembly parameter space (Table I).
+//
+// The nine Table-III variants are not nine independent algorithms: they are
+// the valid points of a cross product of orthogonal choices. This header
+// models those choices as separate axes, bundled into an ApproachAxes
+// tuple that maps 1:1 onto the string keys of the DualOperatorRegistry:
+//
+//   Representation  — implicit (F applied matrix-free) vs explicit (the
+//                     local dual operators F̃ᵢ are assembled up front);
+//   ExecDevice      — where assembly/application run: CPU, GPU, or the
+//                     hybrid split (assemble on CPU, apply on GPU);
+//   sparse::Backend — the direct-solver backend: supernodal ("mkl",
+//                     Schur-capable, no factor export) vs simplicial
+//                     ("cholmod", exports factors — required by the GPU
+//                     paths);
+//   gpu::sparse::Api — legacy vs modern sparse API generation (GPU only).
+//
+// The legacy `Approach` enum survives as a thin compatibility alias: each
+// enumerator names one valid axis tuple, and everything downstream resolves
+// it through axes_of() / DualOpConfig::axes().
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gpu/sparse.hpp"
 #include "la/dense.hpp"
 #include "sparse/ordering.hpp"
+#include "sparse/solver.hpp"
 
 namespace feti::core {
 
-/// The nine dual-operator approaches of Table III. The "mkl" and "cholmod"
-/// names refer to the stand-in backends: supernodal (Schur-capable, no
-/// factor export — like MKL PARDISO) and simplicial (factor export — like
-/// CHOLMOD).
+// ---------------------------------------------------------------------------
+// Orthogonal axes
+// ---------------------------------------------------------------------------
+
+/// How the dual operator F = B K⁺ Bᵀ is represented.
+enum class Representation : std::uint8_t {
+  Implicit,  ///< matrix-free: apply = SpMV → forward/backward solve → SpMV
+  Explicit,  ///< F̃ᵢ assembled once per time step, applied as dense GEMV/GEMM
+};
+
+/// Where the heavy lifting runs.
+enum class ExecDevice : std::uint8_t {
+  Cpu,
+  Gpu,
+  Hybrid,  ///< assembly on the CPU (Schur path), application on the GPU
+};
+
+const char* to_string(Representation r);
+const char* to_string(ExecDevice d);
+
+/// Inverse of to_string; also accepts the "impl"/"expl" key abbreviations.
+Representation parse_representation(std::string_view s);
+ExecDevice parse_exec_device(std::string_view s);
+
+/// One point of the Table-III design space. Only some tuples are valid:
+/// the GPU paths need exported factors (simplicial backend) and the hybrid
+/// path is the explicit supernodal Schur assembly married to GPU
+/// application.
+struct ApproachAxes {
+  Representation repr = Representation::Implicit;
+  ExecDevice device = ExecDevice::Cpu;
+  sparse::Backend backend = sparse::Backend::Supernodal;
+  /// Sparse API generation; meaningful only when device != Cpu.
+  gpu::sparse::Api api = gpu::sparse::Api::Legacy;
+
+  bool operator==(const ApproachAxes&) const = default;
+
+  [[nodiscard]] bool valid() const;
+  /// The Table-III registry key, e.g. "impl mkl" or "expl legacy".
+  /// Requires valid().
+  [[nodiscard]] std::string key() const;
+  /// Human-readable axis dump, e.g. "explicit/gpu/simplicial/legacy".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parses a Table-III key ("expl legacy", "impl cholmod", ...) back into
+/// its axis tuple. Throws std::invalid_argument for unknown keys.
+ApproachAxes parse_axes(std::string_view key);
+
+// ---------------------------------------------------------------------------
+// Legacy Approach alias
+// ---------------------------------------------------------------------------
+
+/// The nine dual-operator approaches of Table III — kept as a compatibility
+/// alias over ApproachAxes. The "mkl" and "cholmod" names refer to the
+/// stand-in backends: supernodal (Schur-capable, no factor export — like
+/// MKL PARDISO) and simplicial (factor export — like CHOLMOD).
 enum class Approach {
   ImplMkl,      ///< implicit, supernodal solver on CPU
   ImplCholmod,  ///< implicit, simplicial solver on CPU
@@ -30,8 +104,22 @@ enum class Approach {
 
 const char* to_string(Approach a);
 std::vector<Approach> all_approaches();
+
+/// The axis tuple an Approach enumerator is an alias for.
+[[nodiscard]] ApproachAxes axes_of(Approach a);
+/// Inverse of axes_of. Throws if the tuple has no legacy enumerator.
+[[nodiscard]] Approach approach_of(const ApproachAxes& axes);
+/// Parses a Table-III name ("expl legacy", ...). Throws on unknown names.
+[[nodiscard]] Approach parse_approach(std::string_view name);
+
+/// Capability queries — resolved from the DualOperatorRegistry metadata of
+/// the implementation the approach aliases (see dualop_registry.hpp).
 [[nodiscard]] bool uses_gpu(Approach a);
 [[nodiscard]] bool is_explicit(Approach a);
+
+// ---------------------------------------------------------------------------
+// Explicit GPU assembly parameters (Table I)
+// ---------------------------------------------------------------------------
 
 /// Assembly path for the explicit GPU operator (Table I / Section IV-C).
 enum class Path : std::uint8_t {
@@ -68,10 +156,27 @@ struct ExplicitGpuOptions {
   [[nodiscard]] std::string describe() const;
 };
 
+// ---------------------------------------------------------------------------
+// Dual-operator configuration
+// ---------------------------------------------------------------------------
+
 struct DualOpConfig {
+  /// Legacy selector — consulted only while `key` is empty.
   Approach approach = Approach::ImplMkl;
+  /// Registry key ("expl legacy", ...); when non-empty it overrides
+  /// `approach`, so new code can select implementations — including ones
+  /// with no legacy enumerator — by string or by axes via select().
+  std::string key;
   ExplicitGpuOptions gpu;  ///< consumed by the Expl{Legacy,Modern} operators
   sparse::OrderingKind ordering = sparse::OrderingKind::MinimumDegree;
+
+  /// Selects the implementation for an axis tuple (sets `key`).
+  void select(const ApproachAxes& axes) { key = axes.key(); }
+
+  /// The registry key this config resolves to.
+  [[nodiscard]] std::string resolved_key() const;
+  /// The axis tuple this config resolves to.
+  [[nodiscard]] ApproachAxes axes() const;
 };
 
 }  // namespace feti::core

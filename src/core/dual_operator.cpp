@@ -2,12 +2,37 @@
 
 #include <omp.h>
 
-#include "core/dualop_impls.hpp"
+#include "core/dualop_registry.hpp"
 #include "util/omp_guard.hpp"
 #include "la/blas_dense.hpp"
 #include "la/blas_sparse.hpp"
 
 namespace feti::core {
+
+void DualOperator::apply(const double* x, double* y) {
+  ScopedTimer t(timings_, "apply");
+  apply_one(x, y);
+}
+
+void DualOperator::apply(const double* x, double* y, idx nrhs) {
+  check(nrhs >= 0, "DualOperator::apply: negative nrhs");
+  if (nrhs == 0) return;
+  ScopedTimer t(timings_, "apply");
+  if (nrhs == 1) {
+    apply_one(x, y);
+  } else {
+    apply_many(x, y, nrhs);
+  }
+}
+
+void DualOperator::apply_many(const double* x, double* y, idx nrhs) {
+  // Fallback: one single-vector application per column. Implementations
+  // with an assembled F̃ᵢ override this with one GEMM per subdomain.
+  const std::size_t stride = static_cast<std::size_t>(p_.num_lambdas);
+  for (idx j = 0; j < nrhs; ++j)
+    apply_one(x + static_cast<std::size_t>(j) * stride,
+              y + static_cast<std::size_t>(j) * stride);
+}
 
 void DualOperator::scatter_cpu(const double* cluster, idx sub,
                                double* local) const {
@@ -72,36 +97,8 @@ void DualOperator::primal_solution(
 std::unique_ptr<DualOperator> make_dual_operator(
     const decomp::FetiProblem& problem, const DualOpConfig& config,
     gpu::Device* device) {
-  if (uses_gpu(config.approach))
-    check(device != nullptr,
-          "make_dual_operator: this approach requires a GPU device");
-  switch (config.approach) {
-    case Approach::ImplMkl:
-      return make_implicit_cpu(problem, sparse::Backend::Supernodal,
-                               config.ordering);
-    case Approach::ImplCholmod:
-      return make_implicit_cpu(problem, sparse::Backend::Simplicial,
-                               config.ordering);
-    case Approach::ImplLegacy:
-      return make_implicit_gpu(problem, gpu::sparse::Api::Legacy,
-                               config.ordering, *device, config.gpu.streams);
-    case Approach::ImplModern:
-      return make_implicit_gpu(problem, gpu::sparse::Api::Modern,
-                               config.ordering, *device, config.gpu.streams);
-    case Approach::ExplMkl:
-      return make_explicit_cpu_schur(problem, config.ordering);
-    case Approach::ExplCholmod:
-      return make_explicit_cpu_trsm(problem, config.ordering);
-    case Approach::ExplLegacy:
-      return make_explicit_gpu(problem, gpu::sparse::Api::Legacy, config.gpu,
-                               config.ordering, *device);
-    case Approach::ExplModern:
-      return make_explicit_gpu(problem, gpu::sparse::Api::Modern, config.gpu,
-                               config.ordering, *device);
-    case Approach::ExplHybrid:
-      return make_hybrid(problem, config.gpu, config.ordering, *device);
-  }
-  throw std::invalid_argument("make_dual_operator: unknown approach");
+  return DualOperatorRegistry::instance().create(config.resolved_key(),
+                                                 problem, config, device);
 }
 
 }  // namespace feti::core

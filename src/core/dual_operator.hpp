@@ -1,15 +1,33 @@
 #pragma once
 
-// The FETI dual operator F = B K^+ B^T and its nine implementations
-// (Table III). Lifecycle mirrors Algorithm 2 of the paper:
+// The FETI dual operator F = B K^+ B^T and its implementations (Table
+// III), constructed through the string-keyed DualOperatorRegistry.
 //
-//   prepare()     — once: symbolic factorization, persistent GPU memory,
-//                   kernel analysis ("preparation").
-//   preprocess()  — per time step: numeric factorization and, for explicit
-//                   approaches, assembly of the local dual operators F̃ᵢ
-//                   ("FETI preprocessing").
-//   apply(x, y)   — per PCPG iteration: y = F x on cluster-wide dual
-//                   vectors (scatter → local apply → gather).
+// Staged lifecycle (Algorithm 2 of the paper, refined for multi-step and
+// multi-RHS workloads):
+//
+//   prepare()        — once per problem *pattern*: symbolic factorization,
+//                      persistent GPU allocations, kernel analysis
+//                      ("preparation"). Must be called first.
+//   update_values()  — once per time step, whenever the numeric values of
+//                      K (and f) change while the pattern stays fixed:
+//                      numeric refactorization and, for explicit
+//                      approaches, (re)assembly of the local dual
+//                      operators F̃ᵢ ("FETI preprocessing").
+//   apply(x, y)      — per PCPG iteration: y = F x on cluster-wide dual
+//                      vectors (scatter → local apply → gather).
+//   apply(X, Y, nrhs)— batched application to nrhs dual vectors stored as
+//                      contiguous columns (column j starts at offset
+//                      j * num_lambdas). The base class falls back to a
+//                      loop of single applies; the CPU operators override
+//                      the batch hook (explicit: one SYMM per subdomain,
+//                      implicit: SpMM + multi-RHS solves). The GPU
+//                      operators still use the loop fallback — device-side
+//                      batching is a ROADMAP item.
+//
+// Both apply entry points are non-virtual wrappers (timed under "apply" in
+// timings()); implementations override the protected apply_one/apply_many
+// hooks. preprocess() survives as a deprecated alias of update_values().
 
 #include <memory>
 #include <vector>
@@ -29,13 +47,22 @@ class DualOperator {
   DualOperator(const DualOperator&) = delete;
   DualOperator& operator=(const DualOperator&) = delete;
 
+  /// Once per pattern: symbolic factorization + persistent allocations.
   virtual void prepare() = 0;
-  virtual void preprocess() = 0;
+  /// Per time step: numeric refactorization (+ explicit assembly).
+  virtual void update_values() = 0;
+  /// Deprecated alias of update_values(), kept for pre-registry callers.
+  void preprocess() { update_values(); }
+
   /// y = F x; x and y are cluster-wide dual vectors (host memory).
-  virtual void apply(const double* x, double* y) = 0;
+  void apply(const double* x, double* y);
+  /// Y(:,j) = F X(:,j) for j in [0, nrhs); columns are contiguous
+  /// cluster-wide dual vectors (leading dimension num_lambdas).
+  void apply(const double* x, double* y, idx nrhs);
+
   [[nodiscard]] virtual const char* name() const = 0;
 
-  /// x = K^+ b for one subdomain (valid after preprocess()).
+  /// x = K^+ b for one subdomain (valid after update_values()).
   virtual void kplus_solve(idx sub, const double* b, double* x) const = 0;
 
   // -- shared derived operations --
@@ -52,6 +79,12 @@ class DualOperator {
   [[nodiscard]] TimingRegistry& timings() { return timings_; }
 
  protected:
+  /// Single-vector application hook: y = F x.
+  virtual void apply_one(const double* x, double* y) = 0;
+  /// Batched application hook; the default loops over apply_one.
+  /// Overriders may assume nrhs >= 1 and distinct, non-overlapping x/y.
+  virtual void apply_many(const double* x, double* y, idx nrhs);
+
   /// local[i] = cluster[map_i[i]] for subdomain `sub`.
   void scatter_cpu(const double* cluster, idx sub, double* local) const;
   /// cluster[map_i[i]] += local[i]; caller serializes across subdomains.
@@ -61,8 +94,9 @@ class DualOperator {
   mutable TimingRegistry timings_;
 };
 
-/// Creates the dual operator for the configured approach. `device` is
-/// required for the GPU-backed approaches and ignored otherwise.
+/// Creates the dual operator for the configured approach by resolving
+/// config.resolved_key() in the DualOperatorRegistry. `device` is required
+/// for the GPU-backed approaches and ignored otherwise.
 std::unique_ptr<DualOperator> make_dual_operator(
     const decomp::FetiProblem& problem, const DualOpConfig& config,
     gpu::Device* device = nullptr);

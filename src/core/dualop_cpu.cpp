@@ -1,17 +1,25 @@
 // CPU dual-operator implementations:
 //   * implicit (supernodal = "impl mkl", simplicial = "impl cholmod"):
 //     apply = SpMV(B^T) -> forward/backward solve -> SpMV(B), per
-//     subdomain, right-to-left as in eq. (13);
+//     subdomain, right-to-left as in eq. (13); the batched entry point
+//     solves all right-hand sides through one SpMM / solve_many / SpMM
+//     sweep per subdomain;
 //   * explicit via augmented Schur complement ("expl mkl"): F̃ᵢ assembled by
 //     the supernodal backend's partial factorization, exploiting the
 //     sparsity of B̃ᵢ;
 //   * explicit via factor extraction + dense-RHS TRSM ("expl cholmod"):
 //     F̃ᵢ = (L^{-1} B̃ᵢᵀ)^T (L^{-1} B̃ᵢᵀ) with a densified right-hand side
 //     (no B̃ᵢ sparsity exploited — the paper's reason it is slowest).
+//     Both explicit operators serve the batched entry point with a single
+//     SYMM per subdomain.
+//
+// register_cpu_dual_operators() at the bottom is this family's entry in
+// the DualOperatorRegistry.
 
 #include <omp.h>
 
 #include "core/dualop_impls.hpp"
+#include "core/dualop_registry.hpp"
 #include "util/omp_guard.hpp"
 #include "la/blas_dense.hpp"
 #include "la/blas_sparse.hpp"
@@ -67,8 +75,8 @@ class ImplicitCpuDualOp final : public DualOperator {
     guard.rethrow();
   }
 
-  void preprocess() override {
-    ScopedTimer t(timings_, "preprocess");
+  void update_values() override {
+    ScopedTimer t(timings_, "update_values");
     const idx nsub = p_.num_subdomains();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -78,8 +86,17 @@ class ImplicitCpuDualOp final : public DualOperator {
     guard.rethrow();
   }
 
-  void apply(const double* x, double* y) override {
-    ScopedTimer t(timings_, "apply");
+  void kplus_solve(idx sub, const double* b, double* x) const override {
+    solvers_[sub]->solve(b, x);
+  }
+
+  [[nodiscard]] const char* name() const override {
+    return backend_ == sparse::Backend::Supernodal ? "impl mkl"
+                                                   : "impl cholmod";
+  }
+
+ protected:
+  void apply_one(const double* x, double* y) override {
     const idx nsub = p_.num_subdomains();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -97,33 +114,85 @@ class ImplicitCpuDualOp final : public DualOperator {
     for (idx s = 0; s < nsub; ++s) gather_add_cpu(q_[s].data(), s, y);
   }
 
-  void kplus_solve(idx sub, const double* b, double* x) const override {
-    solvers_[sub]->solve(b, x);
-  }
-
-  [[nodiscard]] const char* name() const override {
-    return backend_ == sparse::Backend::Supernodal ? "impl mkl"
-                                                   : "impl cholmod";
+  void apply_many(const double* x, double* y, idx nrhs) override {
+    const idx nsub = p_.num_subdomains();
+    const std::size_t stride = static_cast<std::size_t>(p_.num_lambdas);
+    ensure_block_buffers(nrhs);
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[s];
+        const idx m = fs.num_local_lambdas();
+        const idx n = fs.ndof();
+        // First-nrhs-columns views of the (possibly wider) cached blocks.
+        la::DenseView lam{lam_blk_[s].data(), m, nrhs, m,
+                          la::Layout::ColMajor};
+        la::DenseView rhs{rhs_blk_[s].data(), n, nrhs, n,
+                          la::Layout::ColMajor};
+        la::DenseView sol{sol_blk_[s].data(), n, nrhs, n,
+                          la::Layout::ColMajor};
+        la::DenseView q{q_blk_[s].data(), m, nrhs, m, la::Layout::ColMajor};
+        for (idx j = 0; j < nrhs; ++j)
+          scatter_cpu(x + static_cast<std::size_t>(j) * stride, s,
+                      lam.data + static_cast<std::size_t>(j) * m);
+        la::spmm(1.0, fs.b, la::Trans::Yes, lam, 0.0, rhs);
+        solvers_[s]->solve_many(rhs, sol);
+        la::spmm(1.0, fs.b, la::Trans::No, sol, 0.0, q);
+      });
+    }
+    guard.rethrow();
+    std::fill_n(y, stride * static_cast<std::size_t>(nrhs), 0.0);
+    for (idx s = 0; s < nsub; ++s) {
+      const idx m = p_.sub[s].num_local_lambdas();
+      for (idx j = 0; j < nrhs; ++j)
+        gather_add_cpu(q_blk_[s].data() + static_cast<std::size_t>(j) * m, s,
+                       y + static_cast<std::size_t>(j) * stride);
+    }
   }
 
  private:
+  /// Grow-only per-subdomain block workspaces; narrower batches reuse the
+  /// leading columns (a lockstep block solve shrinks as systems converge,
+  /// which must not trigger reallocation waves).
+  void ensure_block_buffers(idx nrhs) {
+    if (blk_nrhs_ >= nrhs) return;
+    const idx nsub = p_.num_subdomains();
+    lam_blk_.resize(static_cast<std::size_t>(nsub));
+    rhs_blk_.resize(lam_blk_.size());
+    sol_blk_.resize(lam_blk_.size());
+    q_blk_.resize(lam_blk_.size());
+    for (idx s = 0; s < nsub; ++s) {
+      const idx m = p_.sub[s].num_local_lambdas();
+      const idx n = p_.sub[s].ndof();
+      lam_blk_[s] = la::DenseMatrix(m, nrhs, la::Layout::ColMajor);
+      rhs_blk_[s] = la::DenseMatrix(n, nrhs, la::Layout::ColMajor);
+      sol_blk_[s] = la::DenseMatrix(n, nrhs, la::Layout::ColMajor);
+      q_blk_[s] = la::DenseMatrix(m, nrhs, la::Layout::ColMajor);
+    }
+    blk_nrhs_ = nrhs;
+  }
+
   sparse::Backend backend_;
   sparse::OrderingKind ordering_;
   std::vector<std::unique_ptr<sparse::DirectSolver>> solvers_;
   std::vector<std::vector<double>> lam_, tmp_, tmp2_, q_;
+  std::vector<la::DenseMatrix> lam_blk_, rhs_blk_, sol_blk_, q_blk_;
+  idx blk_nrhs_ = 0;
 };
 
 // ---------------------------------------------------------------------------
 // Shared pieces of the explicit CPU operators.
 // ---------------------------------------------------------------------------
 
-/// Common explicit-CPU state: dense F̃ᵢ (upper triangle) + SYMV application.
+/// Common explicit-CPU state: dense F̃ᵢ (upper triangle) + SYMV/SYMM
+/// application.
 class ExplicitCpuBase : public DualOperator {
  public:
   using DualOperator::DualOperator;
 
-  void apply(const double* x, double* y) override {
-    ScopedTimer t(timings_, "apply");
+ protected:
+  void apply_one(const double* x, double* y) override {
     const idx nsub = p_.num_subdomains();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -139,7 +208,65 @@ class ExplicitCpuBase : public DualOperator {
     for (idx s = 0; s < nsub; ++s) gather_add_cpu(q_[s].data(), s, y);
   }
 
- protected:
+  void apply_many(const double* x, double* y, idx nrhs) override {
+    // One SYMM per subdomain — the BLAS-3 payoff of the explicit
+    // representation for block solvers. The blocks are row-major so the
+    // SYMM inner loops stream contiguously over the right-hand sides.
+    const idx nsub = p_.num_subdomains();
+    const std::size_t stride = static_cast<std::size_t>(p_.num_lambdas);
+    ensure_block_buffers(nrhs);
+    // The cached blocks may be wider than this batch; their row stride is
+    // the allocated width.
+    const std::size_t ld = static_cast<std::size_t>(blk_nrhs_);
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& map = p_.sub[s].lm_l2c;
+        const idx m = p_.sub[s].num_local_lambdas();
+        double* lam = lam_blk_[s].data();
+        for (std::size_t i = 0; i < map.size(); ++i) {
+          const double* xg = x + map[i];
+          double* row = lam + i * ld;
+          for (idx j = 0; j < nrhs; ++j)
+            row[j] = xg[static_cast<std::size_t>(j) * stride];
+        }
+        la::ConstDenseView lamv(lam, m, nrhs, blk_nrhs_,
+                                la::Layout::RowMajor);
+        la::DenseView qv{q_blk_[s].data(), m, nrhs, blk_nrhs_,
+                         la::Layout::RowMajor};
+        la::symm(la::Uplo::Upper, 1.0, f_[s].cview(), lamv, 0.0, qv);
+      });
+    }
+    guard.rethrow();
+    std::fill_n(y, stride * static_cast<std::size_t>(nrhs), 0.0);
+    for (idx s = 0; s < nsub; ++s) {
+      const auto& map = p_.sub[s].lm_l2c;
+      const double* q = q_blk_[s].data();
+      for (std::size_t i = 0; i < map.size(); ++i) {
+        double* yg = y + map[i];
+        const double* row = q + i * ld;
+        for (idx j = 0; j < nrhs; ++j)
+          yg[static_cast<std::size_t>(j) * stride] += row[j];
+      }
+    }
+  }
+
+  /// Grow-only per-subdomain block workspaces; narrower batches reuse the
+  /// leading columns with the allocated width as row stride.
+  void ensure_block_buffers(idx nrhs) {
+    if (blk_nrhs_ >= nrhs) return;
+    const idx nsub = p_.num_subdomains();
+    lam_blk_.resize(static_cast<std::size_t>(nsub));
+    q_blk_.resize(lam_blk_.size());
+    for (idx s = 0; s < nsub; ++s) {
+      const idx m = p_.sub[s].num_local_lambdas();
+      lam_blk_[s] = la::DenseMatrix(m, nrhs, la::Layout::RowMajor);
+      q_blk_[s] = la::DenseMatrix(m, nrhs, la::Layout::RowMajor);
+    }
+    blk_nrhs_ = nrhs;
+  }
+
   void alloc_dense_f() {
     const idx nsub = p_.num_subdomains();
     f_.resize(static_cast<std::size_t>(nsub));
@@ -155,6 +282,8 @@ class ExplicitCpuBase : public DualOperator {
 
   std::vector<la::DenseMatrix> f_;
   std::vector<std::vector<double>> lam_, q_;
+  std::vector<la::DenseMatrix> lam_blk_, q_blk_;
+  idx blk_nrhs_ = 0;
 };
 
 /// expl mkl: augmented incomplete factorization (Schur path).
@@ -180,8 +309,8 @@ class ExplicitCpuSchurDualOp final : public ExplicitCpuBase {
     guard.rethrow();
   }
 
-  void preprocess() override {
-    ScopedTimer t(timings_, "preprocess");
+  void update_values() override {
+    ScopedTimer t(timings_, "update_values");
     const idx nsub = p_.num_subdomains();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -230,8 +359,8 @@ class ExplicitCpuTrsmDualOp final : public ExplicitCpuBase {
     guard.rethrow();
   }
 
-  void preprocess() override {
-    ScopedTimer t(timings_, "preprocess");
+  void update_values() override {
+    ScopedTimer t(timings_, "update_values");
     const idx nsub = p_.num_subdomains();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -284,6 +413,43 @@ std::unique_ptr<DualOperator> make_explicit_cpu_schur(
 std::unique_ptr<DualOperator> make_explicit_cpu_trsm(
     const decomp::FetiProblem& p, sparse::OrderingKind ordering) {
   return std::make_unique<ExplicitCpuTrsmDualOp>(p, ordering);
+}
+
+void register_cpu_dual_operators(DualOperatorRegistry& registry) {
+  using R = Representation;
+  using D = ExecDevice;
+  using B = sparse::Backend;
+  const auto axes = [](R r, B b) {
+    ApproachAxes a;
+    a.repr = r;
+    a.device = D::Cpu;
+    a.backend = b;
+    return a;
+  };
+  registry.add(
+      {"impl mkl", axes(R::Implicit, B::Supernodal),
+       "implicit application, supernodal (PARDISO-like) solver on the CPU"},
+      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::Device*) {
+        return make_implicit_cpu(p, B::Supernodal, c.ordering);
+      });
+  registry.add(
+      {"impl cholmod", axes(R::Implicit, B::Simplicial),
+       "implicit application, simplicial (CHOLMOD-like) solver on the CPU"},
+      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::Device*) {
+        return make_implicit_cpu(p, B::Simplicial, c.ordering);
+      });
+  registry.add(
+      {"expl mkl", axes(R::Explicit, B::Supernodal),
+       "explicit F̃ via the augmented Schur complement on the CPU"},
+      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::Device*) {
+        return make_explicit_cpu_schur(p, c.ordering);
+      });
+  registry.add(
+      {"expl cholmod", axes(R::Explicit, B::Simplicial),
+       "explicit F̃ via factor extraction + dense TRSM on the CPU"},
+      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::Device*) {
+        return make_explicit_cpu_trsm(p, c.ordering);
+      });
 }
 
 }  // namespace feti::core

@@ -17,6 +17,7 @@
 #include <map>
 
 #include "core/dualop_impls.hpp"
+#include "core/dualop_registry.hpp"
 #include "util/omp_guard.hpp"
 #include "gpu/blas.hpp"
 #include "gpu/kernels.hpp"
@@ -236,8 +237,8 @@ class ExplicitGpuDualOp final : public DualOperator {
     dev_.ensure_temp_pool();
   }
 
-  void preprocess() override {
-    ScopedTimer t(timings_, "preprocess");
+  void update_values() override {
+    ScopedTimer t(timings_, "update_values");
     const idx nsub = p_.num_subdomains();
     auto& temp = dev_.temp();
     OmpExceptionGuard guard;
@@ -328,8 +329,7 @@ class ExplicitGpuDualOp final : public DualOperator {
     dev_.synchronize();
   }
 
-  void apply(const double* x, double* y) override {
-    ScopedTimer t(timings_, "apply");
+  void apply_one(const double* x, double* y) override {
     const bool symmetric = opt_.path == Path::Syrk;
     auto submit_local = [this, symmetric](idx s, gpu::Stream& st,
                                           const double* lam, double* q) {
@@ -480,9 +480,9 @@ class ImplicitGpuDualOp final : public DualOperator {
     dev_.ensure_temp_pool();
   }
 
-  void preprocess() override {
+  void update_values() override {
     // Implicit preprocessing = numeric factorization + factor copies.
-    ScopedTimer t(timings_, "preprocess");
+    ScopedTimer t(timings_, "update_values");
     const idx nsub = p_.num_subdomains();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -499,8 +499,7 @@ class ImplicitGpuDualOp final : public DualOperator {
     dev_.synchronize();
   }
 
-  void apply(const double* x, double* y) override {
-    ScopedTimer t(timings_, "apply");
+  void apply_one(const double* x, double* y) override {
     auto& temp = dev_.temp();
     auto submit_local = [this, &temp](idx s, gpu::Stream& st,
                                       const double* lam, double* q) {
@@ -593,8 +592,8 @@ class HybridDualOp final : public DualOperator {
     dev_.ensure_temp_pool();
   }
 
-  void preprocess() override {
-    ScopedTimer t(timings_, "preprocess");
+  void update_values() override {
+    ScopedTimer t(timings_, "update_values");
     const idx nsub = p_.num_subdomains();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -612,8 +611,7 @@ class HybridDualOp final : public DualOperator {
     dev_.synchronize();
   }
 
-  void apply(const double* x, double* y) override {
-    ScopedTimer t(timings_, "apply");
+  void apply_one(const double* x, double* y) override {
     auto submit_local = [this](idx s, gpu::Stream& st, const double* lam,
                                double* q) {
       gpu::blas::symv(st, la::Uplo::Upper, 1.0, f_dev_[s], lam, 0.0, q);
@@ -664,6 +662,49 @@ std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
                                           sparse::OrderingKind ordering,
                                           gpu::Device& device) {
   return std::make_unique<HybridDualOp>(p, options, ordering, device);
+}
+
+void register_gpu_dual_operators(DualOperatorRegistry& registry) {
+  using R = Representation;
+  using D = ExecDevice;
+  using B = sparse::Backend;
+  using A = gpu::sparse::Api;
+  const auto gpu_axes = [](R r, A api) {
+    ApproachAxes a;
+    a.repr = r;
+    a.device = D::Gpu;
+    a.backend = B::Simplicial;
+    a.api = api;
+    return a;
+  };
+  for (A api : {A::Legacy, A::Modern}) {
+    const char* apiname = gpu::sparse::to_string(api);
+    registry.add(
+        {std::string("impl ") + apiname, gpu_axes(R::Implicit, api),
+         std::string("implicit application on the GPU, ") + apiname +
+             " sparse API, simplicial factors"},
+        [api](const decomp::FetiProblem& p, const DualOpConfig& c,
+              gpu::Device* dev) {
+          return make_implicit_gpu(p, api, c.ordering, *dev, c.gpu.streams);
+        });
+    registry.add(
+        {std::string("expl ") + apiname, gpu_axes(R::Explicit, api),
+         std::string("explicit F̃ assembled on the GPU, ") + apiname +
+             " sparse API"},
+        [api](const decomp::FetiProblem& p, const DualOpConfig& c,
+              gpu::Device* dev) {
+          return make_explicit_gpu(p, api, c.gpu, c.ordering, *dev);
+        });
+  }
+  ApproachAxes hybrid;
+  hybrid.repr = R::Explicit;
+  hybrid.device = D::Hybrid;
+  hybrid.backend = B::Supernodal;
+  registry.add(
+      {"expl hybrid", hybrid,
+       "explicit F̃ assembled on the CPU (Schur path), applied on the GPU"},
+      [](const decomp::FetiProblem& p, const DualOpConfig& c,
+         gpu::Device* dev) { return make_hybrid(p, c.gpu, c.ordering, *dev); });
 }
 
 }  // namespace feti::core

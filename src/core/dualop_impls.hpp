@@ -1,13 +1,24 @@
 #pragma once
 
 // Internal factory functions for the concrete dual-operator
-// implementations (one per Table-III approach family). Used by
-// make_dual_operator; exposed for white-box tests.
+// implementations (one per Table-III approach family), plus the per-family
+// registration entry points the DualOperatorRegistry pulls in on first
+// use. Exposed for white-box tests.
 
 #include "core/dual_operator.hpp"
 #include "sparse/solver.hpp"
 
 namespace feti::core {
+
+class DualOperatorRegistry;
+
+/// Registers the four CPU implementations (impl mkl, impl cholmod,
+/// expl mkl, expl cholmod). Defined in dualop_cpu.cpp.
+void register_cpu_dual_operators(DualOperatorRegistry& registry);
+
+/// Registers the five GPU-backed implementations (impl legacy, impl modern,
+/// expl legacy, expl modern, expl hybrid). Defined in dualop_gpu.cpp.
+void register_gpu_dual_operators(DualOperatorRegistry& registry);
 
 std::unique_ptr<DualOperator> make_implicit_cpu(
     const decomp::FetiProblem& p, sparse::Backend backend,

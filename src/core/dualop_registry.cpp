@@ -1,0 +1,139 @@
+#include "core/dualop_registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/dualop_impls.hpp"
+
+namespace feti::core {
+
+DualOperatorRegistry& DualOperatorRegistry::instance() {
+  static DualOperatorRegistry registry;
+  static std::once_flag builtin_once;
+  std::call_once(builtin_once, [] {
+    // One registration call per implementation family; the calls live next
+    // to the implementations themselves (dualop_cpu.cpp / dualop_gpu.cpp).
+    register_cpu_dual_operators(registry);
+    register_gpu_dual_operators(registry);
+  });
+  return registry;
+}
+
+void DualOperatorRegistry::add(DualOperatorInfo info,
+                               DualOperatorFactory factory) {
+  // The key is the registry identity; the axes are capability metadata and
+  // need not reproduce the key's spelling (out-of-tree registrations like
+  // "expl legacy x2" share an axis tuple with a built-in).
+  check(!info.key.empty(), "DualOperatorRegistry::add: empty key");
+  check(info.axes.valid(),
+        "DualOperatorRegistry::add: invalid axes for key '" + info.key + "'");
+  check(static_cast<bool>(factory),
+        "DualOperatorRegistry::add: null factory for key '" + info.key + "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  check(find_locked(info.key) == nullptr,
+        "DualOperatorRegistry::add: duplicate key '" + info.key + "'");
+  entries_.push_back({std::move(info), std::move(factory)});
+}
+
+const DualOperatorRegistry::Entry* DualOperatorRegistry::find_locked(
+    std::string_view key) const {
+  for (const Entry& e : entries_)
+    if (e.info.key == key) return &e;
+  return nullptr;
+}
+
+DualOperatorRegistry::Entry DualOperatorRegistry::at(
+    std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* e = find_locked(key);
+  check(e != nullptr, "DualOperatorRegistry: unknown dual-operator key '" +
+                          std::string(key) + "'");
+  return *e;
+}
+
+bool DualOperatorRegistry::contains(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(key) != nullptr;
+}
+
+DualOperatorInfo DualOperatorRegistry::info(std::string_view key) const {
+  // Metadata-only read: avoid copying the factory std::function that
+  // at() duplicates for create().
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* e = find_locked(key);
+  check(e != nullptr, "DualOperatorRegistry: unknown dual-operator key '" +
+                          std::string(key) + "'");
+  return e->info;
+}
+
+std::vector<std::string> DualOperatorRegistry::keys() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.info.key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t DualOperatorRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+bool DualOperatorRegistry::uses_gpu(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* e = find_locked(key);
+  check(e != nullptr, "DualOperatorRegistry: unknown dual-operator key '" +
+                          std::string(key) + "'");
+  return e->info.requires_device();
+}
+
+bool DualOperatorRegistry::is_explicit(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* e = find_locked(key);
+  check(e != nullptr, "DualOperatorRegistry: unknown dual-operator key '" +
+                          std::string(key) + "'");
+  return e->info.axes.repr == Representation::Explicit;
+}
+
+bool DualOperatorRegistry::available(std::string_view key,
+                                     const gpu::Device* device) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* e = find_locked(key);
+  return e != nullptr && (!e->info.requires_device() || device != nullptr);
+}
+
+std::unique_ptr<DualOperator> DualOperatorRegistry::create(
+    std::string_view key, const decomp::FetiProblem& problem,
+    const DualOpConfig& config, gpu::Device* device) const {
+  // Copy the entry out so the factory runs without holding the lock.
+  const Entry e = at(key);
+  check(!e.info.requires_device() || device != nullptr,
+        "DualOperatorRegistry::create: '" + std::string(key) +
+            "' requires a GPU device");
+  return e.factory(problem, config, device);
+}
+
+ApproachAxes DualOpConfig::axes() const {
+  if (key.empty()) return axes_of(approach);
+  // Registered keys — including out-of-tree registrations whose spelling
+  // the built-in grammar does not know — resolve through their metadata.
+  const DualOperatorRegistry& registry = DualOperatorRegistry::instance();
+  if (registry.contains(key)) return registry.info(key).axes;
+  return parse_axes(key);
+}
+
+// Legacy capability queries — answered from the registered metadata.
+
+bool uses_gpu(Approach a) {
+  return DualOperatorRegistry::instance().uses_gpu(axes_of(a).key());
+}
+
+bool is_explicit(Approach a) {
+  return DualOperatorRegistry::instance().is_explicit(axes_of(a).key());
+}
+
+}  // namespace feti::core

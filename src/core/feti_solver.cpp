@@ -22,7 +22,7 @@ FetiStepResult FetiSolver::solve_step() {
 
   {
     Timer t;
-    dualop_->preprocess();
+    dualop_->update_values();
     result.preprocess_seconds = t.seconds();
   }
 

@@ -21,7 +21,7 @@ struct FetiStepResult {
   int iterations = 0;
   double rel_residual = 0.0;
   bool converged = false;
-  double preprocess_seconds = 0.0;
+  double preprocess_seconds = 0.0;  ///< DualOperator::update_values() time
   double apply_seconds = 0.0;  ///< total dual-operator application time
   double step_seconds = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "core/pcpg.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "la/blas_dense.hpp"
@@ -14,75 +15,156 @@ Pcpg::Pcpg(DualOperator& f, const Projector& projector, PcpgOptions options)
     : f_(f), projector_(projector), options_(options) {}
 
 PcpgResult Pcpg::solve(const std::vector<double>& d) {
+  const std::vector<double>* dp = &d;
+  std::vector<PcpgResult> results =
+      solve_impl(&dp, 1, /*throw_on_breakdown=*/true);
+  return std::move(results.front());
+}
+
+std::vector<PcpgResult> Pcpg::solve_many(
+    const std::vector<std::vector<double>>& d) {
+  std::vector<const std::vector<double>*> ptrs;
+  ptrs.reserve(d.size());
+  for (const auto& di : d) ptrs.push_back(&di);
+  return solve_impl(ptrs.data(), ptrs.size(), /*throw_on_breakdown=*/false);
+}
+
+std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
+                                         std::size_t nsys,
+                                         bool throw_on_breakdown) {
   const idx n = f_.problem().num_lambdas;
-  check(d.size() == static_cast<std::size_t>(n), "Pcpg: rhs size mismatch");
+  for (std::size_t j = 0; j < nsys; ++j)
+    check(d[j]->size() == static_cast<std::size_t>(n),
+          "Pcpg: rhs size mismatch");
+  std::vector<PcpgResult> results(nsys);
+  if (nsys == 0) return results;
 
   LumpedPreconditioner lumped(f_.problem());
   const bool use_precond =
       options_.preconditioner == PreconditionerKind::Lumped;
 
-  std::vector<double> lambda(static_cast<std::size_t>(n));
-  std::vector<double> r(static_cast<std::size_t>(n));
-  std::vector<double> w(static_cast<std::size_t>(n));
-  std::vector<double> y(static_cast<std::size_t>(n));
-  std::vector<double> p(static_cast<std::size_t>(n));
-  std::vector<double> q(static_cast<std::size_t>(n));
+  /// Per-system CG state (lines 1-5 of Algorithm 1 use per-system vectors;
+  /// only the operator applications are shared).
+  struct System {
+    std::vector<double> lambda, r, w, y, p, q;
+    double w0_norm = 0.0;
+    double wy = 0.0;
+    double rel = 1.0;
+    int iterations = 0;
+    bool active = true;
+  };
+  std::vector<System> sys(nsys);
   std::vector<double> t(static_cast<std::size_t>(n));
 
-  // Lines 1-5 of Algorithm 1.
-  projector_.initial_lambda(lambda.data());
-  f_.apply(lambda.data(), q.data());
-  for (idx i = 0; i < n; ++i) r[i] = d[i] - q[i];
-  projector_.apply(r.data(), w.data());
-  if (use_precond) {
-    lumped.apply(w.data(), t.data());
-    projector_.apply(t.data(), y.data());
-  } else {
-    y = w;
-  }
-  p = y;
+  // λ₀ and F λ₀ depend on the problem only — computed once, shared.
+  std::vector<double> lambda0(static_cast<std::size_t>(n));
+  projector_.initial_lambda(lambda0.data());
+  std::vector<double> q0(static_cast<std::size_t>(n));
+  f_.apply(lambda0.data(), q0.data());
 
-  const double w0_norm = la::nrm2(n, w.data());
-  PcpgResult result;
-  if (w0_norm == 0.0) {
-    result.lambda = std::move(lambda);
-    result.alpha = projector_.alpha(r.data());
-    result.converged = true;
-    return result;
-  }
+  const auto finalize = [&](std::size_t j, bool converged) {
+    System& s = sys[j];
+    results[j].iterations = s.iterations;
+    results[j].rel_residual = s.rel;
+    results[j].converged = converged;
+    results[j].alpha = projector_.alpha(s.r.data());
+    results[j].lambda = std::move(s.lambda);
+    s.active = false;
+  };
 
-  double wy = la::dot(n, w.data(), y.data());
-  int k = 0;
-  double rel = 1.0;
-  for (; k < options_.max_iterations; ++k) {
-    rel = la::nrm2(n, w.data()) / w0_norm;
-    if (rel <= options_.rel_tolerance) break;
-
-    f_.apply(p.data(), q.data());                       // line 7
-    const double pq = la::dot(n, p.data(), q.data());
-    check(pq > 0.0, "Pcpg: operator lost positive definiteness");
-    const double delta = wy / pq;                       // line 8
-    la::axpy(n, delta, p.data(), lambda.data());        // line 9
-    la::axpy(n, -delta, q.data(), r.data());            // line 10
-    projector_.apply(r.data(), w.data());               // line 11
-    if (use_precond) {                                  // line 12
-      lumped.apply(w.data(), t.data());
-      projector_.apply(t.data(), y.data());
+  for (std::size_t j = 0; j < nsys; ++j) {
+    System& s = sys[j];
+    s.lambda = lambda0;
+    s.r.resize(static_cast<std::size_t>(n));
+    const std::vector<double>& dj = *d[j];
+    for (idx i = 0; i < n; ++i) s.r[i] = dj[i] - q0[i];
+    s.w.resize(static_cast<std::size_t>(n));
+    s.y.resize(static_cast<std::size_t>(n));
+    s.q.resize(static_cast<std::size_t>(n));
+    projector_.apply(s.r.data(), s.w.data());
+    if (use_precond) {
+      lumped.apply(s.w.data(), t.data());
+      projector_.apply(t.data(), s.y.data());
     } else {
-      y = w;
+      s.y = s.w;
     }
-    const double wy_next = la::dot(n, w.data(), y.data());
-    const double beta = wy_next / wy;                   // line 13
-    wy = wy_next;
-    for (idx i = 0; i < n; ++i) p[i] = y[i] + beta * p[i];  // line 14
+    s.p = s.y;
+    s.w0_norm = la::nrm2(n, s.w.data());
+    if (s.w0_norm == 0.0) {
+      s.rel = 0.0;
+      finalize(j, /*converged=*/true);
+      continue;
+    }
+    s.wy = la::dot(n, s.w.data(), s.y.data());
   }
 
-  result.iterations = k;
-  result.rel_residual = rel;
-  result.converged = rel <= options_.rel_tolerance;
-  result.alpha = projector_.alpha(r.data());
-  result.lambda = std::move(lambda);
-  return result;
+  std::vector<double> xblock, yblock;
+  std::vector<std::size_t> batch;
+  for (;;) {
+    batch.clear();
+    for (std::size_t j = 0; j < nsys; ++j) {
+      System& s = sys[j];
+      if (!s.active) continue;
+      s.rel = la::nrm2(n, s.w.data()) / s.w0_norm;
+      if (s.rel <= options_.rel_tolerance) {
+        finalize(j, /*converged=*/true);
+      } else if (s.iterations >= options_.max_iterations) {
+        finalize(j, /*converged=*/false);
+      } else {
+        batch.push_back(j);
+      }
+    }
+    if (batch.empty()) break;
+
+    // Line 7 for all still-active systems at once: Q(:,b) = F P(:,b).
+    if (batch.size() == 1) {
+      // Single-system fast path (also the tail of a draining batch): apply
+      // straight into the system's own buffers, no pack/unpack copies.
+      System& s = sys[batch.front()];
+      f_.apply(s.p.data(), s.q.data());
+    } else {
+      const idx nrhs = static_cast<idx>(batch.size());
+      xblock.resize(static_cast<std::size_t>(n) * batch.size());
+      yblock.resize(xblock.size());
+      for (std::size_t b = 0; b < batch.size(); ++b)
+        std::copy_n(sys[batch[b]].p.data(), n,
+                    xblock.data() + b * static_cast<std::size_t>(n));
+      f_.apply(xblock.data(), yblock.data(), nrhs);
+      for (std::size_t b = 0; b < batch.size(); ++b)
+        std::copy_n(yblock.data() + b * static_cast<std::size_t>(n), n,
+                    sys[batch[b]].q.data());
+    }
+
+    for (std::size_t j : batch) {
+      System& s = sys[j];
+      const double pq = la::dot(n, s.p.data(), s.q.data());
+      if (pq <= 0.0) {
+        // solve() keeps the historical contract (throw); in a batch, one
+        // ill-conditioned system must not discard the others' results.
+        check(!throw_on_breakdown,
+              "Pcpg: operator lost positive definiteness");
+        finalize(j, /*converged=*/false);
+        continue;
+      }
+      const double delta = s.wy / pq;                       // line 8
+      la::axpy(n, delta, s.p.data(), s.lambda.data());      // line 9
+      la::axpy(n, -delta, s.q.data(), s.r.data());          // line 10
+      projector_.apply(s.r.data(), s.w.data());             // line 11
+      if (use_precond) {                                    // line 12
+        lumped.apply(s.w.data(), t.data());
+        projector_.apply(t.data(), s.y.data());
+      } else {
+        s.y = s.w;
+      }
+      const double wy_next = la::dot(n, s.w.data(), s.y.data());
+      const double beta = wy_next / s.wy;                   // line 13
+      s.wy = wy_next;
+      for (idx i = 0; i < n; ++i)
+        s.p[i] = s.y[i] + beta * s.p[i];                    // line 14
+      ++s.iterations;
+    }
+  }
+  return results;
 }
 
 }  // namespace feti::core

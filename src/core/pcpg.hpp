@@ -1,8 +1,15 @@
 #pragma once
 
 // The preconditioned conjugate projected gradient method — Algorithm 1 of
-// the paper, verbatim: the dual operator F is applied once per iteration
-// (line 7), the projector twice, the preconditioner once.
+// the paper: the dual operator F is applied once per iteration (line 7),
+// the projector twice, the preconditioner once.
+//
+// solve_many() runs several independent dual systems in lockstep and
+// funnels their per-iteration operator applications through the batched
+// DualOperator::apply(X, Y, nrhs) entry point, so operators with a batch
+// implementation (the explicit CPU ones: one SYMM per subdomain and
+// iteration) serve a whole block of simultaneous right-hand sides at
+// BLAS-3 rates; the others fall back to per-column applies.
 
 #include <vector>
 
@@ -36,7 +43,23 @@ class Pcpg {
   /// Solves F λ = d subject to Gᵀλ = e.
   PcpgResult solve(const std::vector<double>& d);
 
+  /// Solves F λᵢ = dᵢ subject to Gᵀλᵢ = e for several right-hand sides at
+  /// once. Each system iterates with its own step lengths and stops on its
+  /// own criterion; the F applications of all still-active systems are
+  /// batched per iteration. Results are returned in input order. A system
+  /// that loses positive definiteness is reported as non-converged without
+  /// disturbing the remaining systems — regardless of batch size; only
+  /// solve() keeps the historical throwing contract.
+  std::vector<PcpgResult> solve_many(const std::vector<std::vector<double>>& d);
+
  private:
+  /// Shared lockstep implementation over borrowed right-hand sides.
+  /// `throw_on_breakdown` preserves solve()'s historical throwing contract;
+  /// solve_many() instead reports the broken system as non-converged.
+  std::vector<PcpgResult> solve_impl(const std::vector<double>* const* d,
+                                     std::size_t nsys,
+                                     bool throw_on_breakdown);
+
   DualOperator& f_;
   const Projector& projector_;
   PcpgOptions options_;

@@ -1,6 +1,8 @@
 #include "gpu/sparse.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "la/blas_sparse.hpp"
@@ -9,6 +11,13 @@ namespace feti::gpu::sparse {
 
 const char* to_string(Api a) {
   return a == Api::Legacy ? "legacy" : "modern";
+}
+
+Api parse_api(std::string_view s) {
+  if (s == "legacy") return Api::Legacy;
+  if (s == "modern") return Api::Modern;
+  throw std::invalid_argument("parse_api: unknown sparse API '" +
+                              std::string(s) + "'");
 }
 
 namespace {

@@ -21,6 +21,8 @@
 // ColMajor = CSC of L, which equals CSR of U = L^T and is the orientation
 // our simplicial solver exports natively.
 
+#include <string_view>
+
 #include "gpu/data.hpp"
 #include "gpu/runtime.hpp"
 
@@ -29,6 +31,10 @@ namespace feti::gpu::sparse {
 enum class Api : std::uint8_t { Legacy, Modern };
 
 const char* to_string(Api a);
+
+/// Inverse of to_string ("legacy" / "modern"). Throws std::invalid_argument
+/// on unknown names.
+Api parse_api(std::string_view s);
 
 /// Persistent analysis object for a triangular solve with dense RHS
 /// (cusparse csrsm2 / SpSM analogue). Creation performs the persistent

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "la/scale.hpp"
+
 namespace feti::la {
 
 namespace {
@@ -24,6 +26,9 @@ Strided make_op(ConstDenseView a, Trans trans) {
   if (row_like) return {a.data, a.ld, 1};
   return {a.data, 1, a.ld};
 }
+
+using detail::scale_vec;
+using detail::store_scaled;
 
 }  // namespace
 
@@ -52,11 +57,12 @@ void gemv(double alpha, ConstDenseView a, Trans trans, const double* x,
     // op(A) rows are contiguous: dot-product form.
     for (idx i = 0; i < m; ++i) {
       const double* row = op.data + static_cast<widx>(i) * op.si;
-      y[i] = beta * y[i] + alpha * dot(n, row, x);
+      store_scaled(beta, y[i]);
+      y[i] += alpha * dot(n, row, x);
     }
   } else {
     // op(A) columns are contiguous: axpy form.
-    for (idx i = 0; i < m; ++i) y[i] *= beta;
+    scale_vec(m, beta, y);
     for (idx j = 0; j < n; ++j) {
       const double* col = op.data + static_cast<widx>(j) * op.sj;
       axpy(m, alpha * x[j], col, y);
@@ -68,7 +74,7 @@ void symv(Uplo uplo, double alpha, ConstDenseView a, const double* x,
           double beta, double* y) {
   check(a.rows == a.cols, "symv: matrix must be square");
   const idx n = a.rows;
-  for (idx i = 0; i < n; ++i) y[i] *= beta;
+  scale_vec(n, beta, y);
   if (uplo == Uplo::Upper) {
     for (idx r = 0; r < n; ++r) {
       double acc = a.at(r, r) * x[r];
@@ -92,6 +98,56 @@ void symv(Uplo uplo, double alpha, ConstDenseView a, const double* x,
   }
 }
 
+void symm(Uplo uplo, double alpha, ConstDenseView a, ConstDenseView b,
+          double beta, DenseView c) {
+  check(a.rows == a.cols, "symm: matrix must be square");
+  check(b.rows == a.cols && c.rows == a.rows && c.cols == b.cols,
+        "symm: dimension mismatch");
+  const idx n = a.rows, w = b.cols;
+  // Fast path: row-major B and C give contiguous per-row RHS panels, so the
+  // inner loops over the w right-hand sides vectorize.
+  if (b.layout == Layout::RowMajor && c.layout == Layout::RowMajor) {
+    for (idx i = 0; i < n; ++i)
+      scale_vec(w, beta, c.data + static_cast<widx>(i) * c.ld);
+    for (idx r = 0; r < n; ++r) {
+      const idx c_begin = uplo == Uplo::Upper ? r + 1 : 0;
+      const idx c_end = uplo == Uplo::Upper ? n : r;
+      double* cr = c.data + static_cast<widx>(r) * c.ld;
+      const double* br = b.data + static_cast<widx>(r) * b.ld;
+      const double d = alpha * a.at(r, r);
+      for (idx j = 0; j < w; ++j) cr[j] += d * br[j];
+      for (idx col = c_begin; col < c_end; ++col) {
+        const double v = alpha * a.at(r, col);
+        if (v == 0.0) continue;
+        double* cc = c.data + static_cast<widx>(col) * c.ld;
+        const double* bc = b.data + static_cast<widx>(col) * b.ld;
+        for (idx j = 0; j < w; ++j) {
+          cr[j] += v * bc[j];
+          cc[j] += v * br[j];
+        }
+      }
+    }
+    return;
+  }
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < w; ++j) store_scaled(beta, c.at(i, j));
+  // Mirror the stored triangle on the fly (same traversal as symv, with a
+  // row of right-hand sides in the inner dimension).
+  for (idx r = 0; r < n; ++r) {
+    const idx c_begin = uplo == Uplo::Upper ? r + 1 : 0;
+    const idx c_end = uplo == Uplo::Upper ? n : r;
+    for (idx j = 0; j < w; ++j) c.at(r, j) += alpha * a.at(r, r) * b.at(r, j);
+    for (idx col = c_begin; col < c_end; ++col) {
+      const double v = alpha * a.at(r, col);
+      if (v == 0.0) continue;
+      for (idx j = 0; j < w; ++j) {
+        c.at(r, j) += v * b.at(col, j);
+        c.at(col, j) += v * b.at(r, j);
+      }
+    }
+  }
+}
+
 void gemm(double alpha, ConstDenseView a, Trans ta, ConstDenseView b,
           Trans tb, double beta, DenseView c) {
   const idx m = ta == Trans::No ? a.rows : a.cols;
@@ -105,7 +161,7 @@ void gemm(double alpha, ConstDenseView a, Trans ta, ConstDenseView b,
   // Simple ikj loop with C row accumulation; adequate for the modest GEMM
   // sizes in this library (projector setup, tests).
   for (idx i = 0; i < m; ++i) {
-    for (idx j = 0; j < n; ++j) c.at(i, j) *= beta;
+    for (idx j = 0; j < n; ++j) store_scaled(beta, c.at(i, j));
     for (idx p = 0; p < k; ++p) {
       const double av = alpha * oa.at(i, p);
       if (av == 0.0) continue;
@@ -126,10 +182,11 @@ void syrk(Uplo uplo, Trans trans, double alpha, ConstDenseView a, double beta,
   auto scale_triangle = [&] {
     if (uplo == Uplo::Upper) {
       for (idx r = 0; r < n; ++r)
-        for (idx col = r; col < n; ++col) c.at(r, col) *= beta;
+        for (idx col = r; col < n; ++col) store_scaled(beta, c.at(r, col));
     } else {
       for (idx r = 0; r < n; ++r)
-        for (idx col = 0; col <= r; ++col) c.at(r, col) *= beta;
+        for (idx col = 0; col <= r; ++col)
+          store_scaled(beta, c.at(r, col));
     }
   };
   scale_triangle();

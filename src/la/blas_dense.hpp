@@ -39,6 +39,11 @@ void trsv(Uplo uplo, Trans trans, ConstDenseView a, double* x);
 void gemm(double alpha, ConstDenseView a, Trans ta, ConstDenseView b,
           Trans tb, double beta, DenseView c);
 
+/// C = alpha * A * B + beta * C for symmetric A (left side) with only the
+/// `uplo` triangle stored/referenced — the multi-column companion of symv.
+void symm(Uplo uplo, double alpha, ConstDenseView a, ConstDenseView b,
+          double beta, DenseView c);
+
 /// Symmetric rank-k update writing one triangle of C:
 ///   trans == No : C = alpha * A * A^T + beta * C   (A is n x k)
 ///   trans == Yes: C = alpha * A^T * A + beta * C   (A is k x n)

@@ -1,5 +1,7 @@
 #include "la/blas_sparse.hpp"
 
+#include "la/scale.hpp"
+
 #include "la/blas_dense.hpp"
 
 namespace feti::la {
@@ -10,13 +12,14 @@ void spmv(double alpha, CsrView a, const double* x, double beta,
     double acc = 0.0;
     for (idx k = a.row_begin(r); k < a.row_end(r); ++k)
       acc += a.val(k) * x[a.col(k)];
-    y[r] = beta * y[r] + alpha * acc;
+    detail::store_scaled(beta, y[r]);
+    y[r] += alpha * acc;
   }
 }
 
 void spmv_trans(double alpha, CsrView a, const double* x, double beta,
                 double* y) {
-  for (idx c = 0; c < a.ncols(); ++c) y[c] *= beta;
+  detail::scale_vec(a.ncols(), beta, y);
   for (idx r = 0; r < a.nrows(); ++r) {
     const double xr = alpha * x[r];
     if (xr == 0.0) continue;
@@ -31,9 +34,9 @@ void spmm(double alpha, CsrView a, Trans ta, ConstDenseView b, double beta,
   const idx k = ta == Trans::No ? a.ncols() : a.nrows();
   check(b.rows == k, "spmm: inner dimension mismatch");
   check(c.rows == m && c.cols == b.cols, "spmm: output dimension mismatch");
-  // Scale C by beta.
+  // Scale C by beta (beta == 0 overwrites without reading).
   for (idx r = 0; r < c.rows; ++r)
-    for (idx j = 0; j < c.cols; ++j) c.at(r, j) *= beta;
+    for (idx j = 0; j < c.cols; ++j) detail::store_scaled(beta, c.at(r, j));
 
   if (ta == Trans::No) {
     if (c.layout == Layout::RowMajor && b.layout == Layout::RowMajor) {

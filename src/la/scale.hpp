@@ -1,0 +1,30 @@
+#pragma once
+
+// Shared beta-scaling helpers for the BLAS-like kernels.
+//
+// BLAS beta semantics: beta == 0 must OVERWRITE the destination without
+// reading it — the output may be uninitialized memory (e.g. freshly
+// allocated device buffers), and 0 * NaN would otherwise poison the result
+// permanently.
+
+#include "la/dense.hpp"
+
+namespace feti::la::detail {
+
+/// y = beta * y, without reading y when beta == 0.
+inline void store_scaled(double beta, double& y) {
+  if (beta == 0.0)
+    y = 0.0;
+  else if (beta != 1.0)
+    y *= beta;
+}
+
+inline void scale_vec(idx n, double beta, double* y) {
+  if (beta == 0.0) {
+    for (idx i = 0; i < n; ++i) y[i] = 0.0;
+  } else if (beta != 1.0) {
+    for (idx i = 0; i < n; ++i) y[i] *= beta;
+  }
+}
+
+}  // namespace feti::la::detail

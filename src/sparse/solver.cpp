@@ -13,9 +13,34 @@ const char* to_string(Backend b) {
   return "?";
 }
 
+const char* axis_name(Backend b) {
+  return b == Backend::Simplicial ? "simplicial" : "supernodal";
+}
+
+Backend parse_backend(std::string_view s) {
+  for (Backend b : {Backend::Simplicial, Backend::Supernodal})
+    if (s == axis_name(b) || s == to_string(b)) return b;
+  if (s == "cholmod") return Backend::Simplicial;
+  if (s == "mkl" || s == "pardiso") return Backend::Supernodal;
+  throw std::invalid_argument("parse_backend: unknown backend '" +
+                              std::string(s) + "'");
+}
+
 void DirectSolver::solve_many(la::ConstDenseView b, la::DenseView x) const {
   check(b.rows == dim() && x.rows == dim() && b.cols == x.cols,
         "solve_many: dimension mismatch");
+  // Contiguous col-major columns solve in place — the batched-apply hot
+  // path (ImplicitCpuDualOp::apply_many) lands here every iteration.
+  const bool b_cols_contiguous =
+      b.layout == la::Layout::ColMajor && b.ld == b.rows;
+  const bool x_cols_contiguous =
+      x.layout == la::Layout::ColMajor && x.ld == x.rows;
+  if (b_cols_contiguous && x_cols_contiguous) {
+    for (idx j = 0; j < b.cols; ++j)
+      solve(b.data + static_cast<widx>(j) * b.ld,
+            x.data + static_cast<widx>(j) * x.ld);
+    return;
+  }
   std::vector<double> bi(static_cast<std::size_t>(dim()));
   std::vector<double> xi(static_cast<std::size_t>(dim()));
   for (idx j = 0; j < b.cols; ++j) {

@@ -14,6 +14,7 @@
 //    the GPU assembly — exactly the constraint the paper reports for MKL.
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "la/csr.hpp"
@@ -28,6 +29,15 @@ enum class Backend {
 };
 
 const char* to_string(Backend b);
+
+/// Canonical single-word axis name ("supernodal" / "simplicial") — the
+/// round-trippable counterpart of the descriptive to_string.
+const char* axis_name(Backend b);
+
+/// Inverse of axis_name; also accepts the descriptive to_string output and
+/// the stand-in library nicknames ("mkl", "pardiso", "cholmod"). Throws
+/// std::invalid_argument on unknown names.
+Backend parse_backend(std::string_view s);
 
 class DirectSolver {
  public:

@@ -140,13 +140,13 @@ TEST_P(ElementParam, StiffnessSymmetricPositiveSemidefinite) {
   if (dim == 2) {
     coords = {0.0, 0.0, 1.1, 0.1, 0.2, 0.9};
     if (npe == 6)
-      for (const auto [a, b] : {std::pair{0, 1}, {1, 2}, {2, 0}})
+      for (const auto& [a, b] : {std::pair{0, 1}, {1, 2}, {2, 0}})
         for (int d = 0; d < 2; ++d)
           coords.push_back(0.5 * (coords[2 * a + d] + coords[2 * b + d]));
   } else {
     coords = {0, 0, 0, 1.05, 0, 0.1, 0.1, 0.95, 0, 0.05, 0.1, 1.0};
     if (npe == 10)
-      for (const auto [a, b] : {std::pair{0, 1}, {1, 2}, {0, 2},
+      for (const auto& [a, b] : {std::pair{0, 1}, {1, 2}, {0, 2},
                                 {0, 3}, {1, 3}, {2, 3}})
         for (int d = 0; d < 3; ++d)
           coords.push_back(0.5 * (coords[3 * a + d] + coords[3 * b + d]));

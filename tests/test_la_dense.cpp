@@ -157,6 +157,44 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Layout::RowMajor, Layout::ColMajor),
                        ::testing::Values(Uplo::Upper, Uplo::Lower)));
 
+// symm across A/B/C layouts and both triangles, with beta == 0 (must
+// overwrite, not read) and beta != 0 (must accumulate).
+class SymmParam : public ::testing::TestWithParam<
+                      std::tuple<Layout, Layout, Layout, Uplo, double>> {};
+
+TEST_P(SymmParam, MatchesFullProduct) {
+  const auto [la_, lb, lc, uplo, beta] = GetParam();
+  const idx n = 9, w = 4;
+  DenseMatrix full = random_matrix(n, n, la_, 21);
+  symmetrize_from(full.view(), Uplo::Upper);
+  // Destroy the non-referenced triangle to prove symm ignores it.
+  DenseMatrix tri(n, n, la_);
+  for (idx r = 0; r < n; ++r)
+    for (idx c = 0; c < n; ++c) {
+      const bool stored = uplo == Uplo::Upper ? c >= r : c <= r;
+      tri.at(r, c) = stored ? full.at(r, c) : 999.0;
+    }
+  DenseMatrix b = random_matrix(n, w, lb, 22);
+  DenseMatrix c = random_matrix(n, w, lc, 23);
+  DenseMatrix ref(n, w, lc);
+  for (idx r = 0; r < n; ++r)
+    for (idx j = 0; j < w; ++j) {
+      double acc = beta * c.at(r, j);
+      for (idx k = 0; k < n; ++k) acc += 1.3 * full.at(r, k) * b.at(k, j);
+      ref.at(r, j) = acc;
+    }
+  symm(uplo, 1.3, tri.cview(), b.cview(), beta, c.view());
+  EXPECT_LT(max_abs_diff(c.cview(), ref.cview()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SymmParam,
+    ::testing::Combine(::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Layout::RowMajor, Layout::ColMajor),
+                       ::testing::Values(Uplo::Upper, Uplo::Lower),
+                       ::testing::Values(0.0, 0.7)));
+
 class GemmParam : public ::testing::TestWithParam<
                       std::tuple<Layout, Layout, Layout, Trans, Trans>> {};
 
@@ -210,7 +248,9 @@ TEST_P(SyrkParam, MatchesReference) {
   for (idx i = 0; i < n; ++i)
     for (idx j = 0; j < n; ++j) {
       const bool stored = uplo == Uplo::Upper ? j >= i : j <= i;
-      if (stored) EXPECT_NEAR(c.at(i, j), ref.at(i, j), 1e-12);
+      if (stored) {
+        EXPECT_NEAR(c.at(i, j), ref.at(i, j), 1e-12);
+      }
     }
 }
 
@@ -293,8 +333,12 @@ TEST(PaddedViews, KernelsHonorNonNaturalLeadingDimension) {
   syrk(Uplo::Lower, Trans::Yes, 1.0, b.cview(), 0.0, rb.view());
   for (idx r = 0; r < m; ++r)
     for (idx c = 0; c < m; ++c) {
-      if (c >= r) EXPECT_NEAR(packed_upper.at(r, c), ra.at(r, c), 1e-13);
-      if (c <= r) EXPECT_NEAR(packed_lower.at(r, c), rb.at(r, c), 1e-13);
+      if (c >= r) {
+        EXPECT_NEAR(packed_upper.at(r, c), ra.at(r, c), 1e-13);
+      }
+      if (c <= r) {
+        EXPECT_NEAR(packed_lower.at(r, c), rb.at(r, c), 1e-13);
+      }
     }
 
   // SYMV through both packed views must match the plain ones.

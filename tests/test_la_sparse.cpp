@@ -190,10 +190,10 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Layout::RowMajor, Layout::ColMajor),
                        ::testing::Values(Trans::No, Trans::Yes)));
 
-class SpTrsmParam : public ::testing::TestWithParam<
+class LaSpTrsmParam : public ::testing::TestWithParam<
                         std::tuple<Layout, Uplo, Trans>> {};
 
-TEST_P(SpTrsmParam, SolvesAgainstDense) {
+TEST_P(LaSpTrsmParam, SolvesAgainstDense) {
   const auto [lb, uplo, trans] = GetParam();
   const idx n = 20, w = 3;
   Csr t = random_sparse_triangular(n, uplo, 0.2, 34);
@@ -219,7 +219,7 @@ TEST_P(SpTrsmParam, SolvesAgainstDense) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllCombos, SpTrsmParam,
+    AllCombos, LaSpTrsmParam,
     ::testing::Combine(::testing::Values(Layout::RowMajor, Layout::ColMajor),
                        ::testing::Values(Uplo::Upper, Uplo::Lower),
                        ::testing::Values(Trans::No, Trans::Yes)));

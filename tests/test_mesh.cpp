@@ -165,7 +165,9 @@ TEST_P(Decompose2DParam, PartitionIsConsistent) {
     EXPECT_GE(dec.node_multiplicity[g], 1);
     if (dec.node_multiplicity[g] > 1) ++shared;
   }
-  if (sx * sy > 1) EXPECT_GT(shared, 0);
+  if (sx * sy > 1) {
+    EXPECT_GT(shared, 0);
+  }
 
   // Dirichlet nodes propagate to local meshes.
   for (const auto& sd : dec.subdomains)

@@ -110,7 +110,9 @@ TEST(Etree, PostorderIsValid) {
   std::vector<idx> pos(40);
   for (idx i = 0; i < 40; ++i) pos[post[i]] = i;
   for (idx v = 0; v < 40; ++v)
-    if (parent[v] != -1) EXPECT_LT(pos[v], pos[parent[v]]);
+    if (parent[v] != -1) {
+      EXPECT_LT(pos[v], pos[parent[v]]);
+    }
 }
 
 TEST(Symbolic, NnzMatchesDenseFactorization) {
@@ -138,7 +140,9 @@ TEST(Symbolic, ColumnCountsConsistent) {
   for (idx k = 0; k < sym.n; ++k)
     for (idx p = sym.rowpat_ptr[k]; p < sym.rowpat_ptr[k + 1]; ++p) {
       EXPECT_LT(sym.rowpat[p], k);
-      if (p > sym.rowpat_ptr[k]) EXPECT_LT(sym.rowpat[p - 1], sym.rowpat[p]);
+      if (p > sym.rowpat_ptr[k]) {
+        EXPECT_LT(sym.rowpat[p - 1], sym.rowpat[p]);
+      }
     }
 }
 
@@ -337,8 +341,8 @@ TEST(Supernodal, FactorExtractionUnsupported) {
   sn.analyze(a, OrderingKind::MinimumDegree);
   sn.factorize(a);
   EXPECT_FALSE(sn.supports_factor_extraction());
-  EXPECT_THROW(sn.factor_lower(), std::logic_error);
-  EXPECT_THROW(sn.factor_upper(), std::logic_error);
+  EXPECT_THROW((void)sn.factor_lower(), std::logic_error);
+  EXPECT_THROW((void)sn.factor_upper(), std::logic_error);
 }
 
 class SchurParam
@@ -362,9 +366,10 @@ TEST_P(SchurParam, MatchesDenseReference) {
   for (idx r = 0; r < m; ++r)
     for (idx c = 0; c < m; ++c) {
       const bool stored = uplo == la::Uplo::Upper ? c >= r : c <= r;
-      if (stored)
+      if (stored) {
         EXPECT_NEAR(s.at(r, c), ref.at(r, c), 1e-8)
             << "n=" << n << " m=" << m;
+      }
     }
 }
 
