@@ -15,13 +15,13 @@ using namespace feti::bench;
 namespace {
 
 double preprocess_ms_with_streams(const decomp::FetiProblem& p, int streams,
-                                  gpu::Device& dev) {
+                                  gpu::ExecutionContext& ctx) {
   core::DualOpConfig cfg;
   cfg.approach = core::Approach::ExplLegacy;
   cfg.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 3,
                                     p.max_subdomain_dofs());
   cfg.gpu.streams = streams;
-  return measure_dualop(p, cfg, dev, 3, 0.02).preprocess_ms;
+  return measure_dualop(p, cfg, ctx, 3, 0.02).preprocess_ms;
 }
 
 }  // namespace
@@ -29,13 +29,14 @@ double preprocess_ms_with_streams(const decomp::FetiProblem& p, int streams,
 int main() {
   // -- Ablation 1: pool allocator vs raw device allocations --------------
   {
-    gpu::Device dev([] {
+    gpu::ExecutionContext ctx([] {
       gpu::DeviceConfig cfg;
       cfg.launch_latency_us = 0.0;
       cfg.memory_bytes = 512ull << 20;
       return cfg;
     }());
-    dev.init_temp_pool(/*reserve=*/64ull << 20);  // leave room for raw allocs
+    ctx.init_workspace(/*reserve=*/64ull << 20);  // leave room for raw allocs
+    gpu::Device& dev = ctx.device();
     constexpr int kRounds = 20000;
     constexpr std::size_t kBytes = 1 << 16;
     const double pool_s = measure_median_seconds(3, 0.05, [&] {
@@ -67,7 +68,7 @@ int main() {
 
   // -- Ablation 2: stream count -------------------------------------------
   {
-    gpu::Device& dev = gpu::Device::default_device();
+    gpu::ExecutionContext& ctx = shared_context();
     BuiltProblem bp = build_problem(3, fem::Physics::HeatTransfer, 6,
                                     mesh::ElementOrder::Linear);
     std::printf("\n=== Ablation: CUDA streams in explicit GPU preprocessing "
@@ -76,7 +77,7 @@ int main() {
     Table table({"streams", "preprocess/subdomain [ms]"});
     double t1 = 0, tbest = 1e300;
     for (int streams : {1, 2, 4, 8}) {
-      const double ms = preprocess_ms_with_streams(bp.problem, streams, dev);
+      const double ms = preprocess_ms_with_streams(bp.problem, streams, ctx);
       table.add_row({std::to_string(streams), Table::num(ms, 4)});
       if (streams == 1) t1 = ms;
       tbest = std::min(tbest, ms);
@@ -97,12 +98,12 @@ int main() {
       gpu::DeviceConfig cfg;
       cfg.launch_latency_us = latency;
       cfg.memory_bytes = 512ull << 20;
-      gpu::Device dev(cfg);
+      gpu::ExecutionContext ctx(cfg);
       BuiltProblem bp = build_problem(2, fem::Physics::HeatTransfer, 6,
                                       mesh::ElementOrder::Linear);
       core::DualOpConfig c = config_for(core::Approach::ExplLegacy, 2,
                                         bp.dofs_per_subdomain);
-      const double ms = measure_dualop(bp.problem, c, dev, 3, 0.02).apply_ms;
+      const double ms = measure_dualop(bp.problem, c, ctx, 3, 0.02).apply_ms;
       table.add_row({Table::num(latency, 1), Table::num(ms, 4)});
       if (latency == 0.0) t0 = ms;
       if (latency == 8.0) t8 = ms;

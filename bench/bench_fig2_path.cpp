@@ -14,7 +14,7 @@ using namespace feti::bench;
 using core::FactorStorage;
 
 int main() {
-  gpu::Device& device = gpu::Device::default_device();
+  gpu::ExecutionContext& device = shared_context();
   struct Sample {
     double speedup;
     std::string label;

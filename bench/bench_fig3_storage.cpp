@@ -12,7 +12,7 @@ using namespace feti::bench;
 using core::FactorStorage;
 
 int main() {
-  gpu::Device& device = gpu::Device::default_device();
+  gpu::ExecutionContext& device = shared_context();
   const std::vector<idx> cells = {1, 2, 3, 5};
 
   std::printf("=== Fig. 3: factor storage in explicit assembly (heat 3D, "

@@ -11,7 +11,7 @@ using namespace feti;
 using namespace feti::bench;
 
 int main() {
-  gpu::Device& device = gpu::Device::default_device();
+  gpu::ExecutionContext& device = shared_context();
   const std::vector<idx> cells = {1, 2, 3, 5};
 
   std::printf("=== Fig. 4: scatter/gather placement — explicit GPU "

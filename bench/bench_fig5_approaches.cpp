@@ -17,7 +17,7 @@ using namespace feti;
 using namespace feti::bench;
 
 int main() {
-  gpu::Device& device = gpu::Device::default_device();
+  gpu::ExecutionContext& device = shared_context();
   const auto approaches = core::all_approaches();
 
   struct Cell {

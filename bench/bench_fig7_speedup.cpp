@@ -9,7 +9,7 @@ using namespace feti;
 using namespace feti::bench;
 
 int main() {
-  gpu::Device& device = gpu::Device::default_device();
+  gpu::ExecutionContext& device = shared_context();
   const auto approaches = core::all_approaches();
   const std::vector<int> iteration_grid = {1,   3,    10,   30,  100,
                                            300, 1000, 3000, 10000};

@@ -22,7 +22,7 @@ struct SweepResult {
 };
 
 SweepResult sweep(const decomp::FetiProblem& p, gpu::sparse::Api api,
-                  gpu::Device& dev) {
+                  gpu::ExecutionContext& dev) {
   SweepResult out;
   const auto layouts = {la::Layout::RowMajor, la::Layout::ColMajor};
   const auto storages = {FactorStorage::Sparse, FactorStorage::Dense};
@@ -63,7 +63,7 @@ SweepResult sweep(const decomp::FetiProblem& p, gpu::sparse::Api api,
 }  // namespace
 
 int main() {
-  gpu::Device& device = gpu::Device::default_device();
+  gpu::ExecutionContext& device = shared_context();
   Table table({"API", "dim", "DOFs/subdomain", "configs", "best [ms]",
                "optimal parameters"});
   int syrk_wins = 0, total_cells = 0;

@@ -27,6 +27,15 @@ struct BuiltProblem {
   idx num_subdomains = 0;
 };
 
+/// The execution context shared by a harness run: one virtual device
+/// configured from the environment (FETI_VGPU_*), its stream pool, and the
+/// temporary-pool workspace. Harnesses that need a custom device (e.g.
+/// latency sweeps) construct their own gpu::ExecutionContext instead.
+inline gpu::ExecutionContext& shared_context() {
+  static gpu::ExecutionContext ctx{gpu::DeviceConfig::from_env()};
+  return ctx;
+}
+
 /// 2D problem with ~target DOFs per subdomain on a 2x2 subdomain grid.
 inline BuiltProblem build_2d(fem::Physics physics, idx cells_per_subdomain,
                              mesh::ElementOrder order) {
@@ -69,9 +78,9 @@ struct DualOpTiming {
 /// ("preprocessing") and application times (normalized per subdomain).
 inline DualOpTiming measure_dualop(const decomp::FetiProblem& problem,
                                    const core::DualOpConfig& config,
-                                   gpu::Device& device, int reps = 3,
-                                   double min_seconds = 0.02) {
-  auto op = core::make_dual_operator(problem, config, &device);
+                                   gpu::ExecutionContext& context,
+                                   int reps = 3, double min_seconds = 0.02) {
+  auto op = core::make_dual_operator(problem, config, &context);
   op->prepare();
   op->update_values();  // warm-up
   DualOpTiming t;

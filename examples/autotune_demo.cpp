@@ -13,14 +13,18 @@ namespace {
 
 using namespace feti;
 
+gpu::ExecutionContext& demo_context() {
+  static gpu::ExecutionContext ctx{gpu::DeviceConfig::from_env()};
+  return ctx;
+}
+
 double measure_preprocess(const decomp::FetiProblem& problem,
                           core::Approach approach,
                           const core::ExplicitGpuOptions& gpu_opts) {
   core::DualOpConfig cfg;
   cfg.approach = approach;
   cfg.gpu = gpu_opts;
-  auto op = core::make_dual_operator(problem, cfg,
-                                     &gpu::Device::default_device());
+  auto op = core::make_dual_operator(problem, cfg, &demo_context());
   op->prepare();
   op->update_values();  // warm-up
   return measure_median_seconds(3, 0.05, [&] { op->update_values(); });

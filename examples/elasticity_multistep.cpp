@@ -35,7 +35,8 @@ int main() {
   opts.pcpg.max_iterations = 3000;
   opts.pcpg.preconditioner = core::PreconditionerKind::Lumped;
 
-  core::FetiSolver solver(problem, opts, &gpu::Device::default_device());
+  gpu::ExecutionContext ctx(gpu::DeviceConfig::from_env());
+  core::FetiSolver solver(problem, opts, &ctx);
 
   Timer prep_timer;
   solver.prepare();

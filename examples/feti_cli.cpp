@@ -31,6 +31,7 @@ struct Cli {
   int steps = 1;
   double tol = 1e-8;
   bool verify = false;
+  bool list = false;
 };
 
 void usage() {
@@ -46,6 +47,9 @@ void usage() {
       "  --steps N              time steps (Algorithm 2)    (default 1)\n"
       "  --tol X                PCPG relative tolerance     (default 1e-8)\n"
       "  --verify               compare against a monolithic direct solve\n"
+      "  --list                 print all registered dual-operator keys "
+      "with\n"
+      "                         their capability metadata and exit\n"
       "\nregistered dual-operator approaches:\n");
   const auto& registry = core::DualOperatorRegistry::instance();
   for (const std::string& key : registry.keys())
@@ -71,12 +75,28 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--steps" && (v = next())) cli.steps = std::atoi(v);
     else if (a == "--tol" && (v = next())) cli.tol = std::atof(v);
     else if (a == "--verify") cli.verify = true;
+    else if (a == "--list") cli.list = true;
     else {
       std::printf("unknown or incomplete option: %s\n", a.c_str());
       return false;
     }
   }
   return true;
+}
+
+/// --list: every registered key with its capability metadata, so users can
+/// discover operators without reading source.
+void list_operators(const feti::gpu::ExecutionContext* context) {
+  const auto& registry = core::DualOperatorRegistry::instance();
+  Table table({"key", "gpu", "explicit", "available", "description"});
+  for (const std::string& key : registry.keys()) {
+    const core::DualOperatorInfo info = registry.info(key);
+    table.add_row({key, registry.uses_gpu(key) ? "yes" : "no",
+                   registry.is_explicit(key) ? "yes" : "no",
+                   registry.available(key, context) ? "yes" : "no",
+                   info.summary});
+  }
+  table.print();
 }
 
 }  // namespace
@@ -86,6 +106,11 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, cli)) {
     usage();
     return 1;
+  }
+  gpu::ExecutionContext context(gpu::DeviceConfig::from_env());
+  if (cli.list) {
+    list_operators(&context);
+    return 0;
   }
   const fem::Physics physics = cli.physics == "heat"
                                    ? fem::Physics::HeatTransfer
@@ -120,8 +145,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   core::FetiSolverOptions opts;
-  opts.dualop = core::recommend_config(registry.info(cli.approach).axes,
-                                       cli.dim,
+  opts.dualop = core::recommend_config(cli.approach, cli.dim,
                                        problem.max_subdomain_dofs());
   opts.pcpg.rel_tolerance = cli.tol;
   opts.pcpg.max_iterations = 5000;
@@ -134,7 +158,7 @@ int main(int argc, char** argv) {
                   ? opts.dualop.gpu.describe().c_str()
                   : "implicit application");
 
-  core::FetiSolver solver(problem, opts, &gpu::Device::default_device());
+  core::FetiSolver solver(problem, opts, &context);
   Timer prep;
   solver.prepare();
   std::printf("preparation: %.3f ms\n", prep.millis());

@@ -24,7 +24,7 @@ int main() {
   std::printf("heat transfer 3D: %d nodes, %zu subdomains, %d multipliers\n\n",
               m.num_nodes, dec.subdomains.size(), problem.num_lambdas);
 
-  gpu::Device& device = gpu::Device::default_device();
+  gpu::ExecutionContext context(gpu::DeviceConfig::from_env());
 
   Table table({"approach", "preproc [ms]", "apply/iter [ms]", "iters",
                "residual"});
@@ -41,10 +41,10 @@ int main() {
   auto& registry = core::DualOperatorRegistry::instance();
   for (const std::string& key : registry.keys()) {
     core::FetiSolverOptions opts;
-    opts.dualop = core::recommend_config(registry.info(key).axes, 3,
+    opts.dualop = core::recommend_config(key, 3,
                                          problem.max_subdomain_dofs());
     opts.pcpg.rel_tolerance = 1e-9;
-    core::FetiSolver solver(problem, opts, &device);
+    core::FetiSolver solver(problem, opts, &context);
     solver.prepare();
     core::FetiStepResult res = solver.solve_step();
     const double apply_per_iter =

@@ -46,7 +46,10 @@ int main() {
   std::printf("explicit assembly parameters: %s\n",
               opts.dualop.gpu.describe().c_str());
 
-  core::FetiSolver solver(problem, opts, &gpu::Device::default_device());
+  // Execution resources are explicit: one context owning the virtual
+  // device (configured from FETI_VGPU_*), its stream pool and workspace.
+  gpu::ExecutionContext ctx(gpu::DeviceConfig::from_env());
+  core::FetiSolver solver(problem, opts, &ctx);
   solver.prepare();
   core::FetiStepResult res = solver.solve_step();
   std::printf("PCPG: %d iterations, relative residual %.2e (%s)\n",

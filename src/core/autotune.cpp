@@ -1,6 +1,9 @@
 #include "core/autotune.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "core/dualop_registry.hpp"
 
 namespace feti::core {
 
@@ -52,11 +55,36 @@ ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
 }
 
 DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
-                              idx dofs_per_subdomain, int nrhs_hint) {
+                              idx dofs_per_subdomain, int nrhs_hint,
+                              const gpu::DeviceTopology& topology) {
   DualOpConfig cfg;
   cfg.select(axes);
-  if (axes.device != ExecDevice::Cpu)
-    cfg.gpu = recommend_options(axes.api, dim, dofs_per_subdomain, nrhs_hint);
+  if (axes.device == ExecDevice::Cpu) return cfg;
+  cfg.gpu = recommend_options(axes.api, dim, dofs_per_subdomain, nrhs_hint);
+  if (topology.streams_per_device > 0)
+    cfg.gpu.streams =
+        gpu::ExecutionContext::clamp_streams(topology.streams_per_device);
+  // Multi-device topologies route the explicit GPU axes to the largest
+  // registered sharded variant the topology can feed.
+  if (topology.num_devices >= 2 && axes.device == ExecDevice::Gpu &&
+      axes.repr == Representation::Explicit) {
+    const int shards = topology.num_devices >= 4 ? 4 : 2;
+    cfg.key = axes.key() + " x" + std::to_string(shards);
+  }
+  return cfg;
+}
+
+DualOpConfig recommend_config(std::string_view key, int dim,
+                              idx dofs_per_subdomain, int nrhs_hint,
+                              const gpu::DeviceTopology& topology) {
+  const DualOperatorRegistry& registry = DualOperatorRegistry::instance();
+  const ApproachAxes axes =
+      registry.contains(key) ? registry.info(key).axes : parse_axes(key);
+  DualOpConfig cfg =
+      recommend_config(axes, dim, dofs_per_subdomain, nrhs_hint, topology);
+  // The caller picked a concrete implementation; keep it selected even
+  // where the topology remap would have chosen another variant.
+  cfg.key = std::string(key);
   return cfg;
 }
 

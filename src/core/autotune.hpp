@@ -6,6 +6,7 @@
 // being solved").
 
 #include "core/config.hpp"
+#include "gpu/context.hpp"
 
 namespace feti::core {
 
@@ -25,7 +26,23 @@ ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
 /// (DualOpConfig::key) and, for the GPU-backed axes, fills the Table-II
 /// assembly parameters for that tuple's sparse API generation. CPU axes
 /// keep the defaults (the explicit CPU paths have no Table-I knobs).
+///
+/// `topology` is the device-topology hint: with num_devices >= 2 the
+/// explicit GPU axes resolve to the largest registered sharded variant
+/// ("expl legacy x2" / "x4") that the topology can feed, and a non-zero
+/// streams_per_device overrides the worker-stream count (the paper uses
+/// one stream per OpenMP thread).
 DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
-                              idx dofs_per_subdomain, int nrhs_hint = 1);
+                              idx dofs_per_subdomain, int nrhs_hint = 1,
+                              const gpu::DeviceTopology& topology = {});
+
+/// Key-based overload: resolves the axes through the registry metadata
+/// (falling back to the Table-III key grammar for unregistered spellings)
+/// and keeps `key` itself selected. Use this when iterating registry keys:
+/// sharded variants share their axis tuple with the single-device base
+/// implementation, so the axes alone cannot round-trip the key.
+DualOpConfig recommend_config(std::string_view key, int dim,
+                              idx dofs_per_subdomain, int nrhs_hint = 1,
+                              const gpu::DeviceTopology& topology = {});
 
 }  // namespace feti::core

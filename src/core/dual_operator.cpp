@@ -96,9 +96,9 @@ void DualOperator::primal_solution(
 
 std::unique_ptr<DualOperator> make_dual_operator(
     const decomp::FetiProblem& problem, const DualOpConfig& config,
-    gpu::Device* device) {
+    gpu::ExecutionContext* context) {
   return DualOperatorRegistry::instance().create(config.resolved_key(),
-                                                 problem, config, device);
+                                                 problem, config, context);
 }
 
 }  // namespace feti::core

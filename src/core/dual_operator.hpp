@@ -34,7 +34,7 @@
 
 #include "core/config.hpp"
 #include "decomp/feti_problem.hpp"
-#include "gpu/runtime.hpp"
+#include "gpu/context.hpp"
 #include "util/timer.hpp"
 
 namespace feti::core {
@@ -95,10 +95,11 @@ class DualOperator {
 };
 
 /// Creates the dual operator for the configured approach by resolving
-/// config.resolved_key() in the DualOperatorRegistry. `device` is required
-/// for the GPU-backed approaches and ignored otherwise.
+/// config.resolved_key() in the DualOperatorRegistry. `context` carries
+/// the execution resources (device, stream pool, workspace policy); it is
+/// required for the GPU-backed approaches and ignored otherwise.
 std::unique_ptr<DualOperator> make_dual_operator(
     const decomp::FetiProblem& problem, const DualOpConfig& config,
-    gpu::Device* device = nullptr);
+    gpu::ExecutionContext* context = nullptr);
 
 }  // namespace feti::core

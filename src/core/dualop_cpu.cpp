@@ -429,25 +429,25 @@ void register_cpu_dual_operators(DualOperatorRegistry& registry) {
   registry.add(
       {"impl mkl", axes(R::Implicit, B::Supernodal),
        "implicit application, supernodal (PARDISO-like) solver on the CPU"},
-      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::Device*) {
+      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::ExecutionContext*) {
         return make_implicit_cpu(p, B::Supernodal, c.ordering);
       });
   registry.add(
       {"impl cholmod", axes(R::Implicit, B::Simplicial),
        "implicit application, simplicial (CHOLMOD-like) solver on the CPU"},
-      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::Device*) {
+      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::ExecutionContext*) {
         return make_implicit_cpu(p, B::Simplicial, c.ordering);
       });
   registry.add(
       {"expl mkl", axes(R::Explicit, B::Supernodal),
        "explicit F̃ via the augmented Schur complement on the CPU"},
-      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::Device*) {
+      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::ExecutionContext*) {
         return make_explicit_cpu_schur(p, c.ordering);
       });
   registry.add(
       {"expl cholmod", axes(R::Explicit, B::Simplicial),
        "explicit F̃ via factor extraction + dense TRSM on the CPU"},
-      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::Device*) {
+      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::ExecutionContext*) {
         return make_explicit_cpu_trsm(p, c.ordering);
       });
 }

@@ -3,18 +3,30 @@
 //  * ExplicitGpuDualOp — the paper's contribution: assembly of the local
 //    dual operators F̃ᵢ on the (virtual) GPU with the full Table-I
 //    parameter space (path, factor storage/order per solve, RHS order,
-//    scatter/gather location), one stream per worker thread, persistent vs
-//    temporary memory discipline, and CPU-GPU overlap (numeric
-//    factorization of subdomain i+1 runs while the GPU assembles i).
+//    scatter/gather location), worker streams drawn from the execution
+//    context, persistent vs temporary memory discipline, and CPU-GPU
+//    overlap (numeric factorization of subdomain i+1 runs while the GPU
+//    assembles i).
 //  * ImplicitGpuDualOp — factors from the simplicial (CHOLMOD-like)
 //    solver copied to the device; application via SpMV + two sparse
 //    triangular solves + SpMV per subdomain.
 //  * HybridDualOp — the prior-work baseline: assembly via the CPU Schur
 //    path ("expl mkl"), application on the GPU.
+//  * ShardedDualOp — multi-GPU sharding: subdomains partitioned across the
+//    per-shard contexts of a gpu::DevicePool, one partial operator per
+//    shard; dual results merge by summation because the dual gather is
+//    additive. Registered as "expl legacy x2" etc.
+//
+// All operators receive their execution resources (device, stream pool,
+// workspace policy) through gpu::ExecutionContext instead of creating and
+// clamping their own stream vectors.
 
 #include <omp.h>
 
+#include <exception>
 #include <map>
+#include <numeric>
+#include <thread>
 
 #include "core/dualop_impls.hpp"
 #include "core/dualop_registry.hpp"
@@ -41,25 +53,41 @@ la::Csr permute_columns(const la::Csr& b, const std::vector<idx>& perm) {
   return la::Csr::from_triplets(b.nrows(), b.ncols(), std::move(t));
 }
 
+/// The subdomains an operator is responsible for: the explicit subset when
+/// given, otherwise all of them.
+std::vector<idx> resolve_owned(const decomp::FetiProblem& p,
+                               std::vector<idx> owned) {
+  if (owned.empty()) {
+    owned.resize(static_cast<std::size_t>(p.num_subdomains()));
+    std::iota(owned.begin(), owned.end(), 0);
+  }
+  return owned;
+}
+
 /// Per-subdomain device dual vectors + cluster vectors + maps, and the two
-/// scatter/gather application strategies of Section IV-C.
+/// scatter/gather application strategies of Section IV-C. Operates on the
+/// owned subdomain subset only: the gathered cluster vector holds the
+/// contributions of the owned subdomains and zero elsewhere, so partial
+/// results of disjoint subsets sum to the full application.
 class GpuDualVectors {
  public:
-  void prepare(gpu::Device& dev, gpu::Stream& s,
-               const decomp::FetiProblem& p) {
+  void prepare(gpu::Device& dev, gpu::Stream& s, const decomp::FetiProblem& p,
+               const std::vector<idx>& owned) {
     dev_ = &dev;
-    const idx nsub = p.num_subdomains();
-    subs_.resize(static_cast<std::size_t>(nsub));
+    p_ = &p;
+    owned_ = owned;
+    subs_.resize(owned_.size());
     host_lam_.resize(subs_.size());
     host_q_.resize(subs_.size());
-    for (idx i = 0; i < nsub; ++i) {
-      const idx m = p.sub[i].num_local_lambdas();
-      subs_[i].n = m;
-      subs_[i].lam = dev.alloc_n<double>(static_cast<std::size_t>(m));
-      subs_[i].q = dev.alloc_n<double>(static_cast<std::size_t>(m));
-      subs_[i].map = gpu::upload_array(dev, s, p.sub[i].lm_l2c);
-      host_lam_[i].resize(static_cast<std::size_t>(m));
-      host_q_[i].resize(static_cast<std::size_t>(m));
+    for (std::size_t k = 0; k < owned_.size(); ++k) {
+      const auto& fs = p.sub[owned_[k]];
+      const idx m = fs.num_local_lambdas();
+      subs_[k].n = m;
+      subs_[k].lam = dev.alloc_n<double>(static_cast<std::size_t>(m));
+      subs_[k].q = dev.alloc_n<double>(static_cast<std::size_t>(m));
+      subs_[k].map = gpu::upload_array(dev, s, fs.lm_l2c);
+      host_lam_[k].resize(static_cast<std::size_t>(m));
+      host_q_[k].resize(static_cast<std::size_t>(m));
     }
     d_x_ = dev.alloc_n<double>(static_cast<std::size_t>(p.num_lambdas));
     d_y_ = dev.alloc_n<double>(static_cast<std::size_t>(p.num_lambdas));
@@ -87,6 +115,7 @@ class GpuDualVectors {
 
   /// GPU scatter/gather: one H2D copy + a single scatter kernel, the
   /// per-subdomain kernels, a single gather kernel + one D2H copy.
+  /// `submit_local` receives the *global* subdomain index.
   template <typename SubmitLocal>
   void apply_sg_gpu(gpu::Stream& main, std::vector<gpu::Stream>& streams,
                     const double* x, double* y, SubmitLocal&& submit_local) {
@@ -100,13 +129,13 @@ class GpuDualVectors {
 
     const std::size_t nstreams = streams.size();
     std::vector<bool> used(nstreams, false);
-    for (std::size_t i = 0; i < subs_.size(); ++i) {
-      gpu::Stream& st = streams[i % nstreams];
-      if (!used[i % nstreams]) {
+    for (std::size_t k = 0; k < subs_.size(); ++k) {
+      gpu::Stream& st = streams[k % nstreams];
+      if (!used[k % nstreams]) {
         st.wait(scattered);
-        used[i % nstreams] = true;
+        used[k % nstreams] = true;
       }
-      submit_local(static_cast<idx>(i), st, subs_[i].lam, subs_[i].q);
+      submit_local(owned_[k], st, subs_[k].lam, subs_[k].q);
     }
     for (std::size_t k = 0; k < nstreams; ++k)
       if (used[k]) main.wait(streams[k].record());
@@ -123,42 +152,39 @@ class GpuDualVectors {
   /// CPU scatter/gather: per-subdomain H2D/D2H copies around each kernel —
   /// more submissions (overhead) but more copy/compute concurrency.
   template <typename SubmitLocal>
-  void apply_sg_cpu(std::vector<gpu::Stream>& streams,
-                    const decomp::FetiProblem& p, const double* x, double* y,
-                    SubmitLocal&& submit_local) {
+  void apply_sg_cpu(std::vector<gpu::Stream>& streams, const double* x,
+                    double* y, SubmitLocal&& submit_local) {
     const std::size_t nstreams = streams.size();
-    for (std::size_t i = 0; i < subs_.size(); ++i) {
-      const auto& map = p.sub[static_cast<idx>(i)].lm_l2c;
-      for (std::size_t k = 0; k < map.size(); ++k)
-        host_lam_[i][k] = x[map[k]];
-      gpu::Stream& st = streams[i % nstreams];
-      st.memcpy_h2d(subs_[i].lam, host_lam_[i].data(),
-                    host_lam_[i].size() * sizeof(double));
-      submit_local(static_cast<idx>(i), st, subs_[i].lam, subs_[i].q);
-      st.memcpy_d2h(host_q_[i].data(), subs_[i].q,
-                    host_q_[i].size() * sizeof(double));
+    for (std::size_t k = 0; k < subs_.size(); ++k) {
+      const auto& map = p_->sub[owned_[k]].lm_l2c;
+      for (std::size_t i = 0; i < map.size(); ++i)
+        host_lam_[k][i] = x[map[i]];
+      gpu::Stream& st = streams[k % nstreams];
+      st.memcpy_h2d(subs_[k].lam, host_lam_[k].data(),
+                    host_lam_[k].size() * sizeof(double));
+      submit_local(owned_[k], st, subs_[k].lam, subs_[k].q);
+      st.memcpy_d2h(host_q_[k].data(), subs_[k].q,
+                    host_q_[k].size() * sizeof(double));
     }
     for (auto& st : streams) st.synchronize();
     std::fill_n(y, nlambda_, 0.0);
-    for (std::size_t i = 0; i < subs_.size(); ++i) {
-      const auto& map = p.sub[static_cast<idx>(i)].lm_l2c;
-      for (std::size_t k = 0; k < map.size(); ++k)
-        y[map[k]] += host_q_[i][k];
+    for (std::size_t k = 0; k < subs_.size(); ++k) {
+      const auto& map = p_->sub[owned_[k]].lm_l2c;
+      for (std::size_t i = 0; i < map.size(); ++i)
+        y[map[i]] += host_q_[k][i];
     }
   }
 
  private:
   gpu::Device* dev_ = nullptr;
+  const decomp::FetiProblem* p_ = nullptr;
+  std::vector<idx> owned_;
   std::vector<SubVec> subs_;
   std::vector<std::vector<double>> host_lam_, host_q_;
   double* d_x_ = nullptr;
   double* d_y_ = nullptr;
   idx nlambda_ = 0;
 };
-
-int clamp_streams(int requested) {
-  return std::max(1, std::min(requested, 32));
-}
 
 // ---------------------------------------------------------------------------
 // Explicit GPU (the contribution)
@@ -168,9 +194,11 @@ class ExplicitGpuDualOp final : public DualOperator {
  public:
   ExplicitGpuDualOp(const decomp::FetiProblem& p, gpu::sparse::Api api,
                     const ExplicitGpuOptions& opt,
-                    sparse::OrderingKind ordering, gpu::Device& dev)
+                    sparse::OrderingKind ordering, gpu::ExecutionContext& ctx,
+                    std::vector<idx> owned)
       : DualOperator(p), api_(api), opt_(opt), ordering_(ordering),
-        dev_(dev) {}
+        ctx_(ctx), dev_(ctx.device()),
+        owned_(resolve_owned(p, std::move(owned))) {}
 
   ~ExplicitGpuDualOp() override {
     dev_.synchronize();
@@ -184,30 +212,32 @@ class ExplicitGpuDualOp final : public DualOperator {
 
   void prepare() override {
     ScopedTimer t(timings_, "prepare");
-    const idx nsub = p_.num_subdomains();
-    const int nstreams = clamp_streams(opt_.streams);
-    main_stream_ = dev_.create_stream();
-    streams_.clear();
-    for (int i = 0; i < nstreams; ++i) streams_.push_back(dev_.create_stream());
+    const std::size_t nsub = static_cast<std::size_t>(p_.num_subdomains());
+    main_stream_ = ctx_.main_stream();
+    streams_ = ctx_.stream_span(opt_.streams);
 
-    solvers_.resize(static_cast<std::size_t>(nsub));
-    bperm_host_.resize(solvers_.size());
-    bperm_dev_.resize(solvers_.size());
-    factor_dev_.resize(solvers_.size());
-    fwd_plan_.resize(solvers_.size());
-    bwd_plan_.resize(solvers_.size());
-    f_.resize(solvers_.size());
+    // Per-subdomain state is indexed globally; only owned entries are
+    // populated (the sharded wrapper routes each subdomain to its owner).
+    solvers_.resize(nsub);
+    bperm_host_.resize(nsub);
+    bperm_dev_.resize(nsub);
+    factor_dev_.resize(nsub);
+    fwd_plan_.resize(nsub);
+    bwd_plan_.resize(nsub);
+    f_.resize(nsub);
 
     const bool need_dense_factor =
         opt_.fwd_storage == FactorStorage::Dense ||
         (opt_.path == Path::Trsm && opt_.bwd_storage == FactorStorage::Dense);
 
+    const idx nown = static_cast<idx>(owned_.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx s = 0; s < nsub; ++s) {
-      guard.run([&, s] {
+    for (idx k = 0; k < nown; ++k) {
+      guard.run([&, k] {
+        const idx s = owned_[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
-        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+        gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
         // Symbolic factorization on the CPU.
         solvers_[s] = std::make_unique<sparse::SimplicialCholesky>();
         solvers_[s]->analyze(fs.k_reg, ordering_);
@@ -231,22 +261,23 @@ class ExplicitGpuDualOp final : public DualOperator {
     }
     guard.rethrow();
     allocate_f();
-    vectors_.prepare(dev_, main_stream_, p_);
+    vectors_.prepare(dev_, main_stream_, p_, owned_);
     dev_.synchronize();
     // Remaining device memory feeds the temporary-buffer pool (Sec. IV-A).
-    dev_.ensure_temp_pool();
+    ctx_.ensure_workspace();
   }
 
   void update_values() override {
     ScopedTimer t(timings_, "update_values");
-    const idx nsub = p_.num_subdomains();
-    auto& temp = dev_.temp();
+    auto& temp = ctx_.workspace();
+    const idx nown = static_cast<idx>(owned_.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx s = 0; s < nsub; ++s) {
-      guard.run([&, s] {
+    for (idx k = 0; k < nown; ++k) {
+      guard.run([&, k] {
+        const idx s = owned_[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
-        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+        gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
         const idx n = fs.ndof();
         const idx m = fs.num_local_lambdas();
 
@@ -341,10 +372,12 @@ class ExplicitGpuDualOp final : public DualOperator {
     if (opt_.scatter_gather == SgLocation::Gpu)
       vectors_.apply_sg_gpu(main_stream_, streams_, x, y, submit_local);
     else
-      vectors_.apply_sg_cpu(streams_, p_, x, y, submit_local);
+      vectors_.apply_sg_cpu(streams_, x, y, submit_local);
   }
 
   void kplus_solve(idx sub, const double* b, double* x) const override {
+    check(solvers_[sub] != nullptr,
+          "ExplicitGpuDualOp: subdomain not owned by this operator");
     solvers_[sub]->solve(b, x);
   }
 
@@ -363,20 +396,21 @@ class ExplicitGpuDualOp final : public DualOperator {
   }
 
  private:
-  /// Allocates the persistent F̃ᵢ buffers. With the SYRK path and
-  /// symmetric_pack enabled, equally sized subdomains are paired and the
-  /// upper triangle of one shares a (m+1)-leading-dimension allocation with
-  /// the lower triangle of the other (paper footnote 1): A's (i,j), i<=j,
-  /// lives at i + j(m+1), B's (i,j), i>=j, at 1 + i + j(m+1) — disjoint.
+  /// Allocates the persistent F̃ᵢ buffers for the owned subdomains. With
+  /// the SYRK path and symmetric_pack enabled, equally sized subdomains are
+  /// paired and the upper triangle of one shares a (m+1)-leading-dimension
+  /// allocation with the lower triangle of the other (paper footnote 1):
+  /// A's (i,j), i<=j, lives at i + j(m+1), B's (i,j), i>=j, at
+  /// 1 + i + j(m+1) — disjoint.
   void allocate_f() {
-    const idx nsub = p_.num_subdomains();
-    f_.resize(static_cast<std::size_t>(nsub));
-    uplo_.assign(static_cast<std::size_t>(nsub), la::Uplo::Upper);
-    packed_.assign(static_cast<std::size_t>(nsub), false);
+    const std::size_t nsub = static_cast<std::size_t>(p_.num_subdomains());
+    f_.resize(nsub);
+    uplo_.assign(nsub, la::Uplo::Upper);
+    packed_.assign(nsub, false);
     const bool pack = opt_.symmetric_pack && opt_.path == Path::Syrk;
 
     std::map<idx, std::vector<idx>> by_size;
-    for (idx s = 0; s < nsub; ++s)
+    for (idx s : owned_)
       by_size[p_.sub[s].num_local_lambdas()].push_back(s);
 
     for (auto& [m, subs] : by_size) {
@@ -405,7 +439,9 @@ class ExplicitGpuDualOp final : public DualOperator {
   gpu::sparse::Api api_;
   ExplicitGpuOptions opt_;
   sparse::OrderingKind ordering_;
+  gpu::ExecutionContext& ctx_;
   gpu::Device& dev_;
+  std::vector<idx> owned_;
   gpu::Stream main_stream_;
   std::vector<gpu::Stream> streams_;
   std::vector<std::unique_ptr<sparse::SimplicialCholesky>> solvers_;
@@ -428,10 +464,11 @@ class ExplicitGpuDualOp final : public DualOperator {
 class ImplicitGpuDualOp final : public DualOperator {
  public:
   ImplicitGpuDualOp(const decomp::FetiProblem& p, gpu::sparse::Api api,
-                    sparse::OrderingKind ordering, gpu::Device& dev,
-                    int streams)
-      : DualOperator(p), api_(api), ordering_(ordering), dev_(dev),
-        nstreams_(clamp_streams(streams)) {}
+                    sparse::OrderingKind ordering, gpu::ExecutionContext& ctx,
+                    int streams, std::vector<idx> owned)
+      : DualOperator(p), api_(api), ordering_(ordering), ctx_(ctx),
+        dev_(ctx.device()), requested_streams_(streams),
+        owned_(resolve_owned(p, std::move(owned))) {}
 
   ~ImplicitGpuDualOp() override {
     dev_.synchronize();
@@ -441,54 +478,55 @@ class ImplicitGpuDualOp final : public DualOperator {
 
   void prepare() override {
     ScopedTimer t(timings_, "prepare");
-    const idx nsub = p_.num_subdomains();
-    main_stream_ = dev_.create_stream();
-    streams_.clear();
-    for (int i = 0; i < nstreams_; ++i)
-      streams_.push_back(dev_.create_stream());
-    solvers_.resize(static_cast<std::size_t>(nsub));
-    bperm_host_.resize(solvers_.size());
-    bperm_dev_.resize(solvers_.size());
-    fwd_plan_.resize(solvers_.size());
-    bwd_plan_.resize(solvers_.size());
-    tmp_dev_.resize(solvers_.size());
+    const std::size_t nsub = static_cast<std::size_t>(p_.num_subdomains());
+    main_stream_ = ctx_.main_stream();
+    streams_ = ctx_.stream_span(requested_streams_);
+    solvers_.resize(nsub);
+    bperm_host_.resize(nsub);
+    bperm_dev_.resize(nsub);
+    fwd_plan_.resize(nsub);
+    bwd_plan_.resize(nsub);
+    tmp_dev_.resize(nsub);
+    const idx nown = static_cast<idx>(owned_.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx s = 0; s < nsub; ++s) {
-      guard.run([&, s] {
+    for (idx k = 0; k < nown; ++k) {
+      guard.run([&, k] {
+        const idx s = owned_[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
-        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+        gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
         solvers_[s] = std::make_unique<sparse::SimplicialCholesky>();
         solvers_[s]->analyze(fs.k_reg, ordering_);
         bperm_host_[s] = permute_columns(fs.b, solvers_[s]->permutation());
         bperm_dev_[s] = gpu::upload_csr(dev_, st, bperm_host_[s]);
         const la::Csr& u = solvers_[s]->factor_upper_structure();
-        fwd_plan_[s] = gpu::sparse::SpTrsmPlan(dev_, st, api_, u,
-                                               la::Layout::ColMajor,
+        fwd_plan_[s] = gpu::sparse::SpTrsmPlan(dev_, st, api_,
+                                               u, la::Layout::ColMajor,
                                                /*forward=*/true,
                                                la::Layout::ColMajor, 1);
-        bwd_plan_[s] = gpu::sparse::SpTrsmPlan(dev_, st, api_, u,
-                                               la::Layout::ColMajor,
+        bwd_plan_[s] = gpu::sparse::SpTrsmPlan(dev_, st, api_,
+                                               u, la::Layout::ColMajor,
                                                /*forward=*/false,
                                                la::Layout::ColMajor, 1);
         tmp_dev_[s] = dev_.alloc_n<double>(static_cast<std::size_t>(fs.ndof()));
       });
     }
     guard.rethrow();
-    vectors_.prepare(dev_, main_stream_, p_);
+    vectors_.prepare(dev_, main_stream_, p_, owned_);
     dev_.synchronize();
-    dev_.ensure_temp_pool();
+    ctx_.ensure_workspace();
   }
 
   void update_values() override {
     // Implicit preprocessing = numeric factorization + factor copies.
     ScopedTimer t(timings_, "update_values");
-    const idx nsub = p_.num_subdomains();
+    const idx nown = static_cast<idx>(owned_.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx s = 0; s < nsub; ++s) {
-      guard.run([&, s] {
-        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+    for (idx k = 0; k < nown; ++k) {
+      guard.run([&, k] {
+        const idx s = owned_[static_cast<std::size_t>(k)];
+        gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
         solvers_[s]->factorize(p_.sub[s].k_reg);
         const la::Csr& u = solvers_[s]->factor_upper();
         fwd_plan_[s].update_values(st, u);
@@ -500,7 +538,7 @@ class ImplicitGpuDualOp final : public DualOperator {
   }
 
   void apply_one(const double* x, double* y) override {
-    auto& temp = dev_.temp();
+    auto& temp = ctx_.workspace();
     auto submit_local = [this, &temp](idx s, gpu::Stream& st,
                                       const double* lam, double* q) {
       const idx n = p_.sub[s].ndof();
@@ -527,6 +565,8 @@ class ImplicitGpuDualOp final : public DualOperator {
   }
 
   void kplus_solve(idx sub, const double* b, double* x) const override {
+    check(solvers_[sub] != nullptr,
+          "ImplicitGpuDualOp: subdomain not owned by this operator");
     solvers_[sub]->solve(b, x);
   }
 
@@ -537,8 +577,10 @@ class ImplicitGpuDualOp final : public DualOperator {
  private:
   gpu::sparse::Api api_;
   sparse::OrderingKind ordering_;
+  gpu::ExecutionContext& ctx_;
   gpu::Device& dev_;
-  int nstreams_;
+  int requested_streams_;
+  std::vector<idx> owned_;
   gpu::Stream main_stream_;
   std::vector<gpu::Stream> streams_;
   std::vector<std::unique_ptr<sparse::SimplicialCholesky>> solvers_;
@@ -556,8 +598,10 @@ class ImplicitGpuDualOp final : public DualOperator {
 class HybridDualOp final : public DualOperator {
  public:
   HybridDualOp(const decomp::FetiProblem& p, const ExplicitGpuOptions& opt,
-               sparse::OrderingKind ordering, gpu::Device& dev)
-      : DualOperator(p), opt_(opt), ordering_(ordering), dev_(dev) {}
+               sparse::OrderingKind ordering, gpu::ExecutionContext& ctx,
+               std::vector<idx> owned)
+      : DualOperator(p), opt_(opt), ordering_(ordering), ctx_(ctx),
+        dev_(ctx.device()), owned_(resolve_owned(p, std::move(owned))) {}
 
   ~HybridDualOp() override {
     dev_.synchronize();
@@ -566,18 +610,18 @@ class HybridDualOp final : public DualOperator {
 
   void prepare() override {
     ScopedTimer t(timings_, "prepare");
-    const idx nsub = p_.num_subdomains();
-    main_stream_ = dev_.create_stream();
-    streams_.clear();
-    for (int i = 0; i < clamp_streams(opt_.streams); ++i)
-      streams_.push_back(dev_.create_stream());
-    solvers_.resize(static_cast<std::size_t>(nsub));
-    f_host_.resize(solvers_.size());
-    f_dev_.resize(solvers_.size());
+    const std::size_t nsub = static_cast<std::size_t>(p_.num_subdomains());
+    main_stream_ = ctx_.main_stream();
+    streams_ = ctx_.stream_span(opt_.streams);
+    solvers_.resize(nsub);
+    f_host_.resize(nsub);
+    f_dev_.resize(nsub);
+    const idx nown = static_cast<idx>(owned_.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx s = 0; s < nsub; ++s) {
-      guard.run([&, s] {
+    for (idx k = 0; k < nown; ++k) {
+      guard.run([&, k] {
+        const idx s = owned_[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
         solvers_[s] = std::make_unique<sparse::SupernodalCholesky>();
         solvers_[s]->analyze_schur(fs.k_reg, fs.b, ordering_);
@@ -587,20 +631,21 @@ class HybridDualOp final : public DualOperator {
       });
     }
     guard.rethrow();
-    vectors_.prepare(dev_, main_stream_, p_);
+    vectors_.prepare(dev_, main_stream_, p_, owned_);
     dev_.synchronize();
-    dev_.ensure_temp_pool();
+    ctx_.ensure_workspace();
   }
 
   void update_values() override {
     ScopedTimer t(timings_, "update_values");
-    const idx nsub = p_.num_subdomains();
+    const idx nown = static_cast<idx>(owned_.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx s = 0; s < nsub; ++s) {
-      guard.run([&, s] {
+    for (idx k = 0; k < nown; ++k) {
+      guard.run([&, k] {
+        const idx s = owned_[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
-        gpu::Stream st = streams_[static_cast<std::size_t>(s) % streams_.size()];
+        gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
         solvers_[s]->factorize_schur(fs.k_reg, fs.b, f_host_[s].view(),
                                      la::Uplo::Upper);
         st.memcpy_h2d(f_dev_[s].data, f_host_[s].data(),
@@ -619,10 +664,12 @@ class HybridDualOp final : public DualOperator {
     if (opt_.scatter_gather == SgLocation::Gpu)
       vectors_.apply_sg_gpu(main_stream_, streams_, x, y, submit_local);
     else
-      vectors_.apply_sg_cpu(streams_, p_, x, y, submit_local);
+      vectors_.apply_sg_cpu(streams_, x, y, submit_local);
   }
 
   void kplus_solve(idx sub, const double* b, double* x) const override {
+    check(solvers_[sub] != nullptr,
+          "HybridDualOp: subdomain not owned by this operator");
     solvers_[sub]->solve(b, x);
   }
 
@@ -631,7 +678,9 @@ class HybridDualOp final : public DualOperator {
  private:
   ExplicitGpuOptions opt_;
   sparse::OrderingKind ordering_;
+  gpu::ExecutionContext& ctx_;
   gpu::Device& dev_;
+  std::vector<idx> owned_;
   gpu::Stream main_stream_;
   std::vector<gpu::Stream> streams_;
   std::vector<std::unique_ptr<sparse::SupernodalCholesky>> solvers_;
@@ -640,28 +689,129 @@ class HybridDualOp final : public DualOperator {
   GpuDualVectors vectors_;
 };
 
+// ---------------------------------------------------------------------------
+// Sharded multi-device wrapper
+// ---------------------------------------------------------------------------
+
+/// Partitions the subdomains across the shards of a gpu::DevicePool and
+/// delegates to one partial operator per shard. Each partial operator
+/// produces the contributions of its own subdomains (zero elsewhere), so
+/// the cluster-wide dual result is the sum of the per-shard results.
+class ShardedDualOp final : public DualOperator {
+ public:
+  using InnerFactory = std::function<std::unique_ptr<DualOperator>(
+      gpu::ExecutionContext&, std::vector<idx>)>;
+
+  ShardedDualOp(const decomp::FetiProblem& p, std::string key,
+                std::unique_ptr<gpu::DevicePool> pool,
+                const InnerFactory& make_inner)
+      : DualOperator(p), key_(std::move(key)), pool_(std::move(pool)) {
+    const idx nsub = p.num_subdomains();
+    inner_.reserve(pool_->size());
+    for (std::size_t shard = 0; shard < pool_->size(); ++shard) {
+      std::vector<idx> owned = pool_->owned_subdomains(shard, nsub);
+      // A shard beyond the subdomain count owns nothing; an empty list
+      // must not reach the inner factory, whose empty-subset convention
+      // means "all subdomains".
+      if (owned.empty()) break;
+      inner_.push_back(make_inner(pool_->context(shard), std::move(owned)));
+    }
+  }
+
+  void prepare() override {
+    ScopedTimer t(timings_, "prepare");
+    // Sequential: preparation is dominated by one-time CPU symbolic work
+    // that already parallelizes across subdomains within each shard.
+    for (auto& op : inner_) op->prepare();
+  }
+
+  void update_values() override {
+    ScopedTimer t(timings_, "update_values");
+    parallel_over_shards([&](std::size_t k) { inner_[k]->update_values(); });
+  }
+
+  void kplus_solve(idx sub, const double* b, double* x) const override {
+    inner_[pool_->shard_of(sub)]->kplus_solve(sub, b, x);
+  }
+
+  [[nodiscard]] const char* name() const override { return key_.c_str(); }
+
+ protected:
+  void apply_one(const double* x, double* y) override { merge_apply(x, y, 1); }
+
+  void apply_many(const double* x, double* y, idx nrhs) override {
+    merge_apply(x, y, nrhs);
+  }
+
+ private:
+  /// Runs every shard's partial application concurrently (one host thread
+  /// per shard — each shard owns a separate virtual device), then sums the
+  /// partial cluster vectors. The partial buffers persist across calls:
+  /// apply sits in the PCPG per-iteration hot path.
+  void merge_apply(const double* x, double* y, idx nrhs) {
+    const std::size_t len =
+        static_cast<std::size_t>(p_.num_lambdas) * static_cast<std::size_t>(nrhs);
+    partial_.resize(inner_.size());
+    parallel_over_shards([&](std::size_t k) {
+      partial_[k].resize(len);
+      inner_[k]->apply(x, partial_[k].data(), nrhs);
+    });
+    std::fill_n(y, len, 0.0);
+    for (const auto& part : partial_)
+      for (std::size_t i = 0; i < len; ++i) y[i] += part[i];
+  }
+
+  template <typename F>
+  void parallel_over_shards(F&& f) {
+    std::vector<std::exception_ptr> errors(inner_.size());
+    std::vector<std::thread> threads;
+    threads.reserve(inner_.size());
+    for (std::size_t k = 0; k < inner_.size(); ++k)
+      threads.emplace_back([&, k] {
+        try {
+          f(k);
+        } catch (...) {
+          errors[k] = std::current_exception();
+        }
+      });
+    for (auto& t : threads) t.join();
+    for (auto& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+
+  std::string key_;
+  // pool_ outlives inner_ (members destroy in reverse declaration order):
+  // the partial operators hold references into the pool's contexts.
+  std::unique_ptr<gpu::DevicePool> pool_;
+  std::vector<std::unique_ptr<DualOperator>> inner_;
+  std::vector<std::vector<double>> partial_;
+};
+
 }  // namespace
 
 std::unique_ptr<DualOperator> make_implicit_gpu(
     const decomp::FetiProblem& p, gpu::sparse::Api api,
-    sparse::OrderingKind ordering, gpu::Device& device, int streams) {
-  return std::make_unique<ImplicitGpuDualOp>(p, api, ordering, device,
-                                             streams);
+    sparse::OrderingKind ordering, gpu::ExecutionContext& context, int streams,
+    std::vector<idx> owned) {
+  return std::make_unique<ImplicitGpuDualOp>(p, api, ordering, context,
+                                             streams, std::move(owned));
 }
 
 std::unique_ptr<DualOperator> make_explicit_gpu(
     const decomp::FetiProblem& p, gpu::sparse::Api api,
     const ExplicitGpuOptions& options, sparse::OrderingKind ordering,
-    gpu::Device& device) {
+    gpu::ExecutionContext& context, std::vector<idx> owned) {
   return std::make_unique<ExplicitGpuDualOp>(p, api, options, ordering,
-                                             device);
+                                             context, std::move(owned));
 }
 
 std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
                                           const ExplicitGpuOptions& options,
                                           sparse::OrderingKind ordering,
-                                          gpu::Device& device) {
-  return std::make_unique<HybridDualOp>(p, options, ordering, device);
+                                          gpu::ExecutionContext& context,
+                                          std::vector<idx> owned) {
+  return std::make_unique<HybridDualOp>(p, options, ordering, context,
+                                        std::move(owned));
 }
 
 void register_gpu_dual_operators(DualOperatorRegistry& registry) {
@@ -684,17 +834,44 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
          std::string("implicit application on the GPU, ") + apiname +
              " sparse API, simplicial factors"},
         [api](const decomp::FetiProblem& p, const DualOpConfig& c,
-              gpu::Device* dev) {
-          return make_implicit_gpu(p, api, c.ordering, *dev, c.gpu.streams);
+              gpu::ExecutionContext* ctx) {
+          return make_implicit_gpu(p, api, c.ordering, *ctx, c.gpu.streams);
         });
     registry.add(
         {std::string("expl ") + apiname, gpu_axes(R::Explicit, api),
          std::string("explicit F̃ assembled on the GPU, ") + apiname +
              " sparse API"},
         [api](const decomp::FetiProblem& p, const DualOpConfig& c,
-              gpu::Device* dev) {
-          return make_explicit_gpu(p, api, c.gpu, c.ordering, *dev);
+              gpu::ExecutionContext* ctx) {
+          return make_explicit_gpu(p, api, c.gpu, c.ordering, *ctx);
         });
+    // Sharded multi-device variants: subdomains partitioned across N
+    // virtual devices derived from the supplied context's budget.
+    for (int shards : {2, 4}) {
+      const std::string key = std::string("expl ") + apiname + " x" +
+                              std::to_string(shards);
+      registry.add(
+          {key, gpu_axes(R::Explicit, api),
+           std::string("explicit F̃ assembly sharded across ") +
+               std::to_string(shards) + " virtual GPUs, " + apiname +
+               " sparse API"},
+          [api, shards, key](const decomp::FetiProblem& p,
+                             const DualOpConfig& c,
+                             gpu::ExecutionContext* ctx) {
+            auto pool = std::make_unique<gpu::DevicePool>(
+                shards,
+                gpu::DevicePool::split_config(ctx->device().config(), shards));
+            const ExplicitGpuOptions opt = c.gpu;
+            const sparse::OrderingKind ordering = c.ordering;
+            return std::make_unique<ShardedDualOp>(
+                p, key, std::move(pool),
+                [&p, api, opt, ordering](gpu::ExecutionContext& shard_ctx,
+                                         std::vector<idx> owned) {
+                  return make_explicit_gpu(p, api, opt, ordering, shard_ctx,
+                                           std::move(owned));
+                });
+          });
+    }
   }
   ApproachAxes hybrid;
   hybrid.repr = R::Explicit;
@@ -704,7 +881,9 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
       {"expl hybrid", hybrid,
        "explicit F̃ assembled on the CPU (Schur path), applied on the GPU"},
       [](const decomp::FetiProblem& p, const DualOpConfig& c,
-         gpu::Device* dev) { return make_hybrid(p, c.gpu, c.ordering, *dev); });
+         gpu::ExecutionContext* ctx) {
+        return make_hybrid(p, c.gpu, c.ordering, *ctx);
+      });
 }
 
 }  // namespace feti::core

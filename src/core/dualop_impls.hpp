@@ -16,8 +16,10 @@ class DualOperatorRegistry;
 /// expl mkl, expl cholmod). Defined in dualop_cpu.cpp.
 void register_cpu_dual_operators(DualOperatorRegistry& registry);
 
-/// Registers the five GPU-backed implementations (impl legacy, impl modern,
-/// expl legacy, expl modern, expl hybrid). Defined in dualop_gpu.cpp.
+/// Registers the GPU-backed implementations (impl legacy, impl modern,
+/// expl legacy, expl modern, expl hybrid) and the sharded multi-device
+/// variants of the explicit operators ("expl legacy x2", ...). Defined in
+/// dualop_gpu.cpp.
 void register_gpu_dual_operators(DualOperatorRegistry& registry);
 
 std::unique_ptr<DualOperator> make_implicit_cpu(
@@ -32,19 +34,27 @@ std::unique_ptr<DualOperator> make_explicit_cpu_schur(
 std::unique_ptr<DualOperator> make_explicit_cpu_trsm(
     const decomp::FetiProblem& p, sparse::OrderingKind ordering);
 
+// The GPU factories take an ExecutionContext (device + stream pool +
+// workspace policy) and an optional subdomain subset `owned`: an empty
+// subset means "all subdomains", a non-empty one restricts the operator to
+// those subdomains (the building block of the sharded variants — partial
+// operators sum to the full F because the dual gather is additive).
+
 std::unique_ptr<DualOperator> make_implicit_gpu(
     const decomp::FetiProblem& p, gpu::sparse::Api api,
-    sparse::OrderingKind ordering, gpu::Device& device, int streams);
+    sparse::OrderingKind ordering, gpu::ExecutionContext& context,
+    int streams, std::vector<idx> owned = {});
 
 std::unique_ptr<DualOperator> make_explicit_gpu(
     const decomp::FetiProblem& p, gpu::sparse::Api api,
     const ExplicitGpuOptions& options, sparse::OrderingKind ordering,
-    gpu::Device& device);
+    gpu::ExecutionContext& context, std::vector<idx> owned = {});
 
 /// expl hybrid: Schur assembly on CPU, application on the GPU.
 std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
                                           const ExplicitGpuOptions& options,
                                           sparse::OrderingKind ordering,
-                                          gpu::Device& device);
+                                          gpu::ExecutionContext& context,
+                                          std::vector<idx> owned = {});
 
 }  // namespace feti::core

@@ -100,21 +100,21 @@ bool DualOperatorRegistry::is_explicit(std::string_view key) const {
 }
 
 bool DualOperatorRegistry::available(std::string_view key,
-                                     const gpu::Device* device) const {
+                                     const gpu::ExecutionContext* context) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const Entry* e = find_locked(key);
-  return e != nullptr && (!e->info.requires_device() || device != nullptr);
+  return e != nullptr && (!e->info.requires_device() || context != nullptr);
 }
 
 std::unique_ptr<DualOperator> DualOperatorRegistry::create(
     std::string_view key, const decomp::FetiProblem& problem,
-    const DualOpConfig& config, gpu::Device* device) const {
+    const DualOpConfig& config, gpu::ExecutionContext* context) const {
   // Copy the entry out so the factory runs without holding the lock.
   const Entry e = at(key);
-  check(!e.info.requires_device() || device != nullptr,
+  check(!e.info.requires_device() || context != nullptr,
         "DualOperatorRegistry::create: '" + std::string(key) +
-            "' requires a GPU device");
-  return e.factory(problem, config, device);
+            "' requires a GPU execution context");
+  return e.factory(problem, config, context);
 }
 
 ApproachAxes DualOpConfig::axes() const {

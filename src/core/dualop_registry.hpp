@@ -23,7 +23,7 @@ namespace feti::decomp {
 struct FetiProblem;
 }
 namespace feti::gpu {
-class Device;
+class ExecutionContext;
 }
 
 namespace feti::core {
@@ -40,8 +40,10 @@ struct DualOperatorInfo {
   }
 };
 
+/// Factories receive the execution resources explicitly: the context is
+/// required for GPU-backed implementations and ignored by CPU ones.
 using DualOperatorFactory = std::function<std::unique_ptr<DualOperator>(
-    const decomp::FetiProblem&, const DualOpConfig&, gpu::Device*)>;
+    const decomp::FetiProblem&, const DualOpConfig&, gpu::ExecutionContext*)>;
 
 class DualOperatorRegistry {
  public:
@@ -66,16 +68,17 @@ class DualOperatorRegistry {
   [[nodiscard]] bool uses_gpu(std::string_view key) const;
   [[nodiscard]] bool is_explicit(std::string_view key) const;
   /// Whether the implementation can be constructed in this process given
-  /// the (possibly null) device.
+  /// the (possibly null) execution context.
   [[nodiscard]] bool available(std::string_view key,
-                               const gpu::Device* device) const;
+                               const gpu::ExecutionContext* context) const;
 
   /// Constructs the implementation registered under `key`. Throws
   /// std::invalid_argument for unknown keys and when the implementation
-  /// requires a device but none is supplied.
+  /// requires an execution context but none is supplied.
   [[nodiscard]] std::unique_ptr<DualOperator> create(
       std::string_view key, const decomp::FetiProblem& problem,
-      const DualOpConfig& config, gpu::Device* device = nullptr) const;
+      const DualOpConfig& config,
+      gpu::ExecutionContext* context = nullptr) const;
 
  private:
   struct Entry {

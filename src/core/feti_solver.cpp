@@ -5,9 +5,9 @@
 namespace feti::core {
 
 FetiSolver::FetiSolver(const decomp::FetiProblem& problem,
-                       FetiSolverOptions options, gpu::Device* device)
+                       FetiSolverOptions options, gpu::ExecutionContext* context)
     : problem_(problem), options_(options),
-      dualop_(make_dual_operator(problem, options.dualop, device)),
+      dualop_(make_dual_operator(problem, options.dualop, context)),
       projector_(problem) {}
 
 void FetiSolver::prepare() {

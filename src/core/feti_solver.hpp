@@ -28,8 +28,10 @@ struct FetiStepResult {
 
 class FetiSolver {
  public:
+  /// `context` supplies the execution resources for GPU-backed dual
+  /// operators (ignored by CPU configurations).
   FetiSolver(const decomp::FetiProblem& problem, FetiSolverOptions options,
-             gpu::Device* device = nullptr);
+             gpu::ExecutionContext* context = nullptr);
 
   /// Preparation (Algorithm 2, line 1).
   void prepare();

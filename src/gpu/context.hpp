@@ -1,0 +1,132 @@
+#pragma once
+
+// Explicit execution resources for the assembly pipeline.
+//
+// The paper's implementation is defined by its execution resources —
+// multiple in-order streams, a blocking temporary-memory pool, and
+// per-subdomain concurrency (Sections IV / IV-A). ExecutionContext makes
+// those resources a first-class, passed-in object: a device handle, a
+// sized pool of worker streams plus one dedicated main stream, and the
+// temporary-pool (workspace) policy. Operators receive a context instead
+// of reaching for a process-global device and hand-rolling their own
+// stream vectors.
+//
+// DevicePool extends the same idea to multi-GPU sharding: N virtual
+// devices, one ExecutionContext per shard, and a round-robin partition of
+// subdomains across the shards. DeviceTopology is the compact summary the
+// autotuner consumes to pick sharded operator variants and stream counts.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gpu/runtime.hpp"
+#include "util/common.hpp"
+
+namespace feti::gpu {
+
+/// Compact device-topology description for configuration decisions
+/// (core::recommend_config): how many devices a workload may shard across
+/// and how many concurrent streams each can keep busy.
+struct DeviceTopology {
+  int num_devices = 1;
+  /// Worker streams per device the scheduler can keep busy (the paper uses
+  /// one stream per OpenMP thread); 0 = unknown, keep defaults.
+  int streams_per_device = 0;
+};
+
+/// One device's execution resources: the device handle, a lazily grown
+/// pool of worker streams plus a dedicated main stream (cluster-wide
+/// scatter/gather and H2D/D2H traffic), and the temporary-pool workspace
+/// policy. Contexts may be shared by several operators; streams are cheap
+/// shared handles and the workspace initialization is idempotent.
+class ExecutionContext {
+ public:
+  /// Upper bound on worker streams per context (previously each operator
+  /// carried its own clamp_streams copy).
+  static constexpr int kMaxStreams = 32;
+  /// Clamps a requested worker-stream count to [1, kMaxStreams].
+  static int clamp_streams(int requested);
+
+  /// Non-owning context over an externally managed device.
+  explicit ExecutionContext(Device& device);
+  /// Owning context: creates a private device from `cfg`.
+  explicit ExecutionContext(DeviceConfig cfg);
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  [[nodiscard]] Device& device() const { return *device_; }
+
+  /// The dedicated main stream (created on first use).
+  Stream main_stream();
+  /// The first clamp_streams(requested) worker streams of the pool,
+  /// growing the pool as needed. Returns handles; two operators asking for
+  /// overlapping counts share the underlying streams.
+  std::vector<Stream> stream_span(int requested);
+  /// Worker streams created so far (excluding the main stream).
+  [[nodiscard]] int pooled_streams() const;
+
+  /// Workspace (temporary-pool) policy. ensure_workspace() lazily reserves
+  /// the device's configured pool fraction and is safe to call repeatedly;
+  /// init_workspace() dedicates all remaining device memory (minus
+  /// `reserve`) and may be called once, before any ensure_workspace().
+  void ensure_workspace();
+  void init_workspace(std::size_t reserve = 0);
+  [[nodiscard]] TempAllocator& workspace();
+
+  /// Blocks until every stream of the underlying device drains.
+  void synchronize();
+
+ private:
+  std::unique_ptr<Device> owned_;  ///< set only for owning contexts
+  Device* device_;
+  mutable std::mutex mutex_;
+  Stream main_;
+  std::vector<Stream> pool_;
+};
+
+/// N virtual devices with per-shard ExecutionContexts and a round-robin
+/// partition of subdomains across the shards — the resource object behind
+/// the sharded ("expl legacy x2", ...) dual-operator variants.
+class DevicePool {
+ public:
+  /// Owning pool: creates `num_shards` devices, each configured with
+  /// `per_shard_cfg` (see split_config to derive it from a single-device
+  /// budget).
+  DevicePool(int num_shards, const DeviceConfig& per_shard_cfg);
+  /// Non-owning pool over externally managed devices.
+  explicit DevicePool(const std::vector<Device*>& devices);
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return contexts_.size(); }
+  [[nodiscard]] ExecutionContext& context(std::size_t shard);
+  [[nodiscard]] Device& device(std::size_t shard);
+
+  /// The shard owning subdomain `sub` (round robin).
+  [[nodiscard]] std::size_t shard_of(idx sub) const {
+    return static_cast<std::size_t>(sub) % size();
+  }
+  /// The subdomains of [0, num_subdomains) owned by `shard`.
+  [[nodiscard]] std::vector<idx> owned_subdomains(std::size_t shard,
+                                                  idx num_subdomains) const;
+
+  [[nodiscard]] DeviceTopology topology() const;
+
+  /// Synchronizes every shard.
+  void synchronize();
+
+  /// Divides a single-device budget across `num_shards` virtual devices:
+  /// worker threads and memory are split evenly (each shard keeps at least
+  /// one worker), launch latency and pool fraction are inherited.
+  static DeviceConfig split_config(DeviceConfig total, int num_shards);
+
+ private:
+  std::vector<std::unique_ptr<Device>> owned_;
+  std::vector<std::unique_ptr<ExecutionContext>> contexts_;
+};
+
+}  // namespace feti::gpu

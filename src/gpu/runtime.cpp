@@ -80,6 +80,10 @@ void* TempAllocator::alloc(std::size_t bytes) {
 void TempAllocator::free(void* p) {
   if (p == nullptr) return;
   std::lock_guard<std::mutex> lock(mutex_);
+  check(base_ != nullptr, "TempAllocator::free: pool not initialized");
+  check(p >= base_ && p < base_ + capacity_,
+        "TempAllocator::free: pointer does not belong to the temporary "
+        "pool (wrong allocator?)");
   const auto offset = static_cast<std::size_t>(static_cast<char*>(p) - base_);
   Block blk{0, 0};
   bool found = false;
@@ -91,7 +95,11 @@ void TempAllocator::free(void* p) {
       break;
     }
   }
-  FETI_ASSERT(found, "TempAllocator: free of unknown pointer");
+  check(found,
+        "TempAllocator::free: pointer at pool offset " +
+            std::to_string(offset) +
+            " is not a live allocation (double free, or not an allocation "
+            "start)");
   // Insert into the free list sorted by offset and coalesce neighbours.
   auto it = free_list_.begin();
   while (it != free_list_.end() && it->offset < blk.offset) ++it;
@@ -354,7 +362,9 @@ void Device::free(void* p) {
   if (p == nullptr) return;
   std::lock_guard<std::mutex> lock(mem_mutex_);
   auto it = allocations_.find(p);
-  FETI_ASSERT(it != allocations_.end(), "Device::free: unknown pointer");
+  check(it != allocations_.end(),
+        "Device::free: pointer is not a live device allocation (double "
+        "free, or memory from another allocator)");
   mem_used_ -= it->second;
   ::operator delete(p, std::align_val_t(kAlign));
   allocations_.erase(it);

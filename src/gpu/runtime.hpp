@@ -58,6 +58,8 @@ class TempAllocator {
 
   /// Blocking allocation; throws if `bytes` exceeds the whole pool.
   void* alloc(std::size_t bytes);
+  /// Throws std::invalid_argument for pointers outside the pool and for
+  /// double frees (offsets that are not a live allocation).
   void free(void* p);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -145,6 +147,8 @@ class Device {
   /// Persistent device allocation ("cudaMalloc"); throws std::bad_alloc
   /// when the device memory capacity is exceeded.
   void* alloc(std::size_t bytes);
+  /// Throws std::invalid_argument when `p` is not a live allocation of
+  /// this device (double free or foreign pointer).
   void free(void* p);
   template <typename T>
   T* alloc_n(std::size_t count) {
@@ -166,6 +170,9 @@ class Device {
   }
 
   /// Process-wide default device (configured from the environment).
+  /// Compatibility shim for leaf code only: operators, benches, and
+  /// examples receive their resources through gpu::ExecutionContext
+  /// (gpu/context.hpp) instead.
   static Device& default_device();
 
   // Internal plumbing used by Stream (public because Stream::Impl lives in

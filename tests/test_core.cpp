@@ -19,15 +19,15 @@ using decomp::FetiProblem;
 using fem::Physics;
 using mesh::ElementOrder;
 
-gpu::Device& test_device() {
-  static gpu::Device dev([] {
+gpu::ExecutionContext& test_context() {
+  static gpu::ExecutionContext ctx([] {
     gpu::DeviceConfig cfg;
     cfg.worker_threads = 4;
     cfg.launch_latency_us = 0.0;
     cfg.memory_bytes = 512ull << 20;
     return cfg;
   }());
-  return dev;
+  return ctx;
 }
 
 struct ProblemSpec {
@@ -107,7 +107,7 @@ TEST_P(ApproachParam, DualOperatorMatchesImplicitReference) {
 
   DualOpConfig ref_cfg;
   ref_cfg.approach = Approach::ImplMkl;
-  auto ref_op = make_dual_operator(p, ref_cfg, &test_device());
+  auto ref_op = make_dual_operator(p, ref_cfg, &test_context());
   ref_op->prepare();
   ref_op->preprocess();
 
@@ -115,7 +115,7 @@ TEST_P(ApproachParam, DualOperatorMatchesImplicitReference) {
   cfg.approach = approach;
   cfg.gpu = recommend_options(gpu::sparse::Api::Legacy, dim,
                               p.max_subdomain_dofs());
-  auto op = make_dual_operator(p, cfg, &test_device());
+  auto op = make_dual_operator(p, cfg, &test_context());
   op->prepare();
   op->preprocess();
 
@@ -187,7 +187,7 @@ TEST_P(GpuParamSweep, ExplicitAssemblyMatchesReference) {
   cfg.gpu.rhs_order = rhs;
   cfg.gpu.scatter_gather = sg;
   cfg.gpu.streams = 3;
-  auto op = make_dual_operator(p, cfg, &test_device());
+  auto op = make_dual_operator(p, cfg, &test_context());
   op->prepare();
   op->preprocess();
 
@@ -233,7 +233,7 @@ TEST_P(SolveParam, MatchesMonolithicSolve) {
       recommend_options(gpu::sparse::Api::Legacy, spec.dim, 1000);
   opts.pcpg.rel_tolerance = 1e-10;
   opts.pcpg.max_iterations = 2000;
-  FetiSolver solver(p, opts, &test_device());
+  FetiSolver solver(p, opts, &test_context());
   solver.prepare();
   FetiStepResult res = solver.solve_step();
   EXPECT_TRUE(res.converged);
@@ -309,7 +309,7 @@ TEST(MultiStep, RepeatedStepsWithChangingValues) {
   opts.dualop.approach = Approach::ExplLegacy;
   opts.dualop.gpu = recommend_options(gpu::sparse::Api::Legacy, 2, 1000);
   opts.pcpg.rel_tolerance = 1e-10;
-  FetiSolver solver(p, opts, &test_device());
+  FetiSolver solver(p, opts, &test_context());
   solver.prepare();
 
   FetiStepResult step1 = solver.solve_step();

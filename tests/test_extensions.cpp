@@ -39,7 +39,7 @@ decomp::FetiProblem heat2d_problem(idx cells = 8, idx splits = 2) {
 
 TEST(SymmetricPack, ApplyMatchesUnpacked) {
   decomp::FetiProblem p = heat2d_problem(8, 2);
-  gpu::Device dev(quiet_config());
+  gpu::ExecutionContext dev(quiet_config());
 
   auto run = [&](bool pack) {
     core::DualOpConfig cfg;
@@ -67,14 +67,14 @@ TEST(SymmetricPack, ApplyMatchesUnpacked) {
 TEST(SymmetricPack, ReducesDeviceMemory) {
   decomp::FetiProblem p = heat2d_problem(8, 2);  // 4 equal subdomains
   auto measure = [&](bool pack) {
-    gpu::Device dev(quiet_config());
+    gpu::ExecutionContext dev(quiet_config());
     core::DualOpConfig cfg;
     cfg.approach = core::Approach::ExplLegacy;
     cfg.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 2, 1000);
     cfg.gpu.symmetric_pack = pack;
     auto op = core::make_dual_operator(p, cfg, &dev);
     op->prepare();
-    return dev.memory_used();
+    return dev.device().memory_used();
   };
   const std::size_t plain = measure(false);
   const std::size_t packed = measure(true);
@@ -85,7 +85,7 @@ TEST(SymmetricPack, ReducesDeviceMemory) {
 
 TEST(SymmetricPack, EndToEndSolveStaysCorrect) {
   decomp::FetiProblem p = heat2d_problem(6, 2);
-  gpu::Device dev(quiet_config());
+  gpu::ExecutionContext dev(quiet_config());
   core::FetiSolverOptions opts;
   opts.dualop.approach = core::Approach::ExplLegacy;
   opts.dualop.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 2, 500);
@@ -107,7 +107,7 @@ TEST(SymmetricPack, IgnoredForTrsmPath) {
   // The TRSM path produces a full (non-triangular) F̃; packing must be a
   // no-op there and results must stay correct.
   decomp::FetiProblem p = heat2d_problem(6, 2);
-  gpu::Device dev(quiet_config());
+  gpu::ExecutionContext dev(quiet_config());
   core::DualOpConfig cfg;
   cfg.approach = core::Approach::ExplLegacy;
   cfg.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 2, 500);
@@ -288,7 +288,7 @@ TEST(Timings, DualOperatorPhasesAreRecorded) {
 
 TEST(StreamsOption, SingleStreamExplicitGpuStillCorrect) {
   decomp::FetiProblem p = heat2d_problem(6, 2);
-  gpu::Device dev(quiet_config());
+  gpu::ExecutionContext dev(quiet_config());
   core::DualOpConfig cfg;
   cfg.approach = core::Approach::ExplLegacy;
   cfg.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 2, 500);

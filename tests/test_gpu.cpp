@@ -159,6 +159,102 @@ TEST(TempAllocator, OversizeRequestThrows) {
                std::invalid_argument);
 }
 
+TEST(TempAllocator, ContentionCounterTracksOnlyBlockedRequests) {
+  DeviceConfig cfg = test_config();
+  cfg.memory_bytes = 4 << 20;
+  Device dev(cfg);
+  dev.init_temp_pool();
+  auto& temp = dev.temp();
+  // Requests that fit immediately never count as contention.
+  for (int i = 0; i < 10; ++i) {
+    void* p = temp.alloc(1 << 16);
+    temp.free(p);
+  }
+  EXPECT_EQ(temp.contention_count(), 0);
+  // One request that must wait counts exactly once, however long it waits.
+  const std::size_t big = 3 << 20;
+  void* a = temp.alloc(big);
+  std::thread t([&] { temp.free(temp.alloc(big)); });
+  // The counter increments before the blocked wait, so it doubles as the
+  // signal that the thread is parked inside alloc.
+  while (temp.contention_count() < 1) std::this_thread::yield();
+  temp.free(a);
+  t.join();
+  EXPECT_EQ(temp.contention_count(), 1);
+  EXPECT_EQ(temp.in_use(), 0u);
+}
+
+TEST(TempAllocator, FreeOfForeignPointerThrows) {
+  Device dev(test_config());
+  dev.init_temp_pool();
+  auto& temp = dev.temp();
+  double on_stack = 0.0;
+  EXPECT_THROW(temp.free(&on_stack), std::invalid_argument);
+  // nullptr stays a no-op (mirrors cudaFree).
+  EXPECT_NO_THROW(temp.free(nullptr));
+}
+
+TEST(TempAllocator, DoubleFreeAndInteriorPointerThrow) {
+  Device dev(test_config());
+  dev.init_temp_pool();
+  auto& temp = dev.temp();
+  void* a = temp.alloc(1 << 20);
+  temp.free(a);
+  EXPECT_THROW(temp.free(a), std::invalid_argument);
+  void* b = temp.alloc(1 << 20);
+  // An interior pointer is not an allocation start.
+  EXPECT_THROW(temp.free(static_cast<char*>(b) + 64), std::invalid_argument);
+  temp.free(b);
+  EXPECT_EQ(temp.in_use(), 0u);
+}
+
+TEST(DeviceMemory, DoubleFreeAndForeignPointerThrow) {
+  Device dev(test_config());
+  void* p = dev.alloc(1 << 12);
+  dev.free(p);
+  EXPECT_THROW(dev.free(p), std::invalid_argument);
+  double on_stack = 0.0;
+  EXPECT_THROW(dev.free(&on_stack), std::invalid_argument);
+  EXPECT_NO_THROW(dev.free(nullptr));
+  EXPECT_EQ(dev.memory_used(), 0u);
+}
+
+TEST(Stream, EventChainsOrderThreeStreams) {
+  // a -> b -> c through two events: c's work observes both predecessors.
+  Device dev(test_config());
+  Stream a = dev.create_stream(), b = dev.create_stream(),
+         c = dev.create_stream();
+  std::vector<int> log;
+  std::mutex log_mutex;
+  auto push = [&](int v) {
+    std::lock_guard<std::mutex> lock(log_mutex);
+    log.push_back(v);
+  };
+  a.submit([&] { push(1); });
+  Event ea = a.record();
+  b.wait(ea);
+  b.submit([&] { push(2); });
+  Event eb = b.record();
+  c.wait(eb);
+  c.submit([&] { push(3); });
+  c.synchronize();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Stream, EventWaitAfterCompletionDoesNotBlock) {
+  Device dev(test_config());
+  Stream a = dev.create_stream(), b = dev.create_stream();
+  Event e = a.record();  // empty stream: fires immediately
+  e.wait();
+  EXPECT_TRUE(e.query());
+  b.wait(e);
+  std::atomic<bool> ran{false};
+  b.submit([&] { ran = true; });
+  b.synchronize();
+  EXPECT_TRUE(ran.load());
+}
+
 // ---------------------------------------------------------------------------
 // Kernels against CPU references.
 // ---------------------------------------------------------------------------

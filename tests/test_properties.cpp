@@ -140,7 +140,7 @@ TEST(MemoryLimits, ExplicitGpuOperatorReportsExhaustionCleanly) {
   cfg.worker_threads = 2;
   cfg.launch_latency_us = 0.0;
   cfg.memory_bytes = 64 << 10;  // absurdly small device
-  gpu::Device dev(cfg);
+  gpu::ExecutionContext dev(cfg);
   core::DualOpConfig c;
   c.approach = core::Approach::ExplLegacy;
   c.gpu = core::recommend_options(gpu::sparse::Api::Legacy, 2, 500);
@@ -163,7 +163,7 @@ TEST_P(RandomConfigSweep, RandomTableOneConfigMatchesReference) {
     return decomp::build_feti_problem(dec, fem::Physics::HeatTransfer);
   }();
 
-  static gpu::Device dev([] {
+  static gpu::ExecutionContext dev([] {
     gpu::DeviceConfig cfg;
     cfg.worker_threads = 4;
     cfg.launch_latency_us = 0.0;

@@ -22,15 +22,15 @@ using decomp::FetiProblem;
 using fem::Physics;
 using mesh::ElementOrder;
 
-gpu::Device& test_device() {
-  static gpu::Device dev([] {
+gpu::ExecutionContext& test_context() {
+  static gpu::ExecutionContext ctx([] {
     gpu::DeviceConfig cfg;
     cfg.worker_threads = 4;
     cfg.launch_latency_us = 0.0;
     cfg.memory_bytes = 512ull << 20;
     return cfg;
   }());
-  return dev;
+  return ctx;
 }
 
 FetiProblem heat2d_problem(idx cells = 6, idx splits = 2) {
@@ -43,14 +43,15 @@ FetiProblem heat2d_problem(idx cells = 6, idx splits = 2) {
 // Registry contents and metadata
 // ---------------------------------------------------------------------------
 
-TEST(Registry, ListsExactlyTheNineTableThreeKeys) {
+TEST(Registry, ListsTheNineTableThreeKeysAndShardedVariants) {
   std::vector<std::string> expected = {
-      "impl mkl",    "impl cholmod", "impl legacy", "impl modern",
-      "expl mkl",    "expl cholmod", "expl legacy", "expl modern",
-      "expl hybrid"};
+      "impl mkl",       "impl cholmod",   "impl legacy",    "impl modern",
+      "expl mkl",       "expl cholmod",   "expl legacy",    "expl modern",
+      "expl hybrid",    "expl legacy x2", "expl legacy x4",
+      "expl modern x2", "expl modern x4"};
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(DualOperatorRegistry::instance().keys(), expected);
-  EXPECT_EQ(DualOperatorRegistry::instance().size(), 9u);
+  EXPECT_EQ(DualOperatorRegistry::instance().size(), expected.size());
 }
 
 TEST(Registry, MetadataAgreesWithLegacyCapabilityQueries) {
@@ -73,7 +74,7 @@ TEST(Registry, MetadataAgreesWithLegacyCapabilityQueries) {
 TEST(Registry, UnknownKeyIsRejected) {
   auto& registry = DualOperatorRegistry::instance();
   EXPECT_FALSE(registry.contains("expl quantum"));
-  EXPECT_FALSE(registry.available("expl quantum", &test_device()));
+  EXPECT_FALSE(registry.available("expl quantum", &test_context()));
   EXPECT_THROW((void)registry.info("expl quantum"), std::invalid_argument);
   FetiProblem p = heat2d_problem(4);
   DualOpConfig cfg;
@@ -87,7 +88,7 @@ TEST(Registry, AvailabilityTracksDeviceRequirement) {
   auto& registry = DualOperatorRegistry::instance();
   EXPECT_TRUE(registry.available("impl mkl", nullptr));
   EXPECT_FALSE(registry.available("expl legacy", nullptr));
-  EXPECT_TRUE(registry.available("expl legacy", &test_device()));
+  EXPECT_TRUE(registry.available("expl legacy", &test_context()));
   FetiProblem p = heat2d_problem(4);
   DualOpConfig cfg;
   EXPECT_THROW(registry.create("expl hybrid", p, cfg, nullptr),
@@ -190,7 +191,7 @@ TEST(LegacyEnum, ResolvesToTheRegisteredImplementation) {
   for (Approach a : all_approaches()) {
     DualOpConfig cfg;
     cfg.approach = a;
-    auto op = make_dual_operator(p, cfg, &test_device());
+    auto op = make_dual_operator(p, cfg, &test_context());
     ASSERT_NE(op, nullptr);
     // Every implementation reports its registry key as its name.
     EXPECT_EQ(std::string(op->name()), axes_of(a).key());
@@ -207,9 +208,8 @@ TEST(BatchedApply, MatchesSequentialAppliesForEveryRegisteredKey) {
   const idx n = p.num_lambdas;
   const idx nrhs = 3;
   for (const std::string& key : registry.keys()) {
-    DualOpConfig cfg =
-        recommend_config(parse_axes(key), 2, p.max_subdomain_dofs());
-    auto op = registry.create(key, p, cfg, &test_device());
+    DualOpConfig cfg = recommend_config(key, 2, p.max_subdomain_dofs());
+    auto op = registry.create(key, p, cfg, &test_context());
     op->prepare();
     op->update_values();
 
@@ -283,6 +283,175 @@ TEST(PcpgBlock, SolveManyMatchesIndividualSolves) {
     ASSERT_EQ(block[j].alpha.size(), single.alpha.size());
     for (std::size_t i = 0; i < single.alpha.size(); ++i)
       EXPECT_NEAR(block[j].alpha[i], single.alpha[i], 1e-8);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution context, device pool, and sharded operators
+// ---------------------------------------------------------------------------
+
+TEST(ExecutionContext, StreamSpanClampsAndSharesThePool) {
+  gpu::DeviceConfig cfg;
+  cfg.worker_threads = 2;
+  cfg.launch_latency_us = 0.0;
+  cfg.memory_bytes = 16ull << 20;
+  gpu::ExecutionContext ctx(cfg);
+  EXPECT_EQ(ctx.pooled_streams(), 0);
+  EXPECT_EQ(ctx.stream_span(3).size(), 3u);
+  EXPECT_EQ(ctx.pooled_streams(), 3);
+  // A smaller request reuses the existing streams; a zero/negative request
+  // clamps to one.
+  EXPECT_EQ(ctx.stream_span(2).size(), 2u);
+  EXPECT_EQ(ctx.stream_span(0).size(), 1u);
+  EXPECT_EQ(ctx.pooled_streams(), 3);
+  EXPECT_EQ(ctx.stream_span(10000).size(),
+            static_cast<std::size_t>(gpu::ExecutionContext::kMaxStreams));
+  // The main stream is distinct from the worker pool and stable.
+  gpu::Stream main1 = ctx.main_stream();
+  gpu::Stream main2 = ctx.main_stream();
+  EXPECT_TRUE(main1.valid());
+  EXPECT_TRUE(main2.valid());
+  ctx.synchronize();
+}
+
+TEST(DevicePool, PartitionsSubdomainsRoundRobin) {
+  gpu::DeviceConfig cfg;
+  cfg.worker_threads = 4;
+  cfg.launch_latency_us = 0.0;
+  cfg.memory_bytes = 64ull << 20;
+  gpu::DevicePool pool(3, gpu::DevicePool::split_config(cfg, 3));
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.topology().num_devices, 3);
+  // Every subdomain is owned by exactly one shard.
+  const idx nsub = 8;
+  std::vector<int> seen(static_cast<std::size_t>(nsub), 0);
+  for (std::size_t shard = 0; shard < pool.size(); ++shard)
+    for (idx s : pool.owned_subdomains(shard, nsub)) {
+      EXPECT_EQ(pool.shard_of(s), shard);
+      seen[static_cast<std::size_t>(s)] += 1;
+    }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // The split keeps at least one worker per shard and divides memory.
+  const gpu::DeviceConfig shard_cfg = pool.device(0).config();
+  EXPECT_GE(shard_cfg.worker_threads, 1);
+  EXPECT_LE(shard_cfg.memory_bytes, cfg.memory_bytes / 3 + 1);
+}
+
+TEST(Autotune, TopologyHintSelectsShardedVariantsAndStreams) {
+  const ApproachAxes axes = parse_axes("expl legacy");
+  gpu::DeviceTopology two;
+  two.num_devices = 2;
+  EXPECT_EQ(recommend_config(axes, 3, 20000, 1, two).resolved_key(),
+            "expl legacy x2");
+  gpu::DeviceTopology many;
+  many.num_devices = 8;
+  many.streams_per_device = 6;
+  DualOpConfig cfg = recommend_config(axes, 3, 20000, 1, many);
+  EXPECT_EQ(cfg.resolved_key(), "expl legacy x4");
+  EXPECT_EQ(cfg.gpu.streams, 6);
+  // CPU and implicit axes are unaffected by the topology.
+  EXPECT_EQ(recommend_config(parse_axes("expl mkl"), 3, 20000, 1, many)
+                .resolved_key(),
+            "expl mkl");
+  EXPECT_EQ(recommend_config(parse_axes("impl legacy"), 3, 20000, 1, many)
+                .resolved_key(),
+            "impl legacy");
+}
+
+TEST(ShardedOperator, MatchesSingleDeviceOperator) {
+  // 3x3 subdomains so two shards own unequal subsets (5 + 4).
+  FetiProblem p = heat2d_problem(9, 3);
+  const idx n = p.num_lambdas;
+  Rng rng(71);
+  std::vector<double> x(static_cast<std::size_t>(n) * 2);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  auto run = [&](const std::string& key) {
+    gpu::DeviceConfig cfg;
+    cfg.worker_threads = 4;
+    cfg.launch_latency_us = 0.0;
+    cfg.memory_bytes = 512ull << 20;
+    gpu::ExecutionContext ctx(cfg);
+    auto& registry = DualOperatorRegistry::instance();
+    DualOpConfig c = recommend_config(key, 2, p.max_subdomain_dofs());
+    auto op = registry.create(key, p, c, &ctx);
+    EXPECT_EQ(std::string(op->name()), key);
+    op->prepare();
+    op->update_values();
+    std::vector<double> y(x.size(), 0.0);
+    op->apply(x.data(), y.data(), 2);
+    std::vector<double> d(static_cast<std::size_t>(n));
+    op->compute_d(d.data());
+    return std::make_pair(std::move(y), std::move(d));
+  };
+
+  const auto [y_single, d_single] = run("expl legacy");
+  const auto [y_sharded, d_sharded] = run("expl legacy x2");
+  double scale = 0.0;
+  for (double v : y_single) scale = std::max(scale, std::fabs(v));
+  for (std::size_t i = 0; i < y_single.size(); ++i)
+    EXPECT_NEAR(y_sharded[i], y_single[i], 1e-10 * std::max(1.0, scale))
+        << "entry " << i;
+  // compute_d routes kplus_solve through the owning shard.
+  for (std::size_t i = 0; i < d_single.size(); ++i)
+    EXPECT_NEAR(d_sharded[i], d_single[i], 1e-10);
+}
+
+TEST(ShardedOperator, EndToEndSolveMatchesReference) {
+  FetiProblem p = heat2d_problem(8, 2);
+  gpu::DeviceConfig cfg;
+  cfg.worker_threads = 4;
+  cfg.launch_latency_us = 0.0;
+  cfg.memory_bytes = 512ull << 20;
+  gpu::ExecutionContext ctx(cfg);
+  FetiSolverOptions opts;
+  opts.dualop = recommend_config("expl legacy x2", 2,
+                                 p.max_subdomain_dofs());
+  opts.pcpg.rel_tolerance = 1e-10;
+  FetiSolver solver(p, opts, &ctx);
+  solver.prepare();
+  FetiStepResult res = solver.solve_step();
+  ASSERT_TRUE(res.converged);
+  mesh::Mesh m = mesh::make_grid_2d(8, 8, ElementOrder::Linear);
+  auto u_ref = fem::reference_solve(
+      fem::assemble_global(m, Physics::HeatTransfer));
+  ASSERT_EQ(res.u.size(), u_ref.size());
+  for (std::size_t i = 0; i < u_ref.size(); ++i)
+    EXPECT_NEAR(res.u[i], u_ref[i], 1e-7);
+}
+
+TEST(ShardedOperator, ShardsExceedingSubdomainsOwnNothing) {
+  // x4 on a single-subdomain decomposition (three shards own nothing at
+  // all) and on a 2x2 one (each shard owns exactly one subdomain).
+  // Regression for the former: an empty owned list must not fall into the
+  // "empty means all subdomains" factory convention, which would
+  // multiply-count every contribution in the merged dual vector.
+  for (idx splits : {1, 2}) {
+    FetiProblem p = heat2d_problem(4, splits);
+    gpu::DeviceConfig cfg;
+    cfg.worker_threads = 4;
+    cfg.launch_latency_us = 0.0;
+    cfg.memory_bytes = 512ull << 20;
+    gpu::ExecutionContext ctx(cfg);
+    auto& registry = DualOperatorRegistry::instance();
+    DualOpConfig c = recommend_config("expl legacy x4", 2,
+                                      p.max_subdomain_dofs());
+    auto op = registry.create("expl legacy x4", p, c, &ctx);
+    op->prepare();
+    op->update_values();
+
+    DualOpConfig ref_cfg;
+    ref_cfg.approach = Approach::ImplMkl;
+    auto ref = make_dual_operator(p, ref_cfg);
+    ref->prepare();
+    ref->update_values();
+
+    std::vector<double> x(static_cast<std::size_t>(p.num_lambdas), 1.0);
+    std::vector<double> y(x.size()), y_ref(x.size());
+    op->apply(x.data(), y.data());
+    ref->apply(x.data(), y_ref.data());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_NEAR(y[i], y_ref[i], 1e-9) << "splits " << splits;
   }
 }
 
