@@ -64,10 +64,10 @@ DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
   if (topology.streams_per_device > 0)
     cfg.gpu.streams =
         gpu::ExecutionContext::clamp_streams(topology.streams_per_device);
-  // Multi-device topologies route the explicit GPU axes to the largest
-  // registered sharded variant the topology can feed.
-  if (topology.num_devices >= 2 && axes.device == ExecDevice::Gpu &&
-      axes.repr == Representation::Explicit) {
+  // Multi-device topologies route every device-backed family (explicit,
+  // implicit, and hybrid all have registered sharded variants) to the
+  // largest sharded variant the topology can feed.
+  if (topology.num_devices >= 2) {
     const int shards = topology.num_devices >= 4 ? 4 : 2;
     cfg.key = axes.key() + " x" + std::to_string(shards);
   }

@@ -26,8 +26,11 @@ void DualOperator::apply(const double* x, double* y, idx nrhs) {
 }
 
 void DualOperator::apply_many(const double* x, double* y, idx nrhs) {
-  // Fallback: one single-vector application per column. Implementations
-  // with an assembled F̃ᵢ override this with one GEMM per subdomain.
+  // Fallback: one single-vector application per column. Every built-in
+  // implementation overrides this with a real block path; the counter lets
+  // tests (and callers) detect an operator that silently degrades a batch
+  // into nrhs full passes.
+  ++loop_fallbacks_;
   const std::size_t stride = static_cast<std::size_t>(p_.num_lambdas);
   for (idx j = 0; j < nrhs; ++j)
     apply_one(x + static_cast<std::size_t>(j) * stride,

@@ -19,11 +19,16 @@
 //   apply(X, Y, nrhs)— batched application to nrhs dual vectors stored as
 //                      contiguous columns (column j starts at offset
 //                      j * num_lambdas). The base class falls back to a
-//                      loop of single applies; the CPU operators override
-//                      the batch hook (explicit: one SYMM per subdomain,
-//                      implicit: SpMM + multi-RHS solves). The GPU
-//                      operators still use the loop fallback — device-side
-//                      batching is a ROADMAP item.
+//                      loop of single applies (counted — see
+//                      loop_fallback_count()); every built-in operator
+//                      overrides the batch hook. CPU explicit: one SYMM per
+//                      subdomain; CPU implicit: SpMM + multi-RHS solves;
+//                      GPU operators: device-side batching — one
+//                      multi-RHS scatter kernel, one SYMM/GEMM (explicit)
+//                      or SpMM + block triangular solves (implicit) per
+//                      subdomain, one multi-RHS gather kernel, so a block
+//                      of RHS costs one submission sweep instead of nrhs
+//                      full round trips.
 //
 // Both apply entry points are non-virtual wrappers (timed under "apply" in
 // timings()); implementations override the protected apply_one/apply_many
@@ -78,6 +83,17 @@ class DualOperator {
   [[nodiscard]] const decomp::FetiProblem& problem() const { return p_; }
   [[nodiscard]] TimingRegistry& timings() { return timings_; }
 
+  /// Number of batched applies served by the base-class loop over
+  /// apply_one instead of a real block implementation. Every built-in
+  /// operator overrides apply_many (the GPU families device-side), so this
+  /// stays 0 for them — asserted by the batched-consistency test matrix;
+  /// out-of-tree operators that inherit the loop count here. Wrappers
+  /// (e.g. the sharded multi-device operator) aggregate their inner
+  /// operators' counts.
+  [[nodiscard]] virtual long loop_fallback_count() const {
+    return loop_fallbacks_;
+  }
+
  protected:
   /// Single-vector application hook: y = F x.
   virtual void apply_one(const double* x, double* y) = 0;
@@ -92,6 +108,7 @@ class DualOperator {
 
   const decomp::FetiProblem& p_;
   mutable TimingRegistry timings_;
+  long loop_fallbacks_ = 0;  ///< incremented by the base apply_many
 };
 
 /// Creates the dual operator for the configured approach by resolving

@@ -15,7 +15,10 @@
 //  * ShardedDualOp — multi-GPU sharding: subdomains partitioned across the
 //    per-shard contexts of a gpu::DevicePool, one partial operator per
 //    shard; dual results merge by summation because the dual gather is
-//    additive. Registered as "expl legacy x2" etc.
+//    additive. Registered for all three families ("expl legacy x2",
+//    "impl modern x4", "expl hybrid x2", ...); whole batches are forwarded
+//    to every shard, so the sharded path reaches the same device-side
+//    batched apply as the single-device operators.
 //
 // All operators receive their execution resources (device, stream pool,
 // workspace policy) through gpu::ExecutionContext instead of creating and
@@ -100,18 +103,72 @@ class GpuDualVectors {
     for (auto& sv : subs_) {
       dev_->free(sv.lam);
       dev_->free(sv.q);
+      dev_->free(sv.lam_blk);
+      dev_->free(sv.q_blk);
       dev_->free(const_cast<idx*>(sv.map));
     }
     dev_->free(d_x_);
     dev_->free(d_y_);
+    dev_->free(d_x_blk_);
+    dev_->free(d_y_blk_);
   }
 
   struct SubVec {
     double* lam = nullptr;
     double* q = nullptr;
+    double* lam_blk = nullptr;  ///< m × batch_cap_ panel (multi-RHS apply)
+    double* q_blk = nullptr;    ///< m × batch_cap_ panel (multi-RHS apply)
+    idx blk_ld = 0;
     const idx* map = nullptr;
     idx n = 0;
   };
+
+  /// Grow-only multi-RHS state: cluster-wide device blocks (num_lambdas ×
+  /// cap) and per-subdomain panels (m × cap) in `layout`. Persistent across
+  /// applies — batched apply sits in the PCPG per-iteration hot path, and a
+  /// draining lockstep batch shrinks without triggering reallocation.
+  void ensure_batch(idx nrhs, la::Layout layout) {
+    if (batch_cap_ >= nrhs && layout == batch_layout_) return;
+    const idx cap = std::max(nrhs, batch_cap_);
+    // Invalidate the capacity up front and null every pointer between free
+    // and realloc: a bad_alloc mid-growth must leave no dangling panel
+    // behind (the destructor frees, and a caller may retry narrower, which
+    // now forces a full rebuild instead of reusing freed buffers).
+    batch_cap_ = 0;
+    for (auto& sv : subs_) {
+      dev_->free(sv.lam_blk);
+      sv.lam_blk = nullptr;
+      dev_->free(sv.q_blk);
+      sv.q_blk = nullptr;
+      const std::size_t panel =
+          static_cast<std::size_t>(sv.n) * static_cast<std::size_t>(cap);
+      sv.lam_blk = dev_->alloc_n<double>(std::max<std::size_t>(1, panel));
+      sv.q_blk = dev_->alloc_n<double>(std::max<std::size_t>(1, panel));
+      sv.blk_ld = layout == la::Layout::RowMajor ? cap : sv.n;
+    }
+    dev_->free(d_x_blk_);
+    d_x_blk_ = nullptr;
+    dev_->free(d_y_blk_);
+    d_y_blk_ = nullptr;
+    const std::size_t cluster =
+        static_cast<std::size_t>(nlambda_) * static_cast<std::size_t>(cap);
+    d_x_blk_ = dev_->alloc_n<double>(std::max<std::size_t>(1, cluster));
+    d_y_blk_ = dev_->alloc_n<double>(std::max<std::size_t>(1, cluster));
+    batch_cap_ = cap;
+    batch_layout_ = layout;
+  }
+
+  [[nodiscard]] idx batch_capacity() const { return batch_cap_; }
+
+  /// First-nrhs-columns device view of subdomain k's lambda/q panel.
+  [[nodiscard]] gpu::DeviceDense lam_panel(std::size_t k, idx nrhs) const {
+    const SubVec& sv = subs_[k];
+    return {sv.lam_blk, sv.n, nrhs, sv.blk_ld, batch_layout_};
+  }
+  [[nodiscard]] gpu::DeviceDense q_panel(std::size_t k, idx nrhs) const {
+    const SubVec& sv = subs_[k];
+    return {sv.q_blk, sv.n, nrhs, sv.blk_ld, batch_layout_};
+  }
 
   /// GPU scatter/gather: one H2D copy + a single scatter kernel, the
   /// per-subdomain kernels, a single gather kernel + one D2H copy.
@@ -149,6 +206,100 @@ class GpuDualVectors {
     main.synchronize();
   }
 
+  /// Multi-RHS GPU scatter/gather: one H2D copy of the whole RHS block +
+  /// a single multi-RHS scatter kernel, one block kernel per subdomain, a
+  /// single multi-RHS gather kernel + one D2H copy — a batch costs the same
+  /// number of submissions as a single apply. Requires ensure_batch(nrhs).
+  /// `submit_local` receives the *global* subdomain index and the
+  /// first-nrhs-columns device panels.
+  template <typename SubmitLocal>
+  void apply_sg_gpu_many(gpu::Stream& main, std::vector<gpu::Stream>& streams,
+                         const double* x, double* y, idx nrhs,
+                         SubmitLocal&& submit_local) {
+    main.memcpy_h2d(d_x_blk_, x,
+                    static_cast<std::size_t>(nlambda_) *
+                        static_cast<std::size_t>(nrhs) * sizeof(double));
+    std::vector<gpu::kernels::DualMapBlock> scatter_jobs;
+    scatter_jobs.reserve(subs_.size());
+    for (auto& sv : subs_)
+      scatter_jobs.push_back({sv.map, sv.n, sv.lam_blk, sv.blk_ld});
+    gpu::kernels::scatter_batch(main, d_x_blk_, nlambda_, nrhs, batch_layout_,
+                                std::move(scatter_jobs));
+    gpu::Event scattered = main.record();
+
+    const std::size_t nstreams = streams.size();
+    std::vector<bool> used(nstreams, false);
+    for (std::size_t k = 0; k < subs_.size(); ++k) {
+      gpu::Stream& st = streams[k % nstreams];
+      if (!used[k % nstreams]) {
+        st.wait(scattered);
+        used[k % nstreams] = true;
+      }
+      submit_local(owned_[k], st, lam_panel(k, nrhs), q_panel(k, nrhs));
+    }
+    for (std::size_t k = 0; k < nstreams; ++k)
+      if (used[k]) main.wait(streams[k].record());
+
+    std::vector<gpu::kernels::DualMapBlock> gather_jobs;
+    gather_jobs.reserve(subs_.size());
+    for (auto& sv : subs_)
+      gather_jobs.push_back({sv.map, sv.n, sv.q_blk, sv.blk_ld});
+    gpu::kernels::gather_batch(main, d_y_blk_, nlambda_, nlambda_, nrhs,
+                               batch_layout_, std::move(gather_jobs));
+    main.memcpy_d2h(y, d_y_blk_,
+                    static_cast<std::size_t>(nlambda_) *
+                        static_cast<std::size_t>(nrhs) * sizeof(double));
+    main.synchronize();
+  }
+
+  /// Multi-RHS CPU scatter/gather: per-subdomain H2D/D2H panel copies
+  /// around each block kernel. Requires ensure_batch(nrhs).
+  template <typename SubmitLocal>
+  void apply_sg_cpu_many(std::vector<gpu::Stream>& streams, const double* x,
+                         double* y, idx nrhs, SubmitLocal&& submit_local) {
+    // Host staging panels are sized here (not in ensure_batch): only this
+    // scatter/gather placement uses them, and resize is a no-op once grown.
+    host_lam_blk_.resize(subs_.size());
+    host_q_blk_.resize(subs_.size());
+    for (std::size_t k = 0; k < subs_.size(); ++k) {
+      const std::size_t panel = static_cast<std::size_t>(subs_[k].n) *
+                                static_cast<std::size_t>(batch_cap_);
+      if (host_lam_blk_[k].size() < panel) {
+        host_lam_blk_[k].resize(panel);
+        host_q_blk_[k].resize(panel);
+      }
+    }
+    const std::size_t nstreams = streams.size();
+    const std::size_t stride = static_cast<std::size_t>(nlambda_);
+    for (std::size_t k = 0; k < subs_.size(); ++k) {
+      const SubVec& sv = subs_[k];
+      const auto& map = p_->sub[owned_[k]].lm_l2c;
+      la::DenseView lam{host_lam_blk_[k].data(), sv.n, nrhs, sv.blk_ld,
+                        batch_layout_};
+      for (std::size_t i = 0; i < map.size(); ++i)
+        for (idx j = 0; j < nrhs; ++j)
+          lam.at(static_cast<idx>(i), j) =
+              x[map[i] + static_cast<std::size_t>(j) * stride];
+      gpu::Stream& st = streams[k % nstreams];
+      const std::size_t bytes = panel_bytes(sv, nrhs);
+      st.memcpy_h2d(sv.lam_blk, host_lam_blk_[k].data(), bytes);
+      submit_local(owned_[k], st, lam_panel(k, nrhs), q_panel(k, nrhs));
+      st.memcpy_d2h(host_q_blk_[k].data(), sv.q_blk, bytes);
+    }
+    for (auto& st : streams) st.synchronize();
+    std::fill_n(y, stride * static_cast<std::size_t>(nrhs), 0.0);
+    for (std::size_t k = 0; k < subs_.size(); ++k) {
+      const SubVec& sv = subs_[k];
+      const auto& map = p_->sub[owned_[k]].lm_l2c;
+      la::ConstDenseView q(host_q_blk_[k].data(), sv.n, nrhs, sv.blk_ld,
+                           batch_layout_);
+      for (std::size_t i = 0; i < map.size(); ++i)
+        for (idx j = 0; j < nrhs; ++j)
+          y[map[i] + static_cast<std::size_t>(j) * stride] +=
+              q.at(static_cast<idx>(i), j);
+    }
+  }
+
   /// CPU scatter/gather: per-subdomain H2D/D2H copies around each kernel —
   /// more submissions (overhead) but more copy/compute concurrency.
   template <typename SubmitLocal>
@@ -176,14 +327,31 @@ class GpuDualVectors {
   }
 
  private:
+  /// Contiguous byte span covering the first nrhs columns of a panel
+  /// (row-major panels interleave stale columns, so the span runs to the
+  /// last row's live entry).
+  [[nodiscard]] std::size_t panel_bytes(const SubVec& sv, idx nrhs) const {
+    if (sv.n == 0 || nrhs == 0) return 0;
+    const widx span =
+        batch_layout_ == la::Layout::RowMajor
+            ? static_cast<widx>(sv.n - 1) * sv.blk_ld + nrhs
+            : static_cast<widx>(nrhs - 1) * sv.blk_ld + sv.n;
+    return static_cast<std::size_t>(span) * sizeof(double);
+  }
+
   gpu::Device* dev_ = nullptr;
   const decomp::FetiProblem* p_ = nullptr;
   std::vector<idx> owned_;
   std::vector<SubVec> subs_;
   std::vector<std::vector<double>> host_lam_, host_q_;
+  std::vector<std::vector<double>> host_lam_blk_, host_q_blk_;
   double* d_x_ = nullptr;
   double* d_y_ = nullptr;
+  double* d_x_blk_ = nullptr;
+  double* d_y_blk_ = nullptr;
   idx nlambda_ = 0;
+  idx batch_cap_ = 0;
+  la::Layout batch_layout_ = la::Layout::RowMajor;
 };
 
 // ---------------------------------------------------------------------------
@@ -375,6 +543,30 @@ class ExplicitGpuDualOp final : public DualOperator {
       vectors_.apply_sg_cpu(streams_, x, y, submit_local);
   }
 
+  void apply_many(const double* x, double* y, idx nrhs) override {
+    // Device-side batching: one SYMM (or GEMM on the TRSM path, where F̃ᵢ is
+    // stored full) per subdomain serves the whole block of right-hand
+    // sides — the BLAS-3 payoff that the CPU explicit operators already
+    // had. Panels are row-major so the kernels stream contiguously over
+    // the RHS columns.
+    const bool symmetric = opt_.path == Path::Syrk;
+    auto submit_local = [this, symmetric](idx s, gpu::Stream& st,
+                                          gpu::DeviceDense lam,
+                                          gpu::DeviceDense q) {
+      if (symmetric)
+        gpu::blas::symm(st, uplo_[s], 1.0, f_[s], lam, 0.0, q);
+      else
+        gpu::blas::gemm(st, 1.0, f_[s], la::Trans::No, lam, la::Trans::No,
+                        0.0, q);
+    };
+    vectors_.ensure_batch(nrhs, la::Layout::RowMajor);
+    if (opt_.scatter_gather == SgLocation::Gpu)
+      vectors_.apply_sg_gpu_many(main_stream_, streams_, x, y, nrhs,
+                                 submit_local);
+    else
+      vectors_.apply_sg_cpu_many(streams_, x, y, nrhs, submit_local);
+  }
+
   void kplus_solve(idx sub, const double* b, double* x) const override {
     check(solvers_[sub] != nullptr,
           "ExplicitGpuDualOp: subdomain not owned by this operator");
@@ -474,6 +666,7 @@ class ImplicitGpuDualOp final : public DualOperator {
     dev_.synchronize();
     for (auto& b : bperm_dev_) gpu::free_csr(dev_, b);
     for (auto* t : tmp_dev_) dev_.free(t);
+    for (auto* t : tmpblk_dev_) dev_.free(t);
   }
 
   void prepare() override {
@@ -486,7 +679,10 @@ class ImplicitGpuDualOp final : public DualOperator {
     bperm_dev_.resize(nsub);
     fwd_plan_.resize(nsub);
     bwd_plan_.resize(nsub);
+    batch_fwd_plan_.resize(nsub);
+    batch_bwd_plan_.resize(nsub);
     tmp_dev_.resize(nsub);
+    tmpblk_dev_.resize(nsub);
     const idx nown = static_cast<idx>(owned_.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -531,6 +727,8 @@ class ImplicitGpuDualOp final : public DualOperator {
         const la::Csr& u = solvers_[s]->factor_upper();
         fwd_plan_[s].update_values(st, u);
         bwd_plan_[s].update_values(st, u);
+        if (batch_fwd_plan_[s].valid()) batch_fwd_plan_[s].update_values(st, u);
+        if (batch_bwd_plan_[s].valid()) batch_bwd_plan_[s].update_values(st, u);
       });
     }
     guard.rethrow();
@@ -564,6 +762,41 @@ class ImplicitGpuDualOp final : public DualOperator {
     vectors_.apply_sg_gpu(main_stream_, streams_, x, y, submit_local);
   }
 
+  void apply_many(const double* x, double* y, idx nrhs) override {
+    // Device-side batching for the implicit family: per subdomain one SpMM
+    // (B̃ᵀ against the whole lambda panel), two block triangular solves
+    // through wide-RHS plans, and one SpMM back — nrhs right-hand sides for
+    // the submission count of one.
+    ensure_batch(nrhs);
+    auto& temp = ctx_.workspace();
+    const idx cap = batch_cols_;
+    auto submit_local = [this, &temp, nrhs, cap](idx s, gpu::Stream& st,
+                                                 gpu::DeviceDense lam,
+                                                 gpu::DeviceDense q) {
+      const idx n = p_.sub[s].ndof();
+      gpu::DeviceCsr b = bperm_dev_[s];
+      gpu::DeviceDense t{tmpblk_dev_[s], n, nrhs, cap, la::Layout::RowMajor};
+      gpu::sparse::spmm(st, 1.0, b, la::Trans::Yes, lam, 0.0, t);
+      void* ws_f = nullptr;
+      void* ws_b = nullptr;
+      const std::size_t wf = batch_fwd_plan_[s].workspace_bytes(nrhs);
+      const std::size_t wb = batch_bwd_plan_[s].workspace_bytes(nrhs);
+      if (wf > 0) ws_f = temp.alloc(wf);
+      batch_fwd_plan_[s].solve(st, t, ws_f);
+      if (wb > 0) ws_b = temp.alloc(wb);
+      batch_bwd_plan_[s].solve(st, t, ws_b);
+      gpu::sparse::spmm(st, 1.0, b, la::Trans::No, t, 0.0, q);
+      if (ws_f != nullptr || ws_b != nullptr)
+        st.submit([&temp, ws_f, ws_b] {
+          if (ws_f != nullptr) temp.free(ws_f);
+          if (ws_b != nullptr) temp.free(ws_b);
+        });
+    };
+    vectors_.ensure_batch(nrhs, la::Layout::RowMajor);
+    vectors_.apply_sg_gpu_many(main_stream_, streams_, x, y, nrhs,
+                               submit_local);
+  }
+
   void kplus_solve(idx sub, const double* b, double* x) const override {
     check(solvers_[sub] != nullptr,
           "ImplicitGpuDualOp: subdomain not owned by this operator");
@@ -575,6 +808,34 @@ class ImplicitGpuDualOp final : public DualOperator {
   }
 
  private:
+  /// Grow-only wide-RHS solve plans and temporary panels. Valid only after
+  /// update_values() (the plans are seeded from the current numeric
+  /// factor); refactorizations refresh live batch plans in place.
+  void ensure_batch(idx nrhs) {
+    if (batch_cols_ >= nrhs) return;
+    const idx cap = nrhs;
+    for (std::size_t k = 0; k < owned_.size(); ++k) {
+      const idx s = owned_[k];
+      const idx n = p_.sub[s].ndof();
+      // Same local-index stream assignment as every other per-subdomain
+      // loop; plan construction is synchronous (the SpTrsmPlan constructor
+      // drains its stream), so the plans are complete when this returns.
+      gpu::Stream st = streams_[k % streams_.size()];
+      const la::Csr& u = solvers_[s]->factor_upper();
+      batch_fwd_plan_[s] = gpu::sparse::SpTrsmPlan(
+          dev_, st, api_, u, la::Layout::ColMajor, /*forward=*/true,
+          la::Layout::RowMajor, cap);
+      batch_bwd_plan_[s] = gpu::sparse::SpTrsmPlan(
+          dev_, st, api_, u, la::Layout::ColMajor, /*forward=*/false,
+          la::Layout::RowMajor, cap);
+      dev_.free(tmpblk_dev_[s]);
+      tmpblk_dev_[s] = nullptr;
+      tmpblk_dev_[s] = dev_.alloc_n<double>(static_cast<std::size_t>(n) *
+                                            static_cast<std::size_t>(cap));
+    }
+    batch_cols_ = cap;
+  }
+
   gpu::sparse::Api api_;
   sparse::OrderingKind ordering_;
   gpu::ExecutionContext& ctx_;
@@ -587,7 +848,10 @@ class ImplicitGpuDualOp final : public DualOperator {
   std::vector<la::Csr> bperm_host_;
   std::vector<gpu::DeviceCsr> bperm_dev_;
   std::vector<gpu::sparse::SpTrsmPlan> fwd_plan_, bwd_plan_;
+  std::vector<gpu::sparse::SpTrsmPlan> batch_fwd_plan_, batch_bwd_plan_;
   std::vector<double*> tmp_dev_;
+  std::vector<double*> tmpblk_dev_;
+  idx batch_cols_ = 0;
   GpuDualVectors vectors_;
 };
 
@@ -667,6 +931,21 @@ class HybridDualOp final : public DualOperator {
       vectors_.apply_sg_cpu(streams_, x, y, submit_local);
   }
 
+  void apply_many(const double* x, double* y, idx nrhs) override {
+    // Application runs on the GPU here, so the batch does too: one SYMM per
+    // subdomain against the CPU-assembled F̃ᵢ.
+    auto submit_local = [this](idx s, gpu::Stream& st, gpu::DeviceDense lam,
+                               gpu::DeviceDense q) {
+      gpu::blas::symm(st, la::Uplo::Upper, 1.0, f_dev_[s], lam, 0.0, q);
+    };
+    vectors_.ensure_batch(nrhs, la::Layout::RowMajor);
+    if (opt_.scatter_gather == SgLocation::Gpu)
+      vectors_.apply_sg_gpu_many(main_stream_, streams_, x, y, nrhs,
+                                 submit_local);
+    else
+      vectors_.apply_sg_cpu_many(streams_, x, y, nrhs, submit_local);
+  }
+
   void kplus_solve(idx sub, const double* b, double* x) const override {
     check(solvers_[sub] != nullptr,
           "HybridDualOp: subdomain not owned by this operator");
@@ -735,6 +1014,15 @@ class ShardedDualOp final : public DualOperator {
   }
 
   [[nodiscard]] const char* name() const override { return key_.c_str(); }
+
+  /// A shard that served a batch through the base-class loop counts here:
+  /// the wrapper forwards whole batches, so its own counter stays 0 and
+  /// the aggregate exposes the inner operators' behaviour.
+  [[nodiscard]] long loop_fallback_count() const override {
+    long total = DualOperator::loop_fallback_count();
+    for (const auto& op : inner_) total += op->loop_fallback_count();
+    return total;
+  }
 
  protected:
   void apply_one(const double* x, double* y) override { merge_apply(x, y, 1); }
@@ -827,6 +1115,44 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
     a.api = api;
     return a;
   };
+
+  // Per-shard factory: builds the partial operator of one shard over its
+  // owned subdomain subset. Invoked synchronously inside the ShardedDualOp
+  // constructor, so `p` and `c` (borrowed from the registry factory call)
+  // outlive every use.
+  using ShardInner = std::function<std::unique_ptr<DualOperator>(
+      const decomp::FetiProblem&, const DualOpConfig&, gpu::ExecutionContext&,
+      std::vector<idx>)>;
+
+  // Registers "<base> x2" and "<base> x4": subdomains partitioned across N
+  // virtual devices derived from the supplied context's budget, one partial
+  // operator per shard.
+  const auto add_sharded = [&registry](const std::string& base,
+                                       const ApproachAxes& axes,
+                                       const std::string& what,
+                                       ShardInner inner) {
+    for (int shards : {2, 4}) {
+      const std::string key = base + " x" + std::to_string(shards);
+      registry.add(
+          {key, axes,
+           what + " sharded across " + std::to_string(shards) +
+               " virtual GPUs"},
+          [shards, key, inner](const decomp::FetiProblem& p,
+                               const DualOpConfig& c,
+                               gpu::ExecutionContext* ctx) {
+            auto pool = std::make_unique<gpu::DevicePool>(
+                shards,
+                gpu::DevicePool::split_config(ctx->device().config(), shards));
+            return std::make_unique<ShardedDualOp>(
+                p, key, std::move(pool),
+                [&p, &c, &inner](gpu::ExecutionContext& shard_ctx,
+                                 std::vector<idx> owned) {
+                  return inner(p, c, shard_ctx, std::move(owned));
+                });
+          });
+    }
+  };
+
   for (A api : {A::Legacy, A::Modern}) {
     const char* apiname = gpu::sparse::to_string(api);
     registry.add(
@@ -845,34 +1171,26 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
               gpu::ExecutionContext* ctx) {
           return make_explicit_gpu(p, api, c.gpu, c.ordering, *ctx);
         });
-    // Sharded multi-device variants: subdomains partitioned across N
-    // virtual devices derived from the supplied context's budget.
-    for (int shards : {2, 4}) {
-      const std::string key = std::string("expl ") + apiname + " x" +
-                              std::to_string(shards);
-      registry.add(
-          {key, gpu_axes(R::Explicit, api),
-           std::string("explicit F̃ assembly sharded across ") +
-               std::to_string(shards) + " virtual GPUs, " + apiname +
-               " sparse API"},
-          [api, shards, key](const decomp::FetiProblem& p,
-                             const DualOpConfig& c,
-                             gpu::ExecutionContext* ctx) {
-            auto pool = std::make_unique<gpu::DevicePool>(
-                shards,
-                gpu::DevicePool::split_config(ctx->device().config(), shards));
-            const ExplicitGpuOptions opt = c.gpu;
-            const sparse::OrderingKind ordering = c.ordering;
-            return std::make_unique<ShardedDualOp>(
-                p, key, std::move(pool),
-                [&p, api, opt, ordering](gpu::ExecutionContext& shard_ctx,
-                                         std::vector<idx> owned) {
-                  return make_explicit_gpu(p, api, opt, ordering, shard_ctx,
-                                           std::move(owned));
+    add_sharded(std::string("expl ") + apiname, gpu_axes(R::Explicit, api),
+                std::string("explicit F̃ assembly, ") + apiname +
+                    " sparse API,",
+                [api](const decomp::FetiProblem& p, const DualOpConfig& c,
+                      gpu::ExecutionContext& shard_ctx,
+                      std::vector<idx> owned) {
+                  return make_explicit_gpu(p, api, c.gpu, c.ordering,
+                                           shard_ctx, std::move(owned));
                 });
-          });
-    }
+    add_sharded(std::string("impl ") + apiname, gpu_axes(R::Implicit, api),
+                std::string("implicit application, ") + apiname +
+                    " sparse API,",
+                [api](const decomp::FetiProblem& p, const DualOpConfig& c,
+                      gpu::ExecutionContext& shard_ctx,
+                      std::vector<idx> owned) {
+                  return make_implicit_gpu(p, api, c.ordering, shard_ctx,
+                                           c.gpu.streams, std::move(owned));
+                });
   }
+
   ApproachAxes hybrid;
   hybrid.repr = R::Explicit;
   hybrid.device = D::Hybrid;
@@ -884,6 +1202,13 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
          gpu::ExecutionContext* ctx) {
         return make_hybrid(p, c.gpu, c.ordering, *ctx);
       });
+  add_sharded("expl hybrid", hybrid,
+              "explicit F̃ assembled on the CPU, applied on the GPU,",
+              [](const decomp::FetiProblem& p, const DualOpConfig& c,
+                 gpu::ExecutionContext& shard_ctx, std::vector<idx> owned) {
+                return make_hybrid(p, c.gpu, c.ordering, shard_ctx,
+                                   std::move(owned));
+              });
 }
 
 }  // namespace feti::core

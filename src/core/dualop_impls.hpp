@@ -18,8 +18,8 @@ void register_cpu_dual_operators(DualOperatorRegistry& registry);
 
 /// Registers the GPU-backed implementations (impl legacy, impl modern,
 /// expl legacy, expl modern, expl hybrid) and the sharded multi-device
-/// variants of the explicit operators ("expl legacy x2", ...). Defined in
-/// dualop_gpu.cpp.
+/// variants of all three families ("expl legacy x2", "impl modern x4",
+/// "expl hybrid x2", ...). Defined in dualop_gpu.cpp.
 void register_gpu_dual_operators(DualOperatorRegistry& registry);
 
 std::unique_ptr<DualOperator> make_implicit_cpu(

@@ -44,4 +44,40 @@ FetiStepResult FetiSolver::solve_step() {
   return result;
 }
 
+std::vector<FetiStepResult> FetiSolver::solve_step_many(
+    const std::vector<std::vector<double>>& dual_rhs) {
+  check(prepared_, "FetiSolver: prepare() must be called first");
+  Timer step_timer;
+  std::vector<FetiStepResult> results(dual_rhs.size());
+  if (dual_rhs.empty()) return results;
+
+  double preprocess_seconds = 0.0;
+  {
+    Timer t;
+    dualop_->update_values();
+    preprocess_seconds = t.seconds();
+  }
+
+  const double apply_before = dualop_->timings().total("apply");
+  Pcpg pcpg(*dualop_, projector_, options_.pcpg);
+  std::vector<PcpgResult> prs = pcpg.solve_many(dual_rhs);
+  const double apply_seconds =
+      dualop_->timings().total("apply") - apply_before;
+
+  for (std::size_t j = 0; j < prs.size(); ++j) {
+    FetiStepResult& result = results[j];
+    result.iterations = prs[j].iterations;
+    result.rel_residual = prs[j].rel_residual;
+    result.converged = prs[j].converged;
+    result.preprocess_seconds = preprocess_seconds;
+    result.apply_seconds = apply_seconds;
+    std::vector<std::vector<double>> u_local;
+    dualop_->primal_solution(prs[j].lambda.data(), prs[j].alpha, u_local);
+    result.u = decomp::gather_solution(problem_, u_local);
+  }
+  const double step_seconds = step_timer.seconds();
+  for (auto& result : results) result.step_seconds = step_seconds;
+  return results;
+}
+
 }  // namespace feti::core

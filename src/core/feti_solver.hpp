@@ -39,6 +39,18 @@ class FetiSolver {
   /// One time step (lines 2-7): preprocessing + PCPG + primal solution.
   FetiStepResult solve_step();
 
+  /// One time step solved for a block of dual right-hand sides sharing the
+  /// pattern and the coarse constraint (load multipliers, residual probes,
+  /// deflation vectors): preprocessing runs once, then all systems iterate
+  /// in lockstep through Pcpg::solve_many, so every PCPG iteration reaches
+  /// the dual operator as one batched apply(X, Y, nrhs) — served
+  /// device-side by the GPU operator families. Each dual_rhs[j] plays the
+  /// role of the d vector of eq. (7) (see DualOperator::compute_d for the
+  /// physical one); results are returned in input order, with the shared
+  /// preprocessing/apply/step times repeated in every entry.
+  std::vector<FetiStepResult> solve_step_many(
+      const std::vector<std::vector<double>>& dual_rhs);
+
   [[nodiscard]] DualOperator& dual_operator() { return *dualop_; }
   [[nodiscard]] const Projector& projector() const { return projector_; }
 

@@ -14,6 +14,13 @@ void symv(Stream& s, la::Uplo uplo, double alpha, DeviceDense a,
   s.submit([=] { la::symv(uplo, alpha, a.cview(), x, beta, y); });
 }
 
+void symm(Stream& s, la::Uplo uplo, double alpha, DeviceDense a,
+          DeviceDense b, double beta, DeviceDense c) {
+  s.submit([=] {
+    la::symm(uplo, alpha, a.cview(), b.cview(), beta, c.view());
+  });
+}
+
 void trsm(Stream& s, la::Uplo uplo, la::Trans trans, DeviceDense a,
           DeviceDense b) {
   s.submit([=] { la::trsm(uplo, trans, a.cview(), b.view()); });

@@ -16,6 +16,11 @@ void gemv(Stream& s, double alpha, DeviceDense a, la::Trans trans,
 void symv(Stream& s, la::Uplo uplo, double alpha, DeviceDense a,
           const double* x, double beta, double* y);
 
+/// Symmetric C = alpha * A * B + beta * C, one stored triangle of A — the
+/// multi-RHS companion of symv (cublasDsymm analogue, left side).
+void symm(Stream& s, la::Uplo uplo, double alpha, DeviceDense a,
+          DeviceDense b, double beta, DeviceDense c);
+
 /// In-place triangular solve op(A) X = B with dense factor.
 void trsm(Stream& s, la::Uplo uplo, la::Trans trans, DeviceDense a,
           DeviceDense b);

@@ -4,6 +4,14 @@
 // dual vector and the per-subdomain dual vectors (Section IV-B/IV-C of the
 // paper: a single kernel handles all subdomains when scatter/gather runs on
 // the GPU), plus small vector utilities.
+//
+// Both single-RHS and multi-RHS variants exist. The multi-RHS kernels move
+// all subdomains × all right-hand sides in one submission: the cluster-wide
+// block stores its columns at stride `cluster_ld` (column j of the dual
+// system j starts at cluster + j * cluster_ld), and each subdomain's local
+// block is an n × nrhs dense panel whose layout/leading dimension the
+// caller chooses (a batch narrower than the allocated panel reuses the
+// leading columns).
 
 #include <vector>
 
@@ -28,6 +36,32 @@ void scatter_batch(Stream& s, const double* cluster,
 /// cluster vector first.
 void gather_batch(Stream& s, double* cluster, idx cluster_size,
                   std::vector<DualMap> jobs);
+
+/// One subdomain's slice of a multi-RHS scatter/gather: the local panel is
+/// n × nrhs dense with leading dimension `ld` (row-major: ld >= nrhs,
+/// col-major: ld >= n — the layout is a shared kernel argument).
+struct DualMapBlock {
+  const idx* map = nullptr;  ///< device array, length n
+  idx n = 0;
+  double* local = nullptr;   ///< device panel, n × nrhs, leading dim ld
+  idx ld = 0;
+};
+
+/// Single submission moving all subdomains × all RHS:
+/// local(i, j) = cluster[map[i] + j * cluster_ld] for j in [0, nrhs).
+/// nrhs == 0 submits nothing (no-op).
+void scatter_batch(Stream& s, const double* cluster, idx cluster_ld,
+                   idx nrhs, la::Layout local_layout,
+                   std::vector<DualMapBlock> jobs);
+
+/// Single submission: zero-fills the first nrhs cluster columns (each of
+/// length cluster_size at stride cluster_ld), then accumulates
+/// cluster[map[i] + j * cluster_ld] += local(i, j) over every subdomain —
+/// overlapping dual indices sum, as in the single-RHS gather.
+/// nrhs == 0 submits nothing (the cluster block is left untouched).
+void gather_batch(Stream& s, double* cluster, idx cluster_size,
+                  idx cluster_ld, idx nrhs, la::Layout local_layout,
+                  std::vector<DualMapBlock> jobs);
 
 /// Sets a device vector to zero.
 void fill_zero(Stream& s, double* data, idx n);

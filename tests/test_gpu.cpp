@@ -515,6 +515,191 @@ TEST(GpuKernels, ScatterGatherBatchRoundTrip) {
   dev.free(dl2);
 }
 
+TEST_F(GpuBlasTest, SymmMatchesCpuAndUsesStoredTriangleOnly) {
+  const idx n = 7, w = 4;
+  la::DenseMatrix full(n, n, la::Layout::ColMajor);
+  Rng rng(6);
+  for (idx r = 0; r < n; ++r)
+    for (idx c = r; c < n; ++c) {
+      const double v = rng.uniform(-1, 1);
+      full.at(r, c) = v;
+      full.at(c, r) = v;
+    }
+  la::DenseMatrix b(n, w, la::Layout::RowMajor);
+  for (idx r = 0; r < n; ++r)
+    for (idx c = 0; c < w; ++c) b.at(r, c) = rng.uniform(-1, 1);
+  la::DenseMatrix ref(n, w, la::Layout::RowMajor);
+  la::symm(la::Uplo::Upper, 1.0, full.cview(), b.cview(), 0.0, ref.view());
+
+  // Poison the unreferenced triangle on the device copy.
+  la::DenseMatrix poisoned = full;
+  for (idx r = 0; r < n; ++r)
+    for (idx c = 0; c < r; ++c) poisoned.at(r, c) = 1e9;
+  DeviceDense da = alloc_dense(dev_, n, n, la::Layout::ColMajor);
+  DeviceDense db = alloc_dense(dev_, n, w, la::Layout::RowMajor);
+  DeviceDense dc = alloc_dense(dev_, n, w, la::Layout::RowMajor);
+  s_.memcpy_h2d(da.data, poisoned.data(), poisoned.size() * sizeof(double));
+  s_.memcpy_h2d(db.data, b.data(), b.size() * sizeof(double));
+  blas::symm(s_, la::Uplo::Upper, 1.0, da, db, 0.0, dc);
+  la::DenseMatrix out(n, w, la::Layout::RowMajor);
+  s_.memcpy_d2h(out.data(), dc.data, out.size() * sizeof(double));
+  s_.synchronize();
+  EXPECT_LT(la::max_abs_diff(out.cview(), ref.cview()), 1e-12);
+  free_dense(dev_, da);
+  free_dense(dev_, db);
+  free_dense(dev_, dc);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-RHS scatter/gather kernels.
+// ---------------------------------------------------------------------------
+
+class MultiRhsKernels : public ::testing::Test {
+ protected:
+  MultiRhsKernels() : dev_(test_config()), s_(dev_.create_stream()) {
+    // Two overlapping subdomain maps over a 5-entry cluster vector; the
+    // cluster block stores its columns at a non-contiguous stride.
+    dcluster_ = dev_.alloc_n<double>(static_cast<std::size_t>(kLd) * kMaxRhs);
+    std::vector<double> init(static_cast<std::size_t>(kLd) * kMaxRhs);
+    for (std::size_t i = 0; i < init.size(); ++i)
+      init[i] = static_cast<double>(i + 1);
+    s_.memcpy_h2d(dcluster_, init.data(), init.size() * sizeof(double));
+    dmap1_ = upload_array(dev_, s_, map1_);
+    dmap2_ = upload_array(dev_, s_, map2_);
+    s_.synchronize();
+  }
+  ~MultiRhsKernels() override {
+    dev_.free(dcluster_);
+    dev_.free(dmap1_);
+    dev_.free(dmap2_);
+  }
+
+  [[nodiscard]] std::vector<double> read_cluster() {
+    std::vector<double> out(static_cast<std::size_t>(kLd) * kMaxRhs);
+    s_.memcpy_d2h(out.data(), dcluster_, out.size() * sizeof(double));
+    s_.synchronize();
+    return out;
+  }
+
+  static constexpr idx kSize = 5;   ///< live cluster entries per column
+  static constexpr idx kLd = 7;     ///< cluster column stride (> kSize)
+  static constexpr idx kMaxRhs = 3;
+  std::vector<idx> map1_ = {0, 2, 4}, map2_ = {1, 2, 3};
+  Device dev_;
+  Stream s_;
+  double* dcluster_ = nullptr;
+  idx* dmap1_ = nullptr;
+  idx* dmap2_ = nullptr;
+};
+
+TEST_F(MultiRhsKernels, ScatterGatherBlocksRoundTripWithOverlap) {
+  // Row-major panels with leading dimension 4 > nrhs = 3: the batch only
+  // touches the first 3 entries of each panel row.
+  const idx nrhs = 3, ld = 4;
+  double* dl1 = dev_.alloc_n<double>(3 * ld);
+  double* dl2 = dev_.alloc_n<double>(3 * ld);
+  kernels::fill_zero(s_, dl1, 3 * ld);
+  kernels::fill_zero(s_, dl2, 3 * ld);
+  kernels::scatter_batch(s_, dcluster_, kLd, nrhs, la::Layout::RowMajor,
+                         {{dmap1_, 3, dl1, ld}, {dmap2_, 3, dl2, ld}});
+  std::vector<double> l1(3 * ld), l2(3 * ld);
+  s_.memcpy_d2h(l1.data(), dl1, l1.size() * sizeof(double));
+  s_.memcpy_d2h(l2.data(), dl2, l2.size() * sizeof(double));
+  s_.synchronize();
+  for (idx i = 0; i < 3; ++i)
+    for (idx j = 0; j < nrhs; ++j) {
+      // Cluster column j holds values (1 + j*kLd) + index.
+      EXPECT_EQ(l1[i * ld + j], 1.0 + j * kLd + map1_[i]) << i << "," << j;
+      EXPECT_EQ(l2[i * ld + j], 1.0 + j * kLd + map2_[i]) << i << "," << j;
+      // The ld > nrhs tail stays untouched (zero from fill_zero).
+      EXPECT_EQ(l1[i * ld + nrhs], 0.0);
+    }
+
+  // Gather: zero-fills the live cluster entries of each column, leaves the
+  // stride gap alone, and sums overlapping dual indices (map index 2 is
+  // shared by both subdomains).
+  kernels::gather_batch(s_, dcluster_, kSize, kLd, nrhs, la::Layout::RowMajor,
+                        {{dmap1_, 3, dl1, ld}, {dmap2_, 3, dl2, ld}});
+  std::vector<double> out = read_cluster();
+  for (idx j = 0; j < nrhs; ++j) {
+    const double base = 1.0 + j * kLd;
+    EXPECT_EQ(out[j * kLd + 0], base + 0);             // map1 only
+    EXPECT_EQ(out[j * kLd + 1], base + 1);             // map2 only
+    EXPECT_EQ(out[j * kLd + 2], 2 * (base + 2));       // shared: summed
+    EXPECT_EQ(out[j * kLd + 3], base + 3);             // map2 only
+    EXPECT_EQ(out[j * kLd + 4], base + 4);             // map1 only
+    // The stride gap beyond cluster_size is untouched.
+    EXPECT_EQ(out[j * kLd + 5], static_cast<double>(j * kLd + 6));
+    EXPECT_EQ(out[j * kLd + 6], static_cast<double>(j * kLd + 7));
+  }
+  dev_.free(dl1);
+  dev_.free(dl2);
+}
+
+TEST_F(MultiRhsKernels, SingleColumnMatchesSingleRhsKernels) {
+  // nrhs == 1 must reproduce the single-RHS kernels exactly, for both
+  // panel layouts (a one-column panel is a plain vector in either).
+  double* dref1 = dev_.alloc_n<double>(3);
+  double* dref2 = dev_.alloc_n<double>(3);
+  kernels::scatter_batch(s_, dcluster_, {{dmap1_, 3, dref1},
+                                         {dmap2_, 3, dref2}});
+  std::vector<double> ref1(3), ref2(3);
+  s_.memcpy_d2h(ref1.data(), dref1, 3 * sizeof(double));
+  s_.memcpy_d2h(ref2.data(), dref2, 3 * sizeof(double));
+
+  for (la::Layout layout : {la::Layout::RowMajor, la::Layout::ColMajor}) {
+    const idx ld = layout == la::Layout::RowMajor ? 1 : 3;
+    double* dl1 = dev_.alloc_n<double>(3);
+    double* dl2 = dev_.alloc_n<double>(3);
+    kernels::scatter_batch(s_, dcluster_, kLd, 1, layout,
+                           {{dmap1_, 3, dl1, ld}, {dmap2_, 3, dl2, ld}});
+    std::vector<double> l1(3), l2(3);
+    s_.memcpy_d2h(l1.data(), dl1, 3 * sizeof(double));
+    s_.memcpy_d2h(l2.data(), dl2, 3 * sizeof(double));
+    s_.synchronize();
+    EXPECT_EQ(l1, ref1) << la::to_string(layout);
+    EXPECT_EQ(l2, ref2) << la::to_string(layout);
+
+    // Gather comparison: run both gathers into separate cluster vectors.
+    double* dga = dev_.alloc_n<double>(kSize);
+    double* dgb = dev_.alloc_n<double>(kSize);
+    kernels::gather_batch(s_, dga, kSize, {{dmap1_, 3, dl1},
+                                           {dmap2_, 3, dl2}});
+    kernels::gather_batch(s_, dgb, kSize, kSize, 1, layout,
+                          {{dmap1_, 3, dl1, ld}, {dmap2_, 3, dl2, ld}});
+    std::vector<double> ga(kSize), gb(kSize);
+    s_.memcpy_d2h(ga.data(), dga, kSize * sizeof(double));
+    s_.memcpy_d2h(gb.data(), dgb, kSize * sizeof(double));
+    s_.synchronize();
+    EXPECT_EQ(ga, gb) << la::to_string(layout);
+    dev_.free(dl1);
+    dev_.free(dl2);
+    dev_.free(dga);
+    dev_.free(dgb);
+  }
+  dev_.free(dref1);
+  dev_.free(dref2);
+}
+
+TEST_F(MultiRhsKernels, ZeroRhsIsANoOp) {
+  // nrhs == 0 submits nothing: locals and the cluster block stay exactly
+  // as they were (gather does not even zero-fill — zero columns requested).
+  const std::vector<double> before = read_cluster();
+  double* dl = dev_.alloc_n<double>(3);
+  std::vector<double> marker = {-7.0, -8.0, -9.0};
+  s_.memcpy_h2d(dl, marker.data(), marker.size() * sizeof(double));
+  kernels::scatter_batch(s_, dcluster_, kLd, 0, la::Layout::RowMajor,
+                         {{dmap1_, 3, dl, 1}});
+  kernels::gather_batch(s_, dcluster_, kSize, kLd, 0, la::Layout::RowMajor,
+                        {{dmap1_, 3, dl, 1}});
+  std::vector<double> local(3);
+  s_.memcpy_d2h(local.data(), dl, local.size() * sizeof(double));
+  s_.synchronize();
+  EXPECT_EQ(local, marker);
+  EXPECT_EQ(read_cluster(), before);
+  dev_.free(dl);
+}
+
 TEST(DeviceConfigTest, EnvParsing) {
   // Just exercise the default path; env-specific values are covered by use.
   DeviceConfig cfg = DeviceConfig::from_env();

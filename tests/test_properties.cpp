@@ -213,5 +213,74 @@ TEST_P(RandomConfigSweep, RandomTableOneConfigMatchesReference) {
 INSTANTIATE_TEST_SUITE_P(ManySeeds, RandomConfigSweep,
                          ::testing::Range<std::uint64_t>(1, 17));
 
+// ---------------------------------------------------------------------------
+// Batched-apply invariants: F is linear and symmetric, so those properties
+// must survive the device-side block paths — checked *within* one batch,
+// which exercises cross-column independence of the multi-RHS kernels.
+// ---------------------------------------------------------------------------
+
+class BatchedApplySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchedApplySweep, BatchedApplyIsLinearAndSymmetricPerColumn) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 101 + 7);
+  decomp::FetiProblem p = [&] {
+    mesh::Mesh m = mesh::make_grid_2d(6, 6, mesh::ElementOrder::Linear);
+    auto dec = mesh::decompose_2d(m, 6, 6, 2, 2);
+    return decomp::build_feti_problem(dec, fem::Physics::HeatTransfer);
+  }();
+  static gpu::ExecutionContext dev([] {
+    gpu::DeviceConfig cfg;
+    cfg.worker_threads = 4;
+    cfg.launch_latency_us = 0.0;
+    cfg.memory_bytes = 256ull << 20;
+    return cfg;
+  }());
+
+  // One representative of every GPU family, including a sharded one.
+  const char* keys[] = {"expl legacy", "expl modern", "impl legacy",
+                        "impl modern", "expl hybrid", "impl legacy x2"};
+  const std::string key = keys[seed % (sizeof(keys) / sizeof(keys[0]))];
+  core::DualOpConfig cfg =
+      core::recommend_config(key, 2, p.max_subdomain_dofs());
+  auto op = core::make_dual_operator(p, cfg, &dev);
+  op->prepare();
+  op->update_values();
+
+  const std::size_t n = static_cast<std::size_t>(p.num_lambdas);
+  const idx nrhs = 3;
+  const double alpha = rng.uniform(0.5, 2.0);
+  // Batch columns: [x, y, alpha * x].
+  std::vector<double> xblk(n * nrhs);
+  for (std::size_t i = 0; i < n; ++i) {
+    xblk[i] = rng.uniform(-1, 1);
+    xblk[n + i] = rng.uniform(-1, 1);
+    xblk[2 * n + i] = alpha * xblk[i];
+  }
+  std::vector<double> yblk(xblk.size(), 0.0);
+  op->apply(xblk.data(), yblk.data(), nrhs);
+  EXPECT_EQ(op->loop_fallback_count(), 0) << key;
+
+  const double* fx = yblk.data();
+  const double* fy = yblk.data() + n;
+  const double* fax = yblk.data() + 2 * n;
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    scale = std::max(scale, std::fabs(fx[i]));
+  // Linearity per column: F(alpha x) = alpha F(x) within one batch.
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(fax[i], alpha * fx[i],
+                1e-9 * std::max(1.0, alpha * scale))
+        << "key " << key << " seed " << seed;
+  // Symmetry across two columns of one batch: x^T (F y) = y^T (F x).
+  const double xfy = la::dot(p.num_lambdas, xblk.data(), fy);
+  const double yfx = la::dot(p.num_lambdas, xblk.data() + n, fx);
+  EXPECT_NEAR(xfy, yfx, 1e-8 * std::max(1.0, std::fabs(xfy)))
+      << "key " << key << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, BatchedApplySweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
 }  // namespace
 }  // namespace feti

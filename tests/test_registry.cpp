@@ -48,7 +48,9 @@ TEST(Registry, ListsTheNineTableThreeKeysAndShardedVariants) {
       "impl mkl",       "impl cholmod",   "impl legacy",    "impl modern",
       "expl mkl",       "expl cholmod",   "expl legacy",    "expl modern",
       "expl hybrid",    "expl legacy x2", "expl legacy x4",
-      "expl modern x2", "expl modern x4"};
+      "expl modern x2", "expl modern x4", "impl legacy x2",
+      "impl legacy x4", "impl modern x2", "impl modern x4",
+      "expl hybrid x2", "expl hybrid x4"};
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(DualOperatorRegistry::instance().keys(), expected);
   EXPECT_EQ(DualOperatorRegistry::instance().size(), expected.size());
@@ -203,30 +205,73 @@ TEST(LegacyEnum, ResolvesToTheRegisteredImplementation) {
 // ---------------------------------------------------------------------------
 
 TEST(BatchedApply, MatchesSequentialAppliesForEveryRegisteredKey) {
+  // The full consistency matrix: every registered key (including the x2/x4
+  // sharded variants of all three GPU families) × several batch widths.
+  // The final narrow batch after the widest one exercises the grow-only
+  // batch buffers (a draining lockstep block solve shrinks its batch). The
+  // loop-fallback counter staying 0 proves that no key — in particular no
+  // GPU key — serves a batch through the base-class loop of single
+  // applies.
   FetiProblem p = heat2d_problem(6, 2);
   auto& registry = DualOperatorRegistry::instance();
   const idx n = p.num_lambdas;
-  const idx nrhs = 3;
   for (const std::string& key : registry.keys()) {
     DualOpConfig cfg = recommend_config(key, 2, p.max_subdomain_dofs());
     auto op = registry.create(key, p, cfg, &test_context());
     op->prepare();
     op->update_values();
 
-    Rng rng(23);
-    std::vector<double> x(static_cast<std::size_t>(n) * nrhs);
-    for (auto& v : x) v = rng.uniform(-1, 1);
-    std::vector<double> y_batch(x.size(), 0.0), y_seq(x.size(), 0.0);
-    op->apply(x.data(), y_batch.data(), nrhs);
-    for (idx j = 0; j < nrhs; ++j)
-      op->apply(x.data() + static_cast<std::size_t>(j) * n,
-                y_seq.data() + static_cast<std::size_t>(j) * n);
-    double scale = 0.0;
-    for (double v : y_seq) scale = std::max(scale, std::fabs(v));
-    for (std::size_t i = 0; i < x.size(); ++i)
-      EXPECT_NEAR(y_batch[i], y_seq[i], 1e-10 * std::max(1.0, scale))
-          << "entry " << i << " key " << key;
+    for (idx nrhs : {1, 3, 8, 3}) {
+      Rng rng(23u + static_cast<unsigned>(nrhs));
+      std::vector<double> x(static_cast<std::size_t>(n) * nrhs);
+      for (auto& v : x) v = rng.uniform(-1, 1);
+      std::vector<double> y_batch(x.size(), 0.0), y_seq(x.size(), 0.0);
+      op->apply(x.data(), y_batch.data(), nrhs);
+      for (idx j = 0; j < nrhs; ++j)
+        op->apply(x.data() + static_cast<std::size_t>(j) * n,
+                  y_seq.data() + static_cast<std::size_t>(j) * n);
+      double scale = 0.0;
+      for (double v : y_seq) scale = std::max(scale, std::fabs(v));
+      for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y_batch[i], y_seq[i], 1e-10 * std::max(1.0, scale))
+            << "entry " << i << " key " << key << " nrhs " << nrhs;
+    }
+    EXPECT_EQ(op->loop_fallback_count(), 0)
+        << "key '" << key << "' served a batch through the base-class loop";
   }
+}
+
+namespace {
+
+/// Minimal operator that does NOT override apply_many: batches degrade to
+/// the counted base-class loop (what every built-in operator must avoid).
+class LoopOnlyOp final : public DualOperator {
+ public:
+  using DualOperator::DualOperator;
+  void prepare() override {}
+  void update_values() override {}
+  void kplus_solve(idx, const double*, double*) const override {}
+  [[nodiscard]] const char* name() const override { return "loop only"; }
+
+ protected:
+  void apply_one(const double* x, double* y) override {
+    std::copy_n(x, p_.num_lambdas, y);
+  }
+};
+
+}  // namespace
+
+TEST(BatchedApply, BaseClassLoopFallbackIsCounted) {
+  FetiProblem p = heat2d_problem(4);
+  LoopOnlyOp op(p);
+  EXPECT_EQ(op.loop_fallback_count(), 0);
+  const std::size_t n = static_cast<std::size_t>(p.num_lambdas);
+  std::vector<double> x(n * 2, 1.0), y(x.size(), 0.0);
+  op.apply(x.data(), y.data());
+  op.apply(x.data(), y.data(), 1);  // single column routes to apply_one
+  EXPECT_EQ(op.loop_fallback_count(), 0);
+  op.apply(x.data(), y.data(), 2);
+  EXPECT_EQ(op.loop_fallback_count(), 1);
 }
 
 TEST(BatchedApply, SmallBatchEdgeCases) {
@@ -349,13 +394,20 @@ TEST(Autotune, TopologyHintSelectsShardedVariantsAndStreams) {
   DualOpConfig cfg = recommend_config(axes, 3, 20000, 1, many);
   EXPECT_EQ(cfg.resolved_key(), "expl legacy x4");
   EXPECT_EQ(cfg.gpu.streams, 6);
-  // CPU and implicit axes are unaffected by the topology.
+  // Implicit and hybrid families have sharded registrations too, so the
+  // topology routes them as well; CPU axes are unaffected.
+  EXPECT_EQ(recommend_config(parse_axes("impl legacy"), 3, 20000, 1, many)
+                .resolved_key(),
+            "impl legacy x4");
+  EXPECT_EQ(recommend_config(parse_axes("expl hybrid"), 3, 20000, 1, two)
+                .resolved_key(),
+            "expl hybrid x2");
   EXPECT_EQ(recommend_config(parse_axes("expl mkl"), 3, 20000, 1, many)
                 .resolved_key(),
             "expl mkl");
-  EXPECT_EQ(recommend_config(parse_axes("impl legacy"), 3, 20000, 1, many)
+  EXPECT_EQ(recommend_config(parse_axes("impl cholmod"), 3, 20000, 1, many)
                 .resolved_key(),
-            "impl legacy");
+            "impl cholmod");
 }
 
 TEST(ShardedOperator, MatchesSingleDeviceOperator) {
@@ -453,6 +505,43 @@ TEST(ShardedOperator, ShardsExceedingSubdomainsOwnNothing) {
     for (std::size_t i = 0; i < y.size(); ++i)
       EXPECT_NEAR(y[i], y_ref[i], 1e-9) << "splits " << splits;
   }
+}
+
+TEST(FetiSolverBlock, SolveStepManyMatchesSolveStepOnGpuKey) {
+  // The solver-level multi-RHS entry: one preprocessing, all systems in
+  // lockstep through Pcpg::solve_many, every iteration one batched apply —
+  // served device-side (fallback counter stays 0) on a GPU key.
+  FetiProblem p = heat2d_problem(8, 2);
+  gpu::DeviceConfig cfg;
+  cfg.worker_threads = 4;
+  cfg.launch_latency_us = 0.0;
+  cfg.memory_bytes = 512ull << 20;
+  gpu::ExecutionContext ctx(cfg);
+  FetiSolverOptions opts;
+  opts.dualop = recommend_config("expl legacy", 2, p.max_subdomain_dofs());
+  opts.pcpg.rel_tolerance = 1e-10;
+  FetiSolver solver(p, opts, &ctx);
+  solver.prepare();
+  FetiStepResult single = solver.solve_step();
+  ASSERT_TRUE(single.converged);
+
+  std::vector<double> d(static_cast<std::size_t>(p.num_lambdas));
+  solver.dual_operator().compute_d(d.data());
+  std::vector<double> d_scaled = d;
+  for (auto& v : d_scaled) v *= 1.5;
+  std::vector<FetiStepResult> block = solver.solve_step_many({d, d_scaled});
+  ASSERT_EQ(block.size(), 2u);
+  ASSERT_TRUE(block[0].converged);
+  ASSERT_TRUE(block[1].converged);
+  EXPECT_EQ(solver.dual_operator().loop_fallback_count(), 0);
+  // System 0 solves the physical d, so its primal solution matches the
+  // single-RHS step.
+  ASSERT_EQ(block[0].u.size(), single.u.size());
+  double scale = 0.0;
+  for (double v : single.u) scale = std::max(scale, std::fabs(v));
+  for (std::size_t i = 0; i < single.u.size(); ++i)
+    EXPECT_NEAR(block[0].u[i], single.u[i], 1e-7 * std::max(1.0, scale));
+  EXPECT_TRUE(solver.solve_step_many({}).empty());
 }
 
 TEST(PcpgBlock, EmptyBatchReturnsEmpty) {
