@@ -14,7 +14,7 @@ using namespace feti::bench;
 
 namespace {
 
-double preprocess_ms_with_streams(const decomp::FetiProblem& p, int streams,
+double preprocess_ms_with_streams(decomp::FetiProblem& p, int streams,
                                   gpu::ExecutionContext& ctx) {
   core::DualOpConfig cfg;
   cfg.approach = core::Approach::ExplLegacy;

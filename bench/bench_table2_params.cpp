@@ -21,7 +21,7 @@ struct SweepResult {
   int configs = 0;
 };
 
-SweepResult sweep(const decomp::FetiProblem& p, gpu::sparse::Api api,
+SweepResult sweep(decomp::FetiProblem& p, gpu::sparse::Api api,
                   gpu::ExecutionContext& dev) {
   SweepResult out;
   const auto layouts = {la::Layout::RowMajor, la::Layout::ColMajor};

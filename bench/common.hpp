@@ -76,7 +76,11 @@ struct DualOpTiming {
 
 /// Prepares the operator, then measures median value-update
 /// ("preprocessing") and application times (normalized per subdomain).
-inline DualOpTiming measure_dualop(const decomp::FetiProblem& problem,
+/// Marks the problem's values changed before every update so the
+/// time-step cache cannot turn the measurement into its skip path (the
+/// harnesses measure the full refresh; bench_timestep_cache measures the
+/// cached path deliberately).
+inline DualOpTiming measure_dualop(decomp::FetiProblem& problem,
                                    const core::DualOpConfig& config,
                                    gpu::ExecutionContext& context,
                                    int reps = 3, double min_seconds = 0.02) {
@@ -84,8 +88,11 @@ inline DualOpTiming measure_dualop(const decomp::FetiProblem& problem,
   op->prepare();
   op->update_values();  // warm-up
   DualOpTiming t;
-  t.preprocess_ms =
-      measure_median_seconds(reps, min_seconds, [&] { op->update_values(); }) *
+  t.preprocess_ms = measure_median_seconds(reps, min_seconds,
+                                           [&] {
+                                             problem.mark_values_changed();
+                                             op->update_values();
+                                           }) *
       1e3 / problem.num_subdomains();
   std::vector<double> x(static_cast<std::size_t>(problem.num_lambdas), 1.0);
   std::vector<double> y(x.size(), 0.0);

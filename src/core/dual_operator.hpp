@@ -3,17 +3,22 @@
 // The FETI dual operator F = B K^+ B^T and its implementations (Table
 // III), constructed through the string-keyed DualOperatorRegistry.
 //
-// Staged lifecycle (Algorithm 2 of the paper, refined for multi-step and
-// multi-RHS workloads):
+// Staged lifecycle (Algorithm 2 of the paper, refined for multi-step,
+// multi-RHS, and time-step-cached workloads). The full contract — including
+// the dirty-tracking rules summarized below — is documented in
+// docs/ARCHITECTURE.md.
 //
 //   prepare()        — once per problem *pattern*: symbolic factorization,
 //                      persistent GPU allocations, kernel analysis
 //                      ("preparation"). Must be called first.
-//   update_values()  — once per time step, whenever the numeric values of
-//                      K (and f) change while the pattern stays fixed:
-//                      numeric refactorization and, for explicit
-//                      approaches, (re)assembly of the local dual
-//                      operators F̃ᵢ ("FETI preprocessing").
+//   update_values()  — once per time step. Consults the problem's
+//                      per-subdomain values versions (and, under
+//                      ValueTracking::Hashed, K_reg content hashes) and
+//                      refreshes only the dirty subdomains: numeric
+//                      refactorization and, for explicit approaches,
+//                      (re)assembly of the local dual operators F̃ᵢ ("FETI
+//                      preprocessing"). A step where nothing changed is a
+//                      near-free no-op; cache_stats() counts both outcomes.
 //   apply(x, y)      — per PCPG iteration: y = F x on cluster-wide dual
 //                      vectors (scatter → local apply → gather).
 //   apply(X, Y, nrhs)— batched application to nrhs dual vectors stored as
@@ -34,6 +39,7 @@
 // timings()); implementations override the protected apply_one/apply_many
 // hooks. preprocess() survives as a deprecated alias of update_values().
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -44,6 +50,18 @@
 
 namespace feti::core {
 
+/// Time-step cache effectiveness counters, exposed by
+/// DualOperator::cache_stats(). Like loop_fallback_count(), the counters
+/// accumulate from operator construction and never reset — callers that
+/// want per-step deltas snapshot before/after (FetiSolver::solve_step does
+/// exactly that to fill FetiStepResult).
+struct CacheStats {
+  long steps = 0;                 ///< update_values() calls
+  long skipped_steps = 0;         ///< steps that refreshed no subdomain
+  long refreshed_subdomains = 0;  ///< per-subdomain refactorizations done
+  long skipped_subdomains = 0;    ///< per-subdomain refreshes avoided
+};
+
 class DualOperator {
  public:
   explicit DualOperator(const decomp::FetiProblem& p) : p_(p) {}
@@ -53,13 +71,28 @@ class DualOperator {
   DualOperator& operator=(const DualOperator&) = delete;
 
   /// Once per pattern: symbolic factorization + persistent allocations.
+  /// Precondition: the problem outlives the operator and its pattern (Csr
+  /// structures, subdomain count, lambda maps) never changes afterwards.
+  /// Postcondition: update_values() may be called; apply()/kplus_solve()
+  /// may NOT be called yet (no numeric factor exists).
   virtual void prepare() = 0;
-  /// Per time step: numeric refactorization (+ explicit assembly).
+
+  /// Per time step: numeric refactorization (+ explicit assembly) of the
+  /// subdomains whose K values changed since this operator last saw them.
+  /// Precondition: prepare() has run; value changes were announced via
+  /// FetiProblem::mark_values_changed (or the problem uses
+  /// ValueTracking::Hashed, in which case in-place mutation is detected by
+  /// content hash). Postcondition: apply()/kplus_solve()/compute_d()
+  /// reflect the current K values; cache_stats() has counted the step. On
+  /// exception, no version is committed — the next call retries the same
+  /// dirty set.
   virtual void update_values() = 0;
+
   /// Deprecated alias of update_values(), kept for pre-registry callers.
-  void preprocess() { update_values(); }
+  [[deprecated("use update_values()")]] void preprocess() { update_values(); }
 
   /// y = F x; x and y are cluster-wide dual vectors (host memory).
+  /// Valid only after update_values().
   void apply(const double* x, double* y);
   /// Y(:,j) = F X(:,j) for j in [0, nrhs); columns are contiguous
   /// cluster-wide dual vectors (leading dimension num_lambdas).
@@ -89,9 +122,18 @@ class DualOperator {
   /// stays 0 for them — asserted by the batched-consistency test matrix;
   /// out-of-tree operators that inherit the loop count here. Wrappers
   /// (e.g. the sharded multi-device operator) aggregate their inner
-  /// operators' counts.
+  /// operators' counts. Accumulates from construction; never resets.
   [[nodiscard]] virtual long loop_fallback_count() const {
     return loop_fallbacks_;
+  }
+
+  /// Time-step cache counters: how many update_values() steps and
+  /// per-subdomain refreshes were served from cache vs recomputed.
+  /// Accumulates from construction; never resets. The sharded wrapper
+  /// aggregates over its shards (steps/skipped_steps are wrapper-level,
+  /// subdomain counts are summed over the disjoint shard subsets).
+  [[nodiscard]] virtual CacheStats cache_stats() const {
+    return cache_stats_;
   }
 
  protected:
@@ -101,6 +143,27 @@ class DualOperator {
   /// Overriders may assume nrhs >= 1 and distinct, non-overlapping x/y.
   virtual void apply_many(const double* x, double* y, idx nrhs);
 
+  /// The dirty-set decision of one update_values() call: the owned
+  /// subdomains whose K values changed since the last committed refresh
+  /// (ascending global indices), plus their new content hashes under
+  /// ValueTracking::Hashed.
+  struct UpdatePlan {
+    std::vector<idx> dirty;
+    std::vector<std::uint64_t> hash;
+    [[nodiscard]] bool skip() const { return dirty.empty(); }
+  };
+
+  /// Computes the dirty subset at the top of an update_values()
+  /// implementation and counts the step in cache_stats() (a step with an
+  /// empty dirty set counts as skipped). The owned-subset overload serves
+  /// partial operators (sharding); the plain one tracks all subdomains.
+  UpdatePlan begin_update();
+  UpdatePlan begin_update(const std::vector<idx>& owned);
+  /// Commits the refreshed versions/hashes at the bottom of a successful
+  /// update_values(); not reached on exception, so a failed refresh is
+  /// retried in full on the next step.
+  void end_update(const UpdatePlan& plan);
+
   /// local[i] = cluster[map_i[i]] for subdomain `sub`.
   void scatter_cpu(const double* cluster, idx sub, double* local) const;
   /// cluster[map_i[i]] += local[i]; caller serializes across subdomains.
@@ -109,6 +172,13 @@ class DualOperator {
   const decomp::FetiProblem& p_;
   mutable TimingRegistry timings_;
   long loop_fallbacks_ = 0;  ///< incremented by the base apply_many
+  CacheStats cache_stats_;   ///< maintained by begin_update/end_update
+
+ private:
+  /// Last values versions/hashes this operator refreshed against, indexed
+  /// by global subdomain (0 = never seen, so the first step is all-dirty).
+  std::vector<std::uint64_t> seen_version_;
+  std::vector<std::uint64_t> seen_hash_;
 };
 
 /// Creates the dual operator for the configured approach by resolving

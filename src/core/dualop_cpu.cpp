@@ -77,13 +77,19 @@ class ImplicitCpuDualOp final : public DualOperator {
 
   void update_values() override {
     ScopedTimer t(timings_, "update_values");
-    const idx nsub = p_.num_subdomains();
+    const UpdatePlan plan = begin_update();
+    if (plan.skip()) return;
+    const idx nd = static_cast<idx>(plan.dirty.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx s = 0; s < nsub; ++s) {
-      guard.run([&, s] { solvers_[s]->factorize(p_.sub[s].k_reg); });
+    for (idx k = 0; k < nd; ++k) {
+      guard.run([&, k] {
+        const idx s = plan.dirty[static_cast<std::size_t>(k)];
+        solvers_[s]->factorize(p_.sub[s].k_reg);
+      });
     }
     guard.rethrow();
+    end_update(plan);
   }
 
   void kplus_solve(idx sub, const double* b, double* x) const override {
@@ -311,16 +317,20 @@ class ExplicitCpuSchurDualOp final : public ExplicitCpuBase {
 
   void update_values() override {
     ScopedTimer t(timings_, "update_values");
-    const idx nsub = p_.num_subdomains();
+    const UpdatePlan plan = begin_update();
+    if (plan.skip()) return;
+    const idx nd = static_cast<idx>(plan.dirty.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx s = 0; s < nsub; ++s) {
-      guard.run([&, s] {
+    for (idx k = 0; k < nd; ++k) {
+      guard.run([&, k] {
+        const idx s = plan.dirty[static_cast<std::size_t>(k)];
         solvers_[s]->factorize_schur(p_.sub[s].k_reg, p_.sub[s].b,
                                      f_[s].view(), la::Uplo::Upper);
       });
     }
     guard.rethrow();
+    end_update(plan);
   }
 
   void kplus_solve(idx sub, const double* b, double* x) const override {
@@ -361,11 +371,14 @@ class ExplicitCpuTrsmDualOp final : public ExplicitCpuBase {
 
   void update_values() override {
     ScopedTimer t(timings_, "update_values");
-    const idx nsub = p_.num_subdomains();
+    const UpdatePlan plan = begin_update();
+    if (plan.skip()) return;
+    const idx nd = static_cast<idx>(plan.dirty.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx s = 0; s < nsub; ++s) {
-      guard.run([&, s] {
+    for (idx k = 0; k < nd; ++k) {
+      guard.run([&, k] {
+        const idx s = plan.dirty[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
         solvers_[s]->factorize(fs.k_reg);
         const la::Csr& u = solvers_[s]->factor_upper();
@@ -383,6 +396,7 @@ class ExplicitCpuTrsmDualOp final : public ExplicitCpuBase {
       });
     }
     guard.rethrow();
+    end_update(plan);
   }
 
   void kplus_solve(idx sub, const double* b, double* x) const override {

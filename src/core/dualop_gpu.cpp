@@ -437,13 +437,15 @@ class ExplicitGpuDualOp final : public DualOperator {
 
   void update_values() override {
     ScopedTimer t(timings_, "update_values");
+    const UpdatePlan plan = begin_update(owned_);
+    if (plan.skip()) return;
     auto& temp = ctx_.workspace();
-    const idx nown = static_cast<idx>(owned_.size());
+    const idx nd = static_cast<idx>(plan.dirty.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx k = 0; k < nown; ++k) {
+    for (idx k = 0; k < nd; ++k) {
       guard.run([&, k] {
-        const idx s = owned_[static_cast<std::size_t>(k)];
+        const idx s = plan.dirty[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
         gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
         const idx n = fs.ndof();
@@ -526,6 +528,7 @@ class ExplicitGpuDualOp final : public DualOperator {
     }
     guard.rethrow();
     dev_.synchronize();
+    end_update(plan);
   }
 
   void apply_one(const double* x, double* y) override {
@@ -716,12 +719,14 @@ class ImplicitGpuDualOp final : public DualOperator {
   void update_values() override {
     // Implicit preprocessing = numeric factorization + factor copies.
     ScopedTimer t(timings_, "update_values");
-    const idx nown = static_cast<idx>(owned_.size());
+    const UpdatePlan plan = begin_update(owned_);
+    if (plan.skip()) return;
+    const idx nd = static_cast<idx>(plan.dirty.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx k = 0; k < nown; ++k) {
+    for (idx k = 0; k < nd; ++k) {
       guard.run([&, k] {
-        const idx s = owned_[static_cast<std::size_t>(k)];
+        const idx s = plan.dirty[static_cast<std::size_t>(k)];
         gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
         solvers_[s]->factorize(p_.sub[s].k_reg);
         const la::Csr& u = solvers_[s]->factor_upper();
@@ -733,6 +738,7 @@ class ImplicitGpuDualOp final : public DualOperator {
     }
     guard.rethrow();
     dev_.synchronize();
+    end_update(plan);
   }
 
   void apply_one(const double* x, double* y) override {
@@ -902,12 +908,14 @@ class HybridDualOp final : public DualOperator {
 
   void update_values() override {
     ScopedTimer t(timings_, "update_values");
-    const idx nown = static_cast<idx>(owned_.size());
+    const UpdatePlan plan = begin_update(owned_);
+    if (plan.skip()) return;
+    const idx nd = static_cast<idx>(plan.dirty.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
-    for (idx k = 0; k < nown; ++k) {
+    for (idx k = 0; k < nd; ++k) {
       guard.run([&, k] {
-        const idx s = owned_[static_cast<std::size_t>(k)];
+        const idx s = plan.dirty[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
         gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
         solvers_[s]->factorize_schur(fs.k_reg, fs.b, f_host_[s].view(),
@@ -918,6 +926,7 @@ class HybridDualOp final : public DualOperator {
     }
     guard.rethrow();
     dev_.synchronize();
+    end_update(plan);
   }
 
   void apply_one(const double* x, double* y) override {
@@ -1005,8 +1014,15 @@ class ShardedDualOp final : public DualOperator {
   }
 
   void update_values() override {
+    // Every shard filters its own owned subset against the problem's value
+    // versions, so a clean step costs one near-free pass per shard. The
+    // wrapper aggregates the per-shard skip decisions: the step counts as
+    // skipped only when no shard refreshed anything.
     ScopedTimer t(timings_, "update_values");
+    const long before = inner_refreshed_total();
     parallel_over_shards([&](std::size_t k) { inner_[k]->update_values(); });
+    ++cache_stats_.steps;
+    if (inner_refreshed_total() == before) ++cache_stats_.skipped_steps;
   }
 
   void kplus_solve(idx sub, const double* b, double* x) const override {
@@ -1021,6 +1037,22 @@ class ShardedDualOp final : public DualOperator {
   [[nodiscard]] long loop_fallback_count() const override {
     long total = DualOperator::loop_fallback_count();
     for (const auto& op : inner_) total += op->loop_fallback_count();
+    return total;
+  }
+
+  /// Steps and whole-step skips are wrapper-level (each update_values()
+  /// call above is one step regardless of shard count); the per-subdomain
+  /// counts sum over the disjoint shard subsets, so refreshed + skipped
+  /// per step still adds up to the subdomain count.
+  [[nodiscard]] CacheStats cache_stats() const override {
+    CacheStats total;
+    total.steps = cache_stats_.steps;
+    total.skipped_steps = cache_stats_.skipped_steps;
+    for (const auto& op : inner_) {
+      const CacheStats inner = op->cache_stats();
+      total.refreshed_subdomains += inner.refreshed_subdomains;
+      total.skipped_subdomains += inner.skipped_subdomains;
+    }
     return total;
   }
 
@@ -1047,6 +1079,12 @@ class ShardedDualOp final : public DualOperator {
     std::fill_n(y, len, 0.0);
     for (const auto& part : partial_)
       for (std::size_t i = 0; i < len; ++i) y[i] += part[i];
+  }
+
+  [[nodiscard]] long inner_refreshed_total() const {
+    long total = 0;
+    for (const auto& op : inner_) total += op->cache_stats().refreshed_subdomains;
+    return total;
   }
 
   template <typename F>

@@ -9,6 +9,22 @@
 // availability) is answered from this metadata, so adding a backend or a
 // whole new family is one registration call — no switch to extend, no call
 // site to touch.
+//
+// The key grammar (`<representation> <backend-or-api>[ xN]`) and the
+// lifecycle contract every registered operator must honor —
+// prepare() once per pattern, update_values() per step with dirty-subdomain
+// tracking, apply()/apply(X, Y, nrhs) per iteration — are documented in
+// docs/ARCHITECTURE.md. In short, a factory must return an operator that:
+//  * is constructed cheaply (no factorization, no device allocation; those
+//    belong to prepare());
+//  * refreshes only the subdomains the problem reports dirty in
+//    update_values() (use DualOperator::begin_update/end_update, which also
+//    maintain cache_stats());
+//  * serves batched applies without degrading to a loop of single applies
+//    (or accepts that loop_fallback_count() exposes the degradation).
+// Counters (cache_stats(), loop_fallback_count()) accumulate from operator
+// construction and never reset; preprocess() is a deprecated alias of
+// update_values() kept for pre-registry callers.
 
 #include <functional>
 #include <memory>
@@ -74,7 +90,9 @@ class DualOperatorRegistry {
 
   /// Constructs the implementation registered under `key`. Throws
   /// std::invalid_argument for unknown keys and when the implementation
-  /// requires an execution context but none is supplied.
+  /// requires an execution context but none is supplied. The returned
+  /// operator is unprepared: call prepare() once, then update_values()
+  /// before the first apply()/kplus_solve()/compute_d().
   [[nodiscard]] std::unique_ptr<DualOperator> create(
       std::string_view key, const decomp::FetiProblem& problem,
       const DualOpConfig& config,

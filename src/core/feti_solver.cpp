@@ -21,9 +21,19 @@ FetiStepResult FetiSolver::solve_step() {
   FetiStepResult result;
 
   {
+    const CacheStats before = dualop_->cache_stats();
     Timer t;
     dualop_->update_values();
     result.preprocess_seconds = t.seconds();
+    const CacheStats after = dualop_->cache_stats();
+    result.refreshed_subdomains =
+        after.refreshed_subdomains - before.refreshed_subdomains;
+    result.skipped_subdomains =
+        after.skipped_subdomains - before.skipped_subdomains;
+    // The skipped-steps delta, not "refreshed == 0": an operator that does
+    // not maintain cache_stats() (an out-of-tree update_values() override)
+    // reports zero deltas everywhere and must read as NOT cached.
+    result.values_cached = after.skipped_steps > before.skipped_steps;
   }
 
   std::vector<double> d(static_cast<std::size_t>(problem_.num_lambdas));
@@ -52,11 +62,18 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
   if (dual_rhs.empty()) return results;
 
   double preprocess_seconds = 0.0;
+  const CacheStats cache_before = dualop_->cache_stats();
   {
     Timer t;
     dualop_->update_values();
     preprocess_seconds = t.seconds();
   }
+  const CacheStats cache_after = dualop_->cache_stats();
+  const long refreshed =
+      cache_after.refreshed_subdomains - cache_before.refreshed_subdomains;
+  const long skipped =
+      cache_after.skipped_subdomains - cache_before.skipped_subdomains;
+  const bool cached = cache_after.skipped_steps > cache_before.skipped_steps;
 
   const double apply_before = dualop_->timings().total("apply");
   Pcpg pcpg(*dualop_, projector_, options_.pcpg);
@@ -71,6 +88,9 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
     result.converged = prs[j].converged;
     result.preprocess_seconds = preprocess_seconds;
     result.apply_seconds = apply_seconds;
+    result.refreshed_subdomains = refreshed;
+    result.skipped_subdomains = skipped;
+    result.values_cached = cached;
     std::vector<std::vector<double>> u_local;
     dualop_->primal_solution(prs[j].lambda.data(), prs[j].alpha, u_local);
     result.u = decomp::gather_solution(problem_, u_local);

@@ -24,6 +24,14 @@ struct FetiStepResult {
   double preprocess_seconds = 0.0;  ///< DualOperator::update_values() time
   double apply_seconds = 0.0;  ///< total dual-operator application time
   double step_seconds = 0.0;
+  // Time-step cache outcome of this step's update_values() (deltas of
+  // DualOperator::cache_stats()): how many subdomains were refactorized vs
+  // served from cache, and whether the whole preprocessing was skipped.
+  long refreshed_subdomains = 0;
+  long skipped_subdomains = 0;
+  /// True when update_values() took the skip path (cache_stats() counted a
+  /// skipped step — nothing was dirty, nothing was refactorized).
+  bool values_cached = false;
 };
 
 class FetiSolver {

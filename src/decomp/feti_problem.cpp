@@ -1,6 +1,7 @@
 #include "decomp/feti_problem.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace feti::decomp {
 
@@ -47,6 +48,32 @@ void scale_step(FetiProblem& p, double factor) {
     for (auto& v : s.k_reg.vals()) v *= factor;
     for (auto& v : s.sys.f) v *= factor;
   }
+  p.mark_values_changed();
+}
+
+void scale_subdomain(FetiProblem& p, idx sub, double factor) {
+  check(factor > 0.0, "scale_subdomain: factor must be positive");
+  check(sub >= 0 && sub < p.num_subdomains(),
+        "scale_subdomain: subdomain index out of range");
+  FetiSubdomain& s = p.sub[static_cast<std::size_t>(sub)];
+  for (auto& v : s.sys.k.vals()) v *= factor;
+  for (auto& v : s.k_reg.vals()) v *= factor;
+  for (auto& v : s.sys.f) v *= factor;
+  p.mark_values_changed(sub);
+}
+
+std::uint64_t k_values_hash(const FetiSubdomain& s) {
+  // FNV-1a over the K_reg value array, one 64-bit word (one double) per
+  // round — this sits on the per-step hot path under ValueTracking::Hashed,
+  // so it processes word-wise instead of byte-wise. Bitwise equality is
+  // the right notion here: a value rewritten to the exact same double is a
+  // legitimate cache hit, anything else must refresh.
+  std::uint64_t h = 14695981039346656037ull;
+  for (double v : s.k_reg.vals()) {
+    h ^= std::bit_cast<std::uint64_t>(v);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 std::vector<double> gather_solution(

@@ -109,7 +109,7 @@ TEST_P(ApproachParam, DualOperatorMatchesImplicitReference) {
   ref_cfg.approach = Approach::ImplMkl;
   auto ref_op = make_dual_operator(p, ref_cfg, &test_context());
   ref_op->prepare();
-  ref_op->preprocess();
+  ref_op->update_values();
 
   DualOpConfig cfg;
   cfg.approach = approach;
@@ -117,7 +117,7 @@ TEST_P(ApproachParam, DualOperatorMatchesImplicitReference) {
                               p.max_subdomain_dofs());
   auto op = make_dual_operator(p, cfg, &test_context());
   op->prepare();
-  op->preprocess();
+  op->update_values();
 
   Rng rng(17);
   std::vector<double> x(static_cast<std::size_t>(p.num_lambdas));
@@ -173,7 +173,7 @@ TEST_P(GpuParamSweep, ExplicitAssemblyMatchesReference) {
   ref_cfg.approach = Approach::ImplCholmod;
   auto ref_op = make_dual_operator(p, ref_cfg, nullptr);
   ref_op->prepare();
-  ref_op->preprocess();
+  ref_op->update_values();
 
   DualOpConfig cfg;
   cfg.approach =
@@ -189,7 +189,7 @@ TEST_P(GpuParamSweep, ExplicitAssemblyMatchesReference) {
   cfg.gpu.streams = 3;
   auto op = make_dual_operator(p, cfg, &test_context());
   op->prepare();
-  op->preprocess();
+  op->update_values();
 
   Rng rng(19);
   std::vector<double> x(static_cast<std::size_t>(p.num_lambdas));

@@ -48,7 +48,7 @@ TEST(SymmetricPack, ApplyMatchesUnpacked) {
     cfg.gpu.symmetric_pack = pack;
     auto op = core::make_dual_operator(p, cfg, &dev);
     op->prepare();
-    op->preprocess();
+    op->update_values();
     Rng rng(5);
     std::vector<double> x(static_cast<std::size_t>(p.num_lambdas));
     for (auto& v : x) v = rng.uniform(-1, 1);
@@ -115,13 +115,13 @@ TEST(SymmetricPack, IgnoredForTrsmPath) {
   cfg.gpu.symmetric_pack = true;
   auto op = core::make_dual_operator(p, cfg, &dev);
   op->prepare();
-  op->preprocess();
+  op->update_values();
 
   core::DualOpConfig ref_cfg;
   ref_cfg.approach = core::Approach::ImplCholmod;
   auto ref = core::make_dual_operator(p, ref_cfg, nullptr);
   ref->prepare();
-  ref->preprocess();
+  ref->update_values();
 
   std::vector<double> x(static_cast<std::size_t>(p.num_lambdas), 1.0);
   std::vector<double> y(x.size()), y_ref(x.size());
@@ -295,13 +295,13 @@ TEST(StreamsOption, SingleStreamExplicitGpuStillCorrect) {
   cfg.gpu.streams = 1;
   auto op = core::make_dual_operator(p, cfg, &dev);
   op->prepare();
-  op->preprocess();
+  op->update_values();
 
   core::DualOpConfig ref_cfg;
   ref_cfg.approach = core::Approach::ImplMkl;
   auto ref = core::make_dual_operator(p, ref_cfg, nullptr);
   ref->prepare();
-  ref->preprocess();
+  ref->update_values();
 
   std::vector<double> x(static_cast<std::size_t>(p.num_lambdas), 0.5);
   std::vector<double> y(x.size()), y_ref(x.size());

@@ -190,13 +190,13 @@ TEST_P(RandomConfigSweep, RandomTableOneConfigMatchesReference) {
 
   auto op = core::make_dual_operator(p, cfg, &dev);
   op->prepare();
-  op->preprocess();
+  op->update_values();
 
   core::DualOpConfig ref_cfg;
   ref_cfg.approach = core::Approach::ImplMkl;
   auto ref = core::make_dual_operator(p, ref_cfg, nullptr);
   ref->prepare();
-  ref->preprocess();
+  ref->update_values();
 
   std::vector<double> x(static_cast<std::size_t>(p.num_lambdas));
   for (auto& v : x) v = rng.uniform(-1, 1);
