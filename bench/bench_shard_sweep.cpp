@@ -1,0 +1,136 @@
+// Shard-count sweep (open ROADMAP item carried since PR 2): x1 / x2 / x4
+// shard counts across problem sizes for one explicit and one implicit
+// family, showing where multi-device sharding starts paying. Each shard
+// owns a disjoint subdomain subset on its own virtual device, so
+// update_values() parallelizes across shards and the per-shard apply
+// streams less F̃ — but every shard adds submission and merge overhead,
+// which dominates on small problems.
+//
+// `--quick` runs the CI smoke configuration: one small problem, still
+// end-to-end through x1/x2/x4 of both families. The consistency gate is
+// hard in both modes: every sharded apply must match the single-device
+// result to fp64 round-off, and no key may degrade to the base-class loop
+// fallback. The speedup shapes are advisory (loaded runners).
+
+#include <cmath>
+#include <cstring>
+
+#include "common.hpp"
+#include "core/dualop_registry.hpp"
+
+using namespace feti;
+using namespace feti::bench;
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  gpu::ExecutionContext& device = shared_context();
+  const std::vector<idx> sizes = quick ? std::vector<idx>{6}
+                                       : std::vector<idx>{8, 16, 24};
+  const std::vector<std::string> families = {"expl legacy", "impl legacy"};
+  const std::vector<int> shard_counts = {1, 2, 4};
+
+  std::printf("=== shard-count sweep: per-subdomain times [ms] vs shards "
+              "(%s mode) ===\n",
+              quick ? "quick" : "full");
+  Table table({"family", "DOFs/sub", "lambdas", "x1 prep", "x2 prep",
+               "x4 prep", "x1 apply", "x2 apply", "x4 apply"});
+
+  bool consistent = true;
+  bool no_fallback = true;
+  int sharding_helped = 0;
+
+  for (idx cells : sizes) {
+    // 3x3 subdomains so the x2 partition is uneven (5 + 4) and x4 is
+    // exercised with more subdomains than shards.
+    mesh::Mesh m = mesh::make_grid_2d(cells * 3, cells * 3,
+                                      mesh::ElementOrder::Linear);
+    auto dec = mesh::decompose_2d(m, cells * 3, cells * 3, 3, 3);
+    decomp::FetiProblem problem =
+        decomp::build_feti_problem(dec, fem::Physics::HeatTransfer);
+    const idx dofs = problem.max_subdomain_dofs();
+    const std::size_t n = static_cast<std::size_t>(problem.num_lambdas);
+
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = 1.0 + 0.001 * static_cast<double>(i % 89);
+
+    for (const std::string& family : families) {
+      std::vector<std::string> row = {family, std::to_string(dofs),
+                                      std::to_string(problem.num_lambdas)};
+      std::vector<std::string> apply_cells;
+      std::vector<double> y_base;
+      double apply_x1 = 0.0, apply_last = 0.0;
+      for (int shards : shard_counts) {
+        const std::string key =
+            shards == 1 ? family : family + " x" + std::to_string(shards);
+        core::DualOpConfig cfg =
+            core::recommend_config(key, 2, dofs);
+        auto op = core::make_dual_operator(problem, cfg, &device);
+        op->prepare();
+        op->update_values();  // warm-up (first full refresh)
+
+        const int reps = quick ? 3 : 5;
+        const double min_seconds = quick ? 0.005 : 0.02;
+        const double prep_ms =
+            measure_median_seconds(reps, min_seconds,
+                                   [&] {
+                                     problem.mark_values_changed();
+                                     op->update_values();
+                                   }) *
+            1e3 / problem.num_subdomains();
+
+        std::vector<double> y(n, 0.0);
+        op->apply(x.data(), y.data());  // warm-up
+        const double apply_ms =
+            measure_median_seconds(std::max(reps, 5), min_seconds,
+                                   [&] { op->apply(x.data(), y.data()); }) *
+            1e3 / problem.num_subdomains();
+
+        if (op->loop_fallback_count() != 0) {
+          std::printf("FAIL: key '%s' hit the base-class loop fallback\n",
+                      key.c_str());
+          no_fallback = false;
+        }
+        if (shards == 1) {
+          y_base = y;
+          apply_x1 = apply_ms;
+        } else {
+          double scale = 1.0;
+          for (double v : y_base) scale = std::max(scale, std::fabs(v));
+          for (std::size_t i = 0; i < n; ++i)
+            if (std::fabs(y[i] - y_base[i]) > 1e-10 * scale) {
+              std::printf("FAIL: '%s' deviates from '%s' at entry %zu "
+                          "(%g vs %g)\n",
+                          key.c_str(), family.c_str(), i, y[i], y_base[i]);
+              consistent = false;
+              break;
+            }
+        }
+        apply_last = apply_ms;
+        row.push_back(Table::num(prep_ms, 4));
+        apply_cells.push_back(Table::num(apply_ms, 4));
+      }
+      for (auto& c : apply_cells) row.push_back(std::move(c));
+      table.add_row(std::move(row));
+      if (cells == sizes.back() && apply_last < apply_x1) ++sharding_helped;
+    }
+  }
+
+  table.print();
+  std::printf("\nCSV:\n");
+  table.print_csv(std::cout);
+  shape_check("sharded applies match the single-device operator to fp64 "
+              "round-off",
+              consistent);
+  shape_check("no shard count degrades to the base-class loop fallback",
+              no_fallback);
+  // Advisory on loaded machines: at the largest size, x4 should beat x1 for
+  // at least one family (the virtual devices multiply worker threads).
+  shape_check("sharding pays for at least one family at the largest size "
+              "(advisory)",
+              sharding_helped > 0);
+  return (consistent && no_fallback) ? 0 : 1;
+}

@@ -72,10 +72,18 @@ inline BuiltProblem build_problem(int dim, fem::Physics physics,
 struct DualOpTiming {
   double preprocess_ms = 0.0;  ///< per subdomain
   double apply_ms = 0.0;       ///< per subdomain, per application
+  /// Persistent operator state streamed by one apply (the F̃ blocks;
+  /// DualOperator::apply_bytes), 0 when the operator cannot report it.
+  std::size_t apply_bytes = 0;
+  /// Achieved apply bandwidth, apply_bytes / measured apply time — the
+  /// first-class metric for bandwidth-bound comparisons (fp32 vs fp64
+  /// storage); 0 when apply_bytes is unknown.
+  double apply_gbps = 0.0;
 };
 
 /// Prepares the operator, then measures median value-update
-/// ("preprocessing") and application times (normalized per subdomain).
+/// ("preprocessing") and application times (normalized per subdomain) plus
+/// the achieved apply bandwidth (bytes of F̃ streamed / apply time).
 /// Marks the problem's values changed before every update so the
 /// time-step cache cannot turn the measurement into its skip path (the
 /// harnesses measure the full refresh; bench_timestep_cache measures the
@@ -97,9 +105,12 @@ inline DualOpTiming measure_dualop(decomp::FetiProblem& problem,
   std::vector<double> x(static_cast<std::size_t>(problem.num_lambdas), 1.0);
   std::vector<double> y(x.size(), 0.0);
   op->apply(x.data(), y.data());  // warm-up
-  t.apply_ms = measure_median_seconds(std::max(reps, 5), min_seconds,
-                                      [&] { op->apply(x.data(), y.data()); }) *
-               1e3 / problem.num_subdomains();
+  const double apply_seconds = measure_median_seconds(
+      std::max(reps, 5), min_seconds, [&] { op->apply(x.data(), y.data()); });
+  t.apply_ms = apply_seconds * 1e3 / problem.num_subdomains();
+  t.apply_bytes = op->apply_bytes();
+  if (t.apply_bytes > 0 && apply_seconds > 0.0)
+    t.apply_gbps = static_cast<double>(t.apply_bytes) / apply_seconds / 1e9;
   return t;
 }
 

@@ -54,11 +54,43 @@ ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
   return opt;
 }
 
+namespace {
+
+/// Whether an explicit-family workload should demote F̃ storage to fp32:
+/// the fp64 footprint overflows the per-shard memory budget (while fp32
+/// fits — when even fp32 overflows, precision cannot save the run and the
+/// recommendation stays fp64), or the caller declared the apply phase
+/// bandwidth-bound.
+bool prefer_f32(const WorkloadHint& w, int shards) {
+  if (w.bandwidth_bound) return true;
+  if (w.memory_budget_bytes == 0 || w.num_subdomains <= 0 ||
+      w.lambdas_per_subdomain <= 0)
+    return false;
+  const std::size_t blocks =
+      static_cast<std::size_t>(w.num_subdomains) *
+      static_cast<std::size_t>(w.lambdas_per_subdomain) *
+      static_cast<std::size_t>(w.lambdas_per_subdomain);
+  const std::size_t budget =
+      w.memory_budget_bytes * static_cast<std::size_t>(std::max(1, shards));
+  return blocks * sizeof(double) > budget && blocks * sizeof(float) <= budget;
+}
+
+}  // namespace
+
 DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
                               idx dofs_per_subdomain, int nrhs_hint,
-                              const gpu::DeviceTopology& topology) {
+                              const gpu::DeviceTopology& topology,
+                              const WorkloadHint& workload) {
   DualOpConfig cfg;
-  cfg.select(axes);
+  const int shards =
+      topology.num_devices >= 4 ? 4 : (topology.num_devices >= 2 ? 2 : 1);
+  // Precision choice: only the explicit families carry F̃ storage, and a
+  // caller that already pinned F32 on the axes keeps it.
+  ApproachAxes chosen = axes;
+  if (chosen.repr == Representation::Explicit &&
+      chosen.precision == Precision::F64 && prefer_f32(workload, shards))
+    chosen.precision = Precision::F32;
+  cfg.select(chosen);
   if (axes.device == ExecDevice::Cpu) return cfg;
   cfg.gpu = recommend_options(axes.api, dim, dofs_per_subdomain, nrhs_hint);
   if (topology.streams_per_device > 0)
@@ -67,10 +99,8 @@ DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
   // Multi-device topologies route every device-backed family (explicit,
   // implicit, and hybrid all have registered sharded variants) to the
   // largest sharded variant the topology can feed.
-  if (topology.num_devices >= 2) {
-    const int shards = topology.num_devices >= 4 ? 4 : 2;
-    cfg.key = axes.key() + " x" + std::to_string(shards);
-  }
+  if (topology.num_devices >= 2)
+    cfg.key = chosen.key() + " x" + std::to_string(shards);
   return cfg;
 }
 

@@ -22,6 +22,22 @@ ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
 ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
                                      idx dofs_per_subdomain, int nrhs_hint);
 
+/// Workload characteristics the precision recommendation consumes. All
+/// fields are optional hints: zero/false means "unknown", which never
+/// triggers a demotion to fp32.
+struct WorkloadHint {
+  /// Subdomain count and a dual-size estimate (λ per subdomain) — together
+  /// they bound the explicit F̃ footprint: nsub × mλ² × sizeof(scalar).
+  idx num_subdomains = 0;
+  idx lambdas_per_subdomain = 0;
+  /// Device memory available for the persistent F̃ blocks (0 = unknown).
+  std::size_t memory_budget_bytes = 0;
+  /// The caller knows the run is apply-dominated (many PCPG iterations /
+  /// time steps streaming F̃ through SYMM): bandwidth is the bottleneck,
+  /// so halving the streamed bytes wins even when memory would fit.
+  bool bandwidth_bound = false;
+};
+
 /// One-stop recommendation for an axis tuple: selects the implementation
 /// (DualOpConfig::key) and, for the GPU-backed axes, fills the Table-II
 /// assembly parameters for that tuple's sparse API generation. CPU axes
@@ -32,9 +48,17 @@ ExplicitGpuOptions recommend_options(gpu::sparse::Api api, int dim,
 /// ("expl legacy x2" / "x4") that the topology can feed, and a non-zero
 /// streams_per_device overrides the worker-stream count (the paper uses
 /// one stream per OpenMP thread).
+///
+/// `workload` feeds the precision choice for the explicit families: when
+/// the fp64 F̃ footprint would overflow the stated memory budget (per
+/// shard, after the topology split) or the workload is declared
+/// bandwidth-bound, the fp32 storage variant (" f32" key) is selected —
+/// fp32 halves both the footprint and the bytes streamed per apply. A
+/// caller that pinned the precision on `axes` keeps it.
 DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
                               idx dofs_per_subdomain, int nrhs_hint = 1,
-                              const gpu::DeviceTopology& topology = {});
+                              const gpu::DeviceTopology& topology = {},
+                              const WorkloadHint& workload = {});
 
 /// Key-based overload: resolves the axes through the registry metadata
 /// (falling back to the Table-III key grammar for unregistered spellings)

@@ -37,6 +37,10 @@ const char* to_string(ExecDevice d) {
   return "?";
 }
 
+const char* to_string(Precision p) {
+  return p == Precision::F64 ? "f64" : "f32";
+}
+
 Representation parse_representation(std::string_view s) {
   if (s == "implicit" || s == "impl") return Representation::Implicit;
   if (s == "explicit" || s == "expl") return Representation::Explicit;
@@ -50,11 +54,21 @@ ExecDevice parse_exec_device(std::string_view s) {
   throw std::invalid_argument(bad_token("parse_exec_device", s));
 }
 
+Precision parse_precision(std::string_view s) {
+  if (s == "f64" || s == "fp64" || s == "double") return Precision::F64;
+  if (s == "f32" || s == "fp32" || s == "single") return Precision::F32;
+  throw std::invalid_argument(bad_token("parse_precision", s));
+}
+
 // ---------------------------------------------------------------------------
 // ApproachAxes
 // ---------------------------------------------------------------------------
 
 bool ApproachAxes::valid() const {
+  // fp32 storage demotes assembled F̃ blocks; the implicit families have no
+  // such persistent storage, so the precision axis is explicit-only.
+  if (precision == Precision::F32 && repr != Representation::Explicit)
+    return false;
   switch (device) {
     case ExecDevice::Cpu:
       return true;  // any representation x backend pairing exists on the CPU
@@ -77,6 +91,7 @@ std::string ApproachAxes::key() const {
     case ExecDevice::Gpu: out += gpu::sparse::to_string(api); break;
     case ExecDevice::Hybrid: out += "hybrid"; break;
   }
+  if (precision == Precision::F32) out += " f32";
   return out;
 }
 
@@ -90,16 +105,28 @@ std::string ApproachAxes::describe() const {
     out += '/';
     out += gpu::sparse::to_string(api);
   }
+  out += '/';
+  out += to_string(precision);
   return out;
 }
 
 ApproachAxes parse_axes(std::string_view key) {
+  const std::string_view full_key = key;
+  // Optional trailing precision token: "<repr> <variant>[ f32]".
+  Precision precision = Precision::F64;
+  constexpr std::string_view f32_suffix = " f32";
+  if (key.size() > f32_suffix.size() &&
+      key.substr(key.size() - f32_suffix.size()) == f32_suffix) {
+    precision = Precision::F32;
+    key.remove_suffix(f32_suffix.size());
+  }
   const std::size_t space = key.find(' ');
   if (space != std::string_view::npos) {
     const std::string_view repr_tok = key.substr(0, space);
     const std::string_view variant = key.substr(space + 1);
     if (repr_tok == "impl" || repr_tok == "expl") {
       ApproachAxes axes;
+      axes.precision = precision;
       axes.repr = parse_representation(repr_tok);
       if (variant == "mkl" || variant == "cholmod") {
         axes.device = ExecDevice::Cpu;
@@ -113,14 +140,14 @@ ApproachAxes parse_axes(std::string_view key) {
         axes.device = ExecDevice::Hybrid;
         axes.backend = sparse::Backend::Supernodal;
       } else {
-        throw std::invalid_argument(bad_token("parse_axes", key));
+        throw std::invalid_argument(bad_token("parse_axes", full_key));
       }
       if (!axes.valid())
-        throw std::invalid_argument(bad_token("parse_axes", key));
+        throw std::invalid_argument(bad_token("parse_axes", full_key));
       return axes;
     }
   }
-  throw std::invalid_argument(bad_token("parse_axes", key));
+  throw std::invalid_argument(bad_token("parse_axes", full_key));
 }
 
 // ---------------------------------------------------------------------------
@@ -192,11 +219,13 @@ ApproachAxes axes_of(Approach a) {
 
 Approach approach_of(const ApproachAxes& axes) {
   // The api axis only distinguishes implementations on the GPU; CPU and
-  // hybrid tuples ignore it (matching valid()/key()).
+  // hybrid tuples ignore it (matching valid()/key()). The nine Table-III
+  // enumerators are all fp64 — fp32 tuples have no legacy alias.
   const bool api_relevant = axes.device == ExecDevice::Gpu;
   for (const auto& row : approach_table()) {
     if (row.axes.repr == axes.repr && row.axes.device == axes.device &&
         row.axes.backend == axes.backend &&
+        row.axes.precision == axes.precision &&
         (!api_relevant || row.axes.api == axes.api))
       return row.approach;
   }

@@ -50,12 +50,26 @@ enum class ExecDevice : std::uint8_t {
   Hybrid,  ///< assembly on the CPU (Schur path), application on the GPU
 };
 
+/// Storage/apply precision of the assembled local dual operators F̃ᵢ.
+/// F64 is the default everywhere; F32 assembles in fp64 as usual, demotes
+/// the persistent F̃ storage to fp32, and applies in fp32 with fp64
+/// accumulation (the dual-vector reduction and the whole PCPG iteration
+/// stay fp64). Valid only for the explicit representation — the implicit
+/// families hold no F̃ storage to demote.
+enum class Precision : std::uint8_t {
+  F64,
+  F32,
+};
+
 const char* to_string(Representation r);
 const char* to_string(ExecDevice d);
+const char* to_string(Precision p);
 
 /// Inverse of to_string; also accepts the "impl"/"expl" key abbreviations.
 Representation parse_representation(std::string_view s);
 ExecDevice parse_exec_device(std::string_view s);
+/// Accepts "f64"/"fp64"/"double" and "f32"/"fp32"/"single".
+Precision parse_precision(std::string_view s);
 
 /// One point of the Table-III design space. Only some tuples are valid:
 /// the GPU paths need exported factors (simplicial backend) and the hybrid
@@ -67,19 +81,23 @@ struct ApproachAxes {
   sparse::Backend backend = sparse::Backend::Supernodal;
   /// Sparse API generation; meaningful only when device != Cpu.
   gpu::sparse::Api api = gpu::sparse::Api::Legacy;
+  /// F̃ storage/apply precision; F32 is valid only with Explicit.
+  Precision precision = Precision::F64;
 
   bool operator==(const ApproachAxes&) const = default;
 
   [[nodiscard]] bool valid() const;
-  /// The Table-III registry key, e.g. "impl mkl" or "expl legacy".
+  /// The Table-III registry key, e.g. "impl mkl" or "expl legacy"; the F32
+  /// precision appends an " f32" suffix ("expl legacy f32").
   /// Requires valid().
   [[nodiscard]] std::string key() const;
   /// Human-readable axis dump, e.g. "explicit/gpu/simplicial/legacy".
   [[nodiscard]] std::string describe() const;
 };
 
-/// Parses a Table-III key ("expl legacy", "impl cholmod", ...) back into
-/// its axis tuple. Throws std::invalid_argument for unknown keys.
+/// Parses a Table-III key ("expl legacy", "impl cholmod", "expl mkl f32",
+/// ...) back into its axis tuple. Throws std::invalid_argument for unknown
+/// keys.
 ApproachAxes parse_axes(std::string_view key);
 
 // ---------------------------------------------------------------------------

@@ -136,6 +136,13 @@ class DualOperator {
     return cache_stats_;
   }
 
+  /// Bytes of persistent operator state streamed by one apply(x, y) — the
+  /// assembled F̃ᵢ blocks for the explicit families (fp32 storage halves
+  /// this), 0 when unknown (implicit families, out-of-tree operators).
+  /// Valid after prepare(); benches divide by the measured apply time for
+  /// achieved GB/s. The sharded wrapper sums over its shards.
+  [[nodiscard]] virtual std::size_t apply_bytes() const { return 0; }
+
  protected:
   /// Single-vector application hook: y = F x.
   virtual void apply_one(const double* x, double* y) = 0;

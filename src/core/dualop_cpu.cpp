@@ -18,6 +18,8 @@
 
 #include <omp.h>
 
+#include <type_traits>
+
 #include "core/dualop_impls.hpp"
 #include "core/dualop_registry.hpp"
 #include "util/omp_guard.hpp"
@@ -192,10 +194,22 @@ class ImplicitCpuDualOp final : public DualOperator {
 // ---------------------------------------------------------------------------
 
 /// Common explicit-CPU state: dense F̃ᵢ (upper triangle) + SYMV/SYMM
-/// application.
-class ExplicitCpuBase : public DualOperator {
+/// application. `T` is the persistent F̃ storage scalar (the same pattern
+/// as ExplicitGpuDualOpT): double for the fp64 operators, float for the
+/// mixed-precision " f32" keys — assembly always runs in fp64 (a scratch
+/// block demoted via commit_f), the apply streams T through the
+/// T-instantiated SYMV/SYMM kernels, and the cluster-wide dual vectors
+/// stay fp64 (the scatter downcasts, the gather accumulates in fp64).
+template <typename T>
+class ExplicitCpuBaseT : public DualOperator {
  public:
   using DualOperator::DualOperator;
+
+  [[nodiscard]] std::size_t apply_bytes() const override {
+    std::size_t total = 0;
+    for (const auto& f : f_) total += f.size() * sizeof(T);
+    return total;
+  }
 
  protected:
   void apply_one(const double* x, double* y) override {
@@ -204,14 +218,21 @@ class ExplicitCpuBase : public DualOperator {
 #pragma omp parallel for schedule(dynamic)
     for (idx s = 0; s < nsub; ++s) {
       guard.run([&, s] {
-        scatter_cpu(x, s, lam_[s].data());
+        const auto& map = p_.sub[s].lm_l2c;
+        for (std::size_t i = 0; i < map.size(); ++i)
+          lam_[s][i] = static_cast<T>(x[map[i]]);
         la::symv(la::Uplo::Upper, 1.0, f_[s].cview(), lam_[s].data(), 0.0,
                  q_[s].data());
       });
     }
     guard.rethrow();
     std::fill_n(y, p_.num_lambdas, 0.0);
-    for (idx s = 0; s < nsub; ++s) gather_add_cpu(q_[s].data(), s, y);
+    // fp64 accumulation at the dual-vector reduction.
+    for (idx s = 0; s < nsub; ++s) {
+      const auto& map = p_.sub[s].lm_l2c;
+      for (std::size_t i = 0; i < map.size(); ++i)
+        y[map[i]] += static_cast<double>(q_[s][i]);
+    }
   }
 
   void apply_many(const double* x, double* y, idx nrhs) override {
@@ -230,17 +251,18 @@ class ExplicitCpuBase : public DualOperator {
       guard.run([&, s] {
         const auto& map = p_.sub[s].lm_l2c;
         const idx m = p_.sub[s].num_local_lambdas();
-        double* lam = lam_blk_[s].data();
+        T* lam = lam_blk_[s].data();
         for (std::size_t i = 0; i < map.size(); ++i) {
           const double* xg = x + map[i];
-          double* row = lam + i * ld;
+          T* row = lam + i * ld;
           for (idx j = 0; j < nrhs; ++j)
-            row[j] = xg[static_cast<std::size_t>(j) * stride];
+            row[j] =
+                static_cast<T>(xg[static_cast<std::size_t>(j) * stride]);
         }
-        la::ConstDenseView lamv(lam, m, nrhs, blk_nrhs_,
-                                la::Layout::RowMajor);
-        la::DenseView qv{q_blk_[s].data(), m, nrhs, blk_nrhs_,
-                         la::Layout::RowMajor};
+        la::ConstDenseViewT<T> lamv(lam, m, nrhs, blk_nrhs_,
+                                    la::Layout::RowMajor);
+        la::DenseViewT<T> qv{q_blk_[s].data(), m, nrhs, blk_nrhs_,
+                             la::Layout::RowMajor};
         la::symm(la::Uplo::Upper, 1.0, f_[s].cview(), lamv, 0.0, qv);
       });
     }
@@ -248,12 +270,13 @@ class ExplicitCpuBase : public DualOperator {
     std::fill_n(y, stride * static_cast<std::size_t>(nrhs), 0.0);
     for (idx s = 0; s < nsub; ++s) {
       const auto& map = p_.sub[s].lm_l2c;
-      const double* q = q_blk_[s].data();
+      const T* q = q_blk_[s].data();
       for (std::size_t i = 0; i < map.size(); ++i) {
         double* yg = y + map[i];
-        const double* row = q + i * ld;
+        const T* row = q + i * ld;
         for (idx j = 0; j < nrhs; ++j)
-          yg[static_cast<std::size_t>(j) * stride] += row[j];
+          yg[static_cast<std::size_t>(j) * stride] +=
+              static_cast<double>(row[j]);
       }
     }
   }
@@ -267,8 +290,8 @@ class ExplicitCpuBase : public DualOperator {
     q_blk_.resize(lam_blk_.size());
     for (idx s = 0; s < nsub; ++s) {
       const idx m = p_.sub[s].num_local_lambdas();
-      lam_blk_[s] = la::DenseMatrix(m, nrhs, la::Layout::RowMajor);
-      q_blk_[s] = la::DenseMatrix(m, nrhs, la::Layout::RowMajor);
+      lam_blk_[s] = la::DenseMatrixT<T>(m, nrhs, la::Layout::RowMajor);
+      q_blk_[s] = la::DenseMatrixT<T>(m, nrhs, la::Layout::RowMajor);
     }
     blk_nrhs_ = nrhs;
   }
@@ -280,30 +303,64 @@ class ExplicitCpuBase : public DualOperator {
     q_.resize(f_.size());
     for (idx s = 0; s < nsub; ++s) {
       const idx m = p_.sub[s].num_local_lambdas();
-      f_[s] = la::DenseMatrix(m, m, la::Layout::ColMajor);
+      f_[s] = la::DenseMatrixT<T>(m, m, la::Layout::ColMajor);
       lam_[s].resize(static_cast<std::size_t>(m));
       q_[s].resize(static_cast<std::size_t>(m));
     }
   }
 
-  std::vector<la::DenseMatrix> f_;
-  std::vector<std::vector<double>> lam_, q_;
-  std::vector<la::DenseMatrix> lam_blk_, q_blk_;
+  /// The fp64 assembly target of one subdomain: the persistent block
+  /// itself for the fp64 operator, a caller-provided scratch for the fp32
+  /// one (demoted into the persistent block via commit_f afterwards).
+  [[nodiscard]] la::DenseView assembly_target(idx s,
+                                              la::DenseMatrix& scratch) {
+    if constexpr (std::is_same_v<T, float>) {
+      const idx m = p_.sub[s].num_local_lambdas();
+      scratch = la::DenseMatrix(m, m, la::Layout::ColMajor);
+      return scratch.view();
+    } else {
+      return f_[s].view();
+    }
+  }
+
+  /// Commits an assembled subdomain: the fp32 operator demotes the fp64
+  /// scratch triangle into the persistent block; the fp64 one already
+  /// assembled in place (no-op).
+  void commit_f([[maybe_unused]] idx s,
+                [[maybe_unused]] const la::DenseMatrix& scratch) {
+    if constexpr (std::is_same_v<T, float>)
+      la::demote_triangle(la::Uplo::Upper, scratch.cview(), f_[s].view());
+  }
+
+  /// " f32"-suffixed name for the float instantiation.
+  [[nodiscard]] static const char* precision_name(const char* f64_name,
+                                                  const char* f32_name) {
+    return std::is_same_v<T, float> ? f32_name : f64_name;
+  }
+
+  std::vector<la::DenseMatrixT<T>> f_;
+  std::vector<std::vector<T>> lam_, q_;
+  std::vector<la::DenseMatrixT<T>> lam_blk_, q_blk_;
   idx blk_nrhs_ = 0;
 };
 
 /// expl mkl: augmented incomplete factorization (Schur path).
-class ExplicitCpuSchurDualOp final : public ExplicitCpuBase {
+template <typename T>
+class ExplicitCpuSchurDualOp final : public ExplicitCpuBaseT<T> {
+  using Base = ExplicitCpuBaseT<T>;
+  using Base::p_, Base::timings_;
+  using UpdatePlan = DualOperator::UpdatePlan;
+
  public:
   ExplicitCpuSchurDualOp(const decomp::FetiProblem& p,
                          sparse::OrderingKind ordering)
-      : ExplicitCpuBase(p), ordering_(ordering) {}
+      : Base(p), ordering_(ordering) {}
 
   void prepare() override {
     ScopedTimer t(timings_, "prepare");
     const idx nsub = p_.num_subdomains();
     solvers_.resize(static_cast<std::size_t>(nsub));
-    alloc_dense_f();
+    this->alloc_dense_f();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
     for (idx s = 0; s < nsub; ++s) {
@@ -317,7 +374,7 @@ class ExplicitCpuSchurDualOp final : public ExplicitCpuBase {
 
   void update_values() override {
     ScopedTimer t(timings_, "update_values");
-    const UpdatePlan plan = begin_update();
+    const UpdatePlan plan = this->begin_update();
     if (plan.skip()) return;
     const idx nd = static_cast<idx>(plan.dirty.size());
     OmpExceptionGuard guard;
@@ -325,19 +382,24 @@ class ExplicitCpuSchurDualOp final : public ExplicitCpuBase {
     for (idx k = 0; k < nd; ++k) {
       guard.run([&, k] {
         const idx s = plan.dirty[static_cast<std::size_t>(k)];
-        solvers_[s]->factorize_schur(p_.sub[s].k_reg, p_.sub[s].b,
-                                     f_[s].view(), la::Uplo::Upper);
+        la::DenseMatrix scratch;
+        la::DenseView target = this->assembly_target(s, scratch);
+        solvers_[s]->factorize_schur(p_.sub[s].k_reg, p_.sub[s].b, target,
+                                     la::Uplo::Upper);
+        this->commit_f(s, scratch);
       });
     }
     guard.rethrow();
-    end_update(plan);
+    this->end_update(plan);
   }
 
   void kplus_solve(idx sub, const double* b, double* x) const override {
     solvers_[sub]->solve(b, x);
   }
 
-  [[nodiscard]] const char* name() const override { return "expl mkl"; }
+  [[nodiscard]] const char* name() const override {
+    return Base::precision_name("expl mkl", "expl mkl f32");
+  }
 
  private:
   sparse::OrderingKind ordering_;
@@ -345,18 +407,23 @@ class ExplicitCpuSchurDualOp final : public ExplicitCpuBase {
 };
 
 /// expl cholmod: factor extraction, densified B̃ᵀ, TRSM + SYRK.
-class ExplicitCpuTrsmDualOp final : public ExplicitCpuBase {
+template <typename T>
+class ExplicitCpuTrsmDualOp final : public ExplicitCpuBaseT<T> {
+  using Base = ExplicitCpuBaseT<T>;
+  using Base::p_, Base::timings_;
+  using UpdatePlan = DualOperator::UpdatePlan;
+
  public:
   ExplicitCpuTrsmDualOp(const decomp::FetiProblem& p,
                         sparse::OrderingKind ordering)
-      : ExplicitCpuBase(p), ordering_(ordering) {}
+      : Base(p), ordering_(ordering) {}
 
   void prepare() override {
     ScopedTimer t(timings_, "prepare");
     const idx nsub = p_.num_subdomains();
     solvers_.resize(static_cast<std::size_t>(nsub));
     bperm_.resize(solvers_.size());
-    alloc_dense_f();
+    this->alloc_dense_f();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
     for (idx s = 0; s < nsub; ++s) {
@@ -371,7 +438,7 @@ class ExplicitCpuTrsmDualOp final : public ExplicitCpuBase {
 
   void update_values() override {
     ScopedTimer t(timings_, "update_values");
-    const UpdatePlan plan = begin_update();
+    const UpdatePlan plan = this->begin_update();
     if (plan.skip()) return;
     const idx nd = static_cast<idx>(plan.dirty.size());
     OmpExceptionGuard guard;
@@ -391,19 +458,24 @@ class ExplicitCpuTrsmDualOp final : public ExplicitCpuBase {
             x.at(bperm_[s].col(k), r) = bperm_[s].val(k);
         // Forward solve L X = X (U^T X = X), then F = X^T X.
         la::sp_trsm(la::Uplo::Upper, la::Trans::Yes, u, x.view());
+        la::DenseMatrix scratch;
+        la::DenseView target = this->assembly_target(s, scratch);
         la::syrk(la::Uplo::Upper, la::Trans::Yes, 1.0, x.cview(), 0.0,
-                 f_[s].view());
+                 target);
+        this->commit_f(s, scratch);
       });
     }
     guard.rethrow();
-    end_update(plan);
+    this->end_update(plan);
   }
 
   void kplus_solve(idx sub, const double* b, double* x) const override {
     solvers_[sub]->solve(b, x);
   }
 
-  [[nodiscard]] const char* name() const override { return "expl cholmod"; }
+  [[nodiscard]] const char* name() const override {
+    return Base::precision_name("expl cholmod", "expl cholmod f32");
+  }
 
  private:
   sparse::OrderingKind ordering_;
@@ -420,24 +492,31 @@ std::unique_ptr<DualOperator> make_implicit_cpu(
 }
 
 std::unique_ptr<DualOperator> make_explicit_cpu_schur(
-    const decomp::FetiProblem& p, sparse::OrderingKind ordering) {
-  return std::make_unique<ExplicitCpuSchurDualOp>(p, ordering);
+    const decomp::FetiProblem& p, sparse::OrderingKind ordering,
+    Precision precision) {
+  if (precision == Precision::F32)
+    return std::make_unique<ExplicitCpuSchurDualOp<float>>(p, ordering);
+  return std::make_unique<ExplicitCpuSchurDualOp<double>>(p, ordering);
 }
 
 std::unique_ptr<DualOperator> make_explicit_cpu_trsm(
-    const decomp::FetiProblem& p, sparse::OrderingKind ordering) {
-  return std::make_unique<ExplicitCpuTrsmDualOp>(p, ordering);
+    const decomp::FetiProblem& p, sparse::OrderingKind ordering,
+    Precision precision) {
+  if (precision == Precision::F32)
+    return std::make_unique<ExplicitCpuTrsmDualOp<float>>(p, ordering);
+  return std::make_unique<ExplicitCpuTrsmDualOp<double>>(p, ordering);
 }
 
 void register_cpu_dual_operators(DualOperatorRegistry& registry) {
   using R = Representation;
   using D = ExecDevice;
   using B = sparse::Backend;
-  const auto axes = [](R r, B b) {
+  const auto axes = [](R r, B b, Precision prec = Precision::F64) {
     ApproachAxes a;
     a.repr = r;
     a.device = D::Cpu;
     a.backend = b;
+    a.precision = prec;
     return a;
   };
   registry.add(
@@ -452,18 +531,31 @@ void register_cpu_dual_operators(DualOperatorRegistry& registry) {
       [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::ExecutionContext*) {
         return make_implicit_cpu(p, B::Simplicial, c.ordering);
       });
-  registry.add(
-      {"expl mkl", axes(R::Explicit, B::Supernodal),
-       "explicit F̃ via the augmented Schur complement on the CPU"},
-      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::ExecutionContext*) {
-        return make_explicit_cpu_schur(p, c.ordering);
-      });
-  registry.add(
-      {"expl cholmod", axes(R::Explicit, B::Simplicial),
-       "explicit F̃ via factor extraction + dense TRSM on the CPU"},
-      [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::ExecutionContext*) {
-        return make_explicit_cpu_trsm(p, c.ordering);
-      });
+  for (Precision prec : {Precision::F64, Precision::F32}) {
+    const char* suffix = prec == Precision::F32 ? " f32" : "";
+    const char* storage =
+        prec == Precision::F32 ? ", fp32 storage + fp64 accumulation" : "";
+    registry.add(
+        {std::string("expl mkl") + suffix, axes(R::Explicit, B::Supernodal,
+                                                prec),
+         std::string("explicit F̃ via the augmented Schur complement on the "
+                     "CPU") +
+             storage},
+        [prec](const decomp::FetiProblem& p, const DualOpConfig& c,
+               gpu::ExecutionContext*) {
+          return make_explicit_cpu_schur(p, c.ordering, prec);
+        });
+    registry.add(
+        {std::string("expl cholmod") + suffix,
+         axes(R::Explicit, B::Simplicial, prec),
+         std::string("explicit F̃ via factor extraction + dense TRSM on the "
+                     "CPU") +
+             storage},
+        [prec](const decomp::FetiProblem& p, const DualOpConfig& c,
+               gpu::ExecutionContext*) {
+          return make_explicit_cpu_trsm(p, c.ordering, prec);
+        });
+  }
 }
 
 }  // namespace feti::core

@@ -30,6 +30,7 @@
 #include <map>
 #include <numeric>
 #include <thread>
+#include <type_traits>
 
 #include "core/dualop_impls.hpp"
 #include "core/dualop_registry.hpp"
@@ -72,7 +73,13 @@ std::vector<idx> resolve_owned(const decomp::FetiProblem& p,
 /// owned subdomain subset only: the gathered cluster vector holds the
 /// contributions of the owned subdomains and zero elsewhere, so partial
 /// results of disjoint subsets sum to the full application.
-class GpuDualVectors {
+///
+/// `T` is the local-panel scalar: fp64 for the default operators, fp32 for
+/// the mixed-precision explicit families. The cluster-wide dual vectors
+/// always stay fp64 — the fp32 instantiation downcasts on scatter and the
+/// gather accumulates the fp32 locals into the fp64 cluster vector.
+template <typename T>
+class GpuDualVectorsT {
  public:
   void prepare(gpu::Device& dev, gpu::Stream& s, const decomp::FetiProblem& p,
                const std::vector<idx>& owned) {
@@ -86,8 +93,8 @@ class GpuDualVectors {
       const auto& fs = p.sub[owned_[k]];
       const idx m = fs.num_local_lambdas();
       subs_[k].n = m;
-      subs_[k].lam = dev.alloc_n<double>(static_cast<std::size_t>(m));
-      subs_[k].q = dev.alloc_n<double>(static_cast<std::size_t>(m));
+      subs_[k].lam = dev.alloc_n<T>(static_cast<std::size_t>(m));
+      subs_[k].q = dev.alloc_n<T>(static_cast<std::size_t>(m));
       subs_[k].map = gpu::upload_array(dev, s, fs.lm_l2c);
       host_lam_[k].resize(static_cast<std::size_t>(m));
       host_q_[k].resize(static_cast<std::size_t>(m));
@@ -98,7 +105,7 @@ class GpuDualVectors {
     s.synchronize();
   }
 
-  ~GpuDualVectors() {
+  ~GpuDualVectorsT() {
     if (dev_ == nullptr) return;
     for (auto& sv : subs_) {
       dev_->free(sv.lam);
@@ -114,10 +121,10 @@ class GpuDualVectors {
   }
 
   struct SubVec {
-    double* lam = nullptr;
-    double* q = nullptr;
-    double* lam_blk = nullptr;  ///< m × batch_cap_ panel (multi-RHS apply)
-    double* q_blk = nullptr;    ///< m × batch_cap_ panel (multi-RHS apply)
+    T* lam = nullptr;
+    T* q = nullptr;
+    T* lam_blk = nullptr;  ///< m × batch_cap_ panel (multi-RHS apply)
+    T* q_blk = nullptr;    ///< m × batch_cap_ panel (multi-RHS apply)
     idx blk_ld = 0;
     const idx* map = nullptr;
     idx n = 0;
@@ -142,8 +149,8 @@ class GpuDualVectors {
       sv.q_blk = nullptr;
       const std::size_t panel =
           static_cast<std::size_t>(sv.n) * static_cast<std::size_t>(cap);
-      sv.lam_blk = dev_->alloc_n<double>(std::max<std::size_t>(1, panel));
-      sv.q_blk = dev_->alloc_n<double>(std::max<std::size_t>(1, panel));
+      sv.lam_blk = dev_->alloc_n<T>(std::max<std::size_t>(1, panel));
+      sv.q_blk = dev_->alloc_n<T>(std::max<std::size_t>(1, panel));
       sv.blk_ld = layout == la::Layout::RowMajor ? cap : sv.n;
     }
     dev_->free(d_x_blk_);
@@ -161,11 +168,12 @@ class GpuDualVectors {
   [[nodiscard]] idx batch_capacity() const { return batch_cap_; }
 
   /// First-nrhs-columns device view of subdomain k's lambda/q panel.
-  [[nodiscard]] gpu::DeviceDense lam_panel(std::size_t k, idx nrhs) const {
+  [[nodiscard]] gpu::DeviceDenseT<T> lam_panel(std::size_t k,
+                                               idx nrhs) const {
     const SubVec& sv = subs_[k];
     return {sv.lam_blk, sv.n, nrhs, sv.blk_ld, batch_layout_};
   }
-  [[nodiscard]] gpu::DeviceDense q_panel(std::size_t k, idx nrhs) const {
+  [[nodiscard]] gpu::DeviceDenseT<T> q_panel(std::size_t k, idx nrhs) const {
     const SubVec& sv = subs_[k];
     return {sv.q_blk, sv.n, nrhs, sv.blk_ld, batch_layout_};
   }
@@ -178,7 +186,7 @@ class GpuDualVectors {
                     const double* x, double* y, SubmitLocal&& submit_local) {
     main.memcpy_h2d(d_x_, x, static_cast<std::size_t>(nlambda_) *
                                  sizeof(double));
-    std::vector<gpu::kernels::DualMap> scatter_jobs;
+    std::vector<gpu::kernels::DualMapT<T>> scatter_jobs;
     scatter_jobs.reserve(subs_.size());
     for (auto& sv : subs_) scatter_jobs.push_back({sv.map, sv.n, sv.lam});
     gpu::kernels::scatter_batch(main, d_x_, std::move(scatter_jobs));
@@ -197,7 +205,7 @@ class GpuDualVectors {
     for (std::size_t k = 0; k < nstreams; ++k)
       if (used[k]) main.wait(streams[k].record());
 
-    std::vector<gpu::kernels::DualMap> gather_jobs;
+    std::vector<gpu::kernels::DualMapT<T>> gather_jobs;
     gather_jobs.reserve(subs_.size());
     for (auto& sv : subs_) gather_jobs.push_back({sv.map, sv.n, sv.q});
     gpu::kernels::gather_batch(main, d_y_, nlambda_, std::move(gather_jobs));
@@ -219,7 +227,7 @@ class GpuDualVectors {
     main.memcpy_h2d(d_x_blk_, x,
                     static_cast<std::size_t>(nlambda_) *
                         static_cast<std::size_t>(nrhs) * sizeof(double));
-    std::vector<gpu::kernels::DualMapBlock> scatter_jobs;
+    std::vector<gpu::kernels::DualMapBlockT<T>> scatter_jobs;
     scatter_jobs.reserve(subs_.size());
     for (auto& sv : subs_)
       scatter_jobs.push_back({sv.map, sv.n, sv.lam_blk, sv.blk_ld});
@@ -240,7 +248,7 @@ class GpuDualVectors {
     for (std::size_t k = 0; k < nstreams; ++k)
       if (used[k]) main.wait(streams[k].record());
 
-    std::vector<gpu::kernels::DualMapBlock> gather_jobs;
+    std::vector<gpu::kernels::DualMapBlockT<T>> gather_jobs;
     gather_jobs.reserve(subs_.size());
     for (auto& sv : subs_)
       gather_jobs.push_back({sv.map, sv.n, sv.q_blk, sv.blk_ld});
@@ -274,12 +282,12 @@ class GpuDualVectors {
     for (std::size_t k = 0; k < subs_.size(); ++k) {
       const SubVec& sv = subs_[k];
       const auto& map = p_->sub[owned_[k]].lm_l2c;
-      la::DenseView lam{host_lam_blk_[k].data(), sv.n, nrhs, sv.blk_ld,
-                        batch_layout_};
+      la::DenseViewT<T> lam{host_lam_blk_[k].data(), sv.n, nrhs, sv.blk_ld,
+                            batch_layout_};
       for (std::size_t i = 0; i < map.size(); ++i)
         for (idx j = 0; j < nrhs; ++j)
-          lam.at(static_cast<idx>(i), j) =
-              x[map[i] + static_cast<std::size_t>(j) * stride];
+          lam.at(static_cast<idx>(i), j) = static_cast<T>(
+              x[map[i] + static_cast<std::size_t>(j) * stride]);
       gpu::Stream& st = streams[k % nstreams];
       const std::size_t bytes = panel_bytes(sv, nrhs);
       st.memcpy_h2d(sv.lam_blk, host_lam_blk_[k].data(), bytes);
@@ -291,12 +299,12 @@ class GpuDualVectors {
     for (std::size_t k = 0; k < subs_.size(); ++k) {
       const SubVec& sv = subs_[k];
       const auto& map = p_->sub[owned_[k]].lm_l2c;
-      la::ConstDenseView q(host_q_blk_[k].data(), sv.n, nrhs, sv.blk_ld,
-                           batch_layout_);
+      la::ConstDenseViewT<T> q(host_q_blk_[k].data(), sv.n, nrhs, sv.blk_ld,
+                               batch_layout_);
       for (std::size_t i = 0; i < map.size(); ++i)
         for (idx j = 0; j < nrhs; ++j)
           y[map[i] + static_cast<std::size_t>(j) * stride] +=
-              q.at(static_cast<idx>(i), j);
+              static_cast<double>(q.at(static_cast<idx>(i), j));
     }
   }
 
@@ -309,20 +317,20 @@ class GpuDualVectors {
     for (std::size_t k = 0; k < subs_.size(); ++k) {
       const auto& map = p_->sub[owned_[k]].lm_l2c;
       for (std::size_t i = 0; i < map.size(); ++i)
-        host_lam_[k][i] = x[map[i]];
+        host_lam_[k][i] = static_cast<T>(x[map[i]]);
       gpu::Stream& st = streams[k % nstreams];
       st.memcpy_h2d(subs_[k].lam, host_lam_[k].data(),
-                    host_lam_[k].size() * sizeof(double));
+                    host_lam_[k].size() * sizeof(T));
       submit_local(owned_[k], st, subs_[k].lam, subs_[k].q);
       st.memcpy_d2h(host_q_[k].data(), subs_[k].q,
-                    host_q_[k].size() * sizeof(double));
+                    host_q_[k].size() * sizeof(T));
     }
     for (auto& st : streams) st.synchronize();
     std::fill_n(y, nlambda_, 0.0);
     for (std::size_t k = 0; k < subs_.size(); ++k) {
       const auto& map = p_->sub[owned_[k]].lm_l2c;
       for (std::size_t i = 0; i < map.size(); ++i)
-        y[map[i]] += host_q_[k][i];
+        y[map[i]] += static_cast<double>(host_q_[k][i]);
     }
   }
 
@@ -336,15 +344,15 @@ class GpuDualVectors {
         batch_layout_ == la::Layout::RowMajor
             ? static_cast<widx>(sv.n - 1) * sv.blk_ld + nrhs
             : static_cast<widx>(nrhs - 1) * sv.blk_ld + sv.n;
-    return static_cast<std::size_t>(span) * sizeof(double);
+    return static_cast<std::size_t>(span) * sizeof(T);
   }
 
   gpu::Device* dev_ = nullptr;
   const decomp::FetiProblem* p_ = nullptr;
   std::vector<idx> owned_;
   std::vector<SubVec> subs_;
-  std::vector<std::vector<double>> host_lam_, host_q_;
-  std::vector<std::vector<double>> host_lam_blk_, host_q_blk_;
+  std::vector<std::vector<T>> host_lam_, host_q_;
+  std::vector<std::vector<T>> host_lam_blk_, host_q_blk_;
   double* d_x_ = nullptr;
   double* d_y_ = nullptr;
   double* d_x_blk_ = nullptr;
@@ -354,28 +362,36 @@ class GpuDualVectors {
   la::Layout batch_layout_ = la::Layout::RowMajor;
 };
 
+using GpuDualVectors = GpuDualVectorsT<double>;
+
 // ---------------------------------------------------------------------------
 // Explicit GPU (the contribution)
 // ---------------------------------------------------------------------------
 
-class ExplicitGpuDualOp final : public DualOperator {
+/// `T` is the persistent F̃ storage scalar: double for the paper's fp64
+/// operators, float for the mixed-precision variants ("expl legacy f32",
+/// ...). Assembly always runs in fp64 — the float instantiation assembles
+/// each F̃ᵢ into a temporary fp64 buffer and demotes it into the persistent
+/// fp32 block, so only the apply phase (and the storage footprint) changes.
+template <typename T>
+class ExplicitGpuDualOpT final : public DualOperator {
  public:
-  ExplicitGpuDualOp(const decomp::FetiProblem& p, gpu::sparse::Api api,
-                    const ExplicitGpuOptions& opt,
-                    sparse::OrderingKind ordering, gpu::ExecutionContext& ctx,
-                    std::vector<idx> owned)
+  ExplicitGpuDualOpT(const decomp::FetiProblem& p, gpu::sparse::Api api,
+                     const ExplicitGpuOptions& opt,
+                     sparse::OrderingKind ordering, gpu::ExecutionContext& ctx,
+                     std::vector<idx> owned)
       : DualOperator(p), api_(api), opt_(opt), ordering_(ordering),
         ctx_(ctx), dev_(ctx.device()),
         owned_(resolve_owned(p, std::move(owned))) {}
 
-  ~ExplicitGpuDualOp() override {
+  ~ExplicitGpuDualOpT() override {
     dev_.synchronize();
     for (auto& b : bperm_dev_) gpu::free_csr(dev_, b);
     for (auto& f : factor_dev_) gpu::free_csr(dev_, f);
     // packed_ stays empty if prepare() failed before allocate_f().
     for (std::size_t s = 0; s < f_.size(); ++s)
       if (s >= packed_.size() || !packed_[s]) gpu::free_dense(dev_, f_[s]);
-    for (double* buf : pack_buffers_) dev_.free(buf);
+    for (T* buf : pack_buffers_) dev_.free(buf);
   }
 
   void prepare() override {
@@ -471,6 +487,20 @@ class ExplicitGpuDualOp final : public DualOperator {
         void* ws_fwd = nullptr;
         void* ws_bwd = nullptr;
 
+        // The fp64 assembly target: the persistent block itself for the
+        // fp64 operator, a temporary fp64 buffer for the fp32 one (demoted
+        // into the persistent block below).
+        double* f_scratch = nullptr;
+        gpu::DeviceDense f_target;
+        if constexpr (std::is_same_v<T, float>) {
+          f_scratch = static_cast<double*>(temp.alloc(
+              sizeof(double) * static_cast<std::size_t>(m) * m));
+          f_target = gpu::DeviceDense{f_scratch, m, m, m,
+                                      la::Layout::ColMajor};
+        } else {
+          f_target = f_[s];
+        }
+
         // Dense RHS X = (B̃ᵢ P^T)^T, converted on the device.
         gpu::sparse::csr_to_dense_transposed(st, bperm_dev_[s], x);
 
@@ -490,7 +520,8 @@ class ExplicitGpuDualOp final : public DualOperator {
         if (opt_.path == Path::Syrk) {
           // F̃ᵢ = X^T X; the stored triangle is per-subdomain when triangle
           // packing is active (footnote 1).
-          gpu::blas::syrk(st, uplo_[s], la::Trans::Yes, 1.0, x, 0.0, f_[s]);
+          gpu::blas::syrk(st, uplo_[s], la::Trans::Yes, 1.0, x, 0.0,
+                          f_target);
         } else {
           // Backward solve U Y = X, then F̃ᵢ = B̃ᵢ Y (SpMM).
           if (opt_.bwd_storage == FactorStorage::Sparse) {
@@ -512,17 +543,30 @@ class ExplicitGpuDualOp final : public DualOperator {
             }
           }
           gpu::sparse::spmm(st, 1.0, bperm_dev_[s], la::Trans::No, x, 0.0,
-                            f_[s]);
+                            f_target);
+        }
+
+        // fp32 storage: demote the assembled fp64 block into the
+        // persistent fp32 one. The SYRK path wrote only one triangle (and
+        // the packed pairs share an allocation), so the demotion is
+        // triangle-only there; the TRSM path stores F̃ᵢ full.
+        if constexpr (std::is_same_v<T, float>) {
+          if (opt_.path == Path::Syrk)
+            gpu::kernels::demote_triangle(st, uplo_[s], f_target, f_[s]);
+          else
+            gpu::kernels::demote(st, f_target, f_[s]);
         }
 
         // Stream-ordered release of the temporaries: they are freed once the
         // kernels of this subdomain have executed.
-        st.submit([&temp, x_buf, dense_fwd, dense_bwd, ws_fwd, ws_bwd] {
+        st.submit([&temp, x_buf, dense_fwd, dense_bwd, ws_fwd, ws_bwd,
+                   f_scratch] {
           temp.free(x_buf);
           if (dense_fwd != nullptr) temp.free(dense_fwd);
           if (dense_bwd != nullptr) temp.free(dense_bwd);
           if (ws_fwd != nullptr) temp.free(ws_fwd);
           if (ws_bwd != nullptr) temp.free(ws_bwd);
+          if (f_scratch != nullptr) temp.free(f_scratch);
         });
       });
     }
@@ -534,7 +578,7 @@ class ExplicitGpuDualOp final : public DualOperator {
   void apply_one(const double* x, double* y) override {
     const bool symmetric = opt_.path == Path::Syrk;
     auto submit_local = [this, symmetric](idx s, gpu::Stream& st,
-                                          const double* lam, double* q) {
+                                          const T* lam, T* q) {
       if (symmetric)
         gpu::blas::symv(st, uplo_[s], 1.0, f_[s], lam, 0.0, q);
       else
@@ -554,8 +598,8 @@ class ExplicitGpuDualOp final : public DualOperator {
     // the RHS columns.
     const bool symmetric = opt_.path == Path::Syrk;
     auto submit_local = [this, symmetric](idx s, gpu::Stream& st,
-                                          gpu::DeviceDense lam,
-                                          gpu::DeviceDense q) {
+                                          gpu::DeviceDenseT<T> lam,
+                                          gpu::DeviceDenseT<T> q) {
       if (symmetric)
         gpu::blas::symm(st, uplo_[s], 1.0, f_[s], lam, 0.0, q);
       else
@@ -577,17 +621,27 @@ class ExplicitGpuDualOp final : public DualOperator {
   }
 
   [[nodiscard]] const char* name() const override {
-    return api_ == gpu::sparse::Api::Legacy ? "expl legacy" : "expl modern";
+    if constexpr (std::is_same_v<T, float>)
+      return api_ == gpu::sparse::Api::Legacy ? "expl legacy f32"
+                                              : "expl modern f32";
+    else
+      return api_ == gpu::sparse::Api::Legacy ? "expl legacy"
+                                              : "expl modern";
   }
 
-  /// Bytes of device memory held by the F̃ᵢ matrices (packing ablation).
+  /// Bytes of device memory held by the F̃ᵢ matrices (packing ablation and
+  /// the fp32-vs-fp64 storage comparison).
   [[nodiscard]] std::size_t f_storage_bytes() const {
     std::size_t total = 0;
     for (std::size_t s = 0; s < f_.size(); ++s)
-      if (!packed_[s]) total += f_[s].bytes();
+      if (s >= packed_.size() || !packed_[s]) total += f_[s].bytes();
     for (std::size_t i = 0; i < pack_buffers_.size(); ++i)
       total += pack_sizes_[i];
     return total;
+  }
+
+  [[nodiscard]] std::size_t apply_bytes() const override {
+    return f_storage_bytes();
   }
 
  private:
@@ -614,20 +668,21 @@ class ExplicitGpuDualOp final : public DualOperator {
         for (; i + 1 < subs.size(); i += 2) {
           const idx a = subs[i], b = subs[i + 1];
           const std::size_t bytes =
-              sizeof(double) * static_cast<std::size_t>(m) * (m + 1);
-          auto* buf = static_cast<double*>(dev_.alloc(bytes));
+              sizeof(T) * static_cast<std::size_t>(m) * (m + 1);
+          auto* buf = static_cast<T*>(dev_.alloc(bytes));
           pack_buffers_.push_back(buf);
           pack_sizes_.push_back(bytes);
-          f_[a] = gpu::DeviceDense{buf, m, m, m + 1, la::Layout::ColMajor};
-          f_[b] = gpu::DeviceDense{buf + 1, m, m, m + 1,
-                                   la::Layout::ColMajor};
+          f_[a] = gpu::DeviceDenseT<T>{buf, m, m, m + 1,
+                                       la::Layout::ColMajor};
+          f_[b] = gpu::DeviceDenseT<T>{buf + 1, m, m, m + 1,
+                                       la::Layout::ColMajor};
           uplo_[a] = la::Uplo::Upper;
           uplo_[b] = la::Uplo::Lower;
           packed_[a] = packed_[b] = true;
         }
       }
       for (; i < subs.size(); ++i)
-        f_[subs[i]] = gpu::alloc_dense(dev_, m, m, la::Layout::ColMajor);
+        f_[subs[i]] = gpu::alloc_dense_t<T>(dev_, m, m, la::Layout::ColMajor);
     }
   }
 
@@ -644,13 +699,15 @@ class ExplicitGpuDualOp final : public DualOperator {
   std::vector<gpu::DeviceCsr> bperm_dev_;
   std::vector<gpu::DeviceCsr> factor_dev_;
   std::vector<gpu::sparse::SpTrsmPlan> fwd_plan_, bwd_plan_;
-  std::vector<gpu::DeviceDense> f_;
+  std::vector<gpu::DeviceDenseT<T>> f_;
   std::vector<la::Uplo> uplo_;
   std::vector<bool> packed_;
-  std::vector<double*> pack_buffers_;
+  std::vector<T*> pack_buffers_;
   std::vector<std::size_t> pack_sizes_;
-  GpuDualVectors vectors_;
+  GpuDualVectorsT<T> vectors_;
 };
+
+using ExplicitGpuDualOp = ExplicitGpuDualOpT<double>;
 
 // ---------------------------------------------------------------------------
 // Implicit GPU
@@ -865,15 +922,20 @@ class ImplicitGpuDualOp final : public DualOperator {
 // Hybrid (assembly on CPU via Schur, application on GPU)
 // ---------------------------------------------------------------------------
 
-class HybridDualOp final : public DualOperator {
+/// `T` is the device-side F̃ storage scalar (see ExplicitGpuDualOpT): the
+/// CPU Schur assembly always produces fp64 blocks; the float instantiation
+/// demotes them host-side before the upload, so the device holds — and the
+/// apply phase streams — half the bytes.
+template <typename T>
+class HybridDualOpT final : public DualOperator {
  public:
-  HybridDualOp(const decomp::FetiProblem& p, const ExplicitGpuOptions& opt,
-               sparse::OrderingKind ordering, gpu::ExecutionContext& ctx,
-               std::vector<idx> owned)
+  HybridDualOpT(const decomp::FetiProblem& p, const ExplicitGpuOptions& opt,
+                sparse::OrderingKind ordering, gpu::ExecutionContext& ctx,
+                std::vector<idx> owned)
       : DualOperator(p), opt_(opt), ordering_(ordering), ctx_(ctx),
         dev_(ctx.device()), owned_(resolve_owned(p, std::move(owned))) {}
 
-  ~HybridDualOp() override {
+  ~HybridDualOpT() override {
     dev_.synchronize();
     for (auto& f : f_dev_) gpu::free_dense(dev_, f);
   }
@@ -886,6 +948,7 @@ class HybridDualOp final : public DualOperator {
     solvers_.resize(nsub);
     f_host_.resize(nsub);
     f_dev_.resize(nsub);
+    if constexpr (std::is_same_v<T, float>) f_host32_.resize(nsub);
     const idx nown = static_cast<idx>(owned_.size());
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -897,7 +960,9 @@ class HybridDualOp final : public DualOperator {
         solvers_[s]->analyze_schur(fs.k_reg, fs.b, ordering_);
         const idx m = fs.num_local_lambdas();
         f_host_[s] = la::DenseMatrix(m, m, la::Layout::ColMajor);
-        f_dev_[s] = gpu::alloc_dense(dev_, m, m, la::Layout::ColMajor);
+        if constexpr (std::is_same_v<T, float>)
+          f_host32_[s] = la::DenseMatrixF32(m, m, la::Layout::ColMajor);
+        f_dev_[s] = gpu::alloc_dense_t<T>(dev_, m, m, la::Layout::ColMajor);
       });
     }
     guard.rethrow();
@@ -920,8 +985,17 @@ class HybridDualOp final : public DualOperator {
         gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
         solvers_[s]->factorize_schur(fs.k_reg, fs.b, f_host_[s].view(),
                                      la::Uplo::Upper);
-        st.memcpy_h2d(f_dev_[s].data, f_host_[s].data(),
-                      f_host_[s].size() * sizeof(double));
+        if constexpr (std::is_same_v<T, float>) {
+          // Host-side demotion of the refreshed block, then an upload of
+          // half the bytes.
+          la::demote_triangle(la::Uplo::Upper, f_host_[s].cview(),
+                              f_host32_[s].view());
+          st.memcpy_h2d(f_dev_[s].data, f_host32_[s].data(),
+                        f_host32_[s].size() * sizeof(float));
+        } else {
+          st.memcpy_h2d(f_dev_[s].data, f_host_[s].data(),
+                        f_host_[s].size() * sizeof(double));
+        }
       });
     }
     guard.rethrow();
@@ -930,8 +1004,7 @@ class HybridDualOp final : public DualOperator {
   }
 
   void apply_one(const double* x, double* y) override {
-    auto submit_local = [this](idx s, gpu::Stream& st, const double* lam,
-                               double* q) {
+    auto submit_local = [this](idx s, gpu::Stream& st, const T* lam, T* q) {
       gpu::blas::symv(st, la::Uplo::Upper, 1.0, f_dev_[s], lam, 0.0, q);
     };
     if (opt_.scatter_gather == SgLocation::Gpu)
@@ -943,8 +1016,9 @@ class HybridDualOp final : public DualOperator {
   void apply_many(const double* x, double* y, idx nrhs) override {
     // Application runs on the GPU here, so the batch does too: one SYMM per
     // subdomain against the CPU-assembled F̃ᵢ.
-    auto submit_local = [this](idx s, gpu::Stream& st, gpu::DeviceDense lam,
-                               gpu::DeviceDense q) {
+    auto submit_local = [this](idx s, gpu::Stream& st,
+                               gpu::DeviceDenseT<T> lam,
+                               gpu::DeviceDenseT<T> q) {
       gpu::blas::symm(st, la::Uplo::Upper, 1.0, f_dev_[s], lam, 0.0, q);
     };
     vectors_.ensure_batch(nrhs, la::Layout::RowMajor);
@@ -961,7 +1035,18 @@ class HybridDualOp final : public DualOperator {
     solvers_[sub]->solve(b, x);
   }
 
-  [[nodiscard]] const char* name() const override { return "expl hybrid"; }
+  [[nodiscard]] const char* name() const override {
+    if constexpr (std::is_same_v<T, float>)
+      return "expl hybrid f32";
+    else
+      return "expl hybrid";
+  }
+
+  [[nodiscard]] std::size_t apply_bytes() const override {
+    std::size_t total = 0;
+    for (const auto& f : f_dev_) total += f.bytes();
+    return total;
+  }
 
  private:
   ExplicitGpuOptions opt_;
@@ -973,9 +1058,12 @@ class HybridDualOp final : public DualOperator {
   std::vector<gpu::Stream> streams_;
   std::vector<std::unique_ptr<sparse::SupernodalCholesky>> solvers_;
   std::vector<la::DenseMatrix> f_host_;
-  std::vector<gpu::DeviceDense> f_dev_;
-  GpuDualVectors vectors_;
+  std::vector<la::DenseMatrixF32> f_host32_;  ///< float staging (T == float)
+  std::vector<gpu::DeviceDenseT<T>> f_dev_;
+  GpuDualVectorsT<T> vectors_;
 };
+
+using HybridDualOp = HybridDualOpT<double>;
 
 // ---------------------------------------------------------------------------
 // Sharded multi-device wrapper
@@ -1056,6 +1144,14 @@ class ShardedDualOp final : public DualOperator {
     return total;
   }
 
+  /// Sum of the shards' persistent apply-state bytes (disjoint subdomain
+  /// subsets, so the sum is the whole operator's F̃ footprint).
+  [[nodiscard]] std::size_t apply_bytes() const override {
+    std::size_t total = 0;
+    for (const auto& op : inner_) total += op->apply_bytes();
+    return total;
+  }
+
  protected:
   void apply_one(const double* x, double* y) override { merge_apply(x, y, 1); }
 
@@ -1126,7 +1222,11 @@ std::unique_ptr<DualOperator> make_implicit_gpu(
 std::unique_ptr<DualOperator> make_explicit_gpu(
     const decomp::FetiProblem& p, gpu::sparse::Api api,
     const ExplicitGpuOptions& options, sparse::OrderingKind ordering,
-    gpu::ExecutionContext& context, std::vector<idx> owned) {
+    gpu::ExecutionContext& context, std::vector<idx> owned,
+    Precision precision) {
+  if (precision == Precision::F32)
+    return std::make_unique<ExplicitGpuDualOpT<float>>(
+        p, api, options, ordering, context, std::move(owned));
   return std::make_unique<ExplicitGpuDualOp>(p, api, options, ordering,
                                              context, std::move(owned));
 }
@@ -1135,7 +1235,11 @@ std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
                                           const ExplicitGpuOptions& options,
                                           sparse::OrderingKind ordering,
                                           gpu::ExecutionContext& context,
-                                          std::vector<idx> owned) {
+                                          std::vector<idx> owned,
+                                          Precision precision) {
+  if (precision == Precision::F32)
+    return std::make_unique<HybridDualOpT<float>>(p, options, ordering,
+                                                  context, std::move(owned));
   return std::make_unique<HybridDualOp>(p, options, ordering, context,
                                         std::move(owned));
 }
@@ -1145,12 +1249,13 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
   using D = ExecDevice;
   using B = sparse::Backend;
   using A = gpu::sparse::Api;
-  const auto gpu_axes = [](R r, A api) {
+  const auto gpu_axes = [](R r, A api, Precision prec = Precision::F64) {
     ApproachAxes a;
     a.repr = r;
     a.device = D::Gpu;
     a.backend = B::Simplicial;
     a.api = api;
+    a.precision = prec;
     return a;
   };
 
@@ -1201,23 +1306,6 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
               gpu::ExecutionContext* ctx) {
           return make_implicit_gpu(p, api, c.ordering, *ctx, c.gpu.streams);
         });
-    registry.add(
-        {std::string("expl ") + apiname, gpu_axes(R::Explicit, api),
-         std::string("explicit F̃ assembled on the GPU, ") + apiname +
-             " sparse API"},
-        [api](const decomp::FetiProblem& p, const DualOpConfig& c,
-              gpu::ExecutionContext* ctx) {
-          return make_explicit_gpu(p, api, c.gpu, c.ordering, *ctx);
-        });
-    add_sharded(std::string("expl ") + apiname, gpu_axes(R::Explicit, api),
-                std::string("explicit F̃ assembly, ") + apiname +
-                    " sparse API,",
-                [api](const decomp::FetiProblem& p, const DualOpConfig& c,
-                      gpu::ExecutionContext& shard_ctx,
-                      std::vector<idx> owned) {
-                  return make_explicit_gpu(p, api, c.gpu, c.ordering,
-                                           shard_ctx, std::move(owned));
-                });
     add_sharded(std::string("impl ") + apiname, gpu_axes(R::Implicit, api),
                 std::string("implicit application, ") + apiname +
                     " sparse API,",
@@ -1227,26 +1315,66 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
                   return make_implicit_gpu(p, api, c.ordering, shard_ctx,
                                            c.gpu.streams, std::move(owned));
                 });
+    for (Precision prec : {Precision::F64, Precision::F32}) {
+      const char* suffix = prec == Precision::F32 ? " f32" : "";
+      const char* storage = prec == Precision::F32
+                                ? " (fp32 storage + fp64 accumulation)"
+                                : "";
+      registry.add(
+          {std::string("expl ") + apiname + suffix,
+           gpu_axes(R::Explicit, api, prec),
+           std::string("explicit F̃ assembled on the GPU, ") + apiname +
+               " sparse API" + storage},
+          [api, prec](const decomp::FetiProblem& p, const DualOpConfig& c,
+                      gpu::ExecutionContext* ctx) {
+            return make_explicit_gpu(p, api, c.gpu, c.ordering, *ctx, {},
+                                     prec);
+          });
+      add_sharded(std::string("expl ") + apiname + suffix,
+                  gpu_axes(R::Explicit, api, prec),
+                  std::string("explicit F̃ assembly, ") + apiname +
+                      " sparse API," + storage,
+                  [api, prec](const decomp::FetiProblem& p,
+                              const DualOpConfig& c,
+                              gpu::ExecutionContext& shard_ctx,
+                              std::vector<idx> owned) {
+                    return make_explicit_gpu(p, api, c.gpu, c.ordering,
+                                             shard_ctx, std::move(owned),
+                                             prec);
+                  });
+    }
   }
 
-  ApproachAxes hybrid;
-  hybrid.repr = R::Explicit;
-  hybrid.device = D::Hybrid;
-  hybrid.backend = B::Supernodal;
-  registry.add(
-      {"expl hybrid", hybrid,
-       "explicit F̃ assembled on the CPU (Schur path), applied on the GPU"},
-      [](const decomp::FetiProblem& p, const DualOpConfig& c,
-         gpu::ExecutionContext* ctx) {
-        return make_hybrid(p, c.gpu, c.ordering, *ctx);
-      });
-  add_sharded("expl hybrid", hybrid,
-              "explicit F̃ assembled on the CPU, applied on the GPU,",
-              [](const decomp::FetiProblem& p, const DualOpConfig& c,
-                 gpu::ExecutionContext& shard_ctx, std::vector<idx> owned) {
-                return make_hybrid(p, c.gpu, c.ordering, shard_ctx,
-                                   std::move(owned));
-              });
+  for (Precision prec : {Precision::F64, Precision::F32}) {
+    const char* suffix = prec == Precision::F32 ? " f32" : "";
+    const char* storage = prec == Precision::F32
+                              ? " (fp32 storage + fp64 accumulation)"
+                              : "";
+    ApproachAxes hybrid;
+    hybrid.repr = R::Explicit;
+    hybrid.device = D::Hybrid;
+    hybrid.backend = B::Supernodal;
+    hybrid.precision = prec;
+    registry.add(
+        {std::string("expl hybrid") + suffix, hybrid,
+         std::string("explicit F̃ assembled on the CPU (Schur path), applied "
+                     "on the GPU") +
+             storage},
+        [prec](const decomp::FetiProblem& p, const DualOpConfig& c,
+               gpu::ExecutionContext* ctx) {
+          return make_hybrid(p, c.gpu, c.ordering, *ctx, {}, prec);
+        });
+    add_sharded(std::string("expl hybrid") + suffix, hybrid,
+                std::string("explicit F̃ assembled on the CPU, applied on "
+                            "the GPU,") +
+                    storage,
+                [prec](const decomp::FetiProblem& p, const DualOpConfig& c,
+                       gpu::ExecutionContext& shard_ctx,
+                       std::vector<idx> owned) {
+                  return make_hybrid(p, c.gpu, c.ordering, shard_ctx,
+                                     std::move(owned), prec);
+                });
+  }
 }
 
 }  // namespace feti::core

@@ -19,6 +19,7 @@ FetiStepResult FetiSolver::solve_step() {
   check(prepared_, "FetiSolver: prepare() must be called first");
   Timer step_timer;
   FetiStepResult result;
+  result.operator_precision = options_.dualop.axes().precision;
 
   {
     const CacheStats before = dualop_->cache_stats();
@@ -91,6 +92,7 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
     result.refreshed_subdomains = refreshed;
     result.skipped_subdomains = skipped;
     result.values_cached = cached;
+    result.operator_precision = options_.dualop.axes().precision;
     std::vector<std::vector<double>> u_local;
     dualop_->primal_solution(prs[j].lambda.data(), prs[j].alpha, u_local);
     result.u = decomp::gather_solution(problem_, u_local);

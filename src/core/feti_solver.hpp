@@ -32,6 +32,11 @@ struct FetiStepResult {
   /// True when update_values() took the skip path (cache_stats() counted a
   /// skipped step — nothing was dirty, nothing was refactorized).
   bool values_cached = false;
+  /// F̃ storage/apply precision of the operator that served this step
+  /// (resolved from the configured key's axes). PCPG itself always
+  /// iterates in fp64; F32 means the explicit blocks were stored and
+  /// applied in fp32 with fp64 accumulation.
+  Precision operator_precision = Precision::F64;
 };
 
 class FetiSolver {

@@ -37,4 +37,27 @@ void gemm(Stream& s, double alpha, DeviceDense a, la::Trans ta, DeviceDense b,
       [=] { la::gemm(alpha, a.cview(), ta, b.cview(), tb, beta, c.view()); });
 }
 
+void symv(Stream& s, la::Uplo uplo, double alpha, DeviceDenseF32 a,
+          const float* x, double beta, float* y) {
+  s.submit([=] { la::symv(uplo, alpha, a.cview(), x, beta, y); });
+}
+
+void gemv(Stream& s, double alpha, DeviceDenseF32 a, la::Trans trans,
+          const float* x, double beta, float* y) {
+  s.submit([=] { la::gemv(alpha, a.cview(), trans, x, beta, y); });
+}
+
+void symm(Stream& s, la::Uplo uplo, double alpha, DeviceDenseF32 a,
+          DeviceDenseF32 b, double beta, DeviceDenseF32 c) {
+  s.submit([=] {
+    la::symm(uplo, alpha, a.cview(), b.cview(), beta, c.view());
+  });
+}
+
+void gemm(Stream& s, double alpha, DeviceDenseF32 a, la::Trans ta,
+          DeviceDenseF32 b, la::Trans tb, double beta, DeviceDenseF32 c) {
+  s.submit(
+      [=] { la::gemm(alpha, a.cview(), ta, b.cview(), tb, beta, c.view()); });
+}
+
 }  // namespace feti::gpu::blas

@@ -33,4 +33,25 @@ void syrk(Stream& s, la::Uplo uplo, la::Trans trans, double alpha,
 void gemm(Stream& s, double alpha, DeviceDense a, la::Trans ta, DeviceDense b,
           la::Trans tb, double beta, DeviceDense c);
 
+// ---- mixed precision (fp32 storage, fp64 accumulation) ----
+// The cublasGemmEx/cublasSsymm analogues used by the mixed-precision
+// explicit operators: operands live in fp32 device storage, inner products
+// accumulate in fp64 (see la/blas_dense.hpp).
+
+/// Symmetric y = alpha * A * x + beta * y on fp32 storage.
+void symv(Stream& s, la::Uplo uplo, double alpha, DeviceDenseF32 a,
+          const float* x, double beta, float* y);
+
+/// y = alpha * op(A) * x + beta * y on fp32 storage.
+void gemv(Stream& s, double alpha, DeviceDenseF32 a, la::Trans trans,
+          const float* x, double beta, float* y);
+
+/// Symmetric C = alpha * A * B + beta * C on fp32 storage.
+void symm(Stream& s, la::Uplo uplo, double alpha, DeviceDenseF32 a,
+          DeviceDenseF32 b, double beta, DeviceDenseF32 c);
+
+/// C = alpha * op(A) op(B) + beta * C on fp32 storage.
+void gemm(Stream& s, double alpha, DeviceDenseF32 a, la::Trans ta,
+          DeviceDenseF32 b, la::Trans tb, double beta, DeviceDenseF32 c);
+
 }  // namespace feti::gpu::blas

@@ -2,22 +2,6 @@
 
 namespace feti::gpu {
 
-DeviceDense alloc_dense(Device& dev, idx rows, idx cols, la::Layout layout) {
-  DeviceDense d;
-  d.rows = rows;
-  d.cols = cols;
-  d.layout = layout;
-  d.ld = layout == la::Layout::RowMajor ? cols : rows;
-  d.data = dev.alloc_n<double>(static_cast<std::size_t>(
-      std::max<widx>(1, static_cast<widx>(rows) * cols)));
-  return d;
-}
-
-void free_dense(Device& dev, DeviceDense& d) {
-  dev.free(d.data);
-  d = DeviceDense{};
-}
-
 DeviceCsr upload_csr(Device& dev, Stream& s, const la::Csr& m) {
   DeviceCsr d;
   d.nrows = m.nrows();

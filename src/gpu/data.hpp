@@ -6,6 +6,11 @@
 // below is allocated through Device::alloc and filled through stream-ordered
 // copies, preserving the persistent-allocation discipline and transfer
 // points of the paper's implementation.
+//
+// Dense descriptors are templated on the scalar: fp64 everywhere, plus the
+// fp32 instantiation used by the mixed-precision explicit operators (F̃
+// assembled in fp64, demoted to fp32 device storage — see
+// gpu::kernels::demote).
 
 #include "gpu/runtime.hpp"
 #include "la/csr.hpp"
@@ -14,29 +19,54 @@
 namespace feti::gpu {
 
 /// Dense matrix in device memory (descriptor; owner frees via free_dense).
-struct DeviceDense {
-  double* data = nullptr;
+template <typename T>
+struct DeviceDenseT {
+  T* data = nullptr;
   idx rows = 0;
   idx cols = 0;
   idx ld = 0;
   la::Layout layout = la::Layout::ColMajor;
 
-  [[nodiscard]] la::DenseView view() const {
+  [[nodiscard]] la::DenseViewT<T> view() const {
     return {data, rows, cols, ld, layout};
   }
-  [[nodiscard]] la::ConstDenseView cview() const {
+  [[nodiscard]] la::ConstDenseViewT<T> cview() const {
     return {data, rows, cols, ld, layout};
   }
   [[nodiscard]] std::size_t bytes() const {
     const widx span = layout == la::Layout::RowMajor
                           ? static_cast<widx>(rows) * ld
                           : static_cast<widx>(cols) * ld;
-    return static_cast<std::size_t>(span) * sizeof(double);
+    return static_cast<std::size_t>(span) * sizeof(T);
   }
 };
 
-DeviceDense alloc_dense(Device& dev, idx rows, idx cols, la::Layout layout);
-void free_dense(Device& dev, DeviceDense& d);
+using DeviceDense = DeviceDenseT<double>;
+using DeviceDenseF32 = DeviceDenseT<float>;
+
+template <typename T>
+DeviceDenseT<T> alloc_dense_t(Device& dev, idx rows, idx cols,
+                              la::Layout layout) {
+  DeviceDenseT<T> d;
+  d.rows = rows;
+  d.cols = cols;
+  d.layout = layout;
+  d.ld = layout == la::Layout::RowMajor ? cols : rows;
+  d.data = dev.alloc_n<T>(static_cast<std::size_t>(
+      std::max<widx>(1, static_cast<widx>(rows) * cols)));
+  return d;
+}
+
+template <typename T>
+void free_dense(Device& dev, DeviceDenseT<T>& d) {
+  dev.free(d.data);
+  d = DeviceDenseT<T>{};
+}
+
+inline DeviceDense alloc_dense(Device& dev, idx rows, idx cols,
+                               la::Layout layout) {
+  return alloc_dense_t<double>(dev, rows, cols, layout);
+}
 
 /// CSR matrix in device memory.
 struct DeviceCsr {

@@ -4,87 +4,22 @@
 
 namespace feti::gpu::kernels {
 
-namespace {
-
-/// The single-RHS kernels are the one-column case of the block kernels.
-std::vector<DualMapBlock> as_blocks(const std::vector<DualMap>& jobs) {
-  std::vector<DualMapBlock> blocks;
-  blocks.reserve(jobs.size());
-  for (const auto& j : jobs) blocks.push_back({j.map, j.n, j.local, 1});
-  return blocks;
-}
-
-}  // namespace
-
-void scatter_batch(Stream& s, const double* cluster,
-                   std::vector<DualMap> jobs) {
-  scatter_batch(s, cluster, /*cluster_ld=*/0, /*nrhs=*/1,
-                la::Layout::RowMajor, as_blocks(jobs));
-}
-
-void gather_batch(Stream& s, double* cluster, idx cluster_size,
-                  std::vector<DualMap> jobs) {
-  gather_batch(s, cluster, cluster_size, /*cluster_ld=*/cluster_size,
-               /*nrhs=*/1, la::Layout::RowMajor, as_blocks(jobs));
-}
-
-void scatter_batch(Stream& s, const double* cluster, idx cluster_ld,
-                   idx nrhs, la::Layout local_layout,
-                   std::vector<DualMapBlock> jobs) {
-  if (nrhs == 0) return;
-  s.submit([cluster, cluster_ld, nrhs, local_layout,
-            jobs = std::move(jobs)] {
-    for (const auto& j : jobs) {
-      if (local_layout == la::Layout::RowMajor) {
-        // Row i of the panel holds lambda i of every RHS: the inner loop
-        // streams over the right-hand sides with one map lookup per row.
-        for (idx i = 0; i < j.n; ++i) {
-          const double* src = cluster + j.map[i];
-          double* row = j.local + static_cast<widx>(i) * j.ld;
-          for (idx r = 0; r < nrhs; ++r)
-            row[r] = src[static_cast<widx>(r) * cluster_ld];
-        }
-      } else {
-        for (idx r = 0; r < nrhs; ++r) {
-          const double* src = cluster + static_cast<widx>(r) * cluster_ld;
-          double* col = j.local + static_cast<widx>(r) * j.ld;
-          for (idx i = 0; i < j.n; ++i) col[i] = src[j.map[i]];
-        }
-      }
-    }
-  });
-}
-
-void gather_batch(Stream& s, double* cluster, idx cluster_size,
-                  idx cluster_ld, idx nrhs, la::Layout local_layout,
-                  std::vector<DualMapBlock> jobs) {
-  if (nrhs == 0) return;
-  s.submit([cluster, cluster_size, cluster_ld, nrhs, local_layout,
-            jobs = std::move(jobs)] {
-    for (idx r = 0; r < nrhs; ++r)
-      std::fill_n(cluster + static_cast<widx>(r) * cluster_ld, cluster_size,
-                  0.0);
-    for (const auto& j : jobs) {
-      if (local_layout == la::Layout::RowMajor) {
-        for (idx i = 0; i < j.n; ++i) {
-          double* dst = cluster + j.map[i];
-          const double* row = j.local + static_cast<widx>(i) * j.ld;
-          for (idx r = 0; r < nrhs; ++r)
-            dst[static_cast<widx>(r) * cluster_ld] += row[r];
-        }
-      } else {
-        for (idx r = 0; r < nrhs; ++r) {
-          double* dst = cluster + static_cast<widx>(r) * cluster_ld;
-          const double* col = j.local + static_cast<widx>(r) * j.ld;
-          for (idx i = 0; i < j.n; ++i) dst[j.map[i]] += col[i];
-        }
-      }
-    }
-  });
-}
+// The scatter/gather kernels are header templates (instantiated for the
+// fp64 and fp32 local-panel scalars); only the non-template utilities and
+// the demotion kernels live here.
 
 void fill_zero(Stream& s, double* data, idx n) {
   s.submit([data, n] { std::fill_n(data, n, 0.0); });
+}
+
+void demote(Stream& s, DeviceDense src, DeviceDenseF32 dst) {
+  s.submit([src, dst] { la::demote(src.cview(), dst.view()); });
+}
+
+void demote_triangle(Stream& s, la::Uplo uplo, DeviceDense src,
+                     DeviceDenseF32 dst) {
+  s.submit(
+      [uplo, src, dst] { la::demote_triangle(uplo, src.cview(), dst.view()); });
 }
 
 }  // namespace feti::gpu::kernels

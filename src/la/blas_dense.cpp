@@ -11,75 +11,81 @@ namespace {
 /// Strides for reading op(A) element (i, j) as data[i*s_i + j*s_j]. A
 /// transposed read of one layout equals an untransposed read of the other,
 /// so four (layout, trans) combinations collapse into two stride patterns.
-struct Strided {
-  const double* data;
+template <typename T>
+struct StridedT {
+  const T* data;
   widx si;
   widx sj;
-  [[nodiscard]] double at(idx i, idx j) const {
+  [[nodiscard]] T at(idx i, idx j) const {
     return data[static_cast<widx>(i) * si + static_cast<widx>(j) * sj];
   }
 };
 
-Strided make_op(ConstDenseView a, Trans trans) {
+using Strided = StridedT<double>;
+
+template <typename T>
+StridedT<T> make_op(ConstDenseViewT<T> a, Trans trans) {
   const bool row_like =
       (a.layout == Layout::RowMajor) != (trans == Trans::Yes);
-  if (row_like) return {a.data, a.ld, 1};
-  return {a.data, 1, a.ld};
+  if (row_like) return {a.data, static_cast<widx>(a.ld), 1};
+  return {a.data, 1, static_cast<widx>(a.ld)};
 }
 
 using detail::scale_vec;
 using detail::store_scaled;
 
-}  // namespace
-
-double dot(idx n, const double* x, const double* y) {
-  double s = 0.0;
+template <typename T>
+T dot_t(idx n, const T* x, const T* y) {
+  T s = T(0);
   for (idx i = 0; i < n; ++i) s += x[i] * y[i];
   return s;
 }
 
-void axpy(idx n, double alpha, const double* x, double* y) {
+template <typename T>
+void axpy_t(idx n, T alpha, const T* x, T* y) {
   for (idx i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
-void scal(idx n, double alpha, double* x) {
-  for (idx i = 0; i < n; ++i) x[i] *= alpha;
-}
+// The level-2/3 kernel bodies are scalar-templated: the public fp64 API
+// instantiates T = double, and the mixed-precision fp32 entry points at the
+// bottom instantiate T = float — identical traversals (and therefore
+// identical rounding order between the single- and multi-RHS variants of a
+// precision), half the bytes streamed.
 
-double nrm2(idx n, const double* x) { return std::sqrt(dot(n, x, x)); }
-
-void gemv(double alpha, ConstDenseView a, Trans trans, const double* x,
-          double beta, double* y) {
+template <typename T>
+void gemv_impl(T alpha, ConstDenseViewT<T> a, Trans trans, const T* x,
+               T beta, T* y) {
   const idx m = trans == Trans::No ? a.rows : a.cols;
   const idx n = trans == Trans::No ? a.cols : a.rows;
-  const Strided op = make_op(a, trans);
+  const StridedT<T> op = make_op(a, trans);
   if (op.sj == 1) {
     // op(A) rows are contiguous: dot-product form.
     for (idx i = 0; i < m; ++i) {
-      const double* row = op.data + static_cast<widx>(i) * op.si;
+      const T* row = op.data + static_cast<widx>(i) * op.si;
       store_scaled(beta, y[i]);
-      y[i] += alpha * dot(n, row, x);
+      y[i] += alpha * dot_t(n, row, x);
     }
   } else {
     // op(A) columns are contiguous: axpy form.
     scale_vec(m, beta, y);
     for (idx j = 0; j < n; ++j) {
-      const double* col = op.data + static_cast<widx>(j) * op.sj;
-      axpy(m, alpha * x[j], col, y);
+      const T* col = op.data + static_cast<widx>(j) * op.sj;
+      axpy_t(m, alpha * x[j], col, y);
     }
   }
 }
 
-void symv(Uplo uplo, double alpha, ConstDenseView a, const double* x,
-          double beta, double* y) {
+template <typename T>
+void symv_impl(Uplo uplo, T alpha, ConstDenseViewT<T> a, const T* x, T beta,
+               T* y) {
   check(a.rows == a.cols, "symv: matrix must be square");
   const idx n = a.rows;
   scale_vec(n, beta, y);
   if (uplo == Uplo::Upper) {
     for (idx r = 0; r < n; ++r) {
-      double acc = a.at(r, r) * x[r];
+      T acc = a.at(r, r) * x[r];
       for (idx c = r + 1; c < n; ++c) {
-        const double v = a.at(r, c);
+        const T v = a.at(r, c);
         acc += v * x[c];
         y[c] += alpha * v * x[r];
       }
@@ -87,9 +93,9 @@ void symv(Uplo uplo, double alpha, ConstDenseView a, const double* x,
     }
   } else {
     for (idx r = 0; r < n; ++r) {
-      double acc = a.at(r, r) * x[r];
+      T acc = a.at(r, r) * x[r];
       for (idx c = 0; c < r; ++c) {
-        const double v = a.at(r, c);
+        const T v = a.at(r, c);
         acc += v * x[c];
         y[c] += alpha * v * x[r];
       }
@@ -98,8 +104,9 @@ void symv(Uplo uplo, double alpha, ConstDenseView a, const double* x,
   }
 }
 
-void symm(Uplo uplo, double alpha, ConstDenseView a, ConstDenseView b,
-          double beta, DenseView c) {
+template <typename T>
+void symm_impl(Uplo uplo, T alpha, ConstDenseViewT<T> a, ConstDenseViewT<T> b,
+               T beta, DenseViewT<T> c) {
   check(a.rows == a.cols, "symm: matrix must be square");
   check(b.rows == a.cols && c.rows == a.rows && c.cols == b.cols,
         "symm: dimension mismatch");
@@ -112,15 +119,15 @@ void symm(Uplo uplo, double alpha, ConstDenseView a, ConstDenseView b,
     for (idx r = 0; r < n; ++r) {
       const idx c_begin = uplo == Uplo::Upper ? r + 1 : 0;
       const idx c_end = uplo == Uplo::Upper ? n : r;
-      double* cr = c.data + static_cast<widx>(r) * c.ld;
-      const double* br = b.data + static_cast<widx>(r) * b.ld;
-      const double d = alpha * a.at(r, r);
+      T* cr = c.data + static_cast<widx>(r) * c.ld;
+      const T* br = b.data + static_cast<widx>(r) * b.ld;
+      const T d = alpha * a.at(r, r);
       for (idx j = 0; j < w; ++j) cr[j] += d * br[j];
       for (idx col = c_begin; col < c_end; ++col) {
-        const double v = alpha * a.at(r, col);
-        if (v == 0.0) continue;
-        double* cc = c.data + static_cast<widx>(col) * c.ld;
-        const double* bc = b.data + static_cast<widx>(col) * b.ld;
+        const T v = alpha * a.at(r, col);
+        if (v == T(0)) continue;
+        T* cc = c.data + static_cast<widx>(col) * c.ld;
+        const T* bc = b.data + static_cast<widx>(col) * b.ld;
         for (idx j = 0; j < w; ++j) {
           cr[j] += v * bc[j];
           cc[j] += v * br[j];
@@ -138,8 +145,8 @@ void symm(Uplo uplo, double alpha, ConstDenseView a, ConstDenseView b,
     const idx c_end = uplo == Uplo::Upper ? n : r;
     for (idx j = 0; j < w; ++j) c.at(r, j) += alpha * a.at(r, r) * b.at(r, j);
     for (idx col = c_begin; col < c_end; ++col) {
-      const double v = alpha * a.at(r, col);
-      if (v == 0.0) continue;
+      const T v = alpha * a.at(r, col);
+      if (v == T(0)) continue;
       for (idx j = 0; j < w; ++j) {
         c.at(r, j) += v * b.at(col, j);
         c.at(col, j) += v * b.at(r, j);
@@ -148,26 +155,63 @@ void symm(Uplo uplo, double alpha, ConstDenseView a, ConstDenseView b,
   }
 }
 
-void gemm(double alpha, ConstDenseView a, Trans ta, ConstDenseView b,
-          Trans tb, double beta, DenseView c) {
+template <typename T>
+void gemm_impl(T alpha, ConstDenseViewT<T> a, Trans ta, ConstDenseViewT<T> b,
+               Trans tb, T beta, DenseViewT<T> c) {
   const idx m = ta == Trans::No ? a.rows : a.cols;
   const idx k = ta == Trans::No ? a.cols : a.rows;
   const idx kb = tb == Trans::No ? b.rows : b.cols;
   const idx n = tb == Trans::No ? b.cols : b.rows;
   check(k == kb, "gemm: inner dimension mismatch");
   check(c.rows == m && c.cols == n, "gemm: output dimension mismatch");
-  const Strided oa = make_op(a, ta);
-  const Strided ob = make_op(b, tb);
+  const StridedT<T> oa = make_op(a, ta);
+  const StridedT<T> ob = make_op(b, tb);
   // Simple ikj loop with C row accumulation; adequate for the modest GEMM
   // sizes in this library (projector setup, tests).
   for (idx i = 0; i < m; ++i) {
     for (idx j = 0; j < n; ++j) store_scaled(beta, c.at(i, j));
     for (idx p = 0; p < k; ++p) {
-      const double av = alpha * oa.at(i, p);
-      if (av == 0.0) continue;
+      const T av = alpha * oa.at(i, p);
+      if (av == T(0)) continue;
       for (idx j = 0; j < n; ++j) c.at(i, j) += av * ob.at(p, j);
     }
   }
+}
+
+}  // namespace
+
+double dot(idx n, const double* x, const double* y) {
+  return dot_t(n, x, y);
+}
+
+void axpy(idx n, double alpha, const double* x, double* y) {
+  axpy_t(n, alpha, x, y);
+}
+
+void scal(idx n, double alpha, double* x) {
+  for (idx i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double nrm2(idx n, const double* x) { return std::sqrt(dot(n, x, x)); }
+
+void gemv(double alpha, ConstDenseView a, Trans trans, const double* x,
+          double beta, double* y) {
+  gemv_impl<double>(alpha, a, trans, x, beta, y);
+}
+
+void symv(Uplo uplo, double alpha, ConstDenseView a, const double* x,
+          double beta, double* y) {
+  symv_impl<double>(uplo, alpha, a, x, beta, y);
+}
+
+void symm(Uplo uplo, double alpha, ConstDenseView a, ConstDenseView b,
+          double beta, DenseView c) {
+  symm_impl<double>(uplo, alpha, a, b, beta, c);
+}
+
+void gemm(double alpha, ConstDenseView a, Trans ta, ConstDenseView b,
+          Trans tb, double beta, DenseView c) {
+  gemm_impl<double>(alpha, a, ta, b, tb, beta, c);
 }
 
 void syrk(Uplo uplo, Trans trans, double alpha, ConstDenseView a, double beta,
@@ -176,7 +220,7 @@ void syrk(Uplo uplo, Trans trans, double alpha, ConstDenseView a, double beta,
   const idx k = trans == Trans::No ? a.cols : a.rows;
   check(c.rows == n && c.cols == n, "syrk: output dimension mismatch");
   // op(A)(i, p): row i of the logical n x k operand.
-  const Strided op = make_op(a, trans);
+  const Strided op = make_op<double>(a, trans);
   const bool rows_contiguous = op.sj == 1;
 
   auto scale_triangle = [&] {
@@ -290,7 +334,7 @@ void trsm(Uplo uplo, Trans trans, ConstDenseView a, DenseView b) {
   check(a.rows == b.rows, "trsm: dimension mismatch");
   const idx n = a.rows;
   if (n == 0 || b.cols == 0) return;
-  const Strided t = make_op(a, trans);
+  const Strided t = make_op<double>(a, trans);
   const bool lower_eff =
       (uplo == Uplo::Lower) != (trans == Trans::Yes);
   if (b.layout == Layout::RowMajor) {
@@ -328,6 +372,42 @@ bool potrf_lower(DenseView a) {
     for (idx i = 0; i < j; ++i) a.at(i, j) = 0.0;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Mixed precision: fp32 storage entry points
+// ---------------------------------------------------------------------------
+//
+// The fp32 instantiations of the templated kernel bodies above — the
+// cublasS* analogues behind the mixed-precision explicit dual operators.
+// Arithmetic runs in fp32 (half the bytes streamed, twice the SIMD width);
+// the fp64 accumulation the mixed-precision design relies on happens at
+// the dual-vector reduction (the gather back into the fp64 cluster
+// vector), not inside these kernels. alpha/beta stay fp64 in the signature
+// for API symmetry and are demoted on entry.
+
+void symv(Uplo uplo, double alpha, ConstDenseViewF32 a, const float* x,
+          double beta, float* y) {
+  symv_impl<float>(uplo, static_cast<float>(alpha), a, x,
+                   static_cast<float>(beta), y);
+}
+
+void gemv(double alpha, ConstDenseViewF32 a, Trans trans, const float* x,
+          double beta, float* y) {
+  gemv_impl<float>(static_cast<float>(alpha), a, trans, x,
+                   static_cast<float>(beta), y);
+}
+
+void symm(Uplo uplo, double alpha, ConstDenseViewF32 a, ConstDenseViewF32 b,
+          double beta, DenseViewF32 c) {
+  symm_impl<float>(uplo, static_cast<float>(alpha), a, b,
+                   static_cast<float>(beta), c);
+}
+
+void gemm(double alpha, ConstDenseViewF32 a, Trans ta, ConstDenseViewF32 b,
+          Trans tb, double beta, DenseViewF32 c) {
+  gemm_impl<float>(static_cast<float>(alpha), a, ta, b, tb,
+                   static_cast<float>(beta), c);
 }
 
 }  // namespace feti::la

@@ -59,4 +59,30 @@ void trsm(Uplo uplo, Trans trans, ConstDenseView a, DenseView b);
 /// definite. Used for the FETI coarse problem G^T G.
 bool potrf_lower(DenseView a);
 
+// ---- mixed precision (fp32 storage) ----
+//
+// The apply-phase kernels of the mixed-precision explicit dual operators:
+// fp32 instantiations of the same kernel bodies as the fp64 API above —
+// identical traversals (so the single- and multi-RHS variants round
+// identically), half the bytes streamed, twice the SIMD width. The fp64
+// accumulation of the mixed-precision design happens at the dual-vector
+// reduction (the gather into the fp64 cluster vector), not here.
+// alpha/beta stay fp64 in the signature and are demoted on entry.
+
+/// y = alpha * A * x + beta * y for symmetric fp32 A, one stored triangle.
+void symv(Uplo uplo, double alpha, ConstDenseViewF32 a, const float* x,
+          double beta, float* y);
+
+/// y = alpha * op(A) * x + beta * y on fp32 storage.
+void gemv(double alpha, ConstDenseViewF32 a, Trans trans, const float* x,
+          double beta, float* y);
+
+/// C = alpha * A * B + beta * C for symmetric fp32 A (left side).
+void symm(Uplo uplo, double alpha, ConstDenseViewF32 a, ConstDenseViewF32 b,
+          double beta, DenseViewF32 c);
+
+/// C = alpha * op(A) * op(B) + beta * C on fp32 storage.
+void gemm(double alpha, ConstDenseViewF32 a, Trans ta, ConstDenseViewF32 b,
+          Trans tb, double beta, DenseViewF32 c);
+
 }  // namespace feti::la

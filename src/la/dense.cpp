@@ -34,6 +34,35 @@ double max_abs_diff(ConstDenseView a, ConstDenseView b) {
   return m;
 }
 
+void demote(ConstDenseView src, DenseViewF32 dst) {
+  check(src.rows == dst.rows && src.cols == dst.cols,
+        "demote: dimension mismatch");
+  if (dst.layout == Layout::RowMajor) {
+    for (idx r = 0; r < dst.rows; ++r)
+      for (idx c = 0; c < dst.cols; ++c)
+        dst.at(r, c) = static_cast<float>(src.at(r, c));
+  } else {
+    for (idx c = 0; c < dst.cols; ++c)
+      for (idx r = 0; r < dst.rows; ++r)
+        dst.at(r, c) = static_cast<float>(src.at(r, c));
+  }
+}
+
+void demote_triangle(Uplo uplo, ConstDenseView src, DenseViewF32 dst) {
+  check(src.rows == dst.rows && src.cols == dst.cols,
+        "demote_triangle: dimension mismatch");
+  check(dst.rows == dst.cols, "demote_triangle: matrix must be square");
+  if (uplo == Uplo::Upper) {
+    for (idx c = 0; c < dst.cols; ++c)
+      for (idx r = 0; r <= c; ++r)
+        dst.at(r, c) = static_cast<float>(src.at(r, c));
+  } else {
+    for (idx c = 0; c < dst.cols; ++c)
+      for (idx r = c; r < dst.rows; ++r)
+        dst.at(r, c) = static_cast<float>(src.at(r, c));
+  }
+}
+
 void symmetrize_from(DenseView a, Uplo stored) {
   check(a.rows == a.cols, "symmetrize_from: matrix must be square");
   if (stored == Uplo::Upper) {

@@ -12,17 +12,19 @@
 namespace feti::la::detail {
 
 /// y = beta * y, without reading y when beta == 0.
-inline void store_scaled(double beta, double& y) {
-  if (beta == 0.0)
-    y = 0.0;
-  else if (beta != 1.0)
+template <typename T>
+inline void store_scaled(T beta, T& y) {
+  if (beta == T(0))
+    y = T(0);
+  else if (beta != T(1))
     y *= beta;
 }
 
-inline void scale_vec(idx n, double beta, double* y) {
-  if (beta == 0.0) {
-    for (idx i = 0; i < n; ++i) y[i] = 0.0;
-  } else if (beta != 1.0) {
+template <typename T>
+inline void scale_vec(idx n, T beta, T* y) {
+  if (beta == T(0)) {
+    for (idx i = 0; i < n; ++i) y[i] = T(0);
+  } else if (beta != T(1)) {
     for (idx i = 0; i < n; ++i) y[i] *= beta;
   }
 }

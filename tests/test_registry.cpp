@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "core/autotune.hpp"
@@ -50,10 +51,27 @@ TEST(Registry, ListsTheNineTableThreeKeysAndShardedVariants) {
       "expl hybrid",    "expl legacy x2", "expl legacy x4",
       "expl modern x2", "expl modern x4", "impl legacy x2",
       "impl legacy x4", "impl modern x2", "impl modern x4",
-      "expl hybrid x2", "expl hybrid x4"};
+      "expl hybrid x2", "expl hybrid x4",
+      // fp32-storage variants of the explicit families (+ sharding).
+      "expl mkl f32",        "expl cholmod f32",    "expl legacy f32",
+      "expl modern f32",     "expl hybrid f32",     "expl legacy f32 x2",
+      "expl legacy f32 x4",  "expl modern f32 x2",  "expl modern f32 x4",
+      "expl hybrid f32 x2",  "expl hybrid f32 x4"};
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(DualOperatorRegistry::instance().keys(), expected);
   EXPECT_EQ(DualOperatorRegistry::instance().size(), expected.size());
+}
+
+TEST(Registry, F32KeysCarryThePrecisionAxis) {
+  auto& registry = DualOperatorRegistry::instance();
+  for (const std::string& key : registry.keys()) {
+    const DualOperatorInfo info = registry.info(key);
+    const bool f32_key = key.find(" f32") != std::string::npos;
+    EXPECT_EQ(info.axes.precision == Precision::F32, f32_key) << key;
+    if (f32_key) {
+      EXPECT_EQ(info.axes.repr, Representation::Explicit) << key;
+    }
+  }
 }
 
 TEST(Registry, MetadataAgreesWithLegacyCapabilityQueries) {
@@ -127,6 +145,11 @@ TEST(ConfigAxes, AxisEnumsRoundTrip) {
   for (gpu::sparse::Api api : {gpu::sparse::Api::Legacy,
                                gpu::sparse::Api::Modern})
     EXPECT_EQ(gpu::sparse::parse_api(gpu::sparse::to_string(api)), api);
+  for (Precision p : {Precision::F64, Precision::F32})
+    EXPECT_EQ(parse_precision(to_string(p)), p);
+  EXPECT_EQ(parse_precision("fp32"), Precision::F32);
+  EXPECT_EQ(parse_precision("double"), Precision::F64);
+  EXPECT_THROW(parse_precision("f16"), std::invalid_argument);
   EXPECT_THROW(parse_representation("matrix-free"), std::invalid_argument);
   EXPECT_THROW(parse_exec_device("tpu"), std::invalid_argument);
   EXPECT_THROW(sparse::parse_backend("umfpack"), std::invalid_argument);
@@ -150,6 +173,33 @@ TEST(ConfigAxes, InvalidTuplesAreRejected) {
   EXPECT_THROW(parse_axes("expl"), std::invalid_argument);
   EXPECT_THROW(parse_axes("garbage key"), std::invalid_argument);
   EXPECT_THROW((void)parse_approach("fastest"), std::invalid_argument);
+
+  // The precision axis is explicit-only: fp32 has no F̃ to demote on the
+  // implicit families.
+  ApproachAxes impl_f32 = parse_axes("impl mkl");
+  impl_f32.precision = Precision::F32;
+  EXPECT_FALSE(impl_f32.valid());
+  EXPECT_THROW(parse_axes("impl mkl f32"), std::invalid_argument);
+  EXPECT_THROW(parse_axes("impl legacy f32"), std::invalid_argument);
+}
+
+TEST(ConfigAxes, F32KeysRoundTrip) {
+  for (const char* key : {"expl mkl f32", "expl cholmod f32",
+                          "expl legacy f32", "expl modern f32",
+                          "expl hybrid f32"}) {
+    const ApproachAxes axes = parse_axes(key);
+    EXPECT_TRUE(axes.valid()) << key;
+    EXPECT_EQ(axes.precision, Precision::F32) << key;
+    EXPECT_EQ(axes.repr, Representation::Explicit) << key;
+    EXPECT_EQ(axes.key(), key);
+    // The fp64 sibling differs only in the precision axis.
+    ApproachAxes sibling = axes;
+    sibling.precision = Precision::F64;
+    const std::string base(key, std::strlen(key) - 4);
+    EXPECT_EQ(sibling.key(), base);
+    // No legacy Approach enumerator exists for fp32 tuples.
+    EXPECT_THROW((void)approach_of(axes), std::invalid_argument);
+  }
 }
 
 TEST(ConfigAxes, DualOpConfigKeyOverridesLegacyApproach) {
@@ -221,6 +271,10 @@ TEST(BatchedApply, MatchesSequentialAppliesForEveryRegisteredKey) {
     op->prepare();
     op->update_values();
 
+    // Tolerance tiers: fp64 keys to fp64 round-off; the " f32" keys run
+    // fp32 SYMM/SYMV kernels whose rounding differs between the batched
+    // and the per-column traversal, so they get the relaxed fp32 tier.
+    const double tol = key.find(" f32") != std::string::npos ? 2e-6 : 1e-10;
     for (idx nrhs : {1, 3, 8, 3}) {
       Rng rng(23u + static_cast<unsigned>(nrhs));
       std::vector<double> x(static_cast<std::size_t>(n) * nrhs);
@@ -233,12 +287,158 @@ TEST(BatchedApply, MatchesSequentialAppliesForEveryRegisteredKey) {
       double scale = 0.0;
       for (double v : y_seq) scale = std::max(scale, std::fabs(v));
       for (std::size_t i = 0; i < x.size(); ++i)
-        EXPECT_NEAR(y_batch[i], y_seq[i], 1e-10 * std::max(1.0, scale))
+        EXPECT_NEAR(y_batch[i], y_seq[i], tol * std::max(1.0, scale))
             << "entry " << i << " key " << key << " nrhs " << nrhs;
     }
     EXPECT_EQ(op->loop_fallback_count(), 0)
         << "key '" << key << "' served a batch through the base-class loop";
   }
+}
+
+TEST(MixedPrecision, F32KeysMatchTheirF64SiblingsForEveryBatchWidth) {
+  // Every registered " f32" key against the key with the suffix stripped
+  // (sharded variants included: "expl legacy f32 x2" vs "expl legacy x2"),
+  // single and batched applies, within the relaxed fp32 tolerance tier —
+  // the storage is demoted to fp32, so ~1e-7 relative per entry is the
+  // floor; 1e-5 leaves headroom for accumulation ordering. The fallback
+  // counter staying 0 proves the f32 keys serve batches through the real
+  // block implementations, not the base-class loop.
+  FetiProblem p = heat2d_problem(6, 2);
+  auto& registry = DualOperatorRegistry::instance();
+  const idx n = p.num_lambdas;
+  int f32_keys = 0;
+  for (const std::string& key : registry.keys()) {
+    const std::size_t pos = key.find(" f32");
+    if (pos == std::string::npos) continue;
+    ++f32_keys;
+    std::string sibling = key;
+    sibling.erase(pos, 4);
+    ASSERT_TRUE(registry.contains(sibling)) << key;
+
+    auto make = [&](const std::string& k) {
+      DualOpConfig cfg = recommend_config(k, 2, p.max_subdomain_dofs());
+      auto op = registry.create(k, p, cfg, &test_context());
+      op->prepare();
+      op->update_values();
+      return op;
+    };
+    auto op32 = make(key);
+    auto op64 = make(sibling);
+    EXPECT_EQ(std::string(op32->name()), key);
+
+    // fp32 storage of the same F̃ must be (about) half the fp64 bytes.
+    if (op64->apply_bytes() > 0) {
+      EXPECT_EQ(op32->apply_bytes() * 2, op64->apply_bytes()) << key;
+    }
+
+    for (idx nrhs : {1, 3, 8}) {
+      Rng rng(57u + static_cast<unsigned>(nrhs));
+      std::vector<double> x(static_cast<std::size_t>(n) * nrhs);
+      for (auto& v : x) v = rng.uniform(-1, 1);
+      std::vector<double> y32(x.size(), 0.0), y64(x.size(), 0.0);
+      op32->apply(x.data(), y32.data(), nrhs);
+      op64->apply(x.data(), y64.data(), nrhs);
+      double scale = 0.0;
+      for (double v : y64) scale = std::max(scale, std::fabs(v));
+      for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y32[i], y64[i], 1e-5 * std::max(1.0, scale))
+            << "entry " << i << " key " << key << " nrhs " << nrhs;
+    }
+    EXPECT_EQ(op32->loop_fallback_count(), 0) << key;
+  }
+  EXPECT_EQ(f32_keys, 11);
+}
+
+TEST(MixedPrecision, EndToEndSolveConvergesOnF32Keys) {
+  // PCPG stays fully fp64 (the operator is a black box returning fp64 dual
+  // vectors), so an fp32 operator converges to the same solution tolerance
+  // as its fp64 sibling — possibly in a few more iterations. The tolerance
+  // must sit above the fp32 operator's noise floor (cond(F̃) × fp32 eps):
+  // pushing a conjugate gradient below the precision of its operator
+  // breaks down (p·Fp hits rounding noise) in any precision. Checked
+  // against the direct solve for one CPU and one GPU f32 key.
+  FetiProblem p = heat2d_problem(8, 2);
+  mesh::Mesh m = mesh::make_grid_2d(8, 8, ElementOrder::Linear);
+  const auto u_ref = fem::reference_solve(
+      fem::assemble_global(m, Physics::HeatTransfer));
+  double scale = 1.0;
+  for (double v : u_ref) scale = std::max(scale, std::fabs(v));
+
+  auto solve = [&](const std::string& key, double tol) {
+    FetiSolverOptions opts;
+    opts.dualop = recommend_config(key, 2, p.max_subdomain_dofs());
+    opts.pcpg.rel_tolerance = tol;
+    FetiSolver solver(p, opts, &test_context());
+    solver.prepare();
+    return solver.solve_step();
+  };
+
+  for (const char* key : {"expl mkl f32", "expl legacy f32"}) {
+    const FetiStepResult res = solve(key, 1e-5);
+    ASSERT_TRUE(res.converged) << key;
+    EXPECT_EQ(res.operator_precision, Precision::F32) << key;
+    ASSERT_EQ(res.u.size(), u_ref.size());
+    for (std::size_t i = 0; i < u_ref.size(); ++i)
+      EXPECT_NEAR(res.u[i], u_ref[i], 1e-5 * scale) << key;
+
+    // The fp64 sibling at the same tolerance: same solution (to that
+    // tolerance), an iteration count in the same ballpark, and the
+    // precision field reporting F64.
+    std::string sibling(key);
+    sibling.erase(sibling.find(" f32"), 4);
+    const FetiStepResult ref = solve(sibling, 1e-5);
+    ASSERT_TRUE(ref.converged) << sibling;
+    EXPECT_EQ(ref.operator_precision, Precision::F64) << sibling;
+    EXPECT_LE(std::abs(res.iterations - ref.iterations), 3) << key;
+    for (std::size_t i = 0; i < u_ref.size(); ++i)
+      EXPECT_NEAR(res.u[i], ref.u[i], 2e-5 * scale) << key;
+  }
+}
+
+TEST(Autotune, WorkloadHintSelectsF32Storage) {
+  const ApproachAxes expl_gpu = parse_axes("expl legacy");
+  // No hint: fp64 stays.
+  EXPECT_EQ(recommend_config(expl_gpu, 3, 20000).resolved_key(),
+            "expl legacy");
+  // Bandwidth-bound workloads halve the streamed bytes.
+  WorkloadHint bandwidth;
+  bandwidth.bandwidth_bound = true;
+  EXPECT_EQ(recommend_config(expl_gpu, 3, 20000, 1, {}, bandwidth)
+                .resolved_key(),
+            "expl legacy f32");
+  // A memory budget the fp64 footprint overflows (but fp32 fits) demotes:
+  // 8 subdomains × 1000² × 8 B = 64 MB > 48 MB budget; fp32 needs 32 MB.
+  WorkloadHint tight;
+  tight.num_subdomains = 8;
+  tight.lambdas_per_subdomain = 1000;
+  tight.memory_budget_bytes = 48ull << 20;
+  EXPECT_EQ(recommend_config(expl_gpu, 3, 20000, 1, {}, tight).resolved_key(),
+            "expl legacy f32");
+  // A comfortable budget keeps fp64; a hopeless one (even fp32 overflows)
+  // also keeps fp64 — precision cannot save that run.
+  WorkloadHint roomy = tight;
+  roomy.memory_budget_bytes = 256ull << 20;
+  EXPECT_EQ(recommend_config(expl_gpu, 3, 20000, 1, {}, roomy).resolved_key(),
+            "expl legacy");
+  WorkloadHint hopeless = tight;
+  hopeless.memory_budget_bytes = 8ull << 20;
+  EXPECT_EQ(
+      recommend_config(expl_gpu, 3, 20000, 1, {}, hopeless).resolved_key(),
+      "expl legacy");
+  // The sharded remap composes: the budget is per shard, and the f32 tag
+  // sits before the shard suffix.
+  gpu::DeviceTopology two;
+  two.num_devices = 2;
+  WorkloadHint per_shard = tight;
+  per_shard.memory_budget_bytes = 24ull << 20;  // 2 shards × 24 MB < 64 MB
+  EXPECT_EQ(
+      recommend_config(expl_gpu, 3, 20000, 1, two, per_shard).resolved_key(),
+      "expl legacy f32 x2");
+  // Implicit families have no F̃ storage: the hint never touches them.
+  EXPECT_EQ(recommend_config(parse_axes("impl legacy"), 3, 20000, 1, {},
+                             bandwidth)
+                .resolved_key(),
+            "impl legacy");
 }
 
 namespace {

@@ -166,6 +166,58 @@ TEST(TimestepCache, UnchangedStepIsBitIdenticalOnCpu) {
 }
 
 // ---------------------------------------------------------------------------
+// Mixed precision: dirty refresh re-demotes only the refreshed blocks
+// ---------------------------------------------------------------------------
+
+TEST(TimestepCache, F32DirtyRefreshRedemotesOnlyTheRefreshedBlocks) {
+  // fp32 keys keep their demoted F̃ storage across cached steps: a targeted
+  // dirty mark re-assembles and re-demotes exactly the marked subdomain
+  // (cache_stats proves the others were untouched), and the partially
+  // re-demoted state matches a cold fp32 rebuild on the current values —
+  // bit-for-bit, because demotion of identical fp64 values is
+  // deterministic. One CPU, one GPU, and the hybrid f32 key.
+  for (const char* key :
+       {"expl mkl f32", "expl legacy f32", "expl hybrid f32"}) {
+    FetiProblem p = heat2d_problem(6, 2);
+    const long nsub = static_cast<long>(p.num_subdomains());
+    DualOpConfig cfg = recommend_config(key, 2, p.max_subdomain_dofs());
+    auto& registry = DualOperatorRegistry::instance();
+    auto op = registry.create(key, p, cfg, &test_context());
+    op->prepare();
+    op->update_values();
+
+    const std::vector<double> x = probe_vector(p.num_lambdas, 29);
+    std::vector<double> y1(x.size(), 0.0);
+    op->apply(x.data(), y1.data());
+
+    // Clean step: zero refreshes, zero re-demotions, identical results.
+    op->update_values();
+    EXPECT_EQ(op->cache_stats().refreshed_subdomains, nsub) << key;
+    std::vector<double> y2(x.size(), 0.0);
+    op->apply(x.data(), y2.data());
+    for (std::size_t i = 0; i < y1.size(); ++i)
+      EXPECT_EQ(y2[i], y1[i]) << "entry " << i << " " << key;
+
+    // One dirty subdomain: exactly one refresh (assembly + demotion).
+    decomp::scale_subdomain(p, 2, 2.5);
+    op->update_values();
+    CacheStats s = op->cache_stats();
+    EXPECT_EQ(s.refreshed_subdomains, nsub + 1) << key;
+    EXPECT_EQ(s.skipped_subdomains, 2 * nsub - 1) << key;
+
+    // The mixed cached/re-demoted state equals a cold fp32 rebuild.
+    std::vector<double> y3(x.size(), 0.0), y_cold(x.size(), 0.0);
+    op->apply(x.data(), y3.data());
+    auto cold = registry.create(key, p, cfg, &test_context());
+    cold->prepare();
+    cold->update_values();
+    cold->apply(x.data(), y_cold.data());
+    for (std::size_t i = 0; i < y3.size(); ++i)
+      EXPECT_EQ(y3[i], y_cold[i]) << "entry " << i << " " << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Sharded wrapper aggregation
 // ---------------------------------------------------------------------------
 
