@@ -10,6 +10,7 @@
 // human-readable table and CSV, plus a "shape check" verdict comparing the
 // measured trend against the paper's qualitative claim.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -112,6 +113,40 @@ inline DualOpTiming measure_dualop(decomp::FetiProblem& problem,
   if (t.apply_bytes > 0 && apply_seconds > 0.0)
     t.apply_gbps = static_cast<double>(t.apply_bytes) / apply_seconds / 1e9;
   return t;
+}
+
+/// Percentile/latency summary over a sample set — the shared measurement
+/// path between the service layer's latency report (bench_service: queue
+/// wait and end-to-end job latency) and the per-step phase timings every
+/// FetiStepResult carries (preprocess/pcpg/apply split). Percentiles use
+/// the nearest-rank convention on the sorted samples.
+struct LatencySummary {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+inline double percentile(std::vector<double> sorted_samples, double pct) {
+  if (sorted_samples.empty()) return 0.0;
+  const auto n = sorted_samples.size();
+  std::size_t rank = static_cast<std::size_t>(pct / 100.0 *
+                                              static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return sorted_samples[rank];
+}
+
+inline LatencySummary summarize_latencies(std::vector<double> seconds) {
+  LatencySummary s;
+  if (seconds.empty()) return s;
+  std::sort(seconds.begin(), seconds.end());
+  s.p50 = percentile(seconds, 50.0);
+  s.p99 = percentile(seconds, 99.0);
+  s.max = seconds.back();
+  double total = 0.0;
+  for (double v : seconds) total += v;
+  s.mean = total / static_cast<double>(seconds.size());
+  return s;
 }
 
 /// Table-II-tuned configuration for one approach; the API generation and

@@ -14,6 +14,7 @@
 #include "core/autotune.hpp"
 #include "core/dualop_registry.hpp"
 #include "core/feti_solver.hpp"
+#include "service/solver_service.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -32,6 +33,8 @@ struct Cli {
   double tol = 1e-8;
   bool verify = false;
   bool list = false;
+  bool pool_stats = false;
+  double pool_budget_mb = 0.0;  // 0 = auto (sized to show the demotion)
 };
 
 void usage() {
@@ -50,6 +53,17 @@ void usage() {
       "  --list                 print all registered dual-operator keys "
       "with\n"
       "                         their capability metadata and exit\n"
+      "  --pool-stats           dry-run the service layer's per-job planner "
+      "on a\n"
+      "                         job mix for this problem: the key each job "
+      "would\n"
+      "                         resolve to as the operator pool fills, and "
+      "the\n"
+      "                         estimated pooled-entry bytes (no solves "
+      "run)\n"
+      "  --pool-budget MB       pool budget for --pool-stats (default: "
+      "sized so\n"
+      "                         the mix crosses into fp32 demotion)\n"
       "\nregistered dual-operator approaches:\n");
   const auto& registry = core::DualOperatorRegistry::instance();
   for (const std::string& key : registry.keys())
@@ -76,6 +90,9 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--tol" && (v = next())) cli.tol = std::atof(v);
     else if (a == "--verify") cli.verify = true;
     else if (a == "--list") cli.list = true;
+    else if (a == "--pool-stats") cli.pool_stats = true;
+    else if (a == "--pool-budget" && (v = next()))
+      cli.pool_budget_mb = std::atof(v);
     else {
       std::printf("unknown or incomplete option: %s\n", a.c_str());
       return false;
@@ -99,6 +116,67 @@ void list_operators(const feti::gpu::ExecutionContext* context) {
                    info.summary});
   }
   table.print();
+}
+
+/// --pool-stats: dry-run of the service layer's per-job planner. Simulates
+/// a job mix against a filling operator pool — each planned entry's
+/// estimated bytes are deducted from the remaining budget before the next
+/// job plans, so the output shows exactly where the pool pressure starts
+/// demoting auto-keyed explicit jobs to the fp32 storage tier. No
+/// operators are built and nothing solves.
+void pool_stats_dry_run(const decomp::FetiProblem& problem, int dim,
+                        const std::string& user_key, double budget_mb) {
+  idx max_lambdas = 0;
+  for (const auto& s : problem.sub)
+    max_lambdas = std::max(max_lambdas, s.num_local_lambdas());
+  const std::size_t blocks =
+      static_cast<std::size_t>(problem.num_subdomains()) *
+      static_cast<std::size_t>(max_lambdas) *
+      static_cast<std::size_t>(max_lambdas);
+  // Estimated pooled-entry footprint per precision: the persistent F̃
+  // blocks for explicit keys, the factor estimate for implicit ones.
+  auto entry_bytes = [&](const core::DualOpConfig& cfg) {
+    if (!core::DualOperatorRegistry::instance().is_explicit(
+            cfg.resolved_key()))
+      return service::estimate_solver_bytes(problem);
+    return blocks * (cfg.axes().precision == core::Precision::F32
+                         ? sizeof(float)
+                         : sizeof(double));
+  };
+  const std::size_t f64_entry = blocks * sizeof(double);
+  const std::size_t budget =
+      budget_mb > 0.0 ? static_cast<std::size_t>(budget_mb * 1e6)
+                      : f64_entry * 3 + f64_entry / 2;
+
+  // The mix: alternating auto-keyed tenants and the user's explicit key —
+  // distinct tenants, so every job is a new pooled entry.
+  const char* requested[] = {"", "", user_key.c_str(), "", "", ""};
+  Table table({"job", "requested", "planned key", "entry [KB]",
+               "remaining before [KB]"});
+  std::size_t remaining = budget;
+  for (std::size_t j = 0; j < std::size(requested); ++j) {
+    service::SolveJob job;
+    job.problem = &problem;
+    job.key = requested[j];
+    const core::DualOpConfig cfg = service::SolverService::plan_config(
+        job, dim, gpu::DeviceTopology{1, 0}, remaining, budget);
+    const std::size_t bytes = entry_bytes(cfg);
+    table.add_row({std::to_string(j),
+                   job.key.empty() ? "(auto)" : job.key.c_str(),
+                   cfg.resolved_key(),
+                   Table::num(static_cast<double>(bytes) / 1e3, 1),
+                   Table::num(static_cast<double>(remaining) / 1e3, 1)});
+    remaining -= std::min(bytes, remaining);
+  }
+  std::printf("service planner dry run (pool budget %.1f KB; problem: %d "
+              "subdomains, max %d local multipliers)\n",
+              static_cast<double>(budget) / 1e3, problem.num_subdomains(),
+              max_lambdas);
+  table.print();
+  std::printf("\nauto-keyed jobs resolve to the explicit GPU family; once "
+              "the remaining\nbudget drops between the fp32 and fp64 F̃ "
+              "footprints, new entries demote\nto the fp32 storage tier "
+              "(SolverService::plan_config).\n");
 }
 
 }  // namespace
@@ -137,6 +215,10 @@ int main(int argc, char** argv) {
               fem::to_string(physics), cli.dim, cli.order.c_str(),
               problem.global_dofs, problem.sub.size(),
               problem.max_subdomain_dofs(), problem.num_lambdas);
+  if (cli.pool_stats) {
+    pool_stats_dry_run(problem, cli.dim, cli.approach, cli.pool_budget_mb);
+    return 0;
+  }
 
   const auto& registry = core::DualOperatorRegistry::instance();
   if (!registry.contains(cli.approach)) {

@@ -1,0 +1,98 @@
+// Solver-as-a-service demo: several tenants share one SolverService.
+//
+// Three tenants with their own problems (two heat-transfer meshes of
+// different sizes, one elasticity mesh) submit independent solve jobs —
+// different operator keys (fp64 GPU, fp32 GPU, CPU), physical and
+// load-multiplier right-hand sides. The service packs compatible jobs into
+// batched waves, pools prepared operators per (problem, key) fingerprint,
+// and overlaps different tenants' phases on separate device shards.
+//
+// The run shows the pooling lifecycle end to end: cold submissions miss
+// and prepare, resubmissions hit, an unchanged tenant's resubmission even
+// skips the numeric refresh (values_cached), and one tenant stepping its
+// matrix never disturbs another tenant's pooled operator.
+
+#include <cstdio>
+#include <vector>
+
+#include "service/solver_service.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace feti;
+
+  auto build = [](idx cells, idx splits, fem::Physics physics) {
+    mesh::Mesh m = mesh::make_grid_2d(cells, cells, mesh::ElementOrder::Linear);
+    auto dec = mesh::decompose_2d(m, cells, cells, splits, splits);
+    return decomp::build_feti_problem(dec, physics);
+  };
+  decomp::FetiProblem heat_small = build(12, 2, fem::Physics::HeatTransfer);
+  decomp::FetiProblem heat_big = build(24, 2, fem::Physics::HeatTransfer);
+  decomp::FetiProblem elastic = build(12, 2, fem::Physics::LinearElasticity);
+  std::printf("tenants: heat %d dofs, heat %d dofs, elasticity %d dofs\n\n",
+              heat_small.global_dofs, heat_big.global_dofs,
+              elastic.global_dofs);
+
+  service::ServiceOptions options;
+  options.num_shards = 2;
+  options.pool_budget_bytes = 512ull << 20;
+  service::SolverService svc(options);
+
+  auto job = [](const decomp::FetiProblem& p, std::uint64_t tenant,
+                const char* key) {
+    service::SolveJob j;
+    j.problem = &p;
+    j.key = key;  // "" = autotuned from shape + pool occupancy
+    j.tenant = tenant;
+    j.pcpg.rel_tolerance = 1e-8;
+    return j;
+  };
+
+  // Round 1 — every tenant's first job: pool misses, operators prepared.
+  // Tenant 0 submits a burst of three identical jobs (load study) that the
+  // service packs into one batched wave.
+  std::vector<service::SolveJob> burst;
+  for (int k = 0; k < 3; ++k)
+    burst.push_back(job(heat_small, 0, "expl legacy"));
+  std::vector<std::future<service::JobResult>> round1 =
+      svc.submit(std::move(burst));
+  round1.push_back(svc.submit(job(heat_big, 1, "expl legacy f32")));
+  round1.push_back(svc.submit(job(elastic, 2, "")));
+
+  Table table({"tenant", "key", "shard", "wave", "pool", "refresh", "iters",
+               "latency [ms]"});
+  auto report = [&table](const service::JobResult& r) {
+    table.add_row({std::to_string(r.tenant), r.key,
+                   std::to_string(r.shard), std::to_string(r.wave_size),
+                   r.pool_hit ? (r.values_cached ? "hit+cached" : "hit")
+                              : "miss",
+                   std::to_string(r.refreshed_subdomains) + "/" +
+                       std::to_string(r.refreshed_subdomains +
+                                      r.skipped_subdomains),
+                   std::to_string(r.iterations),
+                   Table::num(r.latency_seconds * 1e3, 2)});
+  };
+  for (auto& f : round1) report(f.get());
+
+  // Round 2 — tenant 1 steps its matrix (new time step), tenants 0 and 2
+  // resubmit unchanged: their pooled operators skip the numeric refresh
+  // entirely, and tenant 1's refresh never touches them.
+  decomp::scale_step(heat_big, 1.1);
+  std::vector<std::future<service::JobResult>> round2;
+  round2.push_back(svc.submit(job(heat_small, 0, "expl legacy")));
+  round2.push_back(svc.submit(job(heat_big, 1, "expl legacy f32")));
+  round2.push_back(svc.submit(job(elastic, 2, "")));
+  for (auto& f : round2) report(f.get());
+  table.print();
+
+  const service::PoolStats ps = svc.pool_stats();
+  const service::ServiceStats ss = svc.stats();
+  std::printf("\npool: %ld hits, %ld misses, %ld evictions, %zu entries, "
+              "%.1f MB resident (budget %.0f MB)\n",
+              ps.hits, ps.misses, ps.evictions, ps.entries,
+              static_cast<double>(ps.resident_bytes) / 1e6,
+              static_cast<double>(ps.budget_bytes) / 1e6);
+  std::printf("service: %ld jobs in %ld waves (%ld jobs shared a wave)\n",
+              ss.completed, ss.waves, ss.batched_jobs);
+  return 0;
+}

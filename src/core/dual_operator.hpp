@@ -39,6 +39,7 @@
 // timings()); implementations override the protected apply_one/apply_many
 // hooks. preprocess() survives as a deprecated alias of update_values().
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -60,6 +61,31 @@ struct CacheStats {
   long skipped_steps = 0;         ///< steps that refreshed no subdomain
   long refreshed_subdomains = 0;  ///< per-subdomain refactorizations done
   long skipped_subdomains = 0;    ///< per-subdomain refreshes avoided
+};
+
+/// Atomic backing storage of CacheStats. Counter writes happen on the
+/// lifecycle thread (update_values / apply); readers may snapshot from any
+/// thread at any time — the service layer polls a tenant's counters while
+/// another tenant's solve is in flight. Each counter is individually
+/// atomic; a snapshot taken mid-update may be ahead on one counter and
+/// behind on another, which is fine for monotonic statistics (the
+/// lifecycle calls themselves are externally serialized per operator — see
+/// the thread-safety contract in docs/ARCHITECTURE.md).
+struct AtomicCacheStats {
+  std::atomic<long> steps{0};
+  std::atomic<long> skipped_steps{0};
+  std::atomic<long> refreshed_subdomains{0};
+  std::atomic<long> skipped_subdomains{0};
+
+  [[nodiscard]] CacheStats snapshot() const {
+    CacheStats s;
+    s.steps = steps.load(std::memory_order_relaxed);
+    s.skipped_steps = skipped_steps.load(std::memory_order_relaxed);
+    s.refreshed_subdomains =
+        refreshed_subdomains.load(std::memory_order_relaxed);
+    s.skipped_subdomains = skipped_subdomains.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 class DualOperator {
@@ -123,8 +149,9 @@ class DualOperator {
   /// out-of-tree operators that inherit the loop count here. Wrappers
   /// (e.g. the sharded multi-device operator) aggregate their inner
   /// operators' counts. Accumulates from construction; never resets.
+  /// Safe to read from any thread while another thread is applying.
   [[nodiscard]] virtual long loop_fallback_count() const {
-    return loop_fallbacks_;
+    return loop_fallbacks_.load(std::memory_order_relaxed);
   }
 
   /// Time-step cache counters: how many update_values() steps and
@@ -132,8 +159,10 @@ class DualOperator {
   /// Accumulates from construction; never resets. The sharded wrapper
   /// aggregates over its shards (steps/skipped_steps are wrapper-level,
   /// subdomain counts are summed over the disjoint shard subsets).
+  /// Safe to read from any thread while the lifecycle thread is inside
+  /// update_values() (see AtomicCacheStats for the snapshot semantics).
   [[nodiscard]] virtual CacheStats cache_stats() const {
-    return cache_stats_;
+    return cache_stats_.snapshot();
   }
 
   /// Bytes of persistent operator state streamed by one apply(x, y) — the
@@ -178,8 +207,12 @@ class DualOperator {
 
   const decomp::FetiProblem& p_;
   mutable TimingRegistry timings_;
-  long loop_fallbacks_ = 0;  ///< incremented by the base apply_many
-  CacheStats cache_stats_;   ///< maintained by begin_update/end_update
+  /// Incremented by the base apply_many; atomic so diagnostic readers on
+  /// other threads (the service layer) never race the applying thread.
+  std::atomic<long> loop_fallbacks_{0};
+  /// Maintained by begin_update/end_update; atomic per counter for the
+  /// same concurrent-reader contract.
+  AtomicCacheStats cache_stats_;
 
  private:
   /// Last values versions/hashes this operator refreshed against, indexed

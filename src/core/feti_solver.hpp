@@ -21,7 +21,16 @@ struct FetiStepResult {
   int iterations = 0;
   double rel_residual = 0.0;
   bool converged = false;
+  // Wall-clock phase split of the step. The three phases are the shared
+  // measurement path for benches and the service layer's latency report
+  // (bench/common.hpp aggregates them into percentile summaries):
+  //   preprocess — DualOperator::update_values(),
+  //   pcpg       — the whole PCPG iteration (projector + preconditioner +
+  //                operator applies + recurrences),
+  //   apply      — the dual-operator application share of the pcpg phase
+  //                (from the operator's own "apply" timing registry).
   double preprocess_seconds = 0.0;  ///< DualOperator::update_values() time
+  double pcpg_seconds = 0.0;   ///< wall-clock PCPG iteration time
   double apply_seconds = 0.0;  ///< total dual-operator application time
   double step_seconds = 0.0;
   // Time-step cache outcome of this step's update_values() (deltas of
@@ -39,6 +48,16 @@ struct FetiStepResult {
   Precision operator_precision = Precision::F64;
 };
 
+/// Drives one problem through Algorithm 2. Re-entrancy contract: distinct
+/// FetiSolver instances are safe to run concurrently from different
+/// threads, including instances sharing one FetiProblem — solving reads
+/// the problem but never mutates it, and the operator/cache counters are
+/// safe for concurrent readers. A single instance is NOT thread-safe: its
+/// lifecycle calls (prepare / solve_step / solve_step_many) must be
+/// externally serialized, which is exactly the exclusive-checkout
+/// discipline the service layer's operator pool enforces. Mutating the
+/// problem (scale_step, mark_values_changed) while any solver on it is
+/// mid-step is a data race on the caller.
 class FetiSolver {
  public:
   /// `context` supplies the execution resources for GPU-backed dual
@@ -58,14 +77,23 @@ class FetiSolver {
   /// in lockstep through Pcpg::solve_many, so every PCPG iteration reaches
   /// the dual operator as one batched apply(X, Y, nrhs) — served
   /// device-side by the GPU operator families. Each dual_rhs[j] plays the
-  /// role of the d vector of eq. (7) (see DualOperator::compute_d for the
-  /// physical one); results are returned in input order, with the shared
-  /// preprocessing/apply/step times repeated in every entry.
+  /// role of the d vector of eq. (7); an *empty* dual_rhs[j] requests the
+  /// physical d computed from the problem's current f (computed once per
+  /// call, shared by every empty entry). Results are returned in input
+  /// order, with the shared preprocessing/pcpg/apply/step times repeated
+  /// in every entry.
   std::vector<FetiStepResult> solve_step_many(
       const std::vector<std::vector<double>>& dual_rhs);
 
   [[nodiscard]] DualOperator& dual_operator() { return *dualop_; }
   [[nodiscard]] const Projector& projector() const { return projector_; }
+
+  /// Swaps the PCPG options for subsequent steps. The operator and the
+  /// projector are untouched, so a pooled long-lived solver can serve
+  /// tenants with different tolerances/preconditioners between checkouts.
+  void set_pcpg_options(const PcpgOptions& pcpg) { options_.pcpg = pcpg; }
+  [[nodiscard]] const FetiSolverOptions& options() const { return options_; }
+  [[nodiscard]] bool prepared() const { return prepared_; }
 
  private:
   const decomp::FetiProblem& problem_;

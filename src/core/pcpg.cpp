@@ -26,7 +26,12 @@ std::vector<PcpgResult> Pcpg::solve_many(
   std::vector<const std::vector<double>*> ptrs;
   ptrs.reserve(d.size());
   for (const auto& di : d) ptrs.push_back(&di);
-  return solve_impl(ptrs.data(), ptrs.size(), /*throw_on_breakdown=*/false);
+  return solve_many_ptrs(ptrs);
+}
+
+std::vector<PcpgResult> Pcpg::solve_many_ptrs(
+    const std::vector<const std::vector<double>*>& d) {
+  return solve_impl(d.data(), d.size(), /*throw_on_breakdown=*/false);
 }
 
 std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,

@@ -52,6 +52,14 @@ class Pcpg {
   /// solve() keeps the historical throwing contract.
   std::vector<PcpgResult> solve_many(const std::vector<std::vector<double>>& d);
 
+  /// Borrowed-RHS variant of solve_many: the caller aliases right-hand
+  /// sides instead of copying them (several systems may point at one
+  /// shared vector — the service layer's waves mix per-tenant load cases
+  /// with the shared physical d). Named distinctly so brace-initialized
+  /// calls to solve_many stay unambiguous.
+  std::vector<PcpgResult> solve_many_ptrs(
+      const std::vector<const std::vector<double>*>& d);
+
  private:
   /// Shared lockstep implementation over borrowed right-hand sides.
   /// `throw_on_breakdown` preserves solve()'s historical throwing contract;

@@ -68,11 +68,9 @@ std::uint64_t k_values_hash(const FetiSubdomain& s) {
   // so it processes word-wise instead of byte-wise. Bitwise equality is
   // the right notion here: a value rewritten to the exact same double is a
   // legitimate cache hit, anything else must refresh.
-  std::uint64_t h = 14695981039346656037ull;
-  for (double v : s.k_reg.vals()) {
-    h ^= std::bit_cast<std::uint64_t>(v);
-    h *= 1099511628211ull;
-  }
+  std::uint64_t h = kFnv1aOffset;
+  for (double v : s.k_reg.vals())
+    h = fnv1a_word(h, std::bit_cast<std::uint64_t>(v));
   return h;
 }
 

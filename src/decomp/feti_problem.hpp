@@ -109,6 +109,17 @@ void scale_step(FetiProblem& p, double factor);
 /// this subdomain on the next update_values()).
 void scale_subdomain(FetiProblem& p, idx sub, double factor);
 
+// FNV-1a building blocks behind the change-detection hashes, exposed so
+// other layers fingerprint their own state with the same machinery (the
+// service layer keys its operator pool with these). One 64-bit word per
+// round; chain with h = fnv1a_word(h, w) starting from kFnv1aOffset.
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+[[nodiscard]] inline constexpr std::uint64_t fnv1a_word(std::uint64_t h,
+                                                        std::uint64_t word) {
+  return (h ^ word) * kFnv1aPrime;
+}
+
 /// FNV-1a content hash of a subdomain's K_reg numeric values — the
 /// ValueTracking::Hashed change detector. Pattern and B are fixed by the
 /// lifecycle contract, and f never feeds cached operator state, so the

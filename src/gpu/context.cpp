@@ -101,6 +101,40 @@ void DevicePool::synchronize() {
   for (auto& ctx : contexts_) ctx->synchronize();
 }
 
+void DevicePool::Lease::release() {
+  if (pool_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(pool_->lease_mutex_);
+  --pool_->active_leases_[shard_];
+  pool_ = nullptr;
+}
+
+DevicePool::Lease DevicePool::acquire() {
+  std::lock_guard<std::mutex> lock(lease_mutex_);
+  if (active_leases_.size() != contexts_.size())
+    active_leases_.assign(contexts_.size(), 0);
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < active_leases_.size(); ++s)
+    if (active_leases_[s] < active_leases_[best]) best = s;
+  ++active_leases_[best];
+  return Lease(this, best);
+}
+
+DevicePool::Lease DevicePool::acquire(std::size_t shard) {
+  check(shard < contexts_.size(), "DevicePool::acquire: shard out of range");
+  std::lock_guard<std::mutex> lock(lease_mutex_);
+  if (active_leases_.size() != contexts_.size())
+    active_leases_.assign(contexts_.size(), 0);
+  ++active_leases_[shard];
+  return Lease(this, shard);
+}
+
+int DevicePool::active_leases(std::size_t shard) const {
+  check(shard < contexts_.size(),
+        "DevicePool::active_leases: shard out of range");
+  std::lock_guard<std::mutex> lock(lease_mutex_);
+  return shard < active_leases_.size() ? active_leases_[shard] : 0;
+}
+
 DeviceConfig DevicePool::split_config(DeviceConfig total, int num_shards) {
   check(num_shards >= 1, "DevicePool::split_config: need at least one shard");
   int workers = total.worker_threads;

@@ -106,6 +106,54 @@ class DevicePool {
   [[nodiscard]] ExecutionContext& context(std::size_t shard);
   [[nodiscard]] Device& device(std::size_t shard);
 
+  /// RAII shard checkout for schedulers that multiplex independent work
+  /// units over the pool (the service layer's workers). A lease is an
+  /// accounting handle, not a lock: several leases may target one shard
+  /// (streams serialize within the context), but acquire() steers new work
+  /// to the least-loaded shard so concurrent tenants land on different
+  /// devices and their update_values()/apply() phases overlap. The lease
+  /// returns its shard on destruction (checkout/return discipline).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept { swap(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      release();
+      swap(other);
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] bool valid() const { return pool_ != nullptr; }
+    [[nodiscard]] std::size_t shard() const { return shard_; }
+    [[nodiscard]] ExecutionContext& context() { return pool_->context(shard_); }
+
+    /// Early return of the shard (idempotent; the destructor is a no-op
+    /// afterwards).
+    void release();
+
+   private:
+    friend class DevicePool;
+    Lease(DevicePool* pool, std::size_t shard) : pool_(pool), shard_(shard) {}
+    void swap(Lease& other) {
+      std::swap(pool_, other.pool_);
+      std::swap(shard_, other.shard_);
+    }
+    DevicePool* pool_ = nullptr;
+    std::size_t shard_ = 0;
+  };
+
+  /// Checks out the shard with the fewest active leases (ties broken by
+  /// the lowest shard index, so single-tenant runs stay on shard 0).
+  [[nodiscard]] Lease acquire();
+  /// Checks out a specific shard — used when work is pinned to the shard
+  /// that holds its persistent state (a pooled operator's device buffers).
+  [[nodiscard]] Lease acquire(std::size_t shard);
+  /// Leases currently outstanding against `shard`.
+  [[nodiscard]] int active_leases(std::size_t shard) const;
+
   /// The shard owning subdomain `sub` (round robin).
   [[nodiscard]] std::size_t shard_of(idx sub) const {
     return static_cast<std::size_t>(sub) % size();
@@ -127,6 +175,8 @@ class DevicePool {
  private:
   std::vector<std::unique_ptr<Device>> owned_;
   std::vector<std::unique_ptr<ExecutionContext>> contexts_;
+  mutable std::mutex lease_mutex_;
+  std::vector<int> active_leases_;  ///< per-shard outstanding lease counts
 };
 
 }  // namespace feti::gpu

@@ -1,0 +1,119 @@
+#pragma once
+
+// The shared operator pool of the service layer: prepared FetiSolver
+// instances (dual operator + projector) keyed by job fingerprint, with LRU
+// eviction under a memory budget and an exclusive checkout/return
+// discipline.
+//
+// Pooling amortizes the expensive once-per-pattern preparation (symbolic
+// factorization, persistent device allocations) across every job that
+// shares a fingerprint — the cross-tenant analogue of the time-step cache:
+// the pool skips prepare(), the dirty tracking inside the pooled operator
+// then skips update_values() when the tenant's K did not change either.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+
+#include "gpu/context.hpp"
+#include "service/solve_job.hpp"
+
+namespace feti::service {
+
+/// Pool effectiveness counters and occupancy, snapshot by stats().
+struct PoolStats {
+  long hits = 0;        ///< checkouts served by an existing prepared entry
+  long misses = 0;      ///< checkouts that had to build + prepare an entry
+  long evictions = 0;   ///< idle entries dropped to make room
+  std::size_t entries = 0;         ///< resident entries right now
+  std::size_t resident_bytes = 0;  ///< accounted bytes of those entries
+  std::size_t budget_bytes = 0;    ///< configured budget (0 = unlimited)
+};
+
+class OperatorPool {
+ public:
+  /// Builds the pooled solver for a fingerprint on its creation shard.
+  using SolverFactory = std::function<std::unique_ptr<core::FetiSolver>(
+      gpu::ExecutionContext& context)>;
+
+  /// An exclusive checkout of one pooled entry. Holds the shard lease of
+  /// the entry's device for its lifetime; the caller must return the entry
+  /// via give_back() when the solve is done (the lease releases itself).
+  struct Checkout {
+    core::FetiSolver* solver = nullptr;
+    std::uint64_t fingerprint = 0;
+    std::size_t shard = 0;
+    bool hit = false;  ///< entry existed and was already prepared
+    gpu::DevicePool::Lease lease;
+  };
+
+  /// `budget_bytes` bounds the accounted bytes of idle + checked-out
+  /// entries (0 = unlimited). Checked-out entries are pinned: the pool may
+  /// transiently exceed the budget when every resident entry is in use.
+  OperatorPool(gpu::DevicePool& devices, std::size_t budget_bytes);
+
+  OperatorPool(const OperatorPool&) = delete;
+  OperatorPool& operator=(const OperatorPool&) = delete;
+
+  /// Checks out the entry for `fingerprint`, building it with `make` on a
+  /// miss: the pool acquires the least-loaded shard, runs the factory with
+  /// that shard's context, calls prepare(), and accounts the entry's bytes
+  /// (evicting idle entries, least recently used first, while over
+  /// budget). On a hit the entry's own shard is re-leased. Blocks while
+  /// another caller holds the same fingerprint — one wave at a time per
+  /// pooled operator, which is what makes the pooled FetiSolver's
+  /// single-instance lifecycle safe under concurrency.
+  [[nodiscard]] Checkout checkout(std::uint64_t fingerprint,
+                                  const SolverFactory& make);
+
+  /// Returns a checked-out entry to the pool (wakes blocked checkouts).
+  void give_back(std::uint64_t fingerprint);
+
+  [[nodiscard]] PoolStats stats() const;
+  /// Budget not yet consumed by resident entries (0 when over budget;
+  /// budget 0 = unlimited reports 0 remaining as "no pressure" is encoded
+  /// by budget_bytes == 0). Feeds the per-job autotune's WorkloadHint.
+  [[nodiscard]] std::size_t remaining_budget() const;
+
+ private:
+  enum class State { Preparing, Idle, CheckedOut };
+
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    State state = State::Preparing;
+    std::unique_ptr<core::FetiSolver> solver;
+    std::size_t shard = 0;
+    std::size_t bytes = 0;
+    std::uint64_t last_used = 0;
+  };
+
+  /// Requires mutex_ held. Evicts idle entries (LRU first) while the pool
+  /// is over budget and something is evictable.
+  void evict_over_budget_locked();
+  Entry* find_locked(std::uint64_t fingerprint);
+
+  gpu::DevicePool& devices_;
+  const std::size_t budget_bytes_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::list<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  long hits_ = 0;
+  long misses_ = 0;
+  long evictions_ = 0;
+  std::size_t resident_bytes_ = 0;
+};
+
+/// Rough resident-byte floor for operators that cannot report
+/// apply_bytes() (the implicit families): the numeric factors dominate, so
+/// estimate two fill-factor copies of every K_reg plus the dense kernel
+/// bases. Used only for pool accounting, never for allocation.
+[[nodiscard]] std::size_t estimate_solver_bytes(
+    const decomp::FetiProblem& problem);
+
+}  // namespace feti::service

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "gpu/blas.hpp"
+#include "gpu/context.hpp"
 #include "gpu/kernels.hpp"
 #include "gpu/sparse.hpp"
 #include "la/blas_dense.hpp"
@@ -705,6 +706,60 @@ TEST(DeviceConfigTest, EnvParsing) {
   DeviceConfig cfg = DeviceConfig::from_env();
   EXPECT_GE(cfg.launch_latency_us, 0.0);
   EXPECT_GT(cfg.memory_bytes, 0u);
+}
+
+TEST(DevicePoolLease, AcquireSteersToLeastLoadedShard) {
+  DevicePool pool(3, DevicePool::split_config(test_config(), 3));
+  // Ties break toward the lowest index, then each new lease lands on the
+  // emptiest shard.
+  DevicePool::Lease a = pool.acquire();
+  EXPECT_EQ(a.shard(), 0u);
+  DevicePool::Lease b = pool.acquire();
+  EXPECT_EQ(b.shard(), 1u);
+  DevicePool::Lease c = pool.acquire();
+  EXPECT_EQ(c.shard(), 2u);
+  DevicePool::Lease d = pool.acquire();  // all tied at 1 → back to shard 0
+  EXPECT_EQ(d.shard(), 0u);
+  EXPECT_EQ(pool.active_leases(0), 2);
+  EXPECT_EQ(pool.active_leases(1), 1);
+  EXPECT_EQ(pool.active_leases(2), 1);
+  b.release();
+  DevicePool::Lease e = pool.acquire();  // shard 1 is now the emptiest
+  EXPECT_EQ(e.shard(), 1u);
+}
+
+TEST(DevicePoolLease, PinnedAcquireAndReleaseAccounting) {
+  DevicePool pool(2, DevicePool::split_config(test_config(), 2));
+  {
+    DevicePool::Lease pinned = pool.acquire(1);
+    EXPECT_TRUE(pinned.valid());
+    EXPECT_EQ(pinned.shard(), 1u);
+    EXPECT_EQ(&pinned.context(), &pool.context(1));
+    EXPECT_EQ(pool.active_leases(1), 1);
+    // release() is idempotent; the destructor afterwards is a no-op.
+    pinned.release();
+    EXPECT_FALSE(pinned.valid());
+    EXPECT_EQ(pool.active_leases(1), 0);
+    pinned.release();
+    EXPECT_EQ(pool.active_leases(1), 0);
+  }
+  EXPECT_EQ(pool.active_leases(0), 0);
+  EXPECT_EQ(pool.active_leases(1), 0);
+}
+
+TEST(DevicePoolLease, MoveTransfersOwnershipWithoutDoubleReturn) {
+  DevicePool pool(2, DevicePool::split_config(test_config(), 2));
+  DevicePool::Lease a = pool.acquire(0);
+  DevicePool::Lease b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(pool.active_leases(0), 1);
+  // Move-assignment over a live lease returns its shard first.
+  DevicePool::Lease c = pool.acquire(1);
+  c = std::move(b);
+  EXPECT_EQ(pool.active_leases(1), 0);
+  EXPECT_EQ(pool.active_leases(0), 1);
+  EXPECT_EQ(c.shard(), 0u);
 }
 
 }  // namespace
