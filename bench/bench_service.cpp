@@ -186,13 +186,19 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::duration<double>(gap));
     }
     std::vector<double> queue_s, latency_s, pcpg_s;
-    long batched_count = 0;
+    long batched_count = 0, total_iterations = 0;
+    int min_iterations = 0, max_iterations = 0;
     for (auto& f : futures) {
       service::JobResult r = f.get();
       queue_s.push_back(r.queue_seconds);
       latency_s.push_back(r.latency_seconds);
       pcpg_s.push_back(r.pcpg_seconds);
       if (r.wave_size > 1) ++batched_count;
+      total_iterations += r.pcpg_iterations;
+      min_iterations = queue_s.size() == 1
+                           ? r.pcpg_iterations
+                           : std::min(min_iterations, r.pcpg_iterations);
+      max_iterations = std::max(max_iterations, r.pcpg_iterations);
     }
     const double elapsed = t.seconds();
     const LatencySummary lat = summarize_latencies(latency_s);
@@ -213,6 +219,11 @@ int main(int argc, char** argv) {
                                           Table::num(pcg.p99 * 1e3, 2)});
     mix.add_row({"jobs sharing a wave", std::to_string(batched_count) + "/" +
                                             std::to_string(poisson_jobs)});
+    mix.add_row({"pcpg iters min/mean/max",
+                 std::to_string(min_iterations) + "/" +
+                     Table::num(static_cast<double>(total_iterations) /
+                                    poisson_jobs, 1) +
+                     "/" + std::to_string(max_iterations)});
     mix.add_row({"waves", std::to_string(ss.waves)});
     mix.add_row({"pool hits/misses/evictions",
                  std::to_string(ps.hits) + "/" + std::to_string(ps.misses) +

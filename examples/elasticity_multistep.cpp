@@ -37,7 +37,7 @@ int main() {
                                             problem.max_subdomain_dofs());
   opts.pcpg.rel_tolerance = 1e-8;
   opts.pcpg.max_iterations = 3000;
-  opts.pcpg.preconditioner = core::PreconditionerKind::Lumped;
+  opts.pcpg.preconditioner = "lumped";
 
   gpu::ExecutionContext ctx(gpu::DeviceConfig::from_env());
   core::FetiSolver solver(problem, opts, &ctx);
@@ -90,7 +90,7 @@ int main() {
     table.add_row({std::to_string(step), Table::num(scale, 3),
                    Table::num(res.preprocess_seconds * 1e3, 3),
                    res.values_cached ? "yes" : "no",
-                   std::to_string(res.iterations), Table::sci(tip, 4)});
+                   std::to_string(res.pcpg_iterations), Table::sci(tip, 4)});
   }
   table.print();
   const core::CacheStats stats = solver.dual_operator().cache_stats();

@@ -14,6 +14,7 @@
 #include "core/autotune.hpp"
 #include "core/dualop_registry.hpp"
 #include "core/feti_solver.hpp"
+#include "precond/precond_registry.hpp"
 #include "service/solver_service.hpp"
 #include "util/table.hpp"
 
@@ -33,6 +34,7 @@ struct Cli {
   double tol = 1e-8;
   bool verify = false;
   bool list = false;
+  bool list_precond = false;
   bool pool_stats = false;
   double pool_budget_mb = 0.0;  // 0 = auto (sized to show the demotion)
 };
@@ -46,13 +48,18 @@ void usage() {
       "  --physics {heat|elasticity}                        (default heat)\n"
       "  --order {linear|quadratic}                         (default linear)\n"
       "  --approach NAME        a registered dual-operator key (see below)\n"
-      "  --precond {none|lumped}                            (default none)\n"
+      "  --precond KEY          a preconditioner registry key (\"none\",\n"
+      "                         \"lumped\", \"dirichlet stiffness gpu\", ...)\n"
+      "                         or \"auto\"                   (default none)\n"
       "  --steps N              time steps (Algorithm 2)    (default 1)\n"
       "  --tol X                PCPG relative tolerance     (default 1e-8)\n"
       "  --verify               compare against a monolithic direct solve\n"
       "  --list                 print all registered dual-operator keys "
       "with\n"
       "                         their capability metadata and exit\n"
+      "  --list-precond         print all registered preconditioner keys "
+      "and\n"
+      "                         exit\n"
       "  --pool-stats           dry-run the service layer's per-job planner "
       "on a\n"
       "                         job mix for this problem: the key each job "
@@ -90,6 +97,7 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--tol" && (v = next())) cli.tol = std::atof(v);
     else if (a == "--verify") cli.verify = true;
     else if (a == "--list") cli.list = true;
+    else if (a == "--list-precond") cli.list_precond = true;
     else if (a == "--pool-stats") cli.pool_stats = true;
     else if (a == "--pool-budget" && (v = next()))
       cli.pool_budget_mb = std::atof(v);
@@ -115,6 +123,17 @@ void list_operators(const feti::gpu::ExecutionContext* context) {
                    registry.available(key, context) ? "yes" : "no",
                    info.summary});
   }
+  table.print();
+}
+
+/// --list-precond: every registered preconditioner key with its metadata.
+void list_preconditioners(const feti::gpu::ExecutionContext* context) {
+  const auto& registry = precond::PreconditionerRegistry::instance();
+  Table table({"key", "gpu", "available", "description"});
+  for (const std::string& key : registry.keys())
+    table.add_row({key, registry.uses_gpu(key) ? "yes" : "no",
+                   registry.available(key, context) ? "yes" : "no",
+                   registry.info(key).summary});
   table.print();
 }
 
@@ -192,6 +211,10 @@ int main(int argc, char** argv) {
     list_operators(&context);
     return 0;
   }
+  if (cli.list_precond) {
+    list_preconditioners(&context);
+    return 0;
+  }
   const fem::Physics physics = cli.physics == "heat"
                                    ? fem::Physics::HeatTransfer
                                    : fem::Physics::LinearElasticity;
@@ -233,14 +256,30 @@ int main(int argc, char** argv) {
                                        problem.max_subdomain_dofs());
   opts.pcpg.rel_tolerance = cli.tol;
   opts.pcpg.max_iterations = 5000;
-  opts.pcpg.preconditioner = cli.precond == "lumped"
-                                 ? core::PreconditionerKind::Lumped
-                                 : core::PreconditionerKind::None;
-  std::printf("approach: %s [%s]  (%s)\n", cli.approach.c_str(),
-              opts.dualop.axes().describe().c_str(),
+  if (cli.precond == "auto") {
+    // The CLI's structured problems are uniform, so the hint carries no
+    // coefficient jump; "auto" demonstrates the recommendation plumbing.
+    core::WorkloadHint hint;
+    opts.pcpg.preconditioner = core::recommend_preconditioner(
+        hint, registry.uses_gpu(cli.approach));
+  } else {
+    opts.pcpg.preconditioner = precond::normalize_key(cli.precond);
+    if (!precond::PreconditionerRegistry::instance().contains(
+            opts.pcpg.preconditioner)) {
+      std::printf("unknown preconditioner '%s'; registered keys:\n",
+                  cli.precond.c_str());
+      for (const std::string& key :
+           precond::PreconditionerRegistry::instance().keys())
+        std::printf("  %s\n", key.c_str());
+      return 1;
+    }
+  }
+  std::printf("approach: %s [%s]  (%s), preconditioner: %s\n",
+              cli.approach.c_str(), opts.dualop.axes().describe().c_str(),
               registry.is_explicit(cli.approach)
                   ? opts.dualop.gpu.describe().c_str()
-                  : "implicit application");
+                  : "implicit application",
+              opts.pcpg.preconditioner.c_str());
 
   core::FetiSolver solver(problem, opts, &context);
   Timer prep;
@@ -253,7 +292,7 @@ int main(int argc, char** argv) {
     core::FetiStepResult res = solver.solve_step();
     table.add_row({std::to_string(step),
                    Table::num(res.preprocess_seconds * 1e3, 3),
-                   std::to_string(res.iterations),
+                   std::to_string(res.pcpg_iterations),
                    Table::num(res.apply_seconds * 1e3, 3),
                    Table::sci(res.rel_residual, 2),
                    Table::num(res.step_seconds * 1e3, 3)});

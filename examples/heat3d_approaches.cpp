@@ -53,10 +53,10 @@ int main() {
     solver.prepare();
     core::FetiStepResult res = solver.solve_step();
     const double apply_per_iter =
-        res.iterations > 0 ? res.apply_seconds / (res.iterations + 1) : 0.0;
+        res.pcpg_iterations > 0 ? res.apply_seconds / (res.pcpg_iterations + 1) : 0.0;
     table.add_row({key, Table::num(res.preprocess_seconds * 1e3, 3),
                    Table::num(apply_per_iter * 1e3, 4),
-                   std::to_string(res.iterations),
+                   std::to_string(res.pcpg_iterations),
                    Table::sci(res.rel_residual, 1)});
     rows.push_back({key, res.preprocess_seconds, apply_per_iter});
     if (key == "impl mkl") {

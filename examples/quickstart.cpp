@@ -53,7 +53,7 @@ int main() {
   solver.prepare();
   core::FetiStepResult res = solver.solve_step();
   std::printf("PCPG: %d iterations, relative residual %.2e (%s)\n",
-              res.iterations, res.rel_residual,
+              res.pcpg_iterations, res.rel_residual,
               res.converged ? "converged" : "NOT converged");
   std::printf("timings: preprocess %.3f ms, dual-operator applications "
               "%.3f ms\n",

@@ -69,7 +69,7 @@ int main() {
                    std::to_string(r.refreshed_subdomains) + "/" +
                        std::to_string(r.refreshed_subdomains +
                                       r.skipped_subdomains),
-                   std::to_string(r.iterations),
+                   std::to_string(r.pcpg_iterations),
                    Table::num(r.latency_seconds * 1e3, 2)});
   };
   for (auto& f : round1) report(f.get());

@@ -77,6 +77,27 @@ bool prefer_f32(const WorkloadHint& w, int shards) {
 
 }  // namespace
 
+std::string recommend_preconditioner(const WorkloadHint& workload,
+                                     bool gpu) {
+  // Thresholds follow the classical FETI guidance: scaled Dirichlet is the
+  // robust choice once coefficient jumps reach a couple of orders of
+  // magnitude (or the subdomains are strongly stretched), lumped with
+  // multiplicity scaling covers mild heterogeneity at a fraction of the
+  // setup cost, and uniform well-shaped problems are fastest without any
+  // preconditioning at all.
+  const double jump = std::max(workload.coefficient_jump, 1.0);
+  const double aspect = std::max(workload.aspect_ratio, 1.0);
+  std::string key;
+  if (jump >= 100.0 || aspect >= 4.0)
+    key = "dirichlet stiffness";
+  else if (jump >= 10.0 || aspect >= 2.0)
+    key = "lumped multiplicity";
+  else
+    return "none";
+  if (gpu) key += " gpu";
+  return key;
+}
+
 DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
                               idx dofs_per_subdomain, int nrhs_hint,
                               const gpu::DeviceTopology& topology,

@@ -5,6 +5,8 @@
 // option to auto-configure these parameters based on the problem that is
 // being solved").
 
+#include <string>
+
 #include "core/config.hpp"
 #include "gpu/context.hpp"
 
@@ -36,7 +38,27 @@ struct WorkloadHint {
   /// time steps streaming F̃ through SYMM): bandwidth is the bottleneck,
   /// so halving the streamed bytes wins even when memory would fit.
   bool bandwidth_bound = false;
+  /// Largest material-coefficient contrast in the problem (max/min of the
+  /// conductivity or Young's modulus across subdomains; 0 or 1 = uniform).
+  /// Jumps degrade unpreconditioned PCPG, so they drive the preconditioner
+  /// recommendation towards the scaled Dirichlet variant.
+  double coefficient_jump = 0.0;
+  /// Largest edge-length ratio of the subdomain bounding boxes (0 or 1 =
+  /// isotropic). Strong anisotropy conditions the dual operator like a
+  /// coefficient jump does.
+  double aspect_ratio = 0.0;
 };
+
+/// Recommends a preconditioner registry key for a workload: well-conditioned
+/// uniform problems keep "none" (every M⁻¹ application costs a second pass
+/// over the subdomain boundaries per iteration), mild heterogeneity pays for
+/// the cheap lumped preconditioner, and strong coefficient jumps or
+/// anisotropy (the regimes where unpreconditioned PCPG iteration counts
+/// blow up) select the stiffness-scaled Dirichlet preconditioner. With
+/// `gpu` set, the returned key carries the " gpu" suffix so M⁻¹ is applied
+/// device-side next to a GPU dual operator.
+std::string recommend_preconditioner(const WorkloadHint& workload,
+                                     bool gpu = false);
 
 /// One-stop recommendation for an axis tuple: selects the implementation
 /// (DualOpConfig::key) and, for the GPU-backed axes, fills the Table-II

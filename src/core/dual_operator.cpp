@@ -40,62 +40,16 @@ void DualOperator::apply_many(const double* x, double* y, idx nrhs) {
 }
 
 DualOperator::UpdatePlan DualOperator::begin_update() {
-  std::vector<idx> all(p_.sub.size());
-  std::iota(all.begin(), all.end(), 0);
-  return begin_update(all);
+  return tracker_.begin(p_, cache_stats_);
 }
 
 DualOperator::UpdatePlan DualOperator::begin_update(
     const std::vector<idx>& owned) {
-  const std::size_t nsub = p_.sub.size();
-  if (seen_version_.size() != nsub) seen_version_.assign(nsub, 0);
-  const bool hashed = p_.tracking == decomp::ValueTracking::Hashed;
-  if (hashed && seen_hash_.size() != nsub) seen_hash_.assign(nsub, 0);
-
-  // Hashing is the only per-step cost a fully cached step pays under
-  // Hashed tracking, so it runs parallel across the owned subdomains (the
-  // same shape as the refresh loops it guards).
-  std::vector<std::uint64_t> hashes;
-  if (hashed) {
-    hashes.resize(owned.size());
-    const idx nown = static_cast<idx>(owned.size());
-#pragma omp parallel for schedule(dynamic)
-    for (idx k = 0; k < nown; ++k)
-      hashes[static_cast<std::size_t>(k)] = decomp::k_values_hash(
-          p_.sub[static_cast<std::size_t>(owned[static_cast<std::size_t>(k)])]);
-  }
-
-  UpdatePlan plan;
-  for (std::size_t k = 0; k < owned.size(); ++k) {
-    const idx s = owned[k];
-    const auto& fs = p_.sub[static_cast<std::size_t>(s)];
-    bool dirty = seen_version_[static_cast<std::size_t>(s)] !=
-                 fs.values_version;
-    std::uint64_t h = 0;
-    if (hashed) {
-      h = hashes[k];
-      dirty = dirty || h != seen_hash_[static_cast<std::size_t>(s)];
-    }
-    if (dirty) {
-      plan.dirty.push_back(s);
-      plan.hash.push_back(h);
-    }
-  }
-  ++cache_stats_.steps;
-  cache_stats_.skipped_subdomains +=
-      static_cast<long>(owned.size() - plan.dirty.size());
-  if (plan.dirty.empty()) ++cache_stats_.skipped_steps;
-  return plan;
+  return tracker_.begin(p_, owned, cache_stats_);
 }
 
 void DualOperator::end_update(const UpdatePlan& plan) {
-  const bool hashed = p_.tracking == decomp::ValueTracking::Hashed;
-  for (std::size_t i = 0; i < plan.dirty.size(); ++i) {
-    const std::size_t s = static_cast<std::size_t>(plan.dirty[i]);
-    seen_version_[s] = p_.sub[s].values_version;
-    if (hashed) seen_hash_[s] = plan.hash[i];
-  }
-  cache_stats_.refreshed_subdomains += static_cast<long>(plan.dirty.size());
+  tracker_.end(p_, plan, cache_stats_);
 }
 
 void DualOperator::scatter_cpu(const double* cluster, idx sub,

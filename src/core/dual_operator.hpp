@@ -45,48 +45,17 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/lifecycle.hpp"
 #include "decomp/feti_problem.hpp"
 #include "gpu/context.hpp"
 #include "util/timer.hpp"
 
 namespace feti::core {
 
-/// Time-step cache effectiveness counters, exposed by
-/// DualOperator::cache_stats(). Like loop_fallback_count(), the counters
-/// accumulate from operator construction and never reset — callers that
-/// want per-step deltas snapshot before/after (FetiSolver::solve_step does
-/// exactly that to fill FetiStepResult).
-struct CacheStats {
-  long steps = 0;                 ///< update_values() calls
-  long skipped_steps = 0;         ///< steps that refreshed no subdomain
-  long refreshed_subdomains = 0;  ///< per-subdomain refactorizations done
-  long skipped_subdomains = 0;    ///< per-subdomain refreshes avoided
-};
-
-/// Atomic backing storage of CacheStats. Counter writes happen on the
-/// lifecycle thread (update_values / apply); readers may snapshot from any
-/// thread at any time — the service layer polls a tenant's counters while
-/// another tenant's solve is in flight. Each counter is individually
-/// atomic; a snapshot taken mid-update may be ahead on one counter and
-/// behind on another, which is fine for monotonic statistics (the
-/// lifecycle calls themselves are externally serialized per operator — see
-/// the thread-safety contract in docs/ARCHITECTURE.md).
-struct AtomicCacheStats {
-  std::atomic<long> steps{0};
-  std::atomic<long> skipped_steps{0};
-  std::atomic<long> refreshed_subdomains{0};
-  std::atomic<long> skipped_subdomains{0};
-
-  [[nodiscard]] CacheStats snapshot() const {
-    CacheStats s;
-    s.steps = steps.load(std::memory_order_relaxed);
-    s.skipped_steps = skipped_steps.load(std::memory_order_relaxed);
-    s.refreshed_subdomains =
-        refreshed_subdomains.load(std::memory_order_relaxed);
-    s.skipped_subdomains = skipped_subdomains.load(std::memory_order_relaxed);
-    return s;
-  }
-};
+// CacheStats / AtomicCacheStats / UpdatePlan / ValueTracker live in
+// core/lifecycle.hpp — the dirty-tracking machinery is shared with the
+// preconditioner subsystem (src/precond/), which follows the same
+// prepare()/update_values() contract.
 
 class DualOperator {
  public:
@@ -179,15 +148,10 @@ class DualOperator {
   /// Overriders may assume nrhs >= 1 and distinct, non-overlapping x/y.
   virtual void apply_many(const double* x, double* y, idx nrhs);
 
-  /// The dirty-set decision of one update_values() call: the owned
-  /// subdomains whose K values changed since the last committed refresh
-  /// (ascending global indices), plus their new content hashes under
-  /// ValueTracking::Hashed.
-  struct UpdatePlan {
-    std::vector<idx> dirty;
-    std::vector<std::uint64_t> hash;
-    [[nodiscard]] bool skip() const { return dirty.empty(); }
-  };
+  /// The dirty-set decision of one update_values() call (see
+  /// core/lifecycle.hpp); kept as a nested alias so implementations spell
+  /// it DualOperator::UpdatePlan.
+  using UpdatePlan = core::UpdatePlan;
 
   /// Computes the dirty subset at the top of an update_values()
   /// implementation and counts the step in cache_stats() (a step with an
@@ -215,10 +179,8 @@ class DualOperator {
   AtomicCacheStats cache_stats_;
 
  private:
-  /// Last values versions/hashes this operator refreshed against, indexed
-  /// by global subdomain (0 = never seen, so the first step is all-dirty).
-  std::vector<std::uint64_t> seen_version_;
-  std::vector<std::uint64_t> seen_hash_;
+  /// Per-operator change-detection state behind begin_update/end_update.
+  ValueTracker tracker_;
 };
 
 /// Creates the dual operator for the configured approach by resolving

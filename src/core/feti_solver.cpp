@@ -1,17 +1,31 @@
 #include "core/feti_solver.hpp"
 
+#include "precond/precond_registry.hpp"
 #include "util/timer.hpp"
 
 namespace feti::core {
 
 FetiSolver::FetiSolver(const decomp::FetiProblem& problem,
                        FetiSolverOptions options, gpu::ExecutionContext* context)
-    : problem_(problem), options_(options),
+    : problem_(problem), options_(options), context_(context),
       dualop_(make_dual_operator(problem, options.dualop, context)),
       projector_(problem) {}
 
+void FetiSolver::ensure_preconditioner() {
+  const std::string key =
+      precond::normalize_key(options_.pcpg.preconditioner);
+  if (precond_ != nullptr && precond_key_ == key) return;
+  precond_.reset();
+  precond_key_ = key;
+  if (key == "none") return;
+  precond_ = precond::PreconditionerRegistry::instance().create(key, problem_,
+                                                                context_);
+  precond_->prepare();
+}
+
 void FetiSolver::prepare() {
   dualop_->prepare();
+  ensure_preconditioner();
   prepared_ = true;
 }
 
@@ -21,10 +35,12 @@ FetiStepResult FetiSolver::solve_step() {
   FetiStepResult result;
   result.operator_precision = options_.dualop.axes().precision;
 
+  ensure_preconditioner();
   {
     const CacheStats before = dualop_->cache_stats();
     Timer t;
     dualop_->update_values();
+    if (precond_ != nullptr) precond_->update_values();
     result.preprocess_seconds = t.seconds();
     const CacheStats after = dualop_->cache_stats();
     result.refreshed_subdomains =
@@ -42,10 +58,11 @@ FetiStepResult FetiSolver::solve_step() {
 
   const double apply_before = dualop_->timings().total("apply");
   Timer pcpg_timer;
-  Pcpg pcpg(*dualop_, projector_, options_.pcpg);
+  Pcpg pcpg(*dualop_, projector_, options_.pcpg, precond_.get());
   PcpgResult pr = pcpg.solve(d);
   result.pcpg_seconds = pcpg_timer.seconds();
-  result.iterations = pr.iterations;
+  result.pcpg_iterations = pr.iterations;
+  result.preconditioner = precond_key_;
   result.rel_residual = pr.rel_residual;
   result.converged = pr.converged;
   result.apply_seconds = dualop_->timings().total("apply") - apply_before;
@@ -64,11 +81,13 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
   std::vector<FetiStepResult> results(dual_rhs.size());
   if (dual_rhs.empty()) return results;
 
+  ensure_preconditioner();
   double preprocess_seconds = 0.0;
   const CacheStats cache_before = dualop_->cache_stats();
   {
     Timer t;
     dualop_->update_values();
+    if (precond_ != nullptr) precond_->update_values();
     preprocess_seconds = t.seconds();
   }
   const CacheStats cache_after = dualop_->cache_stats();
@@ -93,7 +112,7 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
 
   const double apply_before = dualop_->timings().total("apply");
   Timer pcpg_timer;
-  Pcpg pcpg(*dualop_, projector_, options_.pcpg);
+  Pcpg pcpg(*dualop_, projector_, options_.pcpg, precond_.get());
   std::vector<PcpgResult> prs = pcpg.solve_many_ptrs(rhs_ptrs);
   const double pcpg_seconds = pcpg_timer.seconds();
   const double apply_seconds =
@@ -101,7 +120,8 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
 
   for (std::size_t j = 0; j < prs.size(); ++j) {
     FetiStepResult& result = results[j];
-    result.iterations = prs[j].iterations;
+    result.pcpg_iterations = prs[j].iterations;
+    result.preconditioner = precond_key_;
     result.rel_residual = prs[j].rel_residual;
     result.converged = prs[j].converged;
     result.preprocess_seconds = preprocess_seconds;

@@ -6,8 +6,10 @@
 // primal recovery.
 
 #include <memory>
+#include <string>
 
 #include "core/pcpg.hpp"
+#include "precond/preconditioner.hpp"
 
 namespace feti::core {
 
@@ -18,9 +20,12 @@ struct FetiSolverOptions {
 
 struct FetiStepResult {
   std::vector<double> u;       ///< gathered global solution
-  int iterations = 0;
+  /// PCPG iterations this step took to converge (or hit max_iterations).
+  int pcpg_iterations = 0;
   double rel_residual = 0.0;
   bool converged = false;
+  /// Normalized preconditioner registry key that served this step.
+  std::string preconditioner = "none";
   // Wall-clock phase split of the step. The three phases are the shared
   // measurement path for benches and the service layer's latency report
   // (bench/common.hpp aggregates them into percentile summaries):
@@ -90,16 +95,31 @@ class FetiSolver {
 
   /// Swaps the PCPG options for subsequent steps. The operator and the
   /// projector are untouched, so a pooled long-lived solver can serve
-  /// tenants with different tolerances/preconditioners between checkouts.
+  /// tenants with different tolerances/preconditioners between checkouts —
+  /// a changed preconditioner key rebuilds (and re-prepares) the pooled
+  /// preconditioner lazily on the next step.
   void set_pcpg_options(const PcpgOptions& pcpg) { options_.pcpg = pcpg; }
   [[nodiscard]] const FetiSolverOptions& options() const { return options_; }
   [[nodiscard]] bool prepared() const { return prepared_; }
 
+  /// The pooled preconditioner instance for the current options key (null
+  /// for "none" or before the first prepare()/solve_step()).
+  [[nodiscard]] precond::Preconditioner* preconditioner() {
+    return precond_.get();
+  }
+
  private:
+  /// (Re)creates + prepares the pooled preconditioner when the options key
+  /// changed since the last step; resolves "" to "none".
+  void ensure_preconditioner();
+
   const decomp::FetiProblem& problem_;
   FetiSolverOptions options_;
+  gpu::ExecutionContext* context_;
   std::unique_ptr<DualOperator> dualop_;
   Projector projector_;
+  std::unique_ptr<precond::Preconditioner> precond_;
+  std::string precond_key_ = "none";
   bool prepared_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "la/blas_dense.hpp"
+#include "precond/precond_registry.hpp"
 
 namespace feti::core {
 
@@ -11,8 +12,27 @@ const char* to_string(PreconditionerKind p) {
   return p == PreconditionerKind::None ? "none" : "lumped";
 }
 
-Pcpg::Pcpg(DualOperator& f, const Projector& projector, PcpgOptions options)
-    : f_(f), projector_(projector), options_(options) {}
+Pcpg::Pcpg(DualOperator& f, const Projector& projector, PcpgOptions options,
+           precond::Preconditioner* m)
+    : f_(f), projector_(projector), options_(std::move(options)), m_(m) {
+  const std::string key = precond::normalize_key(options_.preconditioner);
+  if (m_ == nullptr && key != "none") {
+    // Self-managed fallback for callers that only set the key: a CPU
+    // instance, prepared and value-updated here. Lifecycle-aware callers
+    // (FetiSolver, the service layer) pass their pooled instance instead —
+    // the only route for GPU keys, since Pcpg holds no execution context.
+    auto& registry = precond::PreconditionerRegistry::instance();
+    check(!registry.uses_gpu(key),
+          "Pcpg: GPU preconditioner '" + key +
+              "' requires a caller-supplied prepared instance");
+    owned_m_ = registry.create(key, f_.problem());
+    owned_m_->prepare();
+    owned_m_->update_values();
+    m_ = owned_m_.get();
+  }
+}
+
+Pcpg::~Pcpg() = default;
 
 PcpgResult Pcpg::solve(const std::vector<double>& d) {
   const std::vector<double>* dp = &d;
@@ -44,12 +64,8 @@ std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
   std::vector<PcpgResult> results(nsys);
   if (nsys == 0) return results;
 
-  LumpedPreconditioner lumped(f_.problem());
-  const bool use_precond =
-      options_.preconditioner == PreconditionerKind::Lumped;
-
   /// Per-system CG state (lines 1-5 of Algorithm 1 use per-system vectors;
-  /// only the operator applications are shared).
+  /// only the operator and preconditioner applications are shared).
   struct System {
     std::vector<double> lambda, r, w, y, p, q;
     double w0_norm = 0.0;
@@ -60,6 +76,7 @@ std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
   };
   std::vector<System> sys(nsys);
   std::vector<double> t(static_cast<std::size_t>(n));
+  std::vector<double> tin, tout;  ///< preconditioner batch blocks
 
   // λ₀ and F λ₀ depend on the problem only — computed once, shared.
   std::vector<double> lambda0(static_cast<std::size_t>(n));
@@ -77,6 +94,33 @@ std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
     s.active = false;
   };
 
+  // Line 12 (y = P M⁻¹ w) for a set of systems at once: a single batched
+  // M⁻¹ application (the size-1 tail skips the pack/unpack copies). The
+  // unpreconditioned path stays the plain y = w of projected CG.
+  const auto precondition = [&](const std::vector<std::size_t>& js) {
+    if (js.empty()) return;
+    if (m_ == nullptr) {
+      for (std::size_t j : js) sys[j].y = sys[j].w;
+      return;
+    }
+    if (js.size() == 1) {
+      System& s = sys[js.front()];
+      m_->apply(s.w.data(), t.data());
+      projector_.apply(t.data(), s.y.data());
+      return;
+    }
+    tin.resize(static_cast<std::size_t>(n) * js.size());
+    tout.resize(tin.size());
+    for (std::size_t b = 0; b < js.size(); ++b)
+      std::copy_n(sys[js[b]].w.data(), n,
+                  tin.data() + b * static_cast<std::size_t>(n));
+    m_->apply(tin.data(), tout.data(), static_cast<idx>(js.size()));
+    for (std::size_t b = 0; b < js.size(); ++b)
+      projector_.apply(tout.data() + b * static_cast<std::size_t>(n),
+                       sys[js[b]].y.data());
+  };
+
+  std::vector<std::size_t> pending;
   for (std::size_t j = 0; j < nsys; ++j) {
     System& s = sys[j];
     s.lambda = lambda0;
@@ -87,19 +131,18 @@ std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
     s.y.resize(static_cast<std::size_t>(n));
     s.q.resize(static_cast<std::size_t>(n));
     projector_.apply(s.r.data(), s.w.data());
-    if (use_precond) {
-      lumped.apply(s.w.data(), t.data());
-      projector_.apply(t.data(), s.y.data());
-    } else {
-      s.y = s.w;
-    }
-    s.p = s.y;
     s.w0_norm = la::nrm2(n, s.w.data());
     if (s.w0_norm == 0.0) {
       s.rel = 0.0;
       finalize(j, /*converged=*/true);
       continue;
     }
+    pending.push_back(j);
+  }
+  precondition(pending);
+  for (std::size_t j : pending) {
+    System& s = sys[j];
+    s.p = s.y;
     s.wy = la::dot(n, s.w.data(), s.y.data());
   }
 
@@ -140,6 +183,9 @@ std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
                     sys[batch[b]].q.data());
     }
 
+    // Per-system scalar updates up to the residual projection (lines
+    // 8-11)...
+    pending.clear();
     for (std::size_t j : batch) {
       System& s = sys[j];
       const double pq = la::dot(n, s.p.data(), s.q.data());
@@ -155,12 +201,14 @@ std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
       la::axpy(n, delta, s.p.data(), s.lambda.data());      // line 9
       la::axpy(n, -delta, s.q.data(), s.r.data());          // line 10
       projector_.apply(s.r.data(), s.w.data());             // line 11
-      if (use_precond) {                                    // line 12
-        lumped.apply(s.w.data(), t.data());
-        projector_.apply(t.data(), s.y.data());
-      } else {
-        s.y = s.w;
-      }
+      pending.push_back(j);
+    }
+    // ... one batched preconditioner application for the survivors (line
+    // 12) ...
+    precondition(pending);
+    // ... and the per-system search-direction recurrence (lines 13-14).
+    for (std::size_t j : pending) {
+      System& s = sys[j];
       const double wy_next = la::dot(n, s.w.data(), s.y.data());
       const double beta = wy_next / s.wy;                   // line 13
       s.wy = wy_next;

@@ -9,15 +9,31 @@
 // DualOperator::apply(X, Y, nrhs) entry point, so operators with a batch
 // implementation (the explicit CPU ones: one SYMM per subdomain and
 // iteration) serve a whole block of simultaneous right-hand sides at
-// BLAS-3 rates; the others fall back to per-column applies.
+// BLAS-3 rates; the others fall back to per-column applies. The
+// preconditioner applications of a lockstep wave are batched the same way
+// through Preconditioner::apply(X, Y, nrhs).
+//
+// The preconditioner is selected by registry key (see
+// precond/precond_registry.hpp for the `<kind> <scaling>[ gpu]` grammar).
+// Callers that manage the staged lifecycle themselves (FetiSolver, the
+// service layer) pass a prepared precond::Preconditioner*; otherwise Pcpg
+// creates and owns a CPU instance for the options key on construction.
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/dual_operator.hpp"
 #include "core/projector.hpp"
 
+namespace feti::precond {
+class Preconditioner;
+}
+
 namespace feti::core {
 
+/// Pre-registry preconditioner selector, kept so legacy callers compile;
+/// the string key in PcpgOptions is the real interface now.
 enum class PreconditionerKind : std::uint8_t { None, Lumped };
 
 const char* to_string(PreconditionerKind p);
@@ -25,7 +41,15 @@ const char* to_string(PreconditionerKind p);
 struct PcpgOptions {
   double rel_tolerance = 1e-9;
   int max_iterations = 1000;
-  PreconditionerKind preconditioner = PreconditionerKind::None;
+  /// Preconditioner registry key ("none", "lumped", "dirichlet stiffness",
+  /// ...); "" is treated as "none".
+  std::string preconditioner = "none";
+
+  /// Deprecated enum-based selector; assigns the equivalent registry key.
+  [[deprecated("assign the registry key to `preconditioner` instead")]]
+  void set_preconditioner(PreconditionerKind kind) {
+    preconditioner = to_string(kind);
+  }
 };
 
 struct PcpgResult {
@@ -38,7 +62,15 @@ struct PcpgResult {
 
 class Pcpg {
  public:
-  Pcpg(DualOperator& f, const Projector& projector, PcpgOptions options);
+  /// `m` optionally supplies a prepared, value-current preconditioner
+  /// matching options.preconditioner (the solver and service layers pool
+  /// and update theirs across steps). When null and the options key is not
+  /// "none", the constructor creates, prepares, and updates a CPU instance
+  /// from the PreconditionerRegistry — GPU keys require the caller-supplied
+  /// route, since Pcpg holds no execution context.
+  Pcpg(DualOperator& f, const Projector& projector, PcpgOptions options,
+       precond::Preconditioner* m = nullptr);
+  ~Pcpg();
 
   /// Solves F λ = d subject to Gᵀλ = e.
   PcpgResult solve(const std::vector<double>& d);
@@ -71,6 +103,8 @@ class Pcpg {
   DualOperator& f_;
   const Projector& projector_;
   PcpgOptions options_;
+  precond::Preconditioner* m_ = nullptr;  ///< null = no preconditioning
+  std::unique_ptr<precond::Preconditioner> owned_m_;  ///< fallback instance
 };
 
 }  // namespace feti::core

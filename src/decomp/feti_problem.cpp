@@ -9,8 +9,19 @@ FetiProblem build_feti_problem(const mesh::Decomposition& dec,
                                fem::Physics physics,
                                const fem::Material& material,
                                Redundancy redundancy) {
+  return build_feti_problem(
+      dec, physics,
+      std::vector<fem::Material>(dec.subdomains.size(), material), redundancy);
+}
+
+FetiProblem build_feti_problem(const mesh::Decomposition& dec,
+                               fem::Physics physics,
+                               const std::vector<fem::Material>& materials,
+                               Redundancy redundancy) {
   FetiProblem p;
   check(!dec.subdomains.empty(), "build_feti_problem: empty decomposition");
+  check(materials.size() == dec.subdomains.size(),
+        "build_feti_problem: one material per subdomain required");
   p.physics = physics;
   p.dim = dec.subdomains.front().local.dim;
   const int dpn = fem::dofs_per_node(physics, p.dim);
@@ -25,7 +36,7 @@ FetiProblem build_feti_problem(const mesh::Decomposition& dec,
   for (idx s = 0; s < nsub; ++s) {
     FetiSubdomain& fs = p.sub[s];
     const mesh::Mesh& local = dec.subdomains[s].local;
-    fs.sys = fem::assemble(local, physics, material);
+    fs.sys = fem::assemble(local, physics, materials[s]);
     fs.r = build_kernel(local, physics);
     Regularization reg = regularize(fs.sys.k, fs.r.cview(), local, physics);
     fs.k_reg = std::move(reg.k_reg);

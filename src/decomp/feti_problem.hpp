@@ -96,6 +96,15 @@ FetiProblem build_feti_problem(const mesh::Decomposition& dec,
                                const fem::Material& material = {},
                                Redundancy redundancy = Redundancy::Full);
 
+/// Per-subdomain-material variant: materials[s] assembles subdomain s
+/// (size must equal the subdomain count). This is the route to
+/// heterogeneous-coefficient benchmarks — see decomp/heterogeneous.hpp for
+/// the checkerboard generator that exercises the preconditioners.
+FetiProblem build_feti_problem(const mesh::Decomposition& dec,
+                               fem::Physics physics,
+                               const std::vector<fem::Material>& materials,
+                               Redundancy redundancy = Redundancy::Full);
+
 /// Multi-step support: scales all stiffness values by `factor` (pattern
 /// unchanged), emulating material coefficients that change between time
 /// steps; K_reg is updated consistently. The right-hand side is scaled too,

@@ -1,0 +1,64 @@
+#include "decomp/heterogeneous.hpp"
+
+#include <algorithm>
+
+namespace feti::decomp {
+
+namespace {
+
+fem::Material scaled(const fem::Material& base, double jump) {
+  fem::Material m = base;
+  m.conductivity *= jump;
+  m.youngs_modulus *= jump;
+  return m;
+}
+
+}  // namespace
+
+std::vector<fem::Material> checkerboard_materials_2d(
+    idx sx, idx sy, double jump, const fem::Material& base) {
+  check(sx > 0 && sy > 0, "checkerboard_materials_2d: grid must be positive");
+  check(jump > 0.0, "checkerboard_materials_2d: jump must be positive");
+  const fem::Material hard = scaled(base, jump);
+  std::vector<fem::Material> mats;
+  mats.reserve(static_cast<std::size_t>(sx) * static_cast<std::size_t>(sy));
+  // Same loop order as decompose_2d: q (rows) outer, p (columns) inner.
+  for (idx q = 0; q < sy; ++q)
+    for (idx p = 0; p < sx; ++p)
+      mats.push_back((p + q) % 2 == 1 ? hard : base);
+  return mats;
+}
+
+std::vector<fem::Material> checkerboard_materials_3d(
+    idx sx, idx sy, idx sz, double jump, const fem::Material& base) {
+  check(sx > 0 && sy > 0 && sz > 0,
+        "checkerboard_materials_3d: grid must be positive");
+  check(jump > 0.0, "checkerboard_materials_3d: jump must be positive");
+  const fem::Material hard = scaled(base, jump);
+  std::vector<fem::Material> mats;
+  mats.reserve(static_cast<std::size_t>(sx) * static_cast<std::size_t>(sy) *
+               static_cast<std::size_t>(sz));
+  // Same loop order as decompose_3d: r, then q, then p.
+  for (idx r = 0; r < sz; ++r)
+    for (idx q = 0; q < sy; ++q)
+      for (idx p = 0; p < sx; ++p)
+        mats.push_back((p + q + r) % 2 == 1 ? hard : base);
+  return mats;
+}
+
+double coefficient_jump(const std::vector<fem::Material>& mats) {
+  if (mats.empty()) return 1.0;
+  double cmin = mats.front().conductivity, cmax = cmin;
+  double emin = mats.front().youngs_modulus, emax = emin;
+  for (const auto& m : mats) {
+    cmin = std::min(cmin, m.conductivity);
+    cmax = std::max(cmax, m.conductivity);
+    emin = std::min(emin, m.youngs_modulus);
+    emax = std::max(emax, m.youngs_modulus);
+  }
+  const double cjump = cmin > 0.0 ? cmax / cmin : 1.0;
+  const double ejump = emin > 0.0 ? emax / emin : 1.0;
+  return std::max(cjump, ejump);
+}
+
+}  // namespace feti::decomp

@@ -1,0 +1,38 @@
+#pragma once
+
+// Heterogeneous-coefficient material layouts for the structured benchmark
+// meshes. The checkerboard pattern — alternating "hard" and "soft"
+// subdomains with a material-coefficient contrast of several orders of
+// magnitude — is the classical stress test for FETI preconditioning: the
+// unpreconditioned dual operator's condition number grows with the jump,
+// while the scaled Dirichlet preconditioner keeps iteration counts nearly
+// contrast-independent. bench_precond and the preconditioner tests build
+// their heterogeneous problems from these layouts via the per-subdomain
+// build_feti_problem overload.
+
+#include <vector>
+
+#include "fem/assembler.hpp"
+#include "util/common.hpp"
+
+namespace feti::decomp {
+
+/// One material per subdomain of a decompose_2d(sx, sy) grid: subdomain
+/// (p, q) (s = q*sx + p, matching the decomposition's subdomain order) gets
+/// `base` scaled by `jump` when (p + q) is odd. Both the conductivity and
+/// the Young's modulus are scaled, so the layout serves either physics.
+/// `jump` must be positive; 1.0 degenerates to the uniform problem.
+[[nodiscard]] std::vector<fem::Material> checkerboard_materials_2d(
+    idx sx, idx sy, double jump, const fem::Material& base = {});
+
+/// 3D variant for a decompose_3d(sx, sy, sz) grid: subdomain (p, q, r)
+/// (s = (r*sy + q)*sx + p) gets the scaled material when (p + q + r) is odd.
+[[nodiscard]] std::vector<fem::Material> checkerboard_materials_3d(
+    idx sx, idx sy, idx sz, double jump, const fem::Material& base = {});
+
+/// The coefficient contrast max/min over a material set (for the autotuner's
+/// WorkloadHint::coefficient_jump): the larger of the conductivity ratio and
+/// the Young's-modulus ratio. Returns 1.0 for an empty set.
+[[nodiscard]] double coefficient_jump(const std::vector<fem::Material>& mats);
+
+}  // namespace feti::decomp

@@ -28,12 +28,17 @@
 namespace feti::gpu::kernels {
 
 /// One subdomain's slice of a scatter/gather: `map[i]` is the cluster index
-/// of local lambda i.
+/// of local lambda i. An optional per-row weight vector turns the pair of
+/// kernels into the scaled restriction/prolongation of the preconditioner
+/// layer (local = D·scatter(x) on the way in, cluster += D·local on the
+/// way out); nullptr means unweighted, and existing braced initializers
+/// stay valid because the member trails.
 template <typename T>
 struct DualMapT {
   const idx* map = nullptr;  ///< device array, length n
   idx n = 0;
   T* local = nullptr;        ///< device subdomain vector, length n
+  const double* weight = nullptr;  ///< optional device array, length n
 };
 
 using DualMap = DualMapT<double>;
@@ -48,6 +53,7 @@ struct DualMapBlockT {
   idx n = 0;
   T* local = nullptr;        ///< device panel, n × nrhs, leading dim ld
   idx ld = 0;
+  const double* weight = nullptr;  ///< optional device array, length n
 };
 
 using DualMapBlock = DualMapBlockT<double>;
@@ -69,16 +75,19 @@ void scatter_batch(Stream& s, const double* cluster, idx cluster_ld,
         // streams over the right-hand sides with one map lookup per row.
         for (idx i = 0; i < j.n; ++i) {
           const double* src = cluster + j.map[i];
+          const double w = j.weight != nullptr ? j.weight[i] : 1.0;
           T* row = j.local + static_cast<widx>(i) * j.ld;
           for (idx r = 0; r < nrhs; ++r)
-            row[r] = static_cast<T>(src[static_cast<widx>(r) * cluster_ld]);
+            row[r] =
+                static_cast<T>(w * src[static_cast<widx>(r) * cluster_ld]);
         }
       } else {
         for (idx r = 0; r < nrhs; ++r) {
           const double* src = cluster + static_cast<widx>(r) * cluster_ld;
           T* col = j.local + static_cast<widx>(r) * j.ld;
           for (idx i = 0; i < j.n; ++i)
-            col[i] = static_cast<T>(src[j.map[i]]);
+            col[i] = static_cast<T>(
+                (j.weight != nullptr ? j.weight[i] : 1.0) * src[j.map[i]]);
         }
       }
     }
@@ -105,17 +114,19 @@ void gather_batch(Stream& s, double* cluster, idx cluster_size,
       if (local_layout == la::Layout::RowMajor) {
         for (idx i = 0; i < j.n; ++i) {
           double* dst = cluster + j.map[i];
+          const double w = j.weight != nullptr ? j.weight[i] : 1.0;
           const T* row = j.local + static_cast<widx>(i) * j.ld;
           for (idx r = 0; r < nrhs; ++r)
             dst[static_cast<widx>(r) * cluster_ld] +=
-                static_cast<double>(row[r]);
+                w * static_cast<double>(row[r]);
         }
       } else {
         for (idx r = 0; r < nrhs; ++r) {
           double* dst = cluster + static_cast<widx>(r) * cluster_ld;
           const T* col = j.local + static_cast<widx>(r) * j.ld;
           for (idx i = 0; i < j.n; ++i)
-            dst[j.map[i]] += static_cast<double>(col[i]);
+            dst[j.map[i]] += (j.weight != nullptr ? j.weight[i] : 1.0) *
+                             static_cast<double>(col[i]);
         }
       }
     }
@@ -128,7 +139,8 @@ void scatter_batch(Stream& s, const double* cluster,
                    std::vector<DualMapT<T>> jobs) {
   std::vector<DualMapBlockT<T>> blocks;
   blocks.reserve(jobs.size());
-  for (const auto& j : jobs) blocks.push_back({j.map, j.n, j.local, 1});
+  for (const auto& j : jobs)
+    blocks.push_back({j.map, j.n, j.local, 1, j.weight});
   scatter_batch(s, cluster, /*cluster_ld=*/0, /*nrhs=*/1,
                 la::Layout::RowMajor, std::move(blocks));
 }
@@ -140,7 +152,8 @@ void gather_batch(Stream& s, double* cluster, idx cluster_size,
                   std::vector<DualMapT<T>> jobs) {
   std::vector<DualMapBlockT<T>> blocks;
   blocks.reserve(jobs.size());
-  for (const auto& j : jobs) blocks.push_back({j.map, j.n, j.local, 1});
+  for (const auto& j : jobs)
+    blocks.push_back({j.map, j.n, j.local, 1, j.weight});
   gather_batch(s, cluster, cluster_size, /*cluster_ld=*/cluster_size,
                /*nrhs=*/1, la::Layout::RowMajor, std::move(blocks));
 }

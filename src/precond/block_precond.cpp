@@ -1,0 +1,744 @@
+// The built-in block preconditioners: per-subdomain dual blocks
+// M̃ᵢ (lumped / superlumped / dirichlet) assembled on the CPU, applied as
+// M⁻¹ x = Σᵢ scatterᵀ D M̃ᵢ D scatter x either host-side (one SYMV/SYMM per
+// subdomain) or device-side (batched weighted scatter/gather kernels plus
+// one vcuBLAS SYMV/SYMM per subdomain, mirroring the hybrid dual-operator
+// apply path). Registration of all key-grammar points lives at the bottom.
+
+#include <omp.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpu/blas.hpp"
+#include "gpu/context.hpp"
+#include "gpu/data.hpp"
+#include "gpu/kernels.hpp"
+#include "la/blas_dense.hpp"
+#include "la/blas_sparse.hpp"
+#include "precond/precond_registry.hpp"
+#include "precond/preconditioner.hpp"
+#include "sparse/supernodal_cholesky.hpp"
+#include "util/omp_guard.hpp"
+
+namespace feti::precond {
+
+namespace {
+
+void zero_view(la::DenseView v) {
+  for (idx c = 0; c < v.cols; ++c)
+    for (idx r = 0; r < v.rows; ++r) v.at(r, c) = 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Identity ("none")
+// ---------------------------------------------------------------------------
+
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  using Preconditioner::Preconditioner;
+
+  void prepare() override {}
+  void update_values() override {
+    // Nothing cached, but the lifecycle counters still tick so callers see
+    // uniform cache_stats() across every registered key.
+    end_update(begin_update());
+  }
+  [[nodiscard]] const char* key() const override { return "none"; }
+
+ protected:
+  void apply_one(const double* x, double* y) override {
+    std::copy_n(x, static_cast<std::size_t>(p_.num_lambdas), y);
+  }
+  void apply_many(const double* x, double* y, idx nrhs) override {
+    std::copy_n(x,
+                static_cast<std::size_t>(p_.num_lambdas) *
+                    static_cast<std::size_t>(nrhs),
+                y);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Block assemblers (shared by the CPU and GPU appliers)
+// ---------------------------------------------------------------------------
+
+/// Strategy producing the per-subdomain dual block M̃ᵢ (m × m fp64, full
+/// symmetric). prepare() analyzes the fixed pattern once; assemble() must
+/// fully overwrite `out` from the problem's *current* K values and must be
+/// safe to call concurrently for distinct subdomains.
+class BlockAssembler {
+ public:
+  virtual ~BlockAssembler() = default;
+  virtual void prepare(const decomp::FetiProblem& p) = 0;
+  virtual void assemble(const decomp::FetiProblem& p, idx s,
+                        la::DenseView out) = 0;
+};
+
+/// M̃ᵢ = B̃ᵢ Kᵢ B̃ᵢᵀ with the original (singular) subdomain stiffness.
+class LumpedAssembler final : public BlockAssembler {
+ public:
+  void prepare(const decomp::FetiProblem& p) override {
+    bt_.resize(p.sub.size());
+    for (std::size_t s = 0; s < p.sub.size(); ++s)
+      bt_[s] = p.sub[s].b.transposed();
+  }
+
+  void assemble(const decomp::FetiProblem& p, idx s,
+                la::DenseView out) override {
+    zero_view(out);
+    const auto& fs = p.sub[static_cast<std::size_t>(s)];
+    const la::Csr& b = fs.b;
+    const la::Csr& k = fs.sys.k;
+    const la::Csr& bt = bt_[static_cast<std::size_t>(s)];
+    for (idx r = 0; r < b.nrows(); ++r)
+      for (idx e1 = b.row_begin(r); e1 < b.row_end(r); ++e1) {
+        const idx j = b.col(e1);
+        const double v1 = b.val(e1);
+        for (idx e2 = k.row_begin(j); e2 < k.row_end(j); ++e2) {
+          const double kv = v1 * k.val(e2);
+          const idx l = k.col(e2);
+          for (idx e3 = bt.row_begin(l); e3 < bt.row_end(l); ++e3)
+            out.at(r, bt.col(e3)) += kv * bt.val(e3);
+        }
+      }
+  }
+
+ private:
+  std::vector<la::Csr> bt_;  ///< B̃ᵢᵀ, pattern-fixed
+};
+
+/// The diagonal-of-K approximation: M̃ᵢ(r,c) = Σⱼ B(r,j) Kⱼⱼ B(c,j).
+class SuperlumpedAssembler final : public BlockAssembler {
+ public:
+  void prepare(const decomp::FetiProblem& p) override {
+    bt_.resize(p.sub.size());
+    for (std::size_t s = 0; s < p.sub.size(); ++s)
+      bt_[s] = p.sub[s].b.transposed();
+  }
+
+  void assemble(const decomp::FetiProblem& p, idx s,
+                la::DenseView out) override {
+    zero_view(out);
+    const auto& fs = p.sub[static_cast<std::size_t>(s)];
+    const la::Csr& b = fs.b;
+    const la::Csr& k = fs.sys.k;
+    const la::Csr& bt = bt_[static_cast<std::size_t>(s)];
+    for (idx r = 0; r < b.nrows(); ++r)
+      for (idx e1 = b.row_begin(r); e1 < b.row_end(r); ++e1) {
+        const idx j = b.col(e1);
+        const double kd = b.val(e1) * k.at(j, j);
+        for (idx e3 = bt.row_begin(j); e3 < bt.row_end(j); ++e3)
+          out.at(r, bt.col(e3)) += kd * bt.val(e3);
+      }
+  }
+
+ private:
+  std::vector<la::Csr> bt_;
+};
+
+/// M̃ᵢ = B_b Sᵢ B_bᵀ with Sᵢ = K_bb − K_bi K_ii⁻¹ K_ib the Schur complement
+/// of the subdomain stiffness onto the boundary DOFs (the column support of
+/// B̃ᵢ — in Total FETI that includes the Dirichlet-constrained DOFs, which
+/// is what keeps K_ii SPD despite K being singular). The K_bi K_ii⁻¹ K_ib
+/// term reuses the supernodal augmented-Schur path of the explicit dual
+/// operators; patterns and the symbolic analysis are fixed at prepare(),
+/// assemble() refreshes values and runs the numeric factorization.
+class DirichletAssembler final : public BlockAssembler {
+ public:
+  void prepare(const decomp::FetiProblem& p) override {
+    subs_.resize(p.sub.size());
+    for (std::size_t s = 0; s < p.sub.size(); ++s) prepare_sub(p, s);
+  }
+
+  void assemble(const decomp::FetiProblem& p, idx s,
+                la::DenseView out) override {
+    Sub& sub = subs_[static_cast<std::size_t>(s)];
+    const auto& fs = p.sub[static_cast<std::size_t>(s)];
+    const idx m = fs.num_local_lambdas();
+    const idx nb = static_cast<idx>(sub.boundary.size());
+    if (m == 0 || nb == 0) {
+      zero_view(out);
+      return;
+    }
+    refresh(sub.kbb, sub.kbb_map, fs.sys.k);
+    la::DenseMatrix sdense(nb, nb, la::Layout::ColMajor);
+    sub.kbb.to_dense(sdense.view());
+    if (sub.solver) {
+      refresh(sub.kii, sub.kii_map, fs.sys.k);
+      refresh(sub.kbi, sub.kbi_map, fs.sys.k);
+      la::DenseMatrix schur(nb, nb, la::Layout::ColMajor);
+      // The augmented partial factorization returns +K_bi K_ii⁻¹ K_ib in
+      // the requested triangle.
+      sub.solver->factorize_schur(sub.kii, sub.kbi, schur.view(),
+                                  la::Uplo::Upper);
+      la::symmetrize_from(schur.view(), la::Uplo::Upper);
+      for (std::size_t i = 0; i < sdense.size(); ++i)
+        sdense.data()[i] -= schur.data()[i];
+    }
+    // M̃ = B_b S B_bᵀ: T = B_b S (row-major m × nb), then reuse T's storage
+    // as the col-major view of Tᵀ = S B_bᵀ for the second sparse multiply.
+    la::DenseMatrix t(m, nb, la::Layout::RowMajor);
+    la::spmm(1.0, sub.b_b, la::Trans::No, sdense.cview(), 0.0, t.view());
+    const la::ConstDenseView t_trans{t.data(), nb, m, t.ld(),
+                                     la::Layout::ColMajor};
+    la::spmm(1.0, sub.b_b, la::Trans::No, t_trans, 0.0, out);
+  }
+
+ private:
+  struct Sub {
+    std::vector<idx> boundary;  ///< ascending local DOFs in supp(B̃ᵢᵀ)
+    la::Csr b_b;                ///< B̃ᵢ restricted to boundary columns
+    la::Csr kii, kbi, kbb;      ///< K blocks (patterns fixed)
+    std::vector<idx> kii_map, kbi_map, kbb_map;  ///< entry -> K value index
+    std::unique_ptr<sparse::SupernodalCholesky> solver;  ///< null if ni == 0
+  };
+
+  /// Extracts the (rmap, cmap)-selected block of `k` plus the map from the
+  /// block's value slots back into k.vals() (for per-step refreshes).
+  /// rmap/cmap hold the local index per selected global DOF, -1 otherwise;
+  /// monotone selections keep the column order sorted.
+  static void extract_block(const la::Csr& k, const std::vector<idx>& rmap,
+                            const std::vector<idx>& cmap, idx nr, idx nc,
+                            la::Csr& out, std::vector<idx>& vmap) {
+    std::vector<idx> rowptr(static_cast<std::size_t>(nr) + 1, 0);
+    std::vector<idx> colidx;
+    std::vector<double> vals;
+    vmap.clear();
+    for (idx r = 0; r < k.nrows(); ++r) {
+      if (rmap[static_cast<std::size_t>(r)] < 0) continue;
+      const idx lr = rmap[static_cast<std::size_t>(r)];
+      for (idx e = k.row_begin(r); e < k.row_end(r); ++e) {
+        const idx lc = cmap[static_cast<std::size_t>(k.col(e))];
+        if (lc < 0) continue;
+        ++rowptr[static_cast<std::size_t>(lr) + 1];
+        colidx.push_back(lc);
+        vals.push_back(k.val(e));
+        vmap.push_back(e);
+      }
+    }
+    for (idx r = 0; r < nr; ++r)
+      rowptr[static_cast<std::size_t>(r) + 1] +=
+          rowptr[static_cast<std::size_t>(r)];
+    out = la::Csr(nr, nc, std::move(rowptr), std::move(colidx),
+                  std::move(vals));
+  }
+
+  static void refresh(la::Csr& block, const std::vector<idx>& vmap,
+                      const la::Csr& k) {
+    for (std::size_t t = 0; t < vmap.size(); ++t)
+      block.vals()[t] = k.val(vmap[t]);
+  }
+
+  void prepare_sub(const decomp::FetiProblem& p, std::size_t s) {
+    Sub& sub = subs_[s];
+    const auto& fs = p.sub[s];
+    const la::Csr& b = fs.b;
+    const la::Csr& k = fs.sys.k;
+    const idx n = fs.ndof();
+
+    std::vector<char> on_boundary(static_cast<std::size_t>(n), 0);
+    for (idx e = 0; e < b.nnz(); ++e)
+      on_boundary[static_cast<std::size_t>(b.colidx()[e])] = 1;
+    std::vector<idx> bmap(static_cast<std::size_t>(n), -1);
+    std::vector<idx> imap(static_cast<std::size_t>(n), -1);
+    idx nb = 0, ni = 0;
+    for (idx d = 0; d < n; ++d) {
+      if (on_boundary[static_cast<std::size_t>(d)]) {
+        sub.boundary.push_back(d);
+        bmap[static_cast<std::size_t>(d)] = nb++;
+      } else {
+        imap[static_cast<std::size_t>(d)] = ni++;
+      }
+    }
+
+    // B̃ᵢ with its columns renumbered to boundary-local indices (ascending
+    // remap, so the sorted column invariant survives).
+    std::vector<idx> b_colidx(b.colidx());
+    for (idx& c : b_colidx) c = bmap[static_cast<std::size_t>(c)];
+    sub.b_b = la::Csr(b.nrows(), nb, b.rowptr(), std::move(b_colidx),
+                      b.vals());
+
+    extract_block(k, bmap, bmap, nb, nb, sub.kbb, sub.kbb_map);
+    if (ni > 0 && nb > 0) {
+      extract_block(k, imap, imap, ni, ni, sub.kii, sub.kii_map);
+      extract_block(k, bmap, imap, nb, ni, sub.kbi, sub.kbi_map);
+      sub.solver = std::make_unique<sparse::SupernodalCholesky>();
+      sub.solver->analyze_schur(sub.kii, sub.kbi);
+    }
+  }
+
+  std::vector<Sub> subs_;
+};
+
+std::unique_ptr<BlockAssembler> make_assembler(Kind kind) {
+  switch (kind) {
+    case Kind::Lumped: return std::make_unique<LumpedAssembler>();
+    case Kind::Superlumped: return std::make_unique<SuperlumpedAssembler>();
+    case Kind::Dirichlet: return std::make_unique<DirichletAssembler>();
+    case Kind::None: break;
+  }
+  check(false, "make_assembler: kind has no block assembler");
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// CPU applier
+// ---------------------------------------------------------------------------
+
+class CpuBlockPreconditioner final : public Preconditioner {
+ public:
+  CpuBlockPreconditioner(const decomp::FetiProblem& p, std::string key,
+                         Kind kind, Scaling scaling)
+      : Preconditioner(p), key_(std::move(key)),
+        assembler_(make_assembler(kind)), scaling_(scaling) {}
+
+  void prepare() override {
+    ScopedTimer t(timings_, "prepare");
+    assembler_->prepare(p_);
+    const std::size_t nsub = p_.sub.size();
+    blocks_.resize(nsub);
+    lam_.resize(nsub);
+    q_.resize(nsub);
+    xp_.resize(nsub);
+    qp_.resize(nsub);
+    for (std::size_t s = 0; s < nsub; ++s) {
+      const idx m = p_.sub[s].num_local_lambdas();
+      blocks_[s] = la::DenseMatrix(m, m, la::Layout::ColMajor);
+      lam_[s].resize(static_cast<std::size_t>(m));
+      q_[s].resize(static_cast<std::size_t>(m));
+    }
+    // Multiplicity weights are pattern-only; stiffness weights track K and
+    // are (re)computed inside update_values().
+    if (scaling_ == Scaling::Multiplicity)
+      weights_ = compute_scaling_weights(p_, scaling_);
+  }
+
+  void update_values() override {
+    ScopedTimer t(timings_, "update_values");
+    const UpdatePlan plan = begin_update();
+    if (plan.skip()) return;
+    const idx nd = static_cast<idx>(plan.dirty.size());
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx k = 0; k < nd; ++k) {
+      guard.run([&, k] {
+        const idx s = plan.dirty[static_cast<std::size_t>(k)];
+        assembler_->assemble(p_, s,
+                             blocks_[static_cast<std::size_t>(s)].view());
+      });
+    }
+    guard.rethrow();
+    // Stiffness weights mix every sharing subdomain's K diagonal, so any
+    // refresh invalidates all of them; they are never baked into the
+    // cached blocks above.
+    if (scaling_ == Scaling::Stiffness)
+      weights_ = compute_scaling_weights(p_, scaling_);
+    end_update(plan);
+  }
+
+  [[nodiscard]] const char* key() const override { return key_.c_str(); }
+
+ protected:
+  void apply_one(const double* x, double* y) override {
+    const idx nsub = p_.num_subdomains();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[static_cast<std::size_t>(s)];
+        const idx m = fs.num_local_lambdas();
+        if (m == 0) return;
+        const double* w = weight_of(s);
+        double* lam = lam_[static_cast<std::size_t>(s)].data();
+        for (idx i = 0; i < m; ++i) {
+          const double wi = w != nullptr ? w[i] : 1.0;
+          lam[i] = wi * x[fs.lm_l2c[static_cast<std::size_t>(i)]];
+        }
+        la::symv(la::Uplo::Upper, 1.0,
+                 blocks_[static_cast<std::size_t>(s)].cview(), lam, 0.0,
+                 q_[static_cast<std::size_t>(s)].data());
+      });
+    }
+    guard.rethrow();
+    std::fill_n(y, static_cast<std::size_t>(p_.num_lambdas), 0.0);
+    for (idx s = 0; s < nsub; ++s) {
+      const auto& fs = p_.sub[static_cast<std::size_t>(s)];
+      const double* w = weight_of(s);
+      const double* q = q_[static_cast<std::size_t>(s)].data();
+      for (idx i = 0; i < fs.num_local_lambdas(); ++i) {
+        const double wi = w != nullptr ? w[i] : 1.0;
+        y[fs.lm_l2c[static_cast<std::size_t>(i)]] += wi * q[i];
+      }
+    }
+  }
+
+  void apply_many(const double* x, double* y, idx nrhs) override {
+    const idx n = p_.num_lambdas;
+    const idx nsub = p_.num_subdomains();
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx s = 0; s < nsub; ++s) {
+      guard.run([&, s] {
+        const auto& fs = p_.sub[static_cast<std::size_t>(s)];
+        const idx m = fs.num_local_lambdas();
+        if (m == 0) return;
+        la::DenseMatrix& xs = xp_[static_cast<std::size_t>(s)];
+        la::DenseMatrix& qs = qp_[static_cast<std::size_t>(s)];
+        if (xs.cols() < nrhs) {
+          xs = la::DenseMatrix(m, nrhs, la::Layout::ColMajor);
+          qs = la::DenseMatrix(m, nrhs, la::Layout::ColMajor);
+        }
+        const double* w = weight_of(s);
+        for (idx j = 0; j < nrhs; ++j) {
+          const double* col = x + static_cast<widx>(j) * n;
+          for (idx i = 0; i < m; ++i) {
+            const double wi = w != nullptr ? w[i] : 1.0;
+            xs.at(i, j) = wi * col[fs.lm_l2c[static_cast<std::size_t>(i)]];
+          }
+        }
+        const la::ConstDenseView xv{xs.data(), m, nrhs, xs.ld(),
+                                    la::Layout::ColMajor};
+        const la::DenseView qv{qs.data(), m, nrhs, qs.ld(),
+                               la::Layout::ColMajor};
+        la::symm(la::Uplo::Upper, 1.0,
+                 blocks_[static_cast<std::size_t>(s)].cview(), xv, 0.0, qv);
+      });
+    }
+    guard.rethrow();
+    std::fill_n(y, static_cast<std::size_t>(n) * nrhs, 0.0);
+    for (idx s = 0; s < nsub; ++s) {
+      const auto& fs = p_.sub[static_cast<std::size_t>(s)];
+      const idx m = fs.num_local_lambdas();
+      if (m == 0) continue;
+      const double* w = weight_of(s);
+      const la::DenseMatrix& qs = qp_[static_cast<std::size_t>(s)];
+      for (idx j = 0; j < nrhs; ++j) {
+        double* col = y + static_cast<widx>(j) * n;
+        for (idx i = 0; i < m; ++i) {
+          const double wi = w != nullptr ? w[i] : 1.0;
+          col[fs.lm_l2c[static_cast<std::size_t>(i)]] += wi * qs.at(i, j);
+        }
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] const double* weight_of(idx s) const {
+    return weights_.empty() ? nullptr
+                            : weights_[static_cast<std::size_t>(s)].data();
+  }
+
+  std::string key_;
+  std::unique_ptr<BlockAssembler> assembler_;
+  Scaling scaling_;
+  std::vector<la::DenseMatrix> blocks_;
+  std::vector<std::vector<double>> weights_;
+  std::vector<std::vector<double>> lam_, q_;  ///< single-RHS locals
+  std::vector<la::DenseMatrix> xp_, qp_;      ///< grow-only batch panels
+};
+
+// ---------------------------------------------------------------------------
+// GPU applier
+// ---------------------------------------------------------------------------
+
+/// Assembles on the CPU (same assemblers as above), keeps the M̃ᵢ blocks,
+/// the multiplier maps, and the scaling diagonals resident on the shard's
+/// device, and serves M⁻¹ entirely device-side: weighted batched scatter →
+/// one SYMV/SYMM per subdomain across the context's worker streams →
+/// weighted batched gather, one H2D and one D2H per apply.
+class GpuBlockPreconditioner final : public Preconditioner {
+ public:
+  GpuBlockPreconditioner(const decomp::FetiProblem& p, std::string key,
+                         Kind kind, Scaling scaling,
+                         gpu::ExecutionContext& ctx)
+      : Preconditioner(p), key_(std::move(key)),
+        assembler_(make_assembler(kind)), scaling_(scaling), ctx_(ctx),
+        dev_(ctx.device()) {}
+
+  ~GpuBlockPreconditioner() override {
+    dev_.synchronize();
+    for (auto& d : m_dev_) gpu::free_dense(dev_, d);
+    for (idx* p : map_dev_) free_ptr(p);
+    for (double* p : weight_dev_) free_ptr(p);
+    for (double* p : lam_dev_) free_ptr(p);
+    for (double* p : q_dev_) free_ptr(p);
+    for (double* p : lamb_dev_) free_ptr(p);
+    for (double* p : qb_dev_) free_ptr(p);
+    free_ptr(d_x_);
+    free_ptr(d_y_);
+    free_ptr(d_xb_);
+    free_ptr(d_yb_);
+  }
+
+  void prepare() override {
+    ScopedTimer t(timings_, "prepare");
+    main_stream_ = ctx_.main_stream();
+    streams_ = ctx_.stream_span(kStreams);
+    assembler_->prepare(p_);
+    const std::size_t nsub = p_.sub.size();
+    m_host_.resize(nsub);
+    m_dev_.resize(nsub);
+    map_dev_.resize(nsub, nullptr);
+    weight_dev_.resize(nsub, nullptr);
+    lam_dev_.resize(nsub, nullptr);
+    q_dev_.resize(nsub, nullptr);
+    if (scaling_ == Scaling::Multiplicity)
+      weights_ = compute_scaling_weights(p_, scaling_);
+    for (std::size_t s = 0; s < nsub; ++s) {
+      const auto& fs = p_.sub[s];
+      const idx m = fs.num_local_lambdas();
+      if (m == 0) continue;
+      m_host_[s] = la::DenseMatrix(m, m, la::Layout::ColMajor);
+      m_dev_[s] = gpu::alloc_dense(dev_, m, m, la::Layout::ColMajor);
+      map_dev_[s] = gpu::upload_array(dev_, main_stream_, fs.lm_l2c);
+      lam_dev_[s] = dev_.alloc_n<double>(static_cast<std::size_t>(m));
+      q_dev_[s] = dev_.alloc_n<double>(static_cast<std::size_t>(m));
+      if (scaling_ != Scaling::None) {
+        weight_dev_[s] = dev_.alloc_n<double>(static_cast<std::size_t>(m));
+        if (scaling_ == Scaling::Multiplicity)
+          main_stream_.memcpy_h2d(weight_dev_[s], weights_[s].data(),
+                                  static_cast<std::size_t>(m) *
+                                      sizeof(double));
+      }
+    }
+    const std::size_t n =
+        std::max<std::size_t>(1, static_cast<std::size_t>(p_.num_lambdas));
+    d_x_ = dev_.alloc_n<double>(n);
+    d_y_ = dev_.alloc_n<double>(n);
+    dev_.synchronize();
+    ctx_.ensure_workspace();
+  }
+
+  void update_values() override {
+    ScopedTimer t(timings_, "update_values");
+    const UpdatePlan plan = begin_update();
+    if (plan.skip()) return;
+    const idx nd = static_cast<idx>(plan.dirty.size());
+    OmpExceptionGuard guard;
+#pragma omp parallel for schedule(dynamic)
+    for (idx k = 0; k < nd; ++k) {
+      guard.run([&, k] {
+        const idx s = plan.dirty[static_cast<std::size_t>(k)];
+        if (p_.sub[static_cast<std::size_t>(s)].num_local_lambdas() == 0)
+          return;
+        la::DenseMatrix& host = m_host_[static_cast<std::size_t>(s)];
+        assembler_->assemble(p_, s, host.view());
+        gpu::Stream st =
+            streams_[static_cast<std::size_t>(k) % streams_.size()];
+        st.memcpy_h2d(m_dev_[static_cast<std::size_t>(s)].data, host.data(),
+                      host.size() * sizeof(double));
+      });
+    }
+    guard.rethrow();
+    if (scaling_ == Scaling::Stiffness) {
+      // Neighbor K values feed these diagonals, so every weight refreshes
+      // whenever any subdomain does.
+      weights_ = compute_scaling_weights(p_, scaling_);
+      for (std::size_t s = 0; s < p_.sub.size(); ++s)
+        if (weight_dev_[s] != nullptr)
+          main_stream_.memcpy_h2d(weight_dev_[s], weights_[s].data(),
+                                  weights_[s].size() * sizeof(double));
+    }
+    dev_.synchronize();
+    end_update(plan);
+  }
+
+  [[nodiscard]] const char* key() const override { return key_.c_str(); }
+
+ protected:
+  void apply_one(const double* x, double* y) override {
+    const idx n = p_.num_lambdas;
+    main_stream_.memcpy_h2d(d_x_, x,
+                            static_cast<std::size_t>(n) * sizeof(double));
+    gpu::kernels::scatter_batch(main_stream_, d_x_, make_jobs(lam_dev_));
+    const gpu::Event scattered = main_stream_.record();
+    for (auto& st : streams_) st.wait(scattered);
+    const std::size_t ns = streams_.size();
+    for (std::size_t s = 0; s < p_.sub.size(); ++s) {
+      if (lam_dev_[s] == nullptr) continue;
+      gpu::Stream& st = streams_[s % ns];
+      gpu::blas::symv(st, la::Uplo::Upper, 1.0, m_dev_[s], lam_dev_[s], 0.0,
+                      q_dev_[s]);
+    }
+    for (auto& st : streams_) main_stream_.wait(st.record());
+    gpu::kernels::gather_batch(main_stream_, d_y_, n, make_jobs(q_dev_));
+    main_stream_.memcpy_d2h(y, d_y_,
+                            static_cast<std::size_t>(n) * sizeof(double));
+    main_stream_.synchronize();
+  }
+
+  void apply_many(const double* x, double* y, idx nrhs) override {
+    const idx n = p_.num_lambdas;
+    ensure_batch(nrhs);
+    main_stream_.memcpy_h2d(
+        d_xb_, x,
+        static_cast<std::size_t>(n) * nrhs * sizeof(double));
+    gpu::kernels::scatter_batch(main_stream_, d_xb_, n, nrhs,
+                                la::Layout::RowMajor,
+                                make_block_jobs(lamb_dev_));
+    const gpu::Event scattered = main_stream_.record();
+    for (auto& st : streams_) st.wait(scattered);
+    const std::size_t ns = streams_.size();
+    for (std::size_t s = 0; s < p_.sub.size(); ++s) {
+      if (lamb_dev_[s] == nullptr) continue;
+      const idx m = p_.sub[s].num_local_lambdas();
+      gpu::Stream& st = streams_[s % ns];
+      const gpu::DeviceDense lam{lamb_dev_[s], m, nrhs, batch_cols_,
+                                 la::Layout::RowMajor};
+      const gpu::DeviceDense q{qb_dev_[s], m, nrhs, batch_cols_,
+                               la::Layout::RowMajor};
+      gpu::blas::symm(st, la::Uplo::Upper, 1.0, m_dev_[s], lam, 0.0, q);
+    }
+    for (auto& st : streams_) main_stream_.wait(st.record());
+    gpu::kernels::gather_batch(main_stream_, d_yb_, n, n, nrhs,
+                               la::Layout::RowMajor,
+                               make_block_jobs(qb_dev_));
+    main_stream_.memcpy_d2h(
+        y, d_yb_, static_cast<std::size_t>(n) * nrhs * sizeof(double));
+    main_stream_.synchronize();
+  }
+
+ private:
+  static constexpr int kStreams = 4;
+
+  void free_ptr(void* p) {
+    if (p != nullptr) dev_.free(p);
+  }
+
+  [[nodiscard]] std::vector<gpu::kernels::DualMap> make_jobs(
+      const std::vector<double*>& locals) const {
+    std::vector<gpu::kernels::DualMap> jobs;
+    jobs.reserve(locals.size());
+    for (std::size_t s = 0; s < locals.size(); ++s) {
+      if (locals[s] == nullptr) continue;
+      jobs.push_back({map_dev_[s], p_.sub[s].num_local_lambdas(), locals[s],
+                      weight_dev_[s]});
+    }
+    return jobs;
+  }
+
+  [[nodiscard]] std::vector<gpu::kernels::DualMapBlock> make_block_jobs(
+      const std::vector<double*>& panels) const {
+    std::vector<gpu::kernels::DualMapBlock> jobs;
+    jobs.reserve(panels.size());
+    for (std::size_t s = 0; s < panels.size(); ++s) {
+      if (panels[s] == nullptr) continue;
+      jobs.push_back({map_dev_[s], p_.sub[s].num_local_lambdas(), panels[s],
+                      batch_cols_, weight_dev_[s]});
+    }
+    return jobs;
+  }
+
+  /// Grow-only batch storage: per-subdomain row-major panels (leading
+  /// dimension = the allocated capacity) plus the cluster-wide blocks.
+  void ensure_batch(idx nrhs) {
+    if (nrhs <= batch_cols_) return;
+    dev_.synchronize();
+    const std::size_t nsub = p_.sub.size();
+    lamb_dev_.resize(nsub, nullptr);
+    qb_dev_.resize(nsub, nullptr);
+    for (std::size_t s = 0; s < nsub; ++s) {
+      const idx m = p_.sub[s].num_local_lambdas();
+      if (m == 0) continue;
+      free_ptr(lamb_dev_[s]);
+      free_ptr(qb_dev_[s]);
+      lamb_dev_[s] = dev_.alloc_n<double>(static_cast<std::size_t>(m) * nrhs);
+      qb_dev_[s] = dev_.alloc_n<double>(static_cast<std::size_t>(m) * nrhs);
+    }
+    free_ptr(d_xb_);
+    free_ptr(d_yb_);
+    d_xb_ = dev_.alloc_n<double>(static_cast<std::size_t>(p_.num_lambdas) *
+                                 nrhs);
+    d_yb_ = dev_.alloc_n<double>(static_cast<std::size_t>(p_.num_lambdas) *
+                                 nrhs);
+    batch_cols_ = nrhs;
+  }
+
+  std::string key_;
+  std::unique_ptr<BlockAssembler> assembler_;
+  Scaling scaling_;
+  gpu::ExecutionContext& ctx_;
+  gpu::Device& dev_;
+  gpu::Stream main_stream_;
+  std::vector<gpu::Stream> streams_;
+  std::vector<la::DenseMatrix> m_host_;
+  std::vector<gpu::DeviceDense> m_dev_;
+  std::vector<std::vector<double>> weights_;  ///< host copy of the diagonals
+  std::vector<idx*> map_dev_;
+  std::vector<double*> weight_dev_;  ///< null per sub when unscaled
+  std::vector<double*> lam_dev_, q_dev_;
+  std::vector<double*> lamb_dev_, qb_dev_;  ///< batch panels
+  double* d_x_ = nullptr;
+  double* d_y_ = nullptr;
+  double* d_xb_ = nullptr;
+  double* d_yb_ = nullptr;
+  idx batch_cols_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registration
+// ---------------------------------------------------------------------------
+
+void register_block_preconditioners(PreconditionerRegistry& registry) {
+  registry.add(
+      {"none", Kind::None, Scaling::None, false,
+       "identity — plain projected CG"},
+      [](const decomp::FetiProblem& p, gpu::ExecutionContext*) {
+        return std::make_unique<IdentityPreconditioner>(p);
+      });
+
+  struct KindRow {
+    Kind kind;
+    const char* summary;
+  };
+  const KindRow kinds[] = {
+      {Kind::Lumped, "M̃ᵢ = B̃ᵢ Kᵢ B̃ᵢᵀ (lumped)"},
+      {Kind::Superlumped, "M̃ᵢ from diag(Kᵢ) (superlumped)"},
+      {Kind::Dirichlet, "M̃ᵢ = B_b Sᵢ B_bᵀ, boundary Schur (dirichlet)"},
+  };
+  const Scaling scalings[] = {Scaling::None, Scaling::Multiplicity,
+                              Scaling::Stiffness};
+  for (const KindRow& row : kinds) {
+    for (Scaling scaling : scalings) {
+      for (bool gpu : {false, true}) {
+        std::string key = to_string(row.kind);
+        if (scaling != Scaling::None)
+          key += std::string(" ") + to_string(scaling);
+        if (gpu) key += " gpu";
+        std::string summary = row.summary;
+        if (scaling != Scaling::None)
+          summary += std::string(", ") + to_string(scaling) + " scaling";
+        if (gpu) summary += ", device-side apply";
+        const Kind kind = row.kind;
+        PreconditionerFactory factory;
+        if (gpu) {
+          factory = [kind, scaling, key](const decomp::FetiProblem& p,
+                                         gpu::ExecutionContext* ctx) {
+            check(ctx != nullptr,
+                  "preconditioner '" + key +
+                      "' requires a GPU execution context");
+            return std::unique_ptr<Preconditioner>(
+                std::make_unique<GpuBlockPreconditioner>(p, key, kind,
+                                                         scaling, *ctx));
+          };
+        } else {
+          factory = [kind, scaling, key](const decomp::FetiProblem& p,
+                                         gpu::ExecutionContext*) {
+            return std::unique_ptr<Preconditioner>(
+                std::make_unique<CpuBlockPreconditioner>(p, key, kind,
+                                                         scaling));
+          };
+        }
+        registry.add({key, kind, scaling, gpu, std::move(summary)},
+                     std::move(factory));
+      }
+    }
+  }
+}
+
+}  // namespace feti::precond

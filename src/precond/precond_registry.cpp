@@ -1,0 +1,114 @@
+#include "precond/precond_registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace feti::precond {
+
+std::string normalize_key(std::string_view key) {
+  // Canonical spelling: tokens separated by single spaces, no leading or
+  // trailing whitespace; the empty selection means "none".
+  std::string out;
+  for (std::size_t i = 0; i < key.size();) {
+    while (i < key.size() && (key[i] == ' ' || key[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < key.size() && key[i] != ' ' && key[i] != '\t') ++i;
+    if (i == start) continue;
+    if (!out.empty()) out += ' ';
+    out.append(key.substr(start, i - start));
+  }
+  return out.empty() ? std::string("none") : out;
+}
+
+PreconditionerRegistry& PreconditionerRegistry::instance() {
+  static PreconditionerRegistry registry;
+  static std::once_flag builtin_once;
+  std::call_once(builtin_once,
+                 [] { register_block_preconditioners(registry); });
+  return registry;
+}
+
+void PreconditionerRegistry::add(PreconditionerInfo info,
+                                 PreconditionerFactory factory) {
+  check(!info.key.empty(), "PreconditionerRegistry::add: empty key");
+  check(static_cast<bool>(factory),
+        "PreconditionerRegistry::add: null factory for key '" + info.key +
+            "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  check(find_locked(info.key) == nullptr,
+        "PreconditionerRegistry::add: duplicate key '" + info.key + "'");
+  entries_.push_back({std::move(info), std::move(factory)});
+}
+
+const PreconditionerRegistry::Entry* PreconditionerRegistry::find_locked(
+    std::string_view key) const {
+  for (const Entry& e : entries_)
+    if (e.info.key == key) return &e;
+  return nullptr;
+}
+
+PreconditionerRegistry::Entry PreconditionerRegistry::at(
+    std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* e = find_locked(key);
+  check(e != nullptr, "PreconditionerRegistry: unknown preconditioner key '" +
+                          std::string(key) + "'");
+  return *e;
+}
+
+bool PreconditionerRegistry::contains(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(key) != nullptr;
+}
+
+PreconditionerInfo PreconditionerRegistry::info(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* e = find_locked(key);
+  check(e != nullptr, "PreconditionerRegistry: unknown preconditioner key '" +
+                          std::string(key) + "'");
+  return e->info;
+}
+
+std::vector<std::string> PreconditionerRegistry::keys() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.info.key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PreconditionerRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+bool PreconditionerRegistry::uses_gpu(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* e = find_locked(key);
+  check(e != nullptr, "PreconditionerRegistry: unknown preconditioner key '" +
+                          std::string(key) + "'");
+  return e->info.requires_device();
+}
+
+bool PreconditionerRegistry::available(
+    std::string_view key, const gpu::ExecutionContext* context) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* e = find_locked(key);
+  return e != nullptr && (!e->info.requires_device() || context != nullptr);
+}
+
+std::unique_ptr<Preconditioner> PreconditionerRegistry::create(
+    std::string_view key, const decomp::FetiProblem& problem,
+    gpu::ExecutionContext* context) const {
+  // Copy the entry out so the factory runs without holding the lock.
+  const Entry e = at(key);
+  check(!e.info.requires_device() || context != nullptr,
+        "PreconditionerRegistry::create: '" + std::string(key) +
+            "' requires a GPU execution context");
+  return e.factory(problem, context);
+}
+
+}  // namespace feti::precond

@@ -1,0 +1,104 @@
+#pragma once
+
+// String-keyed registry of preconditioner implementations — the
+// preconditioner-layer mirror of core::DualOperatorRegistry.
+//
+// Key grammar: `<kind>[ <scaling>][ gpu]` with
+//   kind    ∈ {none, lumped, superlumped, dirichlet}
+//   scaling ∈ {multiplicity, stiffness}   (omitted = unscaled)
+//   gpu     — device-side application on an ExecutionContext
+// e.g. "lumped", "dirichlet stiffness", "superlumped multiplicity gpu".
+// "none" has no scaling or device variants. The empty string normalizes to
+// "none" (normalize_key below), so default-constructed options resolve.
+//
+// Every registered factory must return an *unprepared* preconditioner
+// honoring the staged lifecycle (prepare once per pattern, update_values
+// per step with dirty tracking, batched apply without loop degradation) —
+// the same contract as the dual-operator registry, documented in
+// docs/ARCHITECTURE.md.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "precond/preconditioner.hpp"
+
+namespace feti::gpu {
+class ExecutionContext;
+}
+
+namespace feti::precond {
+
+/// Metadata registered alongside each factory.
+struct PreconditionerInfo {
+  std::string key;           ///< e.g. "dirichlet stiffness gpu"
+  Kind kind = Kind::None;
+  Scaling scaling = Scaling::None;
+  bool gpu = false;          ///< device-side M⁻¹ application
+  std::string summary;       ///< one-line description for listings
+  [[nodiscard]] bool requires_device() const { return gpu; }
+};
+
+/// Factories receive the execution resources explicitly: the context is
+/// required for GPU-backed implementations and ignored by CPU ones.
+using PreconditionerFactory = std::function<std::unique_ptr<Preconditioner>(
+    const decomp::FetiProblem&, gpu::ExecutionContext*)>;
+
+/// "" → "none"; anything else passes through unchanged.
+[[nodiscard]] std::string normalize_key(std::string_view key);
+
+class PreconditionerRegistry {
+ public:
+  /// The process-wide registry, with the built-in kinds registered on
+  /// first use.
+  static PreconditionerRegistry& instance();
+
+  /// Registers a factory under info.key. Throws std::invalid_argument on a
+  /// duplicate or empty key or a null factory.
+  void add(PreconditionerInfo info, PreconditionerFactory factory);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+  /// Metadata lookup (copy); throws std::invalid_argument for unknown keys.
+  [[nodiscard]] PreconditionerInfo info(std::string_view key) const;
+  /// All registered keys, sorted.
+  [[nodiscard]] std::vector<std::string> keys() const;
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] bool uses_gpu(std::string_view key) const;
+  /// Whether the implementation can be constructed in this process given
+  /// the (possibly null) execution context.
+  [[nodiscard]] bool available(std::string_view key,
+                               const gpu::ExecutionContext* context) const;
+
+  /// Constructs the implementation registered under `key`. Throws
+  /// std::invalid_argument for unknown keys and when the implementation
+  /// requires an execution context but none is supplied. The returned
+  /// preconditioner is unprepared: call prepare() once, then
+  /// update_values() before the first apply().
+  [[nodiscard]] std::unique_ptr<Preconditioner> create(
+      std::string_view key, const decomp::FetiProblem& problem,
+      gpu::ExecutionContext* context = nullptr) const;
+
+ private:
+  struct Entry {
+    PreconditionerInfo info;
+    PreconditionerFactory factory;
+  };
+  /// Requires mutex_ held.
+  const Entry* find_locked(std::string_view key) const;
+  /// Copies the entry out under mutex_; throws for unknown keys.
+  Entry at(std::string_view key) const;
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+/// Registers the built-in block preconditioners (lumped / superlumped /
+/// dirichlet × scalings × cpu/gpu, plus "none"); called once by
+/// PreconditionerRegistry::instance(). Lives in block_precond.cpp.
+void register_block_preconditioners(PreconditionerRegistry& registry);
+
+}  // namespace feti::precond

@@ -1,0 +1,126 @@
+#include "precond/preconditioner.hpp"
+
+#include "precond/precond_registry.hpp"
+
+namespace feti::precond {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::None: return "none";
+    case Kind::Lumped: return "lumped";
+    case Kind::Superlumped: return "superlumped";
+    case Kind::Dirichlet: return "dirichlet";
+  }
+  return "?";
+}
+
+const char* to_string(Scaling s) {
+  switch (s) {
+    case Scaling::None: return "none";
+    case Scaling::Multiplicity: return "multiplicity";
+    case Scaling::Stiffness: return "stiffness";
+  }
+  return "?";
+}
+
+void Preconditioner::apply(const double* x, double* y) {
+  ScopedTimer t(timings_, "apply");
+  apply_one(x, y);
+}
+
+void Preconditioner::apply(const double* x, double* y, idx nrhs) {
+  check(nrhs >= 0, "Preconditioner::apply: negative nrhs");
+  if (nrhs == 0) return;
+  ScopedTimer t(timings_, "apply");
+  if (nrhs == 1) {
+    apply_one(x, y);
+  } else {
+    apply_many(x, y, nrhs);
+  }
+}
+
+void Preconditioner::apply_many(const double* x, double* y, idx nrhs) {
+  ++loop_fallbacks_;
+  const std::size_t stride = static_cast<std::size_t>(p_.num_lambdas);
+  for (idx j = 0; j < nrhs; ++j)
+    apply_one(x + static_cast<std::size_t>(j) * stride,
+              y + static_cast<std::size_t>(j) * stride);
+}
+
+Preconditioner::UpdatePlan Preconditioner::begin_update() {
+  return tracker_.begin(p_, cache_stats_);
+}
+
+void Preconditioner::end_update(const UpdatePlan& plan) {
+  tracker_.end(p_, plan, cache_stats_);
+}
+
+std::vector<std::vector<double>> compute_scaling_weights(
+    const decomp::FetiProblem& p, Scaling scaling) {
+  if (scaling == Scaling::None) return {};
+  const std::size_t nsub = p.sub.size();
+
+  // Cluster-wide multiplier incidence: how many subdomains touch each
+  // cluster lambda. Pattern-only, but cheap enough to recompute alongside
+  // the stiffness totals.
+  std::vector<idx> count(static_cast<std::size_t>(p.num_lambdas), 0);
+  for (const auto& fs : p.sub)
+    for (idx r : fs.lm_l2c) ++count[static_cast<std::size_t>(r)];
+
+  std::vector<std::vector<double>> w(nsub);
+  if (scaling == Scaling::Multiplicity) {
+    for (std::size_t s = 0; s < nsub; ++s) {
+      const auto& map = p.sub[s].lm_l2c;
+      w[s].resize(map.size());
+      for (std::size_t i = 0; i < map.size(); ++i)
+        w[s][i] = 1.0 / static_cast<double>(
+                            count[static_cast<std::size_t>(map[i])]);
+    }
+    return w;
+  }
+
+  // Stiffness scaling: κ_{s,r} = Σⱼ B(r,j)² Kⱼⱼ per subdomain row, summed
+  // cluster-wide per multiplier; the weight of subdomain s on row r is the
+  // relative stiffness of the *other* side, (total − κ) / total.
+  std::vector<std::vector<double>> kappa(nsub);
+  std::vector<double> total(static_cast<std::size_t>(p.num_lambdas), 0.0);
+  for (std::size_t s = 0; s < nsub; ++s) {
+    const auto& fs = p.sub[s];
+    const la::Csr& b = fs.b;
+    const la::Csr& k = fs.sys.k;
+    kappa[s].assign(static_cast<std::size_t>(b.nrows()), 0.0);
+    for (idx r = 0; r < b.nrows(); ++r) {
+      double acc = 0.0;
+      for (idx e = b.row_begin(r); e < b.row_end(r); ++e)
+        acc += b.val(e) * b.val(e) * k.at(b.col(e), b.col(e));
+      kappa[s][static_cast<std::size_t>(r)] = acc;
+      total[static_cast<std::size_t>(fs.lm_l2c[static_cast<std::size_t>(r)])] +=
+          acc;
+    }
+  }
+  for (std::size_t s = 0; s < nsub; ++s) {
+    const auto& map = p.sub[s].lm_l2c;
+    w[s].resize(map.size());
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      const std::size_t c = static_cast<std::size_t>(map[i]);
+      if (count[c] <= 1 || total[c] <= 0.0) {
+        // Single-incidence rows (the Total FETI Dirichlet constraints) and
+        // degenerate rows keep full weight — (total − κ)/total would zero
+        // them out and make M singular on that row.
+        w[s][i] = 1.0;
+      } else {
+        w[s][i] = (total[c] - kappa[s][i]) / total[c];
+      }
+    }
+  }
+  return w;
+}
+
+std::unique_ptr<Preconditioner> make_preconditioner(
+    const decomp::FetiProblem& problem, std::string_view key,
+    gpu::ExecutionContext* context) {
+  return PreconditionerRegistry::instance().create(normalize_key(key),
+                                                   problem, context);
+}
+
+}  // namespace feti::precond

@@ -5,7 +5,8 @@
 namespace feti::service {
 
 std::uint64_t job_fingerprint(const decomp::FetiProblem& problem,
-                              std::string_view resolved_key) {
+                              std::string_view resolved_key,
+                              std::string_view precond_key) {
   // The problem *instance* is the identity: a pooled operator holds
   // references into the problem's CSR storage, so content-identical but
   // distinct problem objects must map to distinct entries. Fold in the
@@ -16,6 +17,13 @@ std::uint64_t job_fingerprint(const decomp::FetiProblem& problem,
   h = decomp::fnv1a_word(h,
                          static_cast<std::uint64_t>(problem.num_subdomains()));
   for (char c : resolved_key)
+    h = decomp::fnv1a_word(h, static_cast<unsigned char>(c));
+  // A separator keeps ("expl a", "b") and ("expl ab", "") distinct; an
+  // empty preconditioner key hashes as its normalized spelling so legacy
+  // two-argument callers land on the same entry as explicit "none".
+  h = decomp::fnv1a_word(h, 0xffu);
+  if (precond_key.empty()) precond_key = "none";
+  for (char c : precond_key)
     h = decomp::fnv1a_word(h, static_cast<unsigned char>(c));
   return h;
 }

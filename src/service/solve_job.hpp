@@ -61,16 +61,20 @@ struct JobResult : core::FetiStepResult {
   double latency_seconds = 0.0;  ///< submission → results ready
 };
 
-/// The pool/wave key of a job: FNV-1a over the problem instance's identity
-/// and the resolved operator key (reusing the change-detection hash
-/// machinery of decomp). Two jobs with equal fingerprints target the same
-/// problem object through the same operator implementation, so they can
-/// share one pooled, prepared operator — value freshness within the
-/// pairing is then the dirty-tracking cache's business, which is why a
-/// repeated fingerprint with unchanged K skips update_values() entirely.
-/// Distinct precision variants ("expl legacy" vs "expl legacy f32") hash
-/// to distinct entries by construction.
+/// The pool/wave key of a job: FNV-1a over the problem instance's identity,
+/// the resolved operator key, and the normalized preconditioner key
+/// (reusing the change-detection hash machinery of decomp). Two jobs with
+/// equal fingerprints target the same problem object through the same
+/// operator implementation AND the same preconditioner, so they can share
+/// one pooled, prepared solver — value freshness within the pairing is
+/// then the dirty-tracking cache's business, which is why a repeated
+/// fingerprint with unchanged K skips update_values() entirely. Distinct
+/// precision variants ("expl legacy" vs "expl legacy f32") and distinct
+/// preconditioner keys hash to distinct entries by construction — a pooled
+/// FetiSolver would otherwise tear down and rebuild its preconditioner on
+/// every alternating checkout.
 [[nodiscard]] std::uint64_t job_fingerprint(const decomp::FetiProblem& problem,
-                                            std::string_view resolved_key);
+                                            std::string_view resolved_key,
+                                            std::string_view precond_key = "");
 
 }  // namespace feti::service

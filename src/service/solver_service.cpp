@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "precond/precond_registry.hpp"
+
 namespace feti::service {
 
 namespace {
@@ -95,7 +97,9 @@ std::vector<std::future<JobResult>> SolverService::submit(
     p.config = plan_config(job, options_.autotune_dim,
                            gpu::DeviceTopology{1, 0}, pool_.remaining_budget(),
                            options_.pool_budget_bytes);
-    p.fingerprint = job_fingerprint(*job.problem, p.config.resolved_key());
+    p.fingerprint =
+        job_fingerprint(*job.problem, p.config.resolved_key(),
+                        precond::normalize_key(job.pcpg.preconditioner));
     if (!job.dual_rhs.empty())
       check(job.dual_rhs.size() ==
                 static_cast<std::size_t>(job.problem->num_lambdas),
@@ -164,6 +168,7 @@ void SolverService::solve_wave(std::vector<PendingJob> wave) {
     queue_seconds[j] = wave[j].queued.seconds();
 
   bool checked_out = false;
+  bool counted = false;
   try {
     Timer solve_timer;
     OperatorPool::Checkout checkout =
@@ -185,6 +190,18 @@ void SolverService::solve_wave(std::vector<PendingJob> wave) {
 
     pool_.give_back(fingerprint);
     checked_out = false;
+
+    // Completion counters update BEFORE the promises are fulfilled: a
+    // caller reading stats() right after future.get() must already see
+    // this wave counted.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.completed += static_cast<long>(wave.size());
+      ++stats_.waves;
+      if (wave.size() > 1)
+        stats_.batched_jobs += static_cast<long>(wave.size());
+    }
+    counted = true;
 
     for (std::size_t j = 0; j < wave.size(); ++j) {
       JobResult r;
@@ -210,10 +227,12 @@ void SolverService::solve_wave(std::vector<PendingJob> wave) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     in_flight_ -= static_cast<long>(wave.size());
-    stats_.completed += static_cast<long>(wave.size());
-    ++stats_.waves;
-    if (wave.size() > 1)
-      stats_.batched_jobs += static_cast<long>(wave.size());
+    if (!counted) {  // exception path: the wave still completed (with error)
+      stats_.completed += static_cast<long>(wave.size());
+      ++stats_.waves;
+      if (wave.size() > 1)
+        stats_.batched_jobs += static_cast<long>(wave.size());
+    }
   }
   drain_cv_.notify_all();
 }

@@ -237,7 +237,7 @@ TEST_P(SolveParam, MatchesMonolithicSolve) {
   solver.prepare();
   FetiStepResult res = solver.solve_step();
   EXPECT_TRUE(res.converged);
-  EXPECT_GT(res.iterations, 0);
+  EXPECT_GT(res.pcpg_iterations, 0);
 
   double umax = 0.0;
   for (double v : u_ref) umax = std::max(umax, std::fabs(v));
@@ -289,12 +289,12 @@ TEST(Pcpg, LumpedPreconditionerReducesIterations) {
 
   FetiSolver plain(p, opts, nullptr);
   plain.prepare();
-  const int it_plain = plain.solve_step().iterations;
+  const int it_plain = plain.solve_step().pcpg_iterations;
 
-  opts.pcpg.preconditioner = PreconditionerKind::Lumped;
+  opts.pcpg.preconditioner = "lumped";
   FetiSolver precond(p, opts, nullptr);
   precond.prepare();
-  const int it_precond = precond.solve_step().iterations;
+  const int it_precond = precond.solve_step().pcpg_iterations;
 
   EXPECT_TRUE(it_precond <= it_plain)
       << "lumped=" << it_precond << " none=" << it_plain;
