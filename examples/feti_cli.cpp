@@ -32,6 +32,8 @@ struct Cli {
   std::string precond = "none";
   int steps = 1;
   double tol = 1e-8;
+  bool pcpg_block = false;
+  bool pcpg_recycle = false;
   bool verify = false;
   bool list = false;
   bool list_precond = false;
@@ -53,6 +55,10 @@ void usage() {
       "                         or \"auto\"                   (default none)\n"
       "  --steps N              time steps (Algorithm 2)    (default 1)\n"
       "  --tol X                PCPG relative tolerance     (default 1e-8)\n"
+      "  --pcpg-block           block-PCPG iteration (shared Krylov panel,\n"
+      "                         pivoted-Cholesky Gram step)\n"
+      "  --pcpg-recycle         cross-step Krylov recycling (implies\n"
+      "                         --pcpg-block); pays off from --steps 2 on\n"
       "  --verify               compare against a monolithic direct solve\n"
       "  --list                 print all registered dual-operator keys "
       "with\n"
@@ -95,6 +101,8 @@ bool parse(int argc, char** argv, Cli& cli) {
     else if (a == "--precond" && (v = next())) cli.precond = v;
     else if (a == "--steps" && (v = next())) cli.steps = std::atoi(v);
     else if (a == "--tol" && (v = next())) cli.tol = std::atof(v);
+    else if (a == "--pcpg-block") cli.pcpg_block = true;
+    else if (a == "--pcpg-recycle") cli.pcpg_recycle = true;
     else if (a == "--verify") cli.verify = true;
     else if (a == "--list") cli.list = true;
     else if (a == "--list-precond") cli.list_precond = true;
@@ -256,6 +264,8 @@ int main(int argc, char** argv) {
                                        problem.max_subdomain_dofs());
   opts.pcpg.rel_tolerance = cli.tol;
   opts.pcpg.max_iterations = 5000;
+  opts.pcpg.block.enabled = cli.pcpg_block || cli.pcpg_recycle;
+  opts.pcpg.block.recycle = cli.pcpg_recycle;
   if (cli.precond == "auto") {
     // The CLI's structured problems are uniform, so the hint carries no
     // coefficient jump; "auto" demonstrates the recommendation plumbing.
@@ -288,6 +298,7 @@ int main(int argc, char** argv) {
 
   Table table({"step", "preproc [ms]", "PCPG iters", "apply total [ms]",
                "residual", "step [ms]"});
+  double load_factor = 1.0;  ///< cumulative f scaling vs the original mesh
   for (int step = 0; step < cli.steps; ++step) {
     core::FetiStepResult res = solver.solve_step();
     table.add_row({std::to_string(step),
@@ -302,17 +313,33 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (cli.verify) {
+      // The reference is assembled from the original mesh; the problem is
+      // linear, so the load-only schedule below just scales its solution.
       fem::GlobalSystem global = fem::assemble_global(m, physics);
       std::vector<double> u_ref = fem::reference_solve(global);
       double err = 0.0, scale = 1e-30;
       for (std::size_t i = 0; i < u_ref.size(); ++i) {
-        err = std::max(err, std::fabs(res.u[i] - u_ref[i]));
-        scale = std::max(scale, std::fabs(u_ref[i]));
+        const double ref = u_ref[i] * load_factor;
+        err = std::max(err, std::fabs(res.u[i] - ref));
+        scale = std::max(scale, std::fabs(ref));
       }
       std::printf("  step %d: max relative error vs direct solve: %.3e\n",
                   step, err / scale);
     }
-    if (step + 1 < cli.steps) decomp::scale_step(problem, 1.1);
+    if (step + 1 < cli.steps) {
+      if (cli.pcpg_recycle) {
+        // Transient-load schedule: only f changes, so K stays cached and
+        // the recycled panel stays valid — the workload recycling exists
+        // for. The default schedule scales K and f together, which keeps
+        // the solution fixed but would (correctly) drop the panel every
+        // step.
+        for (auto& fs : problem.sub)
+          for (double& v : fs.sys.f) v *= 1.1;
+        load_factor *= 1.1;
+      } else {
+        decomp::scale_step(problem, 1.1);
+      }
+    }
   }
   table.print();
   return 0;

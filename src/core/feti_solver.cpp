@@ -1,5 +1,7 @@
 #include "core/feti_solver.hpp"
 
+#include <algorithm>
+
 #include "precond/precond_registry.hpp"
 #include "util/timer.hpp"
 
@@ -21,6 +23,20 @@ void FetiSolver::ensure_preconditioner() {
   precond_ = precond::PreconditionerRegistry::instance().create(key, problem_,
                                                                 context_);
   precond_->prepare();
+}
+
+void FetiSolver::ensure_recycler() {
+  const BlockPcpgOptions& block = options_.pcpg.block;
+  if (!block.enabled || !block.recycle) {
+    // Recycling switched off (e.g. a pooled solver re-optioned between
+    // checkouts): drop the stale Krylov state rather than park it.
+    recycler_.reset();
+    return;
+  }
+  const int budget = std::max(1, block.deflation_budget);
+  if (recycler_ == nullptr || recycler_->budget() != budget)
+    recycler_ =
+        std::make_unique<KrylovRecycler>(problem_.num_lambdas, budget);
 }
 
 void FetiSolver::prepare() {
@@ -52,6 +68,11 @@ FetiStepResult FetiSolver::solve_step() {
     // reports zero deltas everywhere and must read as NOT cached.
     result.values_cached = after.skipped_steps > before.skipped_steps;
   }
+  ensure_recycler();
+  // A refreshed subdomain means F changed: the recycled Krylov panel was
+  // harvested from the old operator and would deflate against the wrong F.
+  if (result.refreshed_subdomains > 0 && recycler_ != nullptr)
+    recycler_->clear();
 
   std::vector<double> d(static_cast<std::size_t>(problem_.num_lambdas));
   dualop_->compute_d(d.data());
@@ -59,12 +80,14 @@ FetiStepResult FetiSolver::solve_step() {
   const double apply_before = dualop_->timings().total("apply");
   Timer pcpg_timer;
   Pcpg pcpg(*dualop_, projector_, options_.pcpg, precond_.get());
+  pcpg.set_recycler(recycler_.get());
   PcpgResult pr = pcpg.solve(d);
   result.pcpg_seconds = pcpg_timer.seconds();
   result.pcpg_iterations = pr.iterations;
   result.preconditioner = precond_key_;
   result.rel_residual = pr.rel_residual;
   result.converged = pr.converged;
+  result.deflation_dim = pr.deflation_dim;
   result.apply_seconds = dualop_->timings().total("apply") - apply_before;
 
   std::vector<std::vector<double>> u_local;
@@ -96,6 +119,10 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
   const long skipped =
       cache_after.skipped_subdomains - cache_before.skipped_subdomains;
   const bool cached = cache_after.skipped_steps > cache_before.skipped_steps;
+  ensure_recycler();
+  // Same invalidation rule as solve_step(): a refreshed subdomain means the
+  // retained panel was harvested from a different F.
+  if (refreshed > 0 && recycler_ != nullptr) recycler_->clear();
 
   // An empty entry stands for the physical d of eq. (7), computed once
   // after the numeric refresh and shared by every such system (the service
@@ -113,6 +140,7 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
   const double apply_before = dualop_->timings().total("apply");
   Timer pcpg_timer;
   Pcpg pcpg(*dualop_, projector_, options_.pcpg, precond_.get());
+  pcpg.set_recycler(recycler_.get());
   std::vector<PcpgResult> prs = pcpg.solve_many_ptrs(rhs_ptrs);
   const double pcpg_seconds = pcpg_timer.seconds();
   const double apply_seconds =
@@ -124,6 +152,7 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
     result.preconditioner = precond_key_;
     result.rel_residual = prs[j].rel_residual;
     result.converged = prs[j].converged;
+    result.deflation_dim = prs[j].deflation_dim;
     result.preprocess_seconds = preprocess_seconds;
     result.pcpg_seconds = pcpg_seconds;
     result.apply_seconds = apply_seconds;

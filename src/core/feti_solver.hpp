@@ -5,9 +5,11 @@
 // explicit assembly where configured) followed by the PCPG iteration and
 // primal recovery.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
+#include "core/krylov_recycler.hpp"
 #include "core/pcpg.hpp"
 #include "precond/preconditioner.hpp"
 
@@ -26,6 +28,9 @@ struct FetiStepResult {
   bool converged = false;
   /// Normalized preconditioner registry key that served this step.
   std::string preconditioner = "none";
+  /// Width of the recycled Krylov deflation space PCPG started from this
+  /// step (0 = cold start or recycling off — see core/krylov_recycler.hpp).
+  int deflation_dim = 0;
   // Wall-clock phase split of the step. The three phases are the shared
   // measurement path for benches and the service layer's latency report
   // (bench/common.hpp aggregates them into percentile summaries):
@@ -108,10 +113,30 @@ class FetiSolver {
     return precond_.get();
   }
 
+  /// The cross-step Krylov recycler (null until the first step with
+  /// pcpg.block.recycle enabled). Exposed for tests/diagnostics; lifecycle
+  /// (creation, budget changes, invalidation on refreshed subdomains) is
+  /// the solver's.
+  [[nodiscard]] KrylovRecycler* recycler() { return recycler_.get(); }
+
+  /// Scopes the recycled Krylov state to one tenant: a changed scope drops
+  /// the retained panel, so a pooled solver serving several tenants under
+  /// the service layer never replays one tenant's Krylov space in
+  /// another's solve. The scope value itself is opaque (the service passes
+  /// the wave's tenant id).
+  void set_recycle_scope(std::uint64_t scope) {
+    if (scope != recycle_scope_ && recycler_ != nullptr) recycler_->clear();
+    recycle_scope_ = scope;
+  }
+
  private:
   /// (Re)creates + prepares the pooled preconditioner when the options key
   /// changed since the last step; resolves "" to "none".
   void ensure_preconditioner();
+
+  /// Creates/rebuilds (or drops) the recycler to match the current block
+  /// options; called at the top of every step.
+  void ensure_recycler();
 
   const decomp::FetiProblem& problem_;
   FetiSolverOptions options_;
@@ -120,6 +145,8 @@ class FetiSolver {
   Projector projector_;
   std::unique_ptr<precond::Preconditioner> precond_;
   std::string precond_key_ = "none";
+  std::unique_ptr<KrylovRecycler> recycler_;
+  std::uint64_t recycle_scope_ = 0;
   bool prepared_ = false;
 };
 

@@ -1,0 +1,116 @@
+#include "core/krylov_recycler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas_dense.hpp"
+
+namespace feti::core {
+
+namespace {
+/// A direction whose F-norm collapses below this fraction of its original
+/// after orthogonalization is numerically inside the stored span already.
+constexpr double kAbsorbRelFloor = 1e-12;
+/// Gram pivot floor for the panel factorization — a column this dependent
+/// on the kept ones contributes nothing but conditioning trouble.
+constexpr double kGramPivotRelTol = 1e-12;
+}  // namespace
+
+KrylovRecycler::KrylovRecycler(idx n, int budget)
+    : n_(n), budget_(std::max(1, budget)),
+      u_(n, static_cast<idx>(std::max(1, budget)), la::Layout::ColMajor),
+      fu_(n, static_cast<idx>(std::max(1, budget)), la::Layout::ColMajor) {
+  check(n >= 0, "KrylovRecycler: negative dimension");
+}
+
+la::ConstDenseView KrylovRecycler::u() const {
+  return {u_.data(), n_, k_, u_.ld(), la::Layout::ColMajor};
+}
+
+la::ConstDenseView KrylovRecycler::fu() const {
+  return {fu_.data(), n_, k_, fu_.ld(), la::Layout::ColMajor};
+}
+
+void KrylovRecycler::ensure_gram() const {
+  if (!gram_dirty_) return;
+  gram_l_ = la::DenseMatrix(k_, k_, la::Layout::ColMajor);
+  la::gemm(1.0, u(), la::Trans::Yes, fu(), la::Trans::No, 0.0,
+           gram_l_.view());
+  gram_perm_.resize(static_cast<std::size_t>(k_));
+  gram_rank_ = la::potrf_pivoted_lower(gram_l_.view(), gram_perm_.data(),
+                                       kGramPivotRelTol);
+  gram_dirty_ = false;
+}
+
+void KrylovRecycler::solve_gram(double* b) const {
+  std::vector<double> t(static_cast<std::size_t>(gram_rank_));
+  for (idx j = 0; j < gram_rank_; ++j)
+    t[static_cast<std::size_t>(j)] = b[gram_perm_[j]];
+  const la::ConstDenseView lead(gram_l_.data(), gram_rank_, gram_rank_,
+                                gram_l_.ld(), la::Layout::ColMajor);
+  la::trsv(la::Uplo::Lower, la::Trans::No, lead, t.data());
+  la::trsv(la::Uplo::Lower, la::Trans::Yes, lead, t.data());
+  std::fill_n(b, k_, 0.0);
+  for (idx j = 0; j < gram_rank_; ++j)
+    b[gram_perm_[j]] = t[static_cast<std::size_t>(j)];
+}
+
+idx KrylovRecycler::deflate_initial(double* lambda, double* r) const {
+  if (k_ == 0) return 0;
+  ensure_gram();
+  // Galerkin start with one refinement pass: the correction is computed
+  // from the *updated* residual the second time, so the span(U) component
+  // of r lands at rounding level even though the panel Gram system is
+  // solved (and U, FU stored) in finite precision.
+  std::vector<double> mu(static_cast<std::size_t>(k_));
+  for (int pass = 0; pass < 2; ++pass) {
+    la::gemv(1.0, u(), la::Trans::Yes, r, 0.0, mu.data());
+    solve_gram(mu.data());
+    la::gemv(1.0, u(), la::Trans::No, mu.data(), 1.0, lambda);
+    la::gemv(-1.0, fu(), la::Trans::No, mu.data(), 1.0, r);
+  }
+  return k_;
+}
+
+void KrylovRecycler::project_out(double* y, idx cols) const {
+  if (k_ == 0 || cols <= 0) return;
+  ensure_gram();
+  std::vector<double> c(static_cast<std::size_t>(k_));
+  for (idx j = 0; j < cols; ++j) {
+    double* yj = y + static_cast<widx>(j) * n_;
+    la::gemv(1.0, fu(), la::Trans::Yes, yj, 0.0, c.data());
+    solve_gram(c.data());
+    la::gemv(-1.0, u(), la::Trans::No, c.data(), 1.0, yj);
+  }
+}
+
+void KrylovRecycler::absorb(const double* p, const double* q) {
+  if (k_ >= static_cast<idx>(budget_)) return;
+  const double pq = la::dot(n_, p, q);
+  if (!(pq > 0.0)) return;  // indefinite or zero direction: never retained
+
+  double* uc = u_.data() + static_cast<widx>(k_) * u_.ld();
+  double* vc = fu_.data() + static_cast<widx>(k_) * fu_.ld();
+  std::copy_n(p, n_, uc);
+  std::copy_n(q, n_, vc);
+  if (k_ > 0) {
+    // F-orthogonalization against the stored panel (c = (FU)ᵀ p = Uᵀ F p),
+    // applied to the direction and its operator product alike. Two passes
+    // ("twice is enough"): CG directions arrive only loosely F-orthogonal.
+    std::vector<double> c(static_cast<std::size_t>(k_));
+    for (int pass = 0; pass < 2; ++pass) {
+      la::gemv(1.0, fu(), la::Trans::Yes, uc, 0.0, c.data());
+      la::gemv(-1.0, u(), la::Trans::No, c.data(), 1.0, uc);
+      la::gemv(-1.0, fu(), la::Trans::No, c.data(), 1.0, vc);
+    }
+  }
+  const double rem = la::dot(n_, uc, vc);
+  if (!(rem > kAbsorbRelFloor * pq)) return;  // already in span — drop
+  const double inv = 1.0 / std::sqrt(rem);
+  la::scal(n_, inv, uc);
+  la::scal(n_, inv, vc);
+  ++k_;
+  gram_dirty_ = true;
+}
+
+}  // namespace feti::core

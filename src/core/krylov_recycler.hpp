@@ -1,0 +1,104 @@
+#pragma once
+
+// Cross-step Krylov recycling for PCPG — the iteration-count twin of the
+// time-step operator cache.
+//
+// A transient run with an unchanged stiffness already skips the numeric
+// refresh (PR-4 dirty tracking) but still re-pays the full PCPG iteration
+// count every step. The recycler closes that gap: it retains a budgeted
+// panel U of F-orthonormalized *converged solution increments* λ − λ₀
+// (one column per converged solve) and replays it as a deflation space on
+// the next step — the initial multiplier starts from the Galerkin
+// solution in span(U), and every new search direction is kept
+// F-orthogonal to U, so a warm step iterates only over the part of the
+// solution the recycled space misses.
+//
+// Two numerical lessons are baked into this design. First, the harvested
+// columns must be step increments, not the raw per-iteration search
+// directions: the increment reconstructed direction-by-direction from
+// Uᵀr₀ bottoms out at the cold solve's residual-orthogonality loss
+// (observed ~1e-5·‖r₀‖ on a well-conditioned panel), stranding warm
+// steps far above tolerance, while the increment is a single well-scaled
+// column with an O(1) Galerkin coefficient that reproduces the previous
+// solution to rounding. Second, UᵀFU = I is NOT assumed downstream even
+// though absorb() F-orthonormalizes: both the warm start and the
+// per-iteration projection solve the small panel Gram system explicitly
+// (rank-revealing pivoted Cholesky, factored once per panel change), so
+// a mildly degraded panel degrades gracefully instead of silently
+// projecting with the wrong metric.
+//
+// Owned per FetiSolver (one recycled space per operator instance) and
+// scoped per tenant under the service layer (set_recycle_scope), the panel
+// is only valid for the F it was harvested from: FetiSolver clears it
+// whenever update_values() actually refreshes a subdomain.
+
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace feti::core {
+
+class KrylovRecycler {
+ public:
+  /// `n` is the dual dimension (num_lambdas); `budget` caps the retained
+  /// panel width (clamped to >= 1).
+  KrylovRecycler(idx n, int budget);
+
+  /// Current panel width (0 = empty, deflation is a no-op).
+  [[nodiscard]] idx dim() const { return k_; }
+  [[nodiscard]] int budget() const { return budget_; }
+  [[nodiscard]] idx n() const { return n_; }
+
+  /// Drops the retained panel — called whenever F changes (a subdomain was
+  /// refreshed) or the recycle scope (tenant) switches.
+  void clear() {
+    k_ = 0;
+    gram_dirty_ = true;
+  }
+
+  /// Galerkin start from the recycled space: solve (UᵀFU) μ = Uᵀr, then
+  /// λ += U μ and r −= (FU) μ (applied twice — one refinement pass drives
+  /// the span(U) residual component to rounding level). Returns the
+  /// deflation dimension applied.
+  idx deflate_initial(double* lambda, double* r) const;
+
+  /// Y ← Y − U (UᵀFU)⁻¹ (FU)ᵀ Y over `cols` contiguous columns (leading
+  /// dimension n): the F-orthogonal projection keeping new search
+  /// directions out of the recycled space.
+  void project_out(double* y, idx cols) const;
+
+  /// Offers one vector p (a converged solve's increment λ − λ₀) with its
+  /// operator product q = F p for retention. The vector is
+  /// F-orthogonalized against the stored panel (two passes); if the
+  /// remainder keeps a healthy F-norm (relative to the original) and the
+  /// budget has room, it is normalized and appended — otherwise it is
+  /// discarded (a repeat of a recycled step contributes nothing new).
+  /// No-op once the budget is full.
+  void absorb(const double* p, const double* q);
+
+  /// Read-only panel views (e.g. for the deflation-augmented projector
+  /// apply and diagnostics).
+  [[nodiscard]] la::ConstDenseView u() const;
+  [[nodiscard]] la::ConstDenseView fu() const;
+
+ private:
+  /// (Re)factors the panel Gram matrix UᵀFU when the panel changed.
+  void ensure_gram() const;
+  /// b (length k) → (UᵀFU)⁻¹ b on the revealed-rank subspace, in place.
+  void solve_gram(double* b) const;
+
+  idx n_ = 0;
+  int budget_ = 0;
+  idx k_ = 0;             ///< panel width in use
+  la::DenseMatrix u_;     ///< n x budget, F-normalized columns [0, k)
+  la::DenseMatrix fu_;    ///< F U, same shape
+  // Pivoted-Cholesky factor of the k x k panel Gram matrix, rebuilt lazily
+  // after absorb()/clear(). Mutable: factoring is a cache refresh, the
+  // logical panel state is unchanged.
+  mutable la::DenseMatrix gram_l_;
+  mutable std::vector<idx> gram_perm_;
+  mutable idx gram_rank_ = 0;
+  mutable bool gram_dirty_ = true;
+};
+
+}  // namespace feti::core

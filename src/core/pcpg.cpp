@@ -2,14 +2,76 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "core/krylov_recycler.hpp"
 #include "la/blas_dense.hpp"
 #include "precond/precond_registry.hpp"
 
 namespace feti::core {
 
+namespace {
+
+/// Finalization floor for the initial projected-residual norm: below it the
+/// right-hand side is numerically zero for this system and λ₀ already
+/// solves it. Scaled to the problem (n·ε·‖d‖) with an absolute denormal
+/// guard — a bit-exact-zero test alone lets a 1e-300-scaled RHS divide by
+/// a denormal w₀ and spin to max_iterations on NaN step lengths.
+double w0_floor(idx n, double d_norm) {
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  constexpr double denormal_guard = std::numeric_limits<double>::min() / eps;
+  return static_cast<double>(n) * eps * d_norm + denormal_guard;
+}
+
+/// Rank-revealing Gram-system solver of the block step: factors the small
+/// PᵀFP matrix once per iteration with pivoted Cholesky and solves for the
+/// per-system step/conjugation coefficients. Panel columns beyond the
+/// revealed rank are numerically dependent on the kept ones and get zero
+/// coefficients — column deflation instead of the per-system `pq <= 0`
+/// breakdown of the lockstep path.
+class GramSolver {
+ public:
+  void factor(const la::DenseMatrix& gram, double rel_tolerance) {
+    l_ = gram;  // factored in place on the copy
+    perm_.resize(static_cast<std::size_t>(gram.rows()));
+    rank_ = la::potrf_pivoted_lower(l_.view(), perm_.data(), rel_tolerance);
+  }
+  [[nodiscard]] idx rank() const { return rank_; }
+
+  /// b (length = panel width) → x with Gram x = b on the kept columns and
+  /// x = 0 on the deflated ones, in place.
+  void solve(double* b) const {
+    std::vector<double> t(static_cast<std::size_t>(rank_));
+    for (idx k = 0; k < rank_; ++k) t[static_cast<std::size_t>(k)] = b[perm_[k]];
+    const la::ConstDenseView lead(l_.data(), rank_, rank_, l_.ld(),
+                                  la::Layout::ColMajor);
+    la::trsv(la::Uplo::Lower, la::Trans::No, lead, t.data());
+    la::trsv(la::Uplo::Lower, la::Trans::Yes, lead, t.data());
+    std::fill_n(b, l_.rows(), 0.0);
+    for (idx k = 0; k < rank_; ++k) b[perm_[k]] = t[static_cast<std::size_t>(k)];
+  }
+
+  [[nodiscard]] const std::vector<idx>& perm() const { return perm_; }
+
+ private:
+  la::DenseMatrix l_;
+  std::vector<idx> perm_;
+  idx rank_ = 0;
+};
+
+}  // namespace
+
 const char* to_string(PreconditionerKind p) {
-  return p == PreconditionerKind::None ? "none" : "lumped";
+  // Exhaustive by construction: a future enumerator fails to compile here
+  // instead of silently aliasing to "lumped" (the old ternary's behavior).
+  switch (p) {
+    case PreconditionerKind::None:
+      return "none";
+    case PreconditionerKind::Lumped:
+      return "lumped";
+  }
+  FETI_ASSERT(false, "to_string: unknown PreconditionerKind");
+  return "none";
 }
 
 Pcpg::Pcpg(DualOperator& f, const Projector& projector, PcpgOptions options,
@@ -37,7 +99,9 @@ Pcpg::~Pcpg() = default;
 PcpgResult Pcpg::solve(const std::vector<double>& d) {
   const std::vector<double>* dp = &d;
   std::vector<PcpgResult> results =
-      solve_impl(&dp, 1, /*throw_on_breakdown=*/true);
+      options_.block.enabled
+          ? solve_block_impl(&dp, 1, /*throw_on_breakdown=*/true)
+          : solve_impl(&dp, 1, /*throw_on_breakdown=*/true);
   return std::move(results.front());
 }
 
@@ -51,7 +115,10 @@ std::vector<PcpgResult> Pcpg::solve_many(
 
 std::vector<PcpgResult> Pcpg::solve_many_ptrs(
     const std::vector<const std::vector<double>*>& d) {
-  return solve_impl(d.data(), d.size(), /*throw_on_breakdown=*/false);
+  return options_.block.enabled
+             ? solve_block_impl(d.data(), d.size(),
+                                /*throw_on_breakdown=*/false)
+             : solve_impl(d.data(), d.size(), /*throw_on_breakdown=*/false);
 }
 
 std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
@@ -132,7 +199,7 @@ std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
     s.q.resize(static_cast<std::size_t>(n));
     projector_.apply(s.r.data(), s.w.data());
     s.w0_norm = la::nrm2(n, s.w.data());
-    if (s.w0_norm == 0.0) {
+    if (s.w0_norm <= w0_floor(n, la::nrm2(n, dj.data()))) {
       s.rel = 0.0;
       finalize(j, /*converged=*/true);
       continue;
@@ -191,9 +258,15 @@ std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
       const double pq = la::dot(n, s.p.data(), s.q.data());
       if (pq <= 0.0) {
         // solve() keeps the historical contract (throw); in a batch, one
-        // ill-conditioned system must not discard the others' results.
+        // ill-conditioned system must not discard the others' results. The
+        // reported state must be consistent: λ/r/w are untouched by the
+        // failed step, so rel is recomputed for exactly that state (and
+        // alpha in finalize() derives from the same r), and the F apply
+        // this iteration spent is counted even though it was discarded.
         check(!throw_on_breakdown,
               "Pcpg: operator lost positive definiteness");
+        ++s.iterations;
+        s.rel = la::nrm2(n, s.w.data()) / s.w0_norm;
         finalize(j, /*converged=*/false);
         continue;
       }
@@ -215,6 +288,223 @@ std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
       for (idx i = 0; i < n; ++i)
         s.p[i] = s.y[i] + beta * s.p[i];                    // line 14
       ++s.iterations;
+    }
+  }
+  return results;
+}
+
+std::vector<PcpgResult> Pcpg::solve_block_impl(
+    const std::vector<double>* const* d, std::size_t nsys,
+    bool throw_on_breakdown) {
+  const idx n = f_.problem().num_lambdas;
+  for (std::size_t j = 0; j < nsys; ++j)
+    check(d[j]->size() == static_cast<std::size_t>(n),
+          "Pcpg: rhs size mismatch");
+  std::vector<PcpgResult> results(nsys);
+  if (nsys == 0) return results;
+
+  KrylovRecycler* recycler = options_.block.recycle ? recycler_ : nullptr;
+
+  /// Per-system state. Unlike the lockstep path there are no per-system
+  /// step scalars: the search panel is shared, and each system's step and
+  /// conjugation coefficients come from the panel's Gram system.
+  struct System {
+    std::vector<double> lambda, r, w, y, p;
+    double w0_norm = 0.0;
+    double rel = 1.0;
+    int iterations = 0;
+    int deflation_dim = 0;
+    bool active = true;
+  };
+  std::vector<System> sys(nsys);
+  std::vector<double> t(static_cast<std::size_t>(n));
+  std::vector<double> tin, tout;  ///< preconditioner batch blocks
+
+  // λ₀ and F λ₀ depend on the problem only — computed once, shared.
+  std::vector<double> lambda0(static_cast<std::size_t>(n));
+  projector_.initial_lambda(lambda0.data());
+  std::vector<double> q0(static_cast<std::size_t>(n));
+  f_.apply(lambda0.data(), q0.data());
+
+  const auto finalize = [&](std::size_t j, bool converged) {
+    System& s = sys[j];
+    if (converged && recycler != nullptr && s.iterations > 0) {
+      // Harvest the converged step increment λ − λ₀ for the next step's
+      // deflation space; its operator product F(λ − λ₀) = (d − r) − Fλ₀
+      // falls out of the maintained residual — no extra apply. Recycling
+      // the increment (rather than the raw search directions) matters
+      // numerically: reconstructing it direction-by-direction from Uᵀr₀
+      // bottoms out at the cold solve's residual-orthogonality loss
+      // (~1e-5·‖r₀‖ here), while the increment is a single well-scaled
+      // column whose Galerkin coefficient is O(1).
+      std::vector<double> inc(static_cast<std::size_t>(n));
+      std::vector<double> finc(static_cast<std::size_t>(n));
+      const std::vector<double>& dj = *d[j];
+      for (idx i = 0; i < n; ++i) {
+        inc[i] = s.lambda[i] - lambda0[i];
+        finc[i] = dj[i] - s.r[i] - q0[i];
+      }
+      recycler->absorb(inc.data(), finc.data());
+    }
+    results[j].iterations = s.iterations;
+    results[j].rel_residual = s.rel;
+    results[j].converged = converged;
+    results[j].deflation_dim = s.deflation_dim;
+    results[j].alpha = projector_.alpha(s.r.data());
+    results[j].lambda = std::move(s.lambda);
+    s.active = false;
+  };
+
+  // y = (I − U(FU)ᵀ) P M⁻¹ w for a set of systems at once: one batched
+  // M⁻¹ application like the lockstep path, with the deflation-augmented
+  // projector keeping every new direction F-orthogonal to the recycled
+  // space (plain P when no recycled panel is attached).
+  const auto precondition = [&](const std::vector<std::size_t>& js) {
+    if (js.empty()) return;
+    const bool deflate = recycler != nullptr && recycler->dim() > 0;
+    if (m_ == nullptr) {
+      for (std::size_t j : js) {
+        sys[j].y = sys[j].w;  // w is already projected
+        if (deflate) recycler->project_out(sys[j].y.data(), 1);
+      }
+      return;
+    }
+    const auto project_y = [&](const double* src, double* dst) {
+      if (deflate)
+        projector_.apply_deflated(src, dst, *recycler);
+      else
+        projector_.apply(src, dst);
+    };
+    if (js.size() == 1) {
+      System& s = sys[js.front()];
+      m_->apply(s.w.data(), t.data());
+      project_y(t.data(), s.y.data());
+      return;
+    }
+    tin.resize(static_cast<std::size_t>(n) * js.size());
+    tout.resize(tin.size());
+    for (std::size_t b = 0; b < js.size(); ++b)
+      std::copy_n(sys[js[b]].w.data(), n,
+                  tin.data() + b * static_cast<std::size_t>(n));
+    m_->apply(tin.data(), tout.data(), static_cast<idx>(js.size()));
+    for (std::size_t b = 0; b < js.size(); ++b)
+      project_y(tout.data() + b * static_cast<std::size_t>(n),
+                sys[js[b]].y.data());
+  };
+
+  std::vector<std::size_t> pending;
+  for (std::size_t j = 0; j < nsys; ++j) {
+    System& s = sys[j];
+    s.lambda = lambda0;
+    s.r.resize(static_cast<std::size_t>(n));
+    const std::vector<double>& dj = *d[j];
+    for (idx i = 0; i < n; ++i) s.r[i] = dj[i] - q0[i];
+    s.w.resize(static_cast<std::size_t>(n));
+    s.y.resize(static_cast<std::size_t>(n));
+    projector_.apply(s.r.data(), s.w.data());
+    // w₀ is measured before the deflation correction, so a warm start is
+    // judged against the same baseline a cold solve would be — that is
+    // what lets a recycled step finish in (near) zero iterations.
+    s.w0_norm = la::nrm2(n, s.w.data());
+    if (s.w0_norm <= w0_floor(n, la::nrm2(n, dj.data()))) {
+      s.rel = 0.0;
+      finalize(j, /*converged=*/true);
+      continue;
+    }
+    if (recycler != nullptr && recycler->dim() > 0) {
+      s.deflation_dim = recycler->deflate_initial(s.lambda.data(),
+                                                  s.r.data());
+      projector_.apply(s.r.data(), s.w.data());
+    }
+    pending.push_back(j);
+  }
+  precondition(pending);
+  for (std::size_t j : pending) sys[j].p = sys[j].y;
+
+  std::vector<double> xblock, yblock;  ///< P and Q = F·P panels, packed
+  std::vector<double> coeff;           ///< Gram-system right-hand side
+  std::vector<std::size_t> batch;
+  GramSolver gram;
+  for (;;) {
+    batch.clear();
+    for (std::size_t j = 0; j < nsys; ++j) {
+      System& s = sys[j];
+      if (!s.active) continue;
+      s.rel = la::nrm2(n, s.w.data()) / s.w0_norm;
+      if (s.rel <= options_.rel_tolerance) {
+        finalize(j, /*converged=*/true);
+      } else if (s.iterations >= options_.max_iterations) {
+        finalize(j, /*converged=*/false);
+      } else {
+        batch.push_back(j);
+      }
+    }
+    if (batch.empty()) break;
+
+    // The still-active systems share one search panel: Q = F P through the
+    // same batched apply the lockstep path uses (line 7 for the block).
+    const idx width = static_cast<idx>(batch.size());
+    xblock.resize(static_cast<std::size_t>(n) * batch.size());
+    yblock.resize(xblock.size());
+    for (std::size_t b = 0; b < batch.size(); ++b)
+      std::copy_n(sys[batch[b]].p.data(), n,
+                  xblock.data() + b * static_cast<std::size_t>(n));
+    if (width == 1)
+      f_.apply(xblock.data(), yblock.data());
+    else
+      f_.apply(xblock.data(), yblock.data(), width);
+    const la::ConstDenseView pview(xblock.data(), n, width, n,
+                                   la::Layout::ColMajor);
+    const la::ConstDenseView qview(yblock.data(), n, width, n,
+                                   la::Layout::ColMajor);
+
+    // Gram system PᵀFP with rank-revealing pivoting: a nearly dependent
+    // column is deflated (zero coefficient) instead of breaking the solve.
+    la::DenseMatrix gram_mat(width, width, la::Layout::ColMajor);
+    la::gemm(1.0, pview, la::Trans::Yes, qview, la::Trans::No, 0.0,
+             gram_mat.view());
+    gram.factor(gram_mat, options_.block.pivot_rel_tolerance);
+    if (gram.rank() == 0) {
+      // The whole panel lost positive definiteness — nothing can advance.
+      // Same consistent-final-state contract as the lockstep breakdown:
+      // count the spent panel apply, report rel for the untouched state.
+      check(!throw_on_breakdown,
+            "Pcpg: operator lost positive definiteness");
+      for (std::size_t j : batch) {
+        System& s = sys[j];
+        ++s.iterations;
+        s.rel = la::nrm2(n, s.w.data()) / s.w0_norm;
+        finalize(j, /*converged=*/false);
+      }
+      continue;  // next top-of-loop sees no active systems and exits
+    }
+
+    // Per-system block step: α = Gram⁻¹ Pᵀw (pᵀr = pᵀw for projected
+    // panels), λ += P α, r −= Q α — every system advances through the
+    // union of the block's search directions.
+    coeff.resize(batch.size());
+    for (std::size_t j : batch) {
+      System& s = sys[j];
+      la::gemv(1.0, pview, la::Trans::Yes, s.w.data(), 0.0, coeff.data());
+      gram.solve(coeff.data());
+      la::gemv(1.0, pview, la::Trans::No, coeff.data(), 1.0,
+               s.lambda.data());
+      la::gemv(-1.0, qview, la::Trans::No, coeff.data(), 1.0, s.r.data());
+      projector_.apply(s.r.data(), s.w.data());
+      ++s.iterations;
+    }
+
+
+    // Next panel: Y = deflated-preconditioned residuals, conjugated
+    // against the current panel via β = −Gram⁻¹ QᵀY.
+    precondition(batch);
+    for (std::size_t j : batch) {
+      System& s = sys[j];
+      la::gemv(1.0, qview, la::Trans::Yes, s.y.data(), 0.0, coeff.data());
+      gram.solve(coeff.data());
+      la::scal(width, -1.0, coeff.data());
+      s.p = s.y;
+      la::gemv(1.0, pview, la::Trans::No, coeff.data(), 1.0, s.p.data());
     }
   }
   return results;

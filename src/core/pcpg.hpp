@@ -32,11 +32,44 @@ class Preconditioner;
 
 namespace feti::core {
 
+class KrylovRecycler;
+
 /// Pre-registry preconditioner selector, kept so legacy callers compile;
 /// the string key in PcpgOptions is the real interface now.
 enum class PreconditionerKind : std::uint8_t { None, Lumped };
 
 const char* to_string(PreconditionerKind p);
+
+/// Block-mode and recycling knobs of the PCPG loop. Both default off — the
+/// per-system lockstep iteration is the historical behavior.
+struct BlockPcpgOptions {
+  /// True block-PCPG: the still-active systems of a solve_many call share
+  /// one Krylov search panel. Each iteration applies F to the whole panel
+  /// (the same batched apply(X, Y, nrhs) path lockstep uses) and solves the
+  /// small PᵀFP Gram system with rank-revealing pivoted Cholesky, so a
+  /// nearly dependent search direction deflates to a thinner panel instead
+  /// of triggering the per-system `pq <= 0` breakdown. Clustered
+  /// right-hand sides (the service layer's waves) converge in fewer
+  /// iterations because every system steps through the union of the
+  /// block's search directions. solve() routes through the same path with
+  /// a width-1 panel — required for recycling single-RHS time steps.
+  bool enabled = false;
+  /// Cross-step Krylov recycling: harvest the search-direction panel of
+  /// this solve into the caller-provided KrylovRecycler (set_recycler) and
+  /// start from its deflated subspace solution — λ₀ gets the Galerkin
+  /// correction from the recycled space and every new direction stays
+  /// F-orthogonal to it. Ignored without a recycler; the recycler is only
+  /// valid while F is unchanged (FetiSolver clears it when update_values()
+  /// actually refreshes a subdomain).
+  bool recycle = false;
+  /// Retained deflation directions (the recycler's panel budget).
+  int deflation_budget = 16;
+  /// Gram pivot floor, relative to the largest initial Gram diagonal: a
+  /// pivot below it deflates the column.
+  double pivot_rel_tolerance = 1e-12;
+
+  bool operator==(const BlockPcpgOptions&) const = default;
+};
 
 struct PcpgOptions {
   double rel_tolerance = 1e-9;
@@ -44,6 +77,8 @@ struct PcpgOptions {
   /// Preconditioner registry key ("none", "lumped", "dirichlet stiffness",
   /// ...); "" is treated as "none".
   std::string preconditioner = "none";
+  /// Block-PCPG / Krylov-recycling configuration.
+  BlockPcpgOptions block;
 
   /// Deprecated enum-based selector; assigns the equivalent registry key.
   [[deprecated("assign the registry key to `preconditioner` instead")]]
@@ -58,6 +93,9 @@ struct PcpgResult {
   int iterations = 0;
   double rel_residual = 0.0;
   bool converged = false;
+  /// Width of the recycled deflation space applied at the start of this
+  /// solve (0 = cold start / recycling off).
+  int deflation_dim = 0;
 };
 
 class Pcpg {
@@ -92,6 +130,12 @@ class Pcpg {
   std::vector<PcpgResult> solve_many_ptrs(
       const std::vector<const std::vector<double>*>& d);
 
+  /// Attaches the cross-step recycler consumed (and refilled) by the block
+  /// path when options.block.recycle is set. The caller owns the recycler
+  /// and its invalidation: it must be cleared whenever the operator's
+  /// values change (FetiSolver does both). Null detaches.
+  void set_recycler(KrylovRecycler* recycler) { recycler_ = recycler; }
+
  private:
   /// Shared lockstep implementation over borrowed right-hand sides.
   /// `throw_on_breakdown` preserves solve()'s historical throwing contract;
@@ -100,11 +144,18 @@ class Pcpg {
                                      std::size_t nsys,
                                      bool throw_on_breakdown);
 
+  /// Shared-Krylov block implementation (options.block.enabled); same
+  /// result contract as solve_impl, plus deflation/recycling.
+  std::vector<PcpgResult> solve_block_impl(const std::vector<double>* const* d,
+                                           std::size_t nsys,
+                                           bool throw_on_breakdown);
+
   DualOperator& f_;
   const Projector& projector_;
   PcpgOptions options_;
   precond::Preconditioner* m_ = nullptr;  ///< null = no preconditioning
   std::unique_ptr<precond::Preconditioner> owned_m_;  ///< fallback instance
+  KrylovRecycler* recycler_ = nullptr;    ///< caller-owned, may be null
 };
 
 }  // namespace feti::core

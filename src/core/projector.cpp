@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/krylov_recycler.hpp"
 #include "la/blas_dense.hpp"
 #include "la/blas_sparse.hpp"
 
@@ -45,6 +46,15 @@ void Projector::apply(const double* x, double* y) const {
   coarse_solve(s);
   std::copy_n(x, nl, y);
   la::gemv(-1.0, g_.cview(), la::Trans::No, s.data(), 1.0, y);
+}
+
+void Projector::apply_deflated(const double* x, double* y,
+                               const KrylovRecycler& recycler) const {
+  apply(x, y);
+  if (recycler.dim() == 0) return;
+  check(recycler.n() == p_.num_lambdas,
+        "Projector: deflation panel dimension mismatch");
+  recycler.project_out(y, 1);
 }
 
 std::vector<double> Projector::compute_e() const {

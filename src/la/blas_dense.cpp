@@ -374,6 +374,54 @@ bool potrf_lower(DenseView a) {
   return true;
 }
 
+idx potrf_pivoted_lower(DenseView a, idx* perm, double rel_tolerance) {
+  check(a.rows == a.cols, "potrf_pivoted_lower: matrix must be square");
+  check(rel_tolerance >= 0.0, "potrf_pivoted_lower: negative tolerance");
+  const idx n = a.rows;
+  for (idx i = 0; i < n; ++i) perm[i] = i;
+  if (n == 0) return 0;
+
+  double max_diag = 0.0;
+  for (idx i = 0; i < n; ++i) max_diag = std::max(max_diag, a.at(i, i));
+  // A numerically zero Gram matrix has rank 0 regardless of tolerance.
+  if (max_diag <= 0.0) return 0;
+  const double floor = rel_tolerance * max_diag;
+
+  for (idx j = 0; j < n; ++j) {
+    // Pick the largest remaining updated diagonal as the next pivot.
+    idx piv = j;
+    double best = a.at(j, j);
+    for (idx i = j + 1; i < n; ++i)
+      if (a.at(i, i) > best) {
+        best = a.at(i, i);
+        piv = i;
+      }
+    if (best <= floor || best <= 0.0) return j;
+    if (piv != j) {
+      std::swap(perm[j], perm[piv]);
+      // Symmetric row/column swap, restricted to the lower triangle the
+      // factorization reads: columns < j hold finished L rows, the j..n
+      // block holds the updated trailing matrix.
+      for (idx k = 0; k < j; ++k) std::swap(a.at(j, k), a.at(piv, k));
+      std::swap(a.at(j, j), a.at(piv, piv));
+      for (idx i = j + 1; i < n; ++i) {
+        if (i == piv) continue;
+        double& lo = i < piv ? a.at(piv, i) : a.at(i, piv);
+        double& hi = a.at(i, j);
+        std::swap(lo, hi);
+      }
+    }
+    const double d = std::sqrt(a.at(j, j));
+    a.at(j, j) = d;
+    for (idx i = j + 1; i < n; ++i) a.at(i, j) /= d;
+    // Rank-1 update of the trailing diagonal+lower block.
+    for (idx c = j + 1; c < n; ++c)
+      for (idx i = c; i < n; ++i) a.at(i, c) -= a.at(i, j) * a.at(c, j);
+    for (idx i = 0; i < j; ++i) a.at(i, j) = 0.0;
+  }
+  return n;
+}
+
 // ---------------------------------------------------------------------------
 // Mixed precision: fp32 storage entry points
 // ---------------------------------------------------------------------------

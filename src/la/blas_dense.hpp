@@ -59,6 +59,17 @@ void trsm(Uplo uplo, Trans trans, ConstDenseView a, DenseView b);
 /// definite. Used for the FETI coarse problem G^T G.
 bool potrf_lower(DenseView a);
 
+/// Rank-revealing Cholesky with diagonal pivoting (LAPACK dpstrf shape):
+/// P A Pᵀ = L Lᵀ for symmetric positive *semi*definite A. At each step the
+/// largest remaining diagonal pivots; the factorization stops once that
+/// pivot drops to `rel_tolerance` times the largest initial diagonal (or
+/// below zero), and the achieved rank is returned. On exit the leading
+/// rank×rank block of the lower triangle holds L in pivoted order and
+/// `perm[k]` names the original index factored at step k (perm has size n).
+/// Columns beyond the returned rank are numerically dependent on the kept
+/// ones — block-PCPG deflates them instead of declaring breakdown.
+idx potrf_pivoted_lower(DenseView a, idx* perm, double rel_tolerance);
+
 // ---- mixed precision (fp32 storage) ----
 //
 // The apply-phase kernels of the mixed-precision explicit dual operators:

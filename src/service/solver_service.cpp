@@ -13,7 +13,19 @@ namespace {
 bool same_pcpg(const core::PcpgOptions& a, const core::PcpgOptions& b) {
   return a.rel_tolerance == b.rel_tolerance &&
          a.max_iterations == b.max_iterations &&
-         a.preconditioner == b.preconditioner;
+         a.preconditioner == b.preconditioner && a.block == b.block;
+}
+
+/// With cross-step recycling on, a wave additionally sticks to one tenant:
+/// the pooled solver's retained Krylov panel is scoped per tenant
+/// (FetiSolver::set_recycle_scope), so mixing tenants in one recycled wave
+/// would either leak one tenant's Krylov space into another's solve or
+/// force a clear that defeats the recycling.
+bool same_wave(const SolveJob& a, const SolveJob& b) {
+  if (!same_pcpg(a.pcpg, b.pcpg)) return false;
+  if (a.pcpg.block.enabled && a.pcpg.block.recycle && a.tenant != b.tenant)
+    return false;
+  return true;
 }
 
 }  // namespace
@@ -145,7 +157,7 @@ std::vector<SolverService::PendingJob> SolverService::next_wave() {
          it != queue_.end() &&
          wave.size() < static_cast<std::size_t>(options_.max_wave);) {
       if (it->fingerprint == wave.front().fingerprint &&
-          same_pcpg(it->job.pcpg, wave.front().job.pcpg)) {
+          same_wave(it->job, wave.front().job)) {
         wave.push_back(std::move(*it));
         it = queue_.erase(it);
       } else {
@@ -180,6 +192,10 @@ void SolverService::solve_wave(std::vector<PendingJob> wave) {
         });
     checked_out = true;
     checkout.solver->set_pcpg_options(pcpg);
+    // Tenant-scoped recycling: a scope change drops the pooled solver's
+    // retained Krylov panel, so consecutive checkouts by different tenants
+    // never share Krylov state (same-tenant consecutive waves keep it).
+    checkout.solver->set_recycle_scope(wave.front().job.tenant);
 
     std::vector<std::vector<double>> rhs(wave.size());
     for (std::size_t j = 0; j < wave.size(); ++j)
