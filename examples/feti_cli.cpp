@@ -121,12 +121,13 @@ bool parse(int argc, char** argv, Cli& cli) {
 /// discover operators without reading source.
 void list_operators(const feti::gpu::ExecutionContext* context) {
   const auto& registry = core::DualOperatorRegistry::instance();
-  Table table(
-      {"key", "gpu", "explicit", "precision", "available", "description"});
+  Table table({"key", "gpu", "explicit", "sparsity", "precision",
+               "available", "description"});
   for (const std::string& key : registry.keys()) {
     const core::DualOperatorInfo info = registry.info(key);
     table.add_row({key, registry.uses_gpu(key) ? "yes" : "no",
                    registry.is_explicit(key) ? "yes" : "no",
+                   info.axes.sparsity ? "boundary" : "-",
                    core::to_string(info.axes.precision),
                    registry.available(key, context) ? "yes" : "no",
                    info.summary});

@@ -75,6 +75,16 @@ bool prefer_f32(const WorkloadHint& w, int shards) {
   return blocks * sizeof(double) > budget && blocks * sizeof(float) <= budget;
 }
 
+/// Whether an explicit-family workload should switch to the sparsity-aware
+/// assembly (" sp" keys): the caller measured the boundary fraction and the
+/// subdomains are interior-heavy enough that the nb-column boundary solve
+/// panel beats the m-column dense one with room for the extra expansion
+/// SpMMs. 0 means unknown and never triggers; a fraction approaching 1
+/// (every DOF on the boundary) makes sp pure overhead.
+bool prefer_sparsity(const WorkloadHint& w) {
+  return w.boundary_fraction > 0.0 && w.boundary_fraction < 0.75;
+}
+
 }  // namespace
 
 std::string recommend_preconditioner(const WorkloadHint& workload,
@@ -111,6 +121,12 @@ DualOpConfig recommend_config(const ApproachAxes& axes, int dim,
   if (chosen.repr == Representation::Explicit &&
       chosen.precision == Precision::F64 && prefer_f32(workload, shards))
     chosen.precision = Precision::F32;
+  // Sparsity choice: interior-heavy subdomains (small measured boundary
+  // fraction) get the boundary-restricted assembly; a caller that already
+  // pinned the sp axis keeps it.
+  if (chosen.repr == Representation::Explicit && !chosen.sparsity &&
+      prefer_sparsity(workload))
+    chosen.sparsity = true;
   cfg.select(chosen);
   if (axes.device == ExecDevice::Cpu) return cfg;
   cfg.gpu = recommend_options(axes.api, dim, dofs_per_subdomain, nrhs_hint);

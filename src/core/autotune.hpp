@@ -47,6 +47,13 @@ struct WorkloadHint {
   /// isotropic). Strong anisotropy conditions the dual operator like a
   /// coefficient jump does.
   double aspect_ratio = 0.0;
+  /// Fraction of subdomain DOFs touched by the gluing constraints
+  /// (boundary DOFs / total DOFs, i.e. the column support of B̃ᵢ over
+  /// ndof). 0 = unknown, which never triggers the sparsity-aware
+  /// assembly; small fractions (interior-heavy subdomains) favour the
+  /// " sp" keys, whose solve panel shrinks from the m dual columns to the
+  /// nb boundary columns.
+  double boundary_fraction = 0.0;
 };
 
 /// Recommends a preconditioner registry key for a workload: well-conditioned

@@ -69,6 +69,9 @@ bool ApproachAxes::valid() const {
   // such persistent storage, so the precision axis is explicit-only.
   if (precision == Precision::F32 && repr != Representation::Explicit)
     return false;
+  // Sparsity-aware assembly restricts the RHS panel of the explicit
+  // assembly solve; the implicit families never form that panel.
+  if (sparsity && repr != Representation::Explicit) return false;
   switch (device) {
     case ExecDevice::Cpu:
       return true;  // any representation x backend pairing exists on the CPU
@@ -91,6 +94,7 @@ std::string ApproachAxes::key() const {
     case ExecDevice::Gpu: out += gpu::sparse::to_string(api); break;
     case ExecDevice::Hybrid: out += "hybrid"; break;
   }
+  if (sparsity) out += " sp";
   if (precision == Precision::F32) out += " f32";
   return out;
 }
@@ -107,18 +111,26 @@ std::string ApproachAxes::describe() const {
   }
   out += '/';
   out += to_string(precision);
+  if (sparsity) out += "/sp";
   return out;
 }
 
 ApproachAxes parse_axes(std::string_view key) {
   const std::string_view full_key = key;
-  // Optional trailing precision token: "<repr> <variant>[ f32]".
+  // Optional trailing axis tokens: "<repr> <variant>[ sp][ f32]".
   Precision precision = Precision::F64;
   constexpr std::string_view f32_suffix = " f32";
   if (key.size() > f32_suffix.size() &&
       key.substr(key.size() - f32_suffix.size()) == f32_suffix) {
     precision = Precision::F32;
     key.remove_suffix(f32_suffix.size());
+  }
+  bool sparsity = false;
+  constexpr std::string_view sp_suffix = " sp";
+  if (key.size() > sp_suffix.size() &&
+      key.substr(key.size() - sp_suffix.size()) == sp_suffix) {
+    sparsity = true;
+    key.remove_suffix(sp_suffix.size());
   }
   const std::size_t space = key.find(' ');
   if (space != std::string_view::npos) {
@@ -127,6 +139,7 @@ ApproachAxes parse_axes(std::string_view key) {
     if (repr_tok == "impl" || repr_tok == "expl") {
       ApproachAxes axes;
       axes.precision = precision;
+      axes.sparsity = sparsity;
       axes.repr = parse_representation(repr_tok);
       if (variant == "mkl" || variant == "cholmod") {
         axes.device = ExecDevice::Cpu;
@@ -220,12 +233,14 @@ ApproachAxes axes_of(Approach a) {
 Approach approach_of(const ApproachAxes& axes) {
   // The api axis only distinguishes implementations on the GPU; CPU and
   // hybrid tuples ignore it (matching valid()/key()). The nine Table-III
-  // enumerators are all fp64 — fp32 tuples have no legacy alias.
+  // enumerators are all fp64 dense-RHS — fp32 and sparsity-aware tuples
+  // have no legacy alias.
   const bool api_relevant = axes.device == ExecDevice::Gpu;
   for (const auto& row : approach_table()) {
     if (row.axes.repr == axes.repr && row.axes.device == axes.device &&
         row.axes.backend == axes.backend &&
         row.axes.precision == axes.precision &&
+        row.axes.sparsity == axes.sparsity &&
         (!api_relevant || row.axes.api == axes.api))
       return row.approach;
   }

@@ -83,12 +83,20 @@ struct ApproachAxes {
   gpu::sparse::Api api = gpu::sparse::Api::Legacy;
   /// F̃ storage/apply precision; F32 is valid only with Explicit.
   Precision precision = Precision::F64;
+  /// Sparsity-aware assembly: restrict the K⁻¹ solve to the boundary DOF
+  /// columns (the column support of B̃ᵢ) instead of the full dense RHS
+  /// panel. The assembled F̃ᵢ, scatter/gather, and the apply phase are
+  /// unchanged — only the per-step assembly cost shrinks with the boundary
+  /// fraction. Valid only with Explicit (the implicit families never form
+  /// an RHS panel).
+  bool sparsity = false;
 
   bool operator==(const ApproachAxes&) const = default;
 
   [[nodiscard]] bool valid() const;
-  /// The Table-III registry key, e.g. "impl mkl" or "expl legacy"; the F32
-  /// precision appends an " f32" suffix ("expl legacy f32").
+  /// The Table-III registry key, e.g. "impl mkl" or "expl legacy"; the
+  /// sparsity-aware variant appends " sp" ("expl legacy sp") and the F32
+  /// precision appends an " f32" suffix after it ("expl legacy sp f32").
   /// Requires valid().
   [[nodiscard]] std::string key() const;
   /// Human-readable axis dump, e.g. "explicit/gpu/simplicial/legacy".
@@ -96,8 +104,8 @@ struct ApproachAxes {
 };
 
 /// Parses a Table-III key ("expl legacy", "impl cholmod", "expl mkl f32",
-/// ...) back into its axis tuple. Throws std::invalid_argument for unknown
-/// keys.
+/// "expl legacy sp", "expl hybrid sp f32", ...) back into its axis tuple.
+/// Throws std::invalid_argument for unknown keys.
 ApproachAxes parse_axes(std::string_view key);
 
 // ---------------------------------------------------------------------------

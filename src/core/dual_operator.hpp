@@ -141,6 +141,18 @@ class DualOperator {
   /// achieved GB/s. The sharded wrapper sums over its shards.
   [[nodiscard]] virtual std::size_t apply_bytes() const { return 0; }
 
+  /// Total K⁻¹ solve columns performed by the explicit assembly across all
+  /// update_values() calls so far: a dense-RHS refresh of one subdomain
+  /// counts its full dual width m, a sparsity-aware ("sp") refresh counts
+  /// only the boundary width nb. Deterministic (counted, not timed), so
+  /// benches can gate the boundary-fraction reduction of the sp variants.
+  /// Implicit families perform no assembly solves and stay 0. The sharded
+  /// wrapper sums over its shards. Accumulates from construction; never
+  /// resets. Safe to read concurrently with update_values().
+  [[nodiscard]] virtual long solve_columns() const {
+    return solve_columns_.load(std::memory_order_relaxed);
+  }
+
  protected:
   /// Single-vector application hook: y = F x.
   virtual void apply_one(const double* x, double* y) = 0;
@@ -174,6 +186,9 @@ class DualOperator {
   /// Incremented by the base apply_many; atomic so diagnostic readers on
   /// other threads (the service layer) never race the applying thread.
   std::atomic<long> loop_fallbacks_{0};
+  /// Incremented by the explicit implementations per refreshed subdomain
+  /// (m dense / nb sp); atomic for the same concurrent-reader contract.
+  std::atomic<long> solve_columns_{0};
   /// Maintained by begin_update/end_update; atomic per counter for the
   /// same concurrent-reader contract.
   AtomicCacheStats cache_stats_;

@@ -22,6 +22,7 @@
 
 #include "core/dualop_impls.hpp"
 #include "core/dualop_registry.hpp"
+#include "decomp/boundary.hpp"
 #include "util/omp_guard.hpp"
 #include "la/blas_dense.hpp"
 #include "la/blas_sparse.hpp"
@@ -42,6 +43,29 @@ la::Csr permute_columns(const la::Csr& b, const std::vector<idx>& perm) {
     for (idx k = b.row_begin(r); k < b.row_end(r); ++k)
       t.push_back({r, iperm[b.col(k)], b.val(k)});
   return la::Csr::from_triplets(b.nrows(), b.ncols(), std::move(t));
+}
+
+/// Expands the boundary-restricted Gram block G_bb = E_b K⁻¹ E_bᵀ (with
+/// only the `stored` triangle valid on entry) into the full F̃ target:
+/// F̃ = B_b G_bb B_bᵀ via two sparse multiplies, reusing the first
+/// product's storage as the transposed view for the second (the same trick
+/// as the Dirichlet preconditioner's B_b S B_bᵀ). Writes the whole m × m
+/// rectangle of `target`.
+void expand_boundary(const la::Csr& b_b, la::DenseView g, la::Uplo stored,
+                     la::DenseView target) {
+  la::symmetrize_from(g, stored);
+  const idx m = target.rows;
+  const idx nb = g.rows;
+  la::DenseMatrix t(m, nb, la::Layout::RowMajor);
+  la::spmm(1.0, b_b, la::Trans::No, la::ConstDenseView(g), 0.0, t.view());
+  const la::ConstDenseView t_trans{t.data(), nb, m, t.ld(),
+                                   la::Layout::ColMajor};
+  la::spmm(1.0, b_b, la::Trans::No, t_trans, 0.0, target);
+}
+
+void zero_fill(la::DenseView v) {
+  for (idx c = 0; c < v.cols; ++c)
+    for (idx r = 0; r < v.rows; ++r) v.at(r, c) = 0.0;
 }
 
 // ---------------------------------------------------------------------------
@@ -353,20 +377,37 @@ class ExplicitCpuSchurDualOp final : public ExplicitCpuBaseT<T> {
 
  public:
   ExplicitCpuSchurDualOp(const decomp::FetiProblem& p,
-                         sparse::OrderingKind ordering)
-      : Base(p), ordering_(ordering) {}
+                         sparse::OrderingKind ordering, bool sparsity)
+      : Base(p), ordering_(ordering), sparsity_(sparsity) {}
 
   void prepare() override {
     ScopedTimer t(timings_, "prepare");
     const idx nsub = p_.num_subdomains();
     solvers_.resize(static_cast<std::size_t>(nsub));
+    if (sparsity_) {
+      boundary_.resize(solvers_.size());
+      e_b_.resize(solvers_.size());
+    }
     this->alloc_dense_f();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
     for (idx s = 0; s < nsub; ++s) {
       guard.run([&, s] {
         solvers_[s] = std::make_unique<sparse::SupernodalCholesky>();
-        solvers_[s]->analyze_schur(p_.sub[s].k_reg, p_.sub[s].b, ordering_);
+        if (sparsity_) {
+          // Boundary-restricted Schur: the augmented factorization runs
+          // against the nb-row selection E_b instead of the m-row B̃ᵢ.
+          boundary_[s] = decomp::boundary_dofs(p_.sub[s]);
+          e_b_[s] = decomp::boundary_selection(boundary_[s],
+                                               p_.sub[s].ndof());
+          if (boundary_[s].count() > 0)
+            solvers_[s]->analyze_schur(p_.sub[s].k_reg, e_b_[s], ordering_);
+          else
+            solvers_[s]->analyze(p_.sub[s].k_reg, ordering_);
+        } else {
+          solvers_[s]->analyze_schur(p_.sub[s].k_reg, p_.sub[s].b,
+                                     ordering_);
+        }
       });
     }
     guard.rethrow();
@@ -384,8 +425,25 @@ class ExplicitCpuSchurDualOp final : public ExplicitCpuBaseT<T> {
         const idx s = plan.dirty[static_cast<std::size_t>(k)];
         la::DenseMatrix scratch;
         la::DenseView target = this->assembly_target(s, scratch);
-        solvers_[s]->factorize_schur(p_.sub[s].k_reg, p_.sub[s].b, target,
-                                     la::Uplo::Upper);
+        if (sparsity_) {
+          const idx nb = boundary_[s].count();
+          if (nb == 0) {
+            solvers_[s]->factorize(p_.sub[s].k_reg);
+            zero_fill(target);
+          } else {
+            la::DenseMatrix g(nb, nb, la::Layout::ColMajor);
+            solvers_[s]->factorize_schur(p_.sub[s].k_reg, e_b_[s], g.view(),
+                                         la::Uplo::Upper);
+            expand_boundary(boundary_[s].b_b, g.view(), la::Uplo::Upper,
+                            target);
+            this->solve_columns_.fetch_add(nb, std::memory_order_relaxed);
+          }
+        } else {
+          solvers_[s]->factorize_schur(p_.sub[s].k_reg, p_.sub[s].b, target,
+                                       la::Uplo::Upper);
+          this->solve_columns_.fetch_add(p_.sub[s].num_local_lambdas(),
+                                         std::memory_order_relaxed);
+        }
         this->commit_f(s, scratch);
       });
     }
@@ -398,12 +456,17 @@ class ExplicitCpuSchurDualOp final : public ExplicitCpuBaseT<T> {
   }
 
   [[nodiscard]] const char* name() const override {
-    return Base::precision_name("expl mkl", "expl mkl f32");
+    return sparsity_
+               ? Base::precision_name("expl mkl sp", "expl mkl sp f32")
+               : Base::precision_name("expl mkl", "expl mkl f32");
   }
 
  private:
   sparse::OrderingKind ordering_;
+  bool sparsity_;
   std::vector<std::unique_ptr<sparse::SupernodalCholesky>> solvers_;
+  std::vector<decomp::BoundaryDofs> boundary_;  ///< sp only
+  std::vector<la::Csr> e_b_;                    ///< sp only: selection E_b
 };
 
 /// expl cholmod: factor extraction, densified B̃ᵀ, TRSM + SYRK.
@@ -415,14 +478,15 @@ class ExplicitCpuTrsmDualOp final : public ExplicitCpuBaseT<T> {
 
  public:
   ExplicitCpuTrsmDualOp(const decomp::FetiProblem& p,
-                        sparse::OrderingKind ordering)
-      : Base(p), ordering_(ordering) {}
+                        sparse::OrderingKind ordering, bool sparsity)
+      : Base(p), ordering_(ordering), sparsity_(sparsity) {}
 
   void prepare() override {
     ScopedTimer t(timings_, "prepare");
     const idx nsub = p_.num_subdomains();
     solvers_.resize(static_cast<std::size_t>(nsub));
     bperm_.resize(solvers_.size());
+    if (sparsity_) boundary_.resize(solvers_.size());
     this->alloc_dense_f();
     OmpExceptionGuard guard;
 #pragma omp parallel for schedule(dynamic)
@@ -430,7 +494,17 @@ class ExplicitCpuTrsmDualOp final : public ExplicitCpuBaseT<T> {
       guard.run([&, s] {
         solvers_[s] = std::make_unique<sparse::SimplicialCholesky>();
         solvers_[s]->analyze(p_.sub[s].k_reg, ordering_);
-        bperm_[s] = permute_columns(p_.sub[s].b, solvers_[s]->permutation());
+        if (sparsity_) {
+          // Boundary-restricted RHS: the forward solve runs against the
+          // nb-column selection E_bᵀ instead of the m-column densified B̃ᵢᵀ.
+          boundary_[s] = decomp::boundary_dofs(p_.sub[s]);
+          bperm_[s] = permute_columns(
+              decomp::boundary_selection(boundary_[s], p_.sub[s].ndof()),
+              solvers_[s]->permutation());
+        } else {
+          bperm_[s] =
+              permute_columns(p_.sub[s].b, solvers_[s]->permutation());
+        }
       });
     }
     guard.rethrow();
@@ -449,19 +523,36 @@ class ExplicitCpuTrsmDualOp final : public ExplicitCpuBaseT<T> {
         const auto& fs = p_.sub[s];
         solvers_[s]->factorize(fs.k_reg);
         const la::Csr& u = solvers_[s]->factor_upper();
-        // Densified right-hand side X = (B̃ᵢ P^T)^T — the point the paper
-        // makes about this approach: the sparsity of B̃ᵢ is not used.
-        la::DenseMatrix x(fs.ndof(), fs.num_local_lambdas(),
-                          la::Layout::RowMajor);
+        la::DenseMatrix scratch;
+        la::DenseView target = this->assembly_target(s, scratch);
+        // The solve panel: the sp variant restricts it to the nb boundary
+        // columns (E_b Pᵀ)ᵀ; the dense one densifies all m columns of
+        // (B̃ᵢ Pᵀ)ᵀ — the point the paper makes about this approach: the
+        // sparsity of B̃ᵢ is not used.
+        const idx cols = bperm_[s].nrows();
+        if (sparsity_ && cols == 0) {
+          zero_fill(target);
+          this->commit_f(s, scratch);
+          return;
+        }
+        la::DenseMatrix x(fs.ndof(), cols, la::Layout::RowMajor);
         for (idx r = 0; r < bperm_[s].nrows(); ++r)
           for (idx k = bperm_[s].row_begin(r); k < bperm_[s].row_end(r); ++k)
             x.at(bperm_[s].col(k), r) = bperm_[s].val(k);
-        // Forward solve L X = X (U^T X = X), then F = X^T X.
+        // Forward solve L X = X (U^T X = X), then the Gram matrix X^T X:
+        // the full F̃ for the dense variant, G_bb = E_b K⁻¹ E_bᵀ for sp.
         la::sp_trsm(la::Uplo::Upper, la::Trans::Yes, u, x.view());
-        la::DenseMatrix scratch;
-        la::DenseView target = this->assembly_target(s, scratch);
-        la::syrk(la::Uplo::Upper, la::Trans::Yes, 1.0, x.cview(), 0.0,
-                 target);
+        if (sparsity_) {
+          la::DenseMatrix g(cols, cols, la::Layout::ColMajor);
+          la::syrk(la::Uplo::Upper, la::Trans::Yes, 1.0, x.cview(), 0.0,
+                   g.view());
+          expand_boundary(boundary_[s].b_b, g.view(), la::Uplo::Upper,
+                          target);
+        } else {
+          la::syrk(la::Uplo::Upper, la::Trans::Yes, 1.0, x.cview(), 0.0,
+                   target);
+        }
+        this->solve_columns_.fetch_add(cols, std::memory_order_relaxed);
         this->commit_f(s, scratch);
       });
     }
@@ -474,13 +565,17 @@ class ExplicitCpuTrsmDualOp final : public ExplicitCpuBaseT<T> {
   }
 
   [[nodiscard]] const char* name() const override {
-    return Base::precision_name("expl cholmod", "expl cholmod f32");
+    return sparsity_ ? Base::precision_name("expl cholmod sp",
+                                            "expl cholmod sp f32")
+                     : Base::precision_name("expl cholmod", "expl cholmod f32");
   }
 
  private:
   sparse::OrderingKind ordering_;
+  bool sparsity_;
   std::vector<std::unique_ptr<sparse::SimplicialCholesky>> solvers_;
-  std::vector<la::Csr> bperm_;
+  std::vector<la::Csr> bperm_;  ///< (B̃ᵢ Pᵀ) dense variant, (E_b Pᵀ) sp
+  std::vector<decomp::BoundaryDofs> boundary_;  ///< sp only
 };
 
 }  // namespace
@@ -493,30 +588,36 @@ std::unique_ptr<DualOperator> make_implicit_cpu(
 
 std::unique_ptr<DualOperator> make_explicit_cpu_schur(
     const decomp::FetiProblem& p, sparse::OrderingKind ordering,
-    Precision precision) {
+    Precision precision, bool sparsity) {
   if (precision == Precision::F32)
-    return std::make_unique<ExplicitCpuSchurDualOp<float>>(p, ordering);
-  return std::make_unique<ExplicitCpuSchurDualOp<double>>(p, ordering);
+    return std::make_unique<ExplicitCpuSchurDualOp<float>>(p, ordering,
+                                                           sparsity);
+  return std::make_unique<ExplicitCpuSchurDualOp<double>>(p, ordering,
+                                                          sparsity);
 }
 
 std::unique_ptr<DualOperator> make_explicit_cpu_trsm(
     const decomp::FetiProblem& p, sparse::OrderingKind ordering,
-    Precision precision) {
+    Precision precision, bool sparsity) {
   if (precision == Precision::F32)
-    return std::make_unique<ExplicitCpuTrsmDualOp<float>>(p, ordering);
-  return std::make_unique<ExplicitCpuTrsmDualOp<double>>(p, ordering);
+    return std::make_unique<ExplicitCpuTrsmDualOp<float>>(p, ordering,
+                                                          sparsity);
+  return std::make_unique<ExplicitCpuTrsmDualOp<double>>(p, ordering,
+                                                         sparsity);
 }
 
 void register_cpu_dual_operators(DualOperatorRegistry& registry) {
   using R = Representation;
   using D = ExecDevice;
   using B = sparse::Backend;
-  const auto axes = [](R r, B b, Precision prec = Precision::F64) {
+  const auto axes = [](R r, B b, Precision prec = Precision::F64,
+                       bool sp = false) {
     ApproachAxes a;
     a.repr = r;
     a.device = D::Cpu;
     a.backend = b;
     a.precision = prec;
+    a.sparsity = sp;
     return a;
   };
   registry.add(
@@ -531,30 +632,35 @@ void register_cpu_dual_operators(DualOperatorRegistry& registry) {
       [](const decomp::FetiProblem& p, const DualOpConfig& c, gpu::ExecutionContext*) {
         return make_implicit_cpu(p, B::Simplicial, c.ordering);
       });
-  for (Precision prec : {Precision::F64, Precision::F32}) {
-    const char* suffix = prec == Precision::F32 ? " f32" : "";
-    const char* storage =
-        prec == Precision::F32 ? ", fp32 storage + fp64 accumulation" : "";
-    registry.add(
-        {std::string("expl mkl") + suffix, axes(R::Explicit, B::Supernodal,
-                                                prec),
-         std::string("explicit F̃ via the augmented Schur complement on the "
-                     "CPU") +
-             storage},
-        [prec](const decomp::FetiProblem& p, const DualOpConfig& c,
-               gpu::ExecutionContext*) {
-          return make_explicit_cpu_schur(p, c.ordering, prec);
-        });
-    registry.add(
-        {std::string("expl cholmod") + suffix,
-         axes(R::Explicit, B::Simplicial, prec),
-         std::string("explicit F̃ via factor extraction + dense TRSM on the "
-                     "CPU") +
-             storage},
-        [prec](const decomp::FetiProblem& p, const DualOpConfig& c,
-               gpu::ExecutionContext*) {
-          return make_explicit_cpu_trsm(p, c.ordering, prec);
-        });
+  for (bool sp : {false, true}) {
+    const char* sp_suffix = sp ? " sp" : "";
+    const char* restrict_note =
+        sp ? ", boundary-restricted RHS panel" : "";
+    for (Precision prec : {Precision::F64, Precision::F32}) {
+      const char* suffix = prec == Precision::F32 ? " f32" : "";
+      const char* storage =
+          prec == Precision::F32 ? ", fp32 storage + fp64 accumulation" : "";
+      registry.add(
+          {std::string("expl mkl") + sp_suffix + suffix,
+           axes(R::Explicit, B::Supernodal, prec, sp),
+           std::string("explicit F̃ via the augmented Schur complement on "
+                       "the CPU") +
+               restrict_note + storage},
+          [prec, sp](const decomp::FetiProblem& p, const DualOpConfig& c,
+                     gpu::ExecutionContext*) {
+            return make_explicit_cpu_schur(p, c.ordering, prec, sp);
+          });
+      registry.add(
+          {std::string("expl cholmod") + sp_suffix + suffix,
+           axes(R::Explicit, B::Simplicial, prec, sp),
+           std::string("explicit F̃ via factor extraction + dense TRSM on "
+                       "the CPU") +
+               restrict_note + storage},
+          [prec, sp](const decomp::FetiProblem& p, const DualOpConfig& c,
+                     gpu::ExecutionContext*) {
+            return make_explicit_cpu_trsm(p, c.ordering, prec, sp);
+          });
+    }
   }
 }
 

@@ -34,6 +34,7 @@
 
 #include "core/dualop_impls.hpp"
 #include "core/dualop_registry.hpp"
+#include "decomp/boundary.hpp"
 #include "util/omp_guard.hpp"
 #include "gpu/blas.hpp"
 #include "gpu/kernels.hpp"
@@ -55,6 +56,24 @@ la::Csr permute_columns(const la::Csr& b, const std::vector<idx>& perm) {
     for (idx k = b.row_begin(r); k < b.row_end(r); ++k)
       t.push_back({r, iperm[b.col(k)], b.val(k)});
   return la::Csr::from_triplets(b.nrows(), b.ncols(), std::move(t));
+}
+
+/// Host-side boundary expansion of the sparsity-aware hybrid operator
+/// (same algebra as the CPU sp families): mirrors the one-triangle
+/// boundary Gram block G_bb = E_b K_reg⁻¹ E_bᵀ and multiplies
+/// F̃ = B_b G_bb B_bᵀ through two SpMMs — the transposed view of the
+/// row-major intermediate serves as the second operand, so no explicit
+/// transpose is formed. Writes the full m×m target.
+void expand_boundary(const la::Csr& b_b, la::DenseView g, la::Uplo stored,
+                     la::DenseView target) {
+  la::symmetrize_from(g, stored);
+  const idx m = target.rows;
+  const idx nb = g.rows;
+  la::DenseMatrix t(m, nb, la::Layout::RowMajor);
+  la::spmm(1.0, b_b, la::Trans::No, la::ConstDenseView(g), 0.0, t.view());
+  const la::ConstDenseView t_trans{t.data(), nb, m, t.ld(),
+                                   la::Layout::ColMajor};
+  la::spmm(1.0, b_b, la::Trans::No, t_trans, 0.0, target);
 }
 
 /// The subdomains an operator is responsible for: the explicit subset when
@@ -379,14 +398,16 @@ class ExplicitGpuDualOpT final : public DualOperator {
   ExplicitGpuDualOpT(const decomp::FetiProblem& p, gpu::sparse::Api api,
                      const ExplicitGpuOptions& opt,
                      sparse::OrderingKind ordering, gpu::ExecutionContext& ctx,
-                     std::vector<idx> owned)
+                     std::vector<idx> owned, bool sparsity)
       : DualOperator(p), api_(api), opt_(opt), ordering_(ordering),
         ctx_(ctx), dev_(ctx.device()),
-        owned_(resolve_owned(p, std::move(owned))) {}
+        owned_(resolve_owned(p, std::move(owned))), sparsity_(sparsity) {}
 
   ~ExplicitGpuDualOpT() override {
     dev_.synchronize();
     for (auto& b : bperm_dev_) gpu::free_csr(dev_, b);
+    for (auto& e : eperm_dev_) gpu::free_csr(dev_, e);
+    for (auto& b : bb_dev_) gpu::free_csr(dev_, b);
     for (auto& f : factor_dev_) gpu::free_csr(dev_, f);
     // packed_ stays empty if prepare() failed before allocate_f().
     for (std::size_t s = 0; s < f_.size(); ++s)
@@ -405,14 +426,22 @@ class ExplicitGpuDualOpT final : public DualOperator {
     solvers_.resize(nsub);
     bperm_host_.resize(nsub);
     bperm_dev_.resize(nsub);
+    boundary_.resize(nsub);
+    eperm_host_.resize(nsub);
+    eperm_dev_.resize(nsub);
+    bb_dev_.resize(nsub);
     factor_dev_.resize(nsub);
     fwd_plan_.resize(nsub);
     bwd_plan_.resize(nsub);
     f_.resize(nsub);
 
+    // The sparsity-aware assembly never runs a backward solve (F̃ comes out
+    // of the boundary Gram block via SYRK), so its only dense-factor
+    // consumer is a Dense forward storage.
     const bool need_dense_factor =
         opt_.fwd_storage == FactorStorage::Dense ||
-        (opt_.path == Path::Trsm && opt_.bwd_storage == FactorStorage::Dense);
+        (!sparsity_ && opt_.path == Path::Trsm &&
+         opt_.bwd_storage == FactorStorage::Dense);
 
     const idx nown = static_cast<idx>(owned_.size());
     OmpExceptionGuard guard;
@@ -425,22 +454,41 @@ class ExplicitGpuDualOpT final : public DualOperator {
         // Symbolic factorization on the CPU.
         solvers_[s] = std::make_unique<sparse::SimplicialCholesky>();
         solvers_[s]->analyze(fs.k_reg, ordering_);
-        // Constant data to the device: the (column-permuted) gluing matrix
-        // and the factor structure.
-        bperm_host_[s] = permute_columns(fs.b, solvers_[s]->permutation());
-        bperm_dev_[s] = gpu::upload_csr(dev_, st, bperm_host_[s]);
         const la::Csr& u = solvers_[s]->factor_upper_structure();
         if (need_dense_factor) factor_dev_[s] = gpu::upload_csr(dev_, st, u);
         const idx m = fs.num_local_lambdas();
-        if (opt_.fwd_storage == FactorStorage::Sparse)
-          fwd_plan_[s] = gpu::sparse::SpTrsmPlan(
-              dev_, st, api_, u, opt_.fwd_order, /*forward=*/true,
-              opt_.rhs_order, m);
-        if (opt_.path == Path::Trsm &&
-            opt_.bwd_storage == FactorStorage::Sparse)
-          bwd_plan_[s] = gpu::sparse::SpTrsmPlan(
-              dev_, st, api_, u, opt_.bwd_order, /*forward=*/false,
-              opt_.rhs_order, m);
+        if (sparsity_) {
+          // Constant data of the boundary-restricted assembly: the
+          // (column-permuted) boundary selection E_b as the solve RHS and
+          // the column-compressed gluing matrix B_b for the expansion.
+          boundary_[s] = decomp::boundary_dofs(fs);
+          const idx nb = boundary_[s].count();
+          if (nb > 0) {
+            eperm_host_[s] = permute_columns(
+                decomp::boundary_selection(boundary_[s], fs.ndof()),
+                solvers_[s]->permutation());
+            eperm_dev_[s] = gpu::upload_csr(dev_, st, eperm_host_[s]);
+            bb_dev_[s] = gpu::upload_csr(dev_, st, boundary_[s].b_b);
+            if (opt_.fwd_storage == FactorStorage::Sparse)
+              fwd_plan_[s] = gpu::sparse::SpTrsmPlan(
+                  dev_, st, api_, u, opt_.fwd_order, /*forward=*/true,
+                  opt_.rhs_order, nb);
+          }
+        } else {
+          // Constant data to the device: the (column-permuted) gluing
+          // matrix and the factor structure.
+          bperm_host_[s] = permute_columns(fs.b, solvers_[s]->permutation());
+          bperm_dev_[s] = gpu::upload_csr(dev_, st, bperm_host_[s]);
+          if (opt_.fwd_storage == FactorStorage::Sparse)
+            fwd_plan_[s] = gpu::sparse::SpTrsmPlan(
+                dev_, st, api_, u, opt_.fwd_order, /*forward=*/true,
+                opt_.rhs_order, m);
+          if (opt_.path == Path::Trsm &&
+              opt_.bwd_storage == FactorStorage::Sparse)
+            bwd_plan_[s] = gpu::sparse::SpTrsmPlan(
+                dev_, st, api_, u, opt_.bwd_order, /*forward=*/false,
+                opt_.rhs_order, m);
+        }
       });
     }
     guard.rethrow();
@@ -475,6 +523,11 @@ class ExplicitGpuDualOpT final : public DualOperator {
         if (bwd_plan_[s].valid()) bwd_plan_[s].update_values(st, u);
         if (factor_dev_[s].vals != nullptr)
           gpu::update_csr_values(st, factor_dev_[s], u);
+
+        if (sparsity_) {
+          assemble_boundary(s, st, temp);
+          return;
+        }
 
         // Temporary buffers for this subdomain (blocking pool allocator).
         auto* x_buf = static_cast<double*>(
@@ -545,6 +598,7 @@ class ExplicitGpuDualOpT final : public DualOperator {
           gpu::sparse::spmm(st, 1.0, bperm_dev_[s], la::Trans::No, x, 0.0,
                             f_target);
         }
+        solve_columns_.fetch_add(m, std::memory_order_relaxed);
 
         // fp32 storage: demote the assembled fp64 block into the
         // persistent fp32 one. The SYRK path wrote only one triangle (and
@@ -621,12 +675,14 @@ class ExplicitGpuDualOpT final : public DualOperator {
   }
 
   [[nodiscard]] const char* name() const override {
-    if constexpr (std::is_same_v<T, float>)
-      return api_ == gpu::sparse::Api::Legacy ? "expl legacy f32"
-                                              : "expl modern f32";
-    else
-      return api_ == gpu::sparse::Api::Legacy ? "expl legacy"
-                                              : "expl modern";
+    const bool legacy = api_ == gpu::sparse::Api::Legacy;
+    if constexpr (std::is_same_v<T, float>) {
+      if (sparsity_) return legacy ? "expl legacy sp f32" : "expl modern sp f32";
+      return legacy ? "expl legacy f32" : "expl modern f32";
+    } else {
+      if (sparsity_) return legacy ? "expl legacy sp" : "expl modern sp";
+      return legacy ? "expl legacy" : "expl modern";
+    }
   }
 
   /// Bytes of device memory held by the F̃ᵢ matrices (packing ablation and
@@ -656,7 +712,11 @@ class ExplicitGpuDualOpT final : public DualOperator {
     f_.resize(nsub);
     uplo_.assign(nsub, la::Uplo::Upper);
     packed_.assign(nsub, false);
-    const bool pack = opt_.symmetric_pack && opt_.path == Path::Syrk;
+    // The sparsity-aware assembly writes the full m×m block (the two-SpMM
+    // expansion has no triangle-only form), so the footnote-1 triangle
+    // pairing is incompatible with it.
+    const bool pack =
+        opt_.symmetric_pack && opt_.path == Path::Syrk && !sparsity_;
 
     std::map<idx, std::vector<idx>> by_size;
     for (idx s : owned_)
@@ -686,17 +746,119 @@ class ExplicitGpuDualOpT final : public DualOperator {
     }
   }
 
+  /// Sparsity-aware refresh of one subdomain (the " sp" keys): the forward
+  /// solve runs against the nb boundary columns E_bᵀ instead of the m dual
+  /// columns B̃ᵢᵀ, the boundary Gram block G_bb = E_b K_reg⁻¹ E_bᵀ comes out
+  /// of one SYRK, and F̃ᵢ = B_b G_bb B_bᵀ expands through two SpMMs. The
+  /// full m×m block is written (never triangle-packed), so the symmetric
+  /// apply against the stored Upper triangle stays valid.
+  void assemble_boundary(idx s, gpu::Stream& st, gpu::TempAllocator& temp) {
+    const auto& fs = p_.sub[s];
+    const idx n = fs.ndof();
+    const idx m = fs.num_local_lambdas();
+    const idx nb = boundary_[s].count();
+
+    // The fp64 assembly target: the persistent block itself for the fp64
+    // operator, a temporary fp64 buffer for the fp32 one.
+    double* f_scratch = nullptr;
+    gpu::DeviceDense f_target;
+    if constexpr (std::is_same_v<T, float>) {
+      f_scratch = static_cast<double*>(
+          temp.alloc(sizeof(double) * static_cast<std::size_t>(m) * m));
+      f_target = gpu::DeviceDense{f_scratch, m, m, m, la::Layout::ColMajor};
+    } else {
+      f_target = f_[s];
+    }
+
+    if (nb == 0) {
+      // No boundary coupling: the local dual operator is identically zero.
+      gpu::kernels::fill_zero(st, f_target.data, m * m);
+      if constexpr (std::is_same_v<T, float>)
+        gpu::kernels::demote(st, f_target, f_[s]);
+      if (f_scratch != nullptr)
+        st.submit([&temp, f_scratch] { temp.free(f_scratch); });
+      return;
+    }
+
+    // Boundary-restricted dense RHS W = (E_b P^T)^T, converted on the
+    // device: n × nb instead of the dense path's n × m.
+    auto* w_buf = static_cast<double*>(
+        temp.alloc(sizeof(double) * static_cast<std::size_t>(n) * nb));
+    gpu::DeviceDense w{w_buf, n, nb,
+                       opt_.rhs_order == la::Layout::RowMajor ? nb : n,
+                       opt_.rhs_order};
+    gpu::sparse::csr_to_dense_transposed(st, eperm_dev_[s], w);
+
+    // Forward solve L W = W.
+    double* dense_fwd = nullptr;
+    void* ws_fwd = nullptr;
+    if (opt_.fwd_storage == FactorStorage::Sparse) {
+      const std::size_t wb = fwd_plan_[s].workspace_bytes(nb);
+      if (wb > 0) ws_fwd = temp.alloc(wb);
+      fwd_plan_[s].solve(st, w, ws_fwd);
+    } else {
+      dense_fwd = static_cast<double*>(
+          temp.alloc(sizeof(double) * static_cast<std::size_t>(n) * n));
+      gpu::DeviceDense df{dense_fwd, n, n, n, opt_.fwd_order};
+      gpu::sparse::csr_to_dense(st, factor_dev_[s], df);
+      gpu::blas::trsm(st, la::Uplo::Upper, la::Trans::Yes, df, w);
+    }
+
+    // G_bb = WᵀW (one SYRK over the boundary panel), mirrored to the full
+    // symmetric operand of the expansion SpMMs.
+    auto* g_buf = static_cast<double*>(
+        temp.alloc(sizeof(double) * static_cast<std::size_t>(nb) * nb));
+    gpu::DeviceDense g{g_buf, nb, nb, nb, la::Layout::ColMajor};
+    gpu::blas::syrk(st, la::Uplo::Upper, la::Trans::Yes, 1.0, w, 0.0, g);
+    gpu::kernels::symmetrize(st, la::Uplo::Upper, g);
+
+    // F̃ᵢ = B_b G_bb B_bᵀ: T = B_b G (m × nb, row-major), then the
+    // column-major reinterpretation of T's buffer is Tᵀ, so the second
+    // SpMM needs no explicit transpose.
+    auto* t_buf = static_cast<double*>(
+        temp.alloc(sizeof(double) * static_cast<std::size_t>(m) * nb));
+    gpu::DeviceDense t{t_buf, m, nb, nb, la::Layout::RowMajor};
+    gpu::sparse::spmm(st, 1.0, bb_dev_[s], la::Trans::No, g, 0.0, t);
+    const gpu::DeviceDense t_trans{t_buf, nb, m, nb, la::Layout::ColMajor};
+    gpu::sparse::spmm(st, 1.0, bb_dev_[s], la::Trans::No, t_trans, 0.0,
+                      f_target);
+
+    // fp32 storage: the sp expansion wrote the full block, so the demotion
+    // is full-rectangle (sp blocks are never triangle-packed).
+    if constexpr (std::is_same_v<T, float>)
+      gpu::kernels::demote(st, f_target, f_[s]);
+
+    solve_columns_.fetch_add(nb, std::memory_order_relaxed);
+
+    st.submit([&temp, w_buf, dense_fwd, ws_fwd, g_buf, t_buf, f_scratch] {
+      temp.free(w_buf);
+      if (dense_fwd != nullptr) temp.free(dense_fwd);
+      if (ws_fwd != nullptr) temp.free(ws_fwd);
+      temp.free(g_buf);
+      temp.free(t_buf);
+      if (f_scratch != nullptr) temp.free(f_scratch);
+    });
+  }
+
   gpu::sparse::Api api_;
   ExplicitGpuOptions opt_;
   sparse::OrderingKind ordering_;
   gpu::ExecutionContext& ctx_;
   gpu::Device& dev_;
   std::vector<idx> owned_;
+  bool sparsity_ = false;  ///< boundary-restricted assembly (" sp" keys)
   gpu::Stream main_stream_;
   std::vector<gpu::Stream> streams_;
   std::vector<std::unique_ptr<sparse::SimplicialCholesky>> solvers_;
   std::vector<la::Csr> bperm_host_;
   std::vector<gpu::DeviceCsr> bperm_dev_;
+  /// sp-only state: per-subdomain boundary DOF sets (boundary_[s].b_b is
+  /// the host column-compressed gluing matrix behind bb_dev_[s]), the
+  /// permuted boundary selection E_b on host and device.
+  std::vector<decomp::BoundaryDofs> boundary_;
+  std::vector<la::Csr> eperm_host_;
+  std::vector<gpu::DeviceCsr> eperm_dev_;
+  std::vector<gpu::DeviceCsr> bb_dev_;
   std::vector<gpu::DeviceCsr> factor_dev_;
   std::vector<gpu::sparse::SpTrsmPlan> fwd_plan_, bwd_plan_;
   std::vector<gpu::DeviceDenseT<T>> f_;
@@ -931,9 +1093,10 @@ class HybridDualOpT final : public DualOperator {
  public:
   HybridDualOpT(const decomp::FetiProblem& p, const ExplicitGpuOptions& opt,
                 sparse::OrderingKind ordering, gpu::ExecutionContext& ctx,
-                std::vector<idx> owned)
+                std::vector<idx> owned, bool sparsity)
       : DualOperator(p), opt_(opt), ordering_(ordering), ctx_(ctx),
-        dev_(ctx.device()), owned_(resolve_owned(p, std::move(owned))) {}
+        dev_(ctx.device()), owned_(resolve_owned(p, std::move(owned))),
+        sparsity_(sparsity) {}
 
   ~HybridDualOpT() override {
     dev_.synchronize();
@@ -946,6 +1109,8 @@ class HybridDualOpT final : public DualOperator {
     main_stream_ = ctx_.main_stream();
     streams_ = ctx_.stream_span(opt_.streams);
     solvers_.resize(nsub);
+    boundary_.resize(nsub);
+    e_b_.resize(nsub);
     f_host_.resize(nsub);
     f_dev_.resize(nsub);
     if constexpr (std::is_same_v<T, float>) f_host32_.resize(nsub);
@@ -957,7 +1122,21 @@ class HybridDualOpT final : public DualOperator {
         const idx s = owned_[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
         solvers_[s] = std::make_unique<sparse::SupernodalCholesky>();
-        solvers_[s]->analyze_schur(fs.k_reg, fs.b, ordering_);
+        if (sparsity_) {
+          // Boundary-restricted Schur analysis: the dense Schur target
+          // shrinks from the m dual rows of B̃ᵢ to the nb boundary rows of
+          // the selection E_b. A subdomain with no boundary coupling falls
+          // back to a plain factorization (its F̃ᵢ is identically zero but
+          // kplus_solve must still work).
+          boundary_[s] = decomp::boundary_dofs(fs);
+          e_b_[s] = decomp::boundary_selection(boundary_[s], fs.ndof());
+          if (boundary_[s].count() > 0)
+            solvers_[s]->analyze_schur(fs.k_reg, e_b_[s], ordering_);
+          else
+            solvers_[s]->analyze(fs.k_reg, ordering_);
+        } else {
+          solvers_[s]->analyze_schur(fs.k_reg, fs.b, ordering_);
+        }
         const idx m = fs.num_local_lambdas();
         f_host_[s] = la::DenseMatrix(m, m, la::Layout::ColMajor);
         if constexpr (std::is_same_v<T, float>)
@@ -983,8 +1162,27 @@ class HybridDualOpT final : public DualOperator {
         const idx s = plan.dirty[static_cast<std::size_t>(k)];
         const auto& fs = p_.sub[s];
         gpu::Stream st = streams_[static_cast<std::size_t>(k) % streams_.size()];
-        solvers_[s]->factorize_schur(fs.k_reg, fs.b, f_host_[s].view(),
-                                     la::Uplo::Upper);
+        if (sparsity_) {
+          const idx nb = boundary_[s].count();
+          if (nb == 0) {
+            solvers_[s]->factorize(fs.k_reg);
+            la::DenseView fv = f_host_[s].view();
+            for (idx c = 0; c < fv.cols; ++c)
+              for (idx r = 0; r < fv.rows; ++r) fv.at(r, c) = 0.0;
+          } else {
+            la::DenseMatrix g(nb, nb, la::Layout::ColMajor);
+            solvers_[s]->factorize_schur(fs.k_reg, e_b_[s], g.view(),
+                                         la::Uplo::Upper);
+            expand_boundary(boundary_[s].b_b, g.view(), la::Uplo::Upper,
+                            f_host_[s].view());
+            solve_columns_.fetch_add(nb, std::memory_order_relaxed);
+          }
+        } else {
+          solvers_[s]->factorize_schur(fs.k_reg, fs.b, f_host_[s].view(),
+                                       la::Uplo::Upper);
+          solve_columns_.fetch_add(fs.num_local_lambdas(),
+                                   std::memory_order_relaxed);
+        }
         if constexpr (std::is_same_v<T, float>) {
           // Host-side demotion of the refreshed block, then an upload of
           // half the bytes.
@@ -1037,9 +1235,9 @@ class HybridDualOpT final : public DualOperator {
 
   [[nodiscard]] const char* name() const override {
     if constexpr (std::is_same_v<T, float>)
-      return "expl hybrid f32";
+      return sparsity_ ? "expl hybrid sp f32" : "expl hybrid f32";
     else
-      return "expl hybrid";
+      return sparsity_ ? "expl hybrid sp" : "expl hybrid";
   }
 
   [[nodiscard]] std::size_t apply_bytes() const override {
@@ -1054,9 +1252,12 @@ class HybridDualOpT final : public DualOperator {
   gpu::ExecutionContext& ctx_;
   gpu::Device& dev_;
   std::vector<idx> owned_;
+  bool sparsity_ = false;  ///< boundary-restricted assembly (" sp" keys)
   gpu::Stream main_stream_;
   std::vector<gpu::Stream> streams_;
   std::vector<std::unique_ptr<sparse::SupernodalCholesky>> solvers_;
+  std::vector<decomp::BoundaryDofs> boundary_;  ///< sp-only
+  std::vector<la::Csr> e_b_;                    ///< sp-only: selection E_b
   std::vector<la::DenseMatrix> f_host_;
   std::vector<la::DenseMatrixF32> f_host32_;  ///< float staging (T == float)
   std::vector<gpu::DeviceDenseT<T>> f_dev_;
@@ -1152,6 +1353,14 @@ class ShardedDualOp final : public DualOperator {
     return total;
   }
 
+  /// Sum of the shards' assembly solve-column counters (disjoint subdomain
+  /// subsets, so the sum is the whole operator's solve-panel work).
+  [[nodiscard]] long solve_columns() const override {
+    long total = 0;
+    for (const auto& op : inner_) total += op->solve_columns();
+    return total;
+  }
+
  protected:
   void apply_one(const double* x, double* y) override { merge_apply(x, y, 1); }
 
@@ -1223,12 +1432,13 @@ std::unique_ptr<DualOperator> make_explicit_gpu(
     const decomp::FetiProblem& p, gpu::sparse::Api api,
     const ExplicitGpuOptions& options, sparse::OrderingKind ordering,
     gpu::ExecutionContext& context, std::vector<idx> owned,
-    Precision precision) {
+    Precision precision, bool sparsity) {
   if (precision == Precision::F32)
     return std::make_unique<ExplicitGpuDualOpT<float>>(
-        p, api, options, ordering, context, std::move(owned));
+        p, api, options, ordering, context, std::move(owned), sparsity);
   return std::make_unique<ExplicitGpuDualOp>(p, api, options, ordering,
-                                             context, std::move(owned));
+                                             context, std::move(owned),
+                                             sparsity);
 }
 
 std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
@@ -1236,12 +1446,12 @@ std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
                                           sparse::OrderingKind ordering,
                                           gpu::ExecutionContext& context,
                                           std::vector<idx> owned,
-                                          Precision precision) {
+                                          Precision precision, bool sparsity) {
   if (precision == Precision::F32)
-    return std::make_unique<HybridDualOpT<float>>(p, options, ordering,
-                                                  context, std::move(owned));
+    return std::make_unique<HybridDualOpT<float>>(
+        p, options, ordering, context, std::move(owned), sparsity);
   return std::make_unique<HybridDualOp>(p, options, ordering, context,
-                                        std::move(owned));
+                                        std::move(owned), sparsity);
 }
 
 void register_gpu_dual_operators(DualOperatorRegistry& registry) {
@@ -1249,13 +1459,15 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
   using D = ExecDevice;
   using B = sparse::Backend;
   using A = gpu::sparse::Api;
-  const auto gpu_axes = [](R r, A api, Precision prec = Precision::F64) {
+  const auto gpu_axes = [](R r, A api, Precision prec = Precision::F64,
+                           bool sp = false) {
     ApproachAxes a;
     a.repr = r;
     a.device = D::Gpu;
     a.backend = B::Simplicial;
     a.api = api;
     a.precision = prec;
+    a.sparsity = sp;
     return a;
   };
 
@@ -1315,65 +1527,76 @@ void register_gpu_dual_operators(DualOperatorRegistry& registry) {
                   return make_implicit_gpu(p, api, c.ordering, shard_ctx,
                                            c.gpu.streams, std::move(owned));
                 });
+    for (bool sp : {false, true}) {
+      const char* spsuffix = sp ? " sp" : "";
+      const char* spnote = sp ? ", boundary-restricted RHS panel" : "";
+      for (Precision prec : {Precision::F64, Precision::F32}) {
+        const char* suffix = prec == Precision::F32 ? " f32" : "";
+        const char* storage = prec == Precision::F32
+                                  ? " (fp32 storage + fp64 accumulation)"
+                                  : "";
+        registry.add(
+            {std::string("expl ") + apiname + spsuffix + suffix,
+             gpu_axes(R::Explicit, api, prec, sp),
+             std::string("explicit F̃ assembled on the GPU, ") + apiname +
+                 " sparse API" + spnote + storage},
+            [api, prec, sp](const decomp::FetiProblem& p,
+                            const DualOpConfig& c,
+                            gpu::ExecutionContext* ctx) {
+              return make_explicit_gpu(p, api, c.gpu, c.ordering, *ctx, {},
+                                       prec, sp);
+            });
+        add_sharded(std::string("expl ") + apiname + spsuffix + suffix,
+                    gpu_axes(R::Explicit, api, prec, sp),
+                    std::string("explicit F̃ assembly, ") + apiname +
+                        " sparse API," + spnote + storage,
+                    [api, prec, sp](const decomp::FetiProblem& p,
+                                    const DualOpConfig& c,
+                                    gpu::ExecutionContext& shard_ctx,
+                                    std::vector<idx> owned) {
+                      return make_explicit_gpu(p, api, c.gpu, c.ordering,
+                                               shard_ctx, std::move(owned),
+                                               prec, sp);
+                    });
+      }
+    }
+  }
+
+  for (bool sp : {false, true}) {
+    const char* spsuffix = sp ? " sp" : "";
+    const char* spnote = sp ? ", boundary-restricted Schur panel" : "";
     for (Precision prec : {Precision::F64, Precision::F32}) {
       const char* suffix = prec == Precision::F32 ? " f32" : "";
       const char* storage = prec == Precision::F32
                                 ? " (fp32 storage + fp64 accumulation)"
                                 : "";
+      ApproachAxes hybrid;
+      hybrid.repr = R::Explicit;
+      hybrid.device = D::Hybrid;
+      hybrid.backend = B::Supernodal;
+      hybrid.precision = prec;
+      hybrid.sparsity = sp;
       registry.add(
-          {std::string("expl ") + apiname + suffix,
-           gpu_axes(R::Explicit, api, prec),
-           std::string("explicit F̃ assembled on the GPU, ") + apiname +
-               " sparse API" + storage},
-          [api, prec](const decomp::FetiProblem& p, const DualOpConfig& c,
-                      gpu::ExecutionContext* ctx) {
-            return make_explicit_gpu(p, api, c.gpu, c.ordering, *ctx, {},
-                                     prec);
+          {std::string("expl hybrid") + spsuffix + suffix, hybrid,
+           std::string("explicit F̃ assembled on the CPU (Schur path), "
+                       "applied on the GPU") +
+               spnote + storage},
+          [prec, sp](const decomp::FetiProblem& p, const DualOpConfig& c,
+                     gpu::ExecutionContext* ctx) {
+            return make_hybrid(p, c.gpu, c.ordering, *ctx, {}, prec, sp);
           });
-      add_sharded(std::string("expl ") + apiname + suffix,
-                  gpu_axes(R::Explicit, api, prec),
-                  std::string("explicit F̃ assembly, ") + apiname +
-                      " sparse API," + storage,
-                  [api, prec](const decomp::FetiProblem& p,
-                              const DualOpConfig& c,
-                              gpu::ExecutionContext& shard_ctx,
-                              std::vector<idx> owned) {
-                    return make_explicit_gpu(p, api, c.gpu, c.ordering,
-                                             shard_ctx, std::move(owned),
-                                             prec);
+      add_sharded(std::string("expl hybrid") + spsuffix + suffix, hybrid,
+                  std::string("explicit F̃ assembled on the CPU, applied on "
+                              "the GPU,") +
+                      spnote + storage,
+                  [prec, sp](const decomp::FetiProblem& p,
+                             const DualOpConfig& c,
+                             gpu::ExecutionContext& shard_ctx,
+                             std::vector<idx> owned) {
+                    return make_hybrid(p, c.gpu, c.ordering, shard_ctx,
+                                       std::move(owned), prec, sp);
                   });
     }
-  }
-
-  for (Precision prec : {Precision::F64, Precision::F32}) {
-    const char* suffix = prec == Precision::F32 ? " f32" : "";
-    const char* storage = prec == Precision::F32
-                              ? " (fp32 storage + fp64 accumulation)"
-                              : "";
-    ApproachAxes hybrid;
-    hybrid.repr = R::Explicit;
-    hybrid.device = D::Hybrid;
-    hybrid.backend = B::Supernodal;
-    hybrid.precision = prec;
-    registry.add(
-        {std::string("expl hybrid") + suffix, hybrid,
-         std::string("explicit F̃ assembled on the CPU (Schur path), applied "
-                     "on the GPU") +
-             storage},
-        [prec](const decomp::FetiProblem& p, const DualOpConfig& c,
-               gpu::ExecutionContext* ctx) {
-          return make_hybrid(p, c.gpu, c.ordering, *ctx, {}, prec);
-        });
-    add_sharded(std::string("expl hybrid") + suffix, hybrid,
-                std::string("explicit F̃ assembled on the CPU, applied on "
-                            "the GPU,") +
-                    storage,
-                [prec](const decomp::FetiProblem& p, const DualOpConfig& c,
-                       gpu::ExecutionContext& shard_ctx,
-                       std::vector<idx> owned) {
-                  return make_hybrid(p, c.gpu, c.ordering, shard_ctx,
-                                     std::move(owned), prec);
-                });
   }
 }
 

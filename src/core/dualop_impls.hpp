@@ -13,16 +13,17 @@ namespace feti::core {
 class DualOperatorRegistry;
 
 /// Registers the CPU implementations (impl mkl, impl cholmod, expl mkl,
-/// expl cholmod) and the fp32-storage variants of the explicit pair
-/// ("expl mkl f32", "expl cholmod f32"). Defined in dualop_cpu.cpp.
+/// expl cholmod) plus the sparsity-aware ("expl mkl sp", ...) and
+/// fp32-storage ("expl mkl f32", "expl cholmod sp f32", ...) variants of
+/// the explicit pair. Defined in dualop_cpu.cpp.
 void register_cpu_dual_operators(DualOperatorRegistry& registry);
 
 /// Registers the GPU-backed implementations (impl legacy, impl modern,
-/// expl legacy, expl modern, expl hybrid), the fp32-storage variants of
-/// the explicit/hybrid families ("expl legacy f32", "expl hybrid f32",
-/// ...), and the sharded multi-device variants of all of them
-/// ("expl legacy x2", "impl modern x4", "expl legacy f32 x2", ...).
-/// Defined in dualop_gpu.cpp.
+/// expl legacy, expl modern, expl hybrid), the sparsity-aware and
+/// fp32-storage variants of the explicit/hybrid families ("expl legacy
+/// sp", "expl legacy f32", "expl hybrid sp f32", ...), and the sharded
+/// multi-device variants of all of them ("expl legacy x2", "impl modern
+/// x4", "expl legacy sp f32 x2", ...). Defined in dualop_gpu.cpp.
 void register_gpu_dual_operators(DualOperatorRegistry& registry);
 
 std::unique_ptr<DualOperator> make_implicit_cpu(
@@ -31,17 +32,21 @@ std::unique_ptr<DualOperator> make_implicit_cpu(
 
 // The explicit factories take the F̃ storage/apply precision: F64 keeps
 // the assembled fp64 blocks, F32 assembles in fp64 scratch, demotes the
-// persistent storage to fp32, and applies with fp64 accumulation.
+// persistent storage to fp32, and applies with fp64 accumulation. The
+// trailing `sparsity` flag selects the boundary-restricted assembly (the
+// " sp" keys): the K⁻¹ solve panel shrinks from the m dual columns to the
+// nb boundary DOF columns of the subdomain; the assembled F̃ and the apply
+// phase are identical.
 
 /// expl mkl: augmented Schur complement on the CPU.
 std::unique_ptr<DualOperator> make_explicit_cpu_schur(
     const decomp::FetiProblem& p, sparse::OrderingKind ordering,
-    Precision precision = Precision::F64);
+    Precision precision = Precision::F64, bool sparsity = false);
 
 /// expl cholmod: factor extraction + dense-RHS TRSM on the CPU.
 std::unique_ptr<DualOperator> make_explicit_cpu_trsm(
     const decomp::FetiProblem& p, sparse::OrderingKind ordering,
-    Precision precision = Precision::F64);
+    Precision precision = Precision::F64, bool sparsity = false);
 
 // The GPU factories take an ExecutionContext (device + stream pool +
 // workspace policy) and an optional subdomain subset `owned`: an empty
@@ -58,7 +63,7 @@ std::unique_ptr<DualOperator> make_explicit_gpu(
     const decomp::FetiProblem& p, gpu::sparse::Api api,
     const ExplicitGpuOptions& options, sparse::OrderingKind ordering,
     gpu::ExecutionContext& context, std::vector<idx> owned = {},
-    Precision precision = Precision::F64);
+    Precision precision = Precision::F64, bool sparsity = false);
 
 /// expl hybrid: Schur assembly on CPU, application on the GPU.
 std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
@@ -66,6 +71,7 @@ std::unique_ptr<DualOperator> make_hybrid(const decomp::FetiProblem& p,
                                           sparse::OrderingKind ordering,
                                           gpu::ExecutionContext& context,
                                           std::vector<idx> owned = {},
-                                          Precision precision = Precision::F64);
+                                          Precision precision = Precision::F64,
+                                          bool sparsity = false);
 
 }  // namespace feti::core

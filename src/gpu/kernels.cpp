@@ -22,4 +22,8 @@ void demote_triangle(Stream& s, la::Uplo uplo, DeviceDense src,
       [uplo, src, dst] { la::demote_triangle(uplo, src.cview(), dst.view()); });
 }
 
+void symmetrize(Stream& s, la::Uplo stored, DeviceDense a) {
+  s.submit([stored, a] { la::symmetrize_from(a.view(), stored); });
+}
+
 }  // namespace feti::gpu::kernels

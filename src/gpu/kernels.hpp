@@ -199,4 +199,10 @@ void demote(Stream& s, DeviceDense src, DeviceDenseF32 dst);
 void demote_triangle(Stream& s, la::Uplo uplo, DeviceDense src,
                      DeviceDenseF32 dst);
 
+/// Mirrors the stored triangle of a square device matrix onto the other
+/// one (the device analogue of la::symmetrize_from). Used by the
+/// sparsity-aware assembly to turn the one-triangle G_bb of SYRK into the
+/// full symmetric operand of the two boundary SpMMs.
+void symmetrize(Stream& s, la::Uplo stored, DeviceDense a);
+
 }  // namespace feti::gpu::kernels

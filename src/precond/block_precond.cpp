@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "decomp/boundary.hpp"
 #include "gpu/blas.hpp"
 #include "gpu/context.hpp"
 #include "gpu/data.hpp"
@@ -235,31 +236,21 @@ class DirichletAssembler final : public BlockAssembler {
   void prepare_sub(const decomp::FetiProblem& p, std::size_t s) {
     Sub& sub = subs_[s];
     const auto& fs = p.sub[s];
-    const la::Csr& b = fs.b;
     const la::Csr& k = fs.sys.k;
     const idx n = fs.ndof();
 
-    std::vector<char> on_boundary(static_cast<std::size_t>(n), 0);
-    for (idx e = 0; e < b.nnz(); ++e)
-      on_boundary[static_cast<std::size_t>(b.colidx()[e])] = 1;
-    std::vector<idx> bmap(static_cast<std::size_t>(n), -1);
+    // Boundary support of B̃ᵢ — shared with the sparsity-aware explicit
+    // dual operators (same ascending boundary-local ordering).
+    decomp::BoundaryDofs bd = decomp::boundary_dofs(fs);
+    const idx nb = bd.count();
+    sub.boundary = std::move(bd.dofs);
+    sub.b_b = std::move(bd.b_b);
+    const std::vector<idx>& bmap = bd.map;
     std::vector<idx> imap(static_cast<std::size_t>(n), -1);
-    idx nb = 0, ni = 0;
-    for (idx d = 0; d < n; ++d) {
-      if (on_boundary[static_cast<std::size_t>(d)]) {
-        sub.boundary.push_back(d);
-        bmap[static_cast<std::size_t>(d)] = nb++;
-      } else {
+    idx ni = 0;
+    for (idx d = 0; d < n; ++d)
+      if (bmap[static_cast<std::size_t>(d)] < 0)
         imap[static_cast<std::size_t>(d)] = ni++;
-      }
-    }
-
-    // B̃ᵢ with its columns renumbered to boundary-local indices (ascending
-    // remap, so the sorted column invariant survives).
-    std::vector<idx> b_colidx(b.colidx());
-    for (idx& c : b_colidx) c = bmap[static_cast<std::size_t>(c)];
-    sub.b_b = la::Csr(b.nrows(), nb, b.rowptr(), std::move(b_colidx),
-                      b.vals());
 
     extract_block(k, bmap, bmap, nb, nb, sub.kbb, sub.kbb_map);
     if (ni > 0 && nb > 0) {

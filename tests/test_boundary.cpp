@@ -1,0 +1,215 @@
+// Tests of the shared boundary-DOF detection (decomp::boundary_dofs) that
+// both the Dirichlet preconditioner and the sparsity-aware ("sp") explicit
+// dual operators consume: agreement with the brute-force column support of
+// B̃ᵢ on reference grids, the boundary-local renumbering invariants, the
+// selection matrix E_b, edge cases (all DOFs on the boundary, corner-only
+// coupling, empty gluing rows / empty B̃ᵢ), and the determinism of the
+// deduplicated Dirichlet path (bit-identical iteration counts across
+// independently built solvers).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/feti_solver.hpp"
+#include "decomp/boundary.hpp"
+#include "decomp/heterogeneous.hpp"
+#include "test_helpers.hpp"
+
+namespace feti::decomp {
+namespace {
+
+using fem::Physics;
+using mesh::ElementOrder;
+
+FetiProblem heat2d_problem(idx cells = 6, idx splits = 2) {
+  mesh::Mesh m = mesh::make_grid_2d(cells, cells, ElementOrder::Linear);
+  auto dec = mesh::decompose_2d(m, cells, cells, splits, splits);
+  return build_feti_problem(dec, Physics::HeatTransfer);
+}
+
+FetiProblem heat3d_problem(idx cells = 4, idx splits = 2) {
+  mesh::Mesh m = mesh::make_grid_3d(cells, cells, cells, ElementOrder::Linear);
+  auto dec = mesh::decompose_3d(m, cells, cells, cells, splits, splits,
+                                splits);
+  return build_feti_problem(dec, Physics::HeatTransfer);
+}
+
+/// Brute-force reference: the set of columns of B̃ᵢ holding at least one
+/// stored entry.
+std::set<idx> column_support(const la::Csr& b) {
+  std::set<idx> support;
+  for (idx e = 0; e < b.nnz(); ++e) support.insert(b.colidx()[e]);
+  return support;
+}
+
+/// A minimal synthetic subdomain: `ndof` DOFs and the given gluing matrix.
+FetiSubdomain synthetic_subdomain(idx ndof, la::Csr b) {
+  FetiSubdomain s;
+  s.sys.ndof = ndof;
+  s.b = std::move(b);
+  return s;
+}
+
+TEST(BoundaryDofs, MatchesBruteForceColumnSupportOnReferenceGrids) {
+  for (const FetiProblem& p : {heat2d_problem(6, 2), heat2d_problem(9, 3),
+                               heat3d_problem(4, 2)}) {
+    for (idx si = 0; si < p.num_subdomains(); ++si) {
+      const FetiSubdomain& s = p.sub[si];
+      const BoundaryDofs bd = boundary_dofs(s);
+      const std::set<idx> ref = column_support(s.b);
+
+      // The boundary list is exactly the support, ascending, without
+      // duplicates.
+      ASSERT_EQ(bd.dofs.size(), ref.size()) << "subdomain " << si;
+      EXPECT_TRUE(std::is_sorted(bd.dofs.begin(), bd.dofs.end()));
+      for (idx d : bd.dofs) EXPECT_TRUE(ref.count(d)) << d;
+      EXPECT_EQ(bd.count(), static_cast<idx>(ref.size()));
+      // A FETI interface never swallows the whole subdomain on these
+      // grids, and never vanishes either: 0 < nb < ndof.
+      EXPECT_GT(bd.count(), 0) << "subdomain " << si;
+      EXPECT_LT(bd.count(), s.ndof()) << "subdomain " << si;
+
+      // map is the inverse of dofs (-1 off the boundary).
+      ASSERT_EQ(bd.map.size(), static_cast<std::size_t>(s.ndof()));
+      for (idx d = 0; d < s.ndof(); ++d) {
+        const idx bl = bd.map[static_cast<std::size_t>(d)];
+        if (ref.count(d)) {
+          ASSERT_GE(bl, 0);
+          EXPECT_EQ(bd.dofs[static_cast<std::size_t>(bl)], d);
+        } else {
+          EXPECT_EQ(bl, -1);
+        }
+      }
+
+      // b_b is B̃ᵢ with columns renumbered boundary-local: same shape but
+      // nb columns, same values, columns mapping back through dofs.
+      ASSERT_EQ(bd.b_b.nrows(), s.b.nrows());
+      ASSERT_EQ(bd.b_b.ncols(), bd.count());
+      ASSERT_EQ(bd.b_b.nnz(), s.b.nnz());
+      for (idx r = 0; r < s.b.nrows(); ++r) {
+        ASSERT_EQ(bd.b_b.row_begin(r), s.b.row_begin(r));
+        for (idx k = s.b.row_begin(r); k < s.b.row_end(r); ++k) {
+          EXPECT_EQ(bd.dofs[static_cast<std::size_t>(bd.b_b.col(k))],
+                    s.b.col(k));
+          EXPECT_EQ(bd.b_b.val(k), s.b.val(k));
+        }
+      }
+
+      // E_b is the nb × ndof selection: one unit entry per row, in the
+      // boundary DOF's column.
+      const la::Csr e_b = boundary_selection(bd, s.ndof());
+      ASSERT_EQ(e_b.nrows(), bd.count());
+      ASSERT_EQ(e_b.ncols(), s.ndof());
+      ASSERT_EQ(e_b.nnz(), bd.count());
+      for (idx r = 0; r < e_b.nrows(); ++r) {
+        ASSERT_EQ(e_b.row_end(r) - e_b.row_begin(r), 1);
+        EXPECT_EQ(e_b.col(e_b.row_begin(r)),
+                  bd.dofs[static_cast<std::size_t>(r)]);
+        EXPECT_EQ(e_b.val(e_b.row_begin(r)), 1.0);
+      }
+    }
+  }
+}
+
+TEST(BoundaryDofs, AllDofsOnTheBoundary) {
+  // Every DOF coupled: dofs == [0, ndof), b_b == B̃ᵢ verbatim.
+  const idx n = 4;
+  std::vector<la::Triplet> t;
+  for (idx d = 0; d < n; ++d) t.push_back({d, d, 1.0});
+  FetiSubdomain s =
+      synthetic_subdomain(n, la::Csr::from_triplets(n, n, std::move(t)));
+  const BoundaryDofs bd = boundary_dofs(s);
+  EXPECT_EQ(bd.count(), n);
+  for (idx d = 0; d < n; ++d) {
+    EXPECT_EQ(bd.dofs[static_cast<std::size_t>(d)], d);
+    EXPECT_EQ(bd.map[static_cast<std::size_t>(d)], d);
+  }
+  EXPECT_EQ(bd.b_b.ncols(), n);
+}
+
+TEST(BoundaryDofs, CornerOnlyCoupling) {
+  // A single shared corner DOF: two redundant multipliers against one DOF
+  // in the middle of the index range.
+  const idx n = 9;
+  std::vector<la::Triplet> t = {{0, 4, 1.0}, {1, 4, -1.0}};
+  FetiSubdomain s =
+      synthetic_subdomain(n, la::Csr::from_triplets(2, n, std::move(t)));
+  const BoundaryDofs bd = boundary_dofs(s);
+  ASSERT_EQ(bd.count(), 1);
+  EXPECT_EQ(bd.dofs[0], 4);
+  for (idx d = 0; d < n; ++d)
+    EXPECT_EQ(bd.map[static_cast<std::size_t>(d)], d == 4 ? 0 : -1);
+  // Both multiplier rows renumber onto boundary-local column 0.
+  ASSERT_EQ(bd.b_b.nnz(), 2);
+  EXPECT_EQ(bd.b_b.col(0), 0);
+  EXPECT_EQ(bd.b_b.col(1), 0);
+  const la::Csr e_b = boundary_selection(bd, n);
+  ASSERT_EQ(e_b.nnz(), 1);
+  EXPECT_EQ(e_b.col(0), 4);
+}
+
+TEST(BoundaryDofs, EmptyRowBlocksAndEmptyGluingMatrix) {
+  // Rows without entries (a multiplier block assigned elsewhere) must not
+  // widen the boundary; an entirely empty B̃ᵢ yields the empty boundary.
+  const idx n = 6;
+  std::vector<la::Triplet> t = {{2, 1, 1.0}, {2, 5, 2.0}};
+  FetiSubdomain sparse_rows =
+      synthetic_subdomain(n, la::Csr::from_triplets(4, n, std::move(t)));
+  const BoundaryDofs bd = boundary_dofs(sparse_rows);
+  ASSERT_EQ(bd.count(), 2);
+  EXPECT_EQ(bd.dofs[0], 1);
+  EXPECT_EQ(bd.dofs[1], 5);
+  ASSERT_EQ(bd.b_b.nrows(), 4);
+  EXPECT_EQ(bd.b_b.row_begin(0), bd.b_b.row_end(0));  // empty row stays empty
+  EXPECT_EQ(bd.b_b.col(bd.b_b.row_begin(2)), 0);
+  EXPECT_EQ(bd.b_b.col(bd.b_b.row_begin(2) + 1), 1);
+
+  FetiSubdomain empty =
+      synthetic_subdomain(n, la::Csr::from_triplets(3, n, {}));
+  const BoundaryDofs be = boundary_dofs(empty);
+  EXPECT_EQ(be.count(), 0);
+  EXPECT_TRUE(be.dofs.empty());
+  for (idx d = 0; d < n; ++d)
+    EXPECT_EQ(be.map[static_cast<std::size_t>(d)], -1);
+  EXPECT_EQ(be.b_b.nrows(), 3);
+  EXPECT_EQ(be.b_b.ncols(), 0);
+  const la::Csr e_b = boundary_selection(be, n);
+  EXPECT_EQ(e_b.nrows(), 0);
+  EXPECT_EQ(e_b.ncols(), n);
+}
+
+TEST(BoundaryDofs, DirichletPreconditionerIsDeterministicAfterTheDedup) {
+  // The Dirichlet preconditioner now derives its boundary set from the
+  // shared helper. Two independently built solvers on the same
+  // heterogeneous problem must produce bit-identical iteration counts and
+  // solutions — the dedup must not introduce any ordering dependence.
+  auto run = [] {
+    mesh::Mesh m = mesh::make_grid_2d(8, 8, ElementOrder::Linear);
+    auto dec = mesh::decompose_2d(m, 8, 8, 2, 2);
+    FetiProblem p = build_feti_problem(
+        dec, Physics::HeatTransfer,
+        checkerboard_materials_2d(2, 2, 1000.0));
+    core::FetiSolverOptions opts;
+    opts.dualop.key = "expl mkl";
+    opts.pcpg.preconditioner = "dirichlet stiffness";
+    opts.pcpg.rel_tolerance = 1e-10;
+    opts.pcpg.max_iterations = 2000;
+    core::FetiSolver solver(p, opts, nullptr);
+    solver.prepare();
+    return solver.solve_step();
+  };
+  const core::FetiStepResult a = run();
+  const core::FetiStepResult b = run();
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_EQ(a.pcpg_iterations, b.pcpg_iterations);
+  ASSERT_EQ(a.u.size(), b.u.size());
+  for (std::size_t i = 0; i < a.u.size(); ++i) EXPECT_EQ(a.u[i], b.u[i]);
+}
+
+}  // namespace
+}  // namespace feti::decomp

@@ -9,6 +9,7 @@
 
 #include "core/autotune.hpp"
 #include "core/feti_solver.hpp"
+#include "decomp/boundary.hpp"
 #include "gpu/sparse.hpp"
 #include "la/blas_sparse.hpp"
 #include "sparse/simplicial_cholesky.hpp"
@@ -187,10 +188,24 @@ TEST_P(RandomConfigSweep, RandomTableOneConfigMatchesReference) {
                                   : core::SgLocation::Gpu;
   cfg.gpu.symmetric_pack = coin();
   cfg.gpu.streams = static_cast<int>(rng.integer(1, 6));
+  // The sparsity axis rides on top of any Table-I knob combination: sp
+  // keys must match the reference under every random configuration too
+  // (the knobs that only concern the dense m-column panel are simply
+  // ignored there).
+  const bool sp = coin();
+  if (sp)
+    cfg.key = cfg.approach == core::Approach::ExplLegacy ? "expl legacy sp"
+                                                         : "expl modern sp";
 
   auto op = core::make_dual_operator(p, cfg, &dev);
   op->prepare();
   op->update_values();
+  if (sp) {
+    long total_nb = 0;
+    for (idx s = 0; s < p.num_subdomains(); ++s)
+      total_nb += decomp::boundary_dofs(p.sub[s]).count();
+    EXPECT_EQ(op->solve_columns(), total_nb) << "seed " << seed;
+  }
 
   core::DualOpConfig ref_cfg;
   ref_cfg.approach = core::Approach::ImplMkl;
@@ -237,9 +252,12 @@ TEST_P(BatchedApplySweep, BatchedApplyIsLinearAndSymmetricPerColumn) {
     return cfg;
   }());
 
-  // One representative of every GPU family, including a sharded one.
-  const char* keys[] = {"expl legacy", "expl modern", "impl legacy",
-                        "impl modern", "expl hybrid", "impl legacy x2"};
+  // One representative of every GPU family, including a sharded one and
+  // the sparsity-aware variants of each explicit GPU family.
+  const char* keys[] = {"expl legacy",    "expl modern",    "impl legacy",
+                        "impl modern",    "expl hybrid",    "impl legacy x2",
+                        "expl legacy sp", "expl modern sp", "expl hybrid sp",
+                        "expl legacy sp x2"};
   const std::string key = keys[seed % (sizeof(keys) / sizeof(keys[0]))];
   core::DualOpConfig cfg =
       core::recommend_config(key, 2, p.max_subdomain_dofs());
@@ -280,6 +298,87 @@ TEST_P(BatchedApplySweep, BatchedApplyIsLinearAndSymmetricPerColumn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(ManySeeds, BatchedApplySweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Sparsity-aware assembly under irregular boundary widths: rectangular
+// grids with asymmetric splits give every subdomain a different boundary
+// DOF count (corner, edge, and interior subdomains), so the boundary-local
+// renumbering, the nb-column solve panels, and the expansion SpMMs all run
+// with mismatched shapes across one problem.
+// ---------------------------------------------------------------------------
+
+class IrregularBoundarySweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IrregularBoundarySweep, SpAssemblyMatchesImplicitOnIrregularGrids) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 211 + 5);
+  const idx cx = static_cast<idx>(rng.integer(6, 10));
+  const idx cy = static_cast<idx>(rng.integer(4, 8));
+  const idx sx = static_cast<idx>(rng.integer(2, 3));
+  const idx sy = static_cast<idx>(rng.integer(2, 3));
+  decomp::FetiProblem p = [&] {
+    mesh::Mesh m = mesh::make_grid_2d(cx, cy, mesh::ElementOrder::Linear);
+    auto dec = mesh::decompose_2d(m, cx, cy, sx, sy);
+    return decomp::build_feti_problem(dec, fem::Physics::HeatTransfer);
+  }();
+
+  // The decomposition really is irregular: at least two distinct boundary
+  // widths. Tiny subdomains may be all-boundary (nb == ndof) — the sp
+  // path must survive that degenerate width alongside interior-heavy
+  // neighbours in the same problem.
+  idx nb_min = p.max_subdomain_dofs(), nb_max = 0;
+  long total_nb = 0;
+  for (idx s = 0; s < p.num_subdomains(); ++s) {
+    const idx nb = decomp::boundary_dofs(p.sub[s]).count();
+    EXPECT_GT(nb, 0) << "subdomain " << s;
+    EXPECT_LE(nb, p.sub[s].ndof()) << "subdomain " << s;
+    nb_min = std::min(nb_min, nb);
+    nb_max = std::max(nb_max, nb);
+    total_nb += nb;
+  }
+  EXPECT_LT(nb_min, nb_max) << "grid " << cx << "x" << cy << " splits "
+                            << sx << "x" << sy;
+
+  static gpu::ExecutionContext dev([] {
+    gpu::DeviceConfig cfg;
+    cfg.worker_threads = 4;
+    cfg.launch_latency_us = 0.0;
+    cfg.memory_bytes = 256ull << 20;
+    return cfg;
+  }());
+  const char* keys[] = {"expl legacy sp", "expl modern sp", "expl hybrid sp",
+                        "expl mkl sp"};
+  const std::string key = keys[seed % (sizeof(keys) / sizeof(keys[0]))];
+  core::DualOpConfig cfg =
+      core::recommend_config(key, 2, p.max_subdomain_dofs());
+  auto op = core::make_dual_operator(p, cfg, &dev);
+  op->prepare();
+  op->update_values();
+  EXPECT_EQ(op->solve_columns(), total_nb) << key;
+
+  // F̃ y must equal the matrix-free B K⁺ Bᵀ y of the implicit reference.
+  core::DualOpConfig ref_cfg;
+  ref_cfg.approach = core::Approach::ImplMkl;
+  auto ref = core::make_dual_operator(p, ref_cfg, nullptr);
+  ref->prepare();
+  ref->update_values();
+
+  std::vector<double> x(static_cast<std::size_t>(p.num_lambdas));
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  std::vector<double> y(x.size(), 0.0), y_ref(x.size(), 0.0);
+  op->apply(x.data(), y.data());
+  ref->apply(x.data(), y_ref.data());
+  EXPECT_EQ(op->loop_fallback_count(), 0) << key;
+  double scale = 0.0;
+  for (double v : y_ref) scale = std::max(scale, std::fabs(v));
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], y_ref[i], 1e-8 * std::max(1.0, scale))
+        << "key " << key << " seed " << seed << " grid " << cx << "x" << cy;
+}
+
+INSTANTIATE_TEST_SUITE_P(ManySeeds, IrregularBoundarySweep,
                          ::testing::Range<std::uint64_t>(1, 13));
 
 }  // namespace

@@ -56,7 +56,20 @@ TEST(Registry, ListsTheNineTableThreeKeysAndShardedVariants) {
       "expl mkl f32",        "expl cholmod f32",    "expl legacy f32",
       "expl modern f32",     "expl hybrid f32",     "expl legacy f32 x2",
       "expl legacy f32 x4",  "expl modern f32 x2",  "expl modern f32 x4",
-      "expl hybrid f32 x2",  "expl hybrid f32 x4"};
+      "expl hybrid f32 x2",  "expl hybrid f32 x4",
+      // sparsity-aware (boundary-restricted) assembly variants of every
+      // explicit family, composed with fp32 storage and sharding.
+      "expl mkl sp",           "expl mkl sp f32",
+      "expl cholmod sp",       "expl cholmod sp f32",
+      "expl legacy sp",        "expl legacy sp f32",
+      "expl legacy sp x2",     "expl legacy sp x4",
+      "expl legacy sp f32 x2", "expl legacy sp f32 x4",
+      "expl modern sp",        "expl modern sp f32",
+      "expl modern sp x2",     "expl modern sp x4",
+      "expl modern sp f32 x2", "expl modern sp f32 x4",
+      "expl hybrid sp",        "expl hybrid sp f32",
+      "expl hybrid sp x2",     "expl hybrid sp x4",
+      "expl hybrid sp f32 x2", "expl hybrid sp f32 x4"};
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(DualOperatorRegistry::instance().keys(), expected);
   EXPECT_EQ(DualOperatorRegistry::instance().size(), expected.size());
@@ -72,6 +85,27 @@ TEST(Registry, F32KeysCarryThePrecisionAxis) {
       EXPECT_EQ(info.axes.repr, Representation::Explicit) << key;
     }
   }
+}
+
+TEST(Registry, SpKeysCarryTheSparsityAxis) {
+  auto& registry = DualOperatorRegistry::instance();
+  int sp_keys = 0;
+  for (const std::string& key : registry.keys()) {
+    const DualOperatorInfo info = registry.info(key);
+    const bool sp_key = key.find(" sp") != std::string::npos;
+    EXPECT_EQ(info.axes.sparsity, sp_key) << key;
+    if (sp_key) {
+      ++sp_keys;
+      EXPECT_EQ(info.axes.repr, Representation::Explicit) << key;
+      // Every sp key has the dense sibling with the tag stripped.
+      std::string sibling = key;
+      sibling.erase(sibling.find(" sp"), 3);
+      EXPECT_TRUE(registry.contains(sibling)) << key;
+    }
+  }
+  // 2 CPU families × {f64, f32} + (legacy, modern, hybrid) × {f64, f32} ×
+  // {single, x2, x4}.
+  EXPECT_EQ(sp_keys, 22);
 }
 
 TEST(Registry, MetadataAgreesWithLegacyCapabilityQueries) {
@@ -181,6 +215,37 @@ TEST(ConfigAxes, InvalidTuplesAreRejected) {
   EXPECT_FALSE(impl_f32.valid());
   EXPECT_THROW(parse_axes("impl mkl f32"), std::invalid_argument);
   EXPECT_THROW(parse_axes("impl legacy f32"), std::invalid_argument);
+
+  // The sparsity axis is explicit-only too: the implicit families never
+  // assemble, so there is no solve panel to restrict.
+  ApproachAxes impl_sp = parse_axes("impl mkl");
+  impl_sp.sparsity = true;
+  EXPECT_FALSE(impl_sp.valid());
+  EXPECT_THROW(parse_axes("impl mkl sp"), std::invalid_argument);
+  EXPECT_THROW(parse_axes("impl legacy sp"), std::invalid_argument);
+  EXPECT_THROW(parse_axes("impl modern sp f32"), std::invalid_argument);
+}
+
+TEST(ConfigAxes, SpKeysRoundTrip) {
+  for (const char* key : {"expl mkl sp", "expl cholmod sp",
+                          "expl legacy sp", "expl modern sp",
+                          "expl hybrid sp", "expl mkl sp f32",
+                          "expl legacy sp f32", "expl hybrid sp f32"}) {
+    const ApproachAxes axes = parse_axes(key);
+    EXPECT_TRUE(axes.valid()) << key;
+    EXPECT_TRUE(axes.sparsity) << key;
+    EXPECT_EQ(axes.repr, Representation::Explicit) << key;
+    EXPECT_EQ(axes.key(), key);
+    // The dense sibling differs only in the sparsity axis, and the " sp"
+    // tag sits between the base key and the " f32" suffix.
+    ApproachAxes sibling = axes;
+    sibling.sparsity = false;
+    std::string base(key);
+    base.erase(base.find(" sp"), 3);
+    EXPECT_EQ(sibling.key(), base);
+    // No legacy Approach enumerator exists for sp tuples.
+    EXPECT_THROW((void)approach_of(axes), std::invalid_argument);
+  }
 }
 
 TEST(ConfigAxes, F32KeysRoundTrip) {
@@ -346,7 +411,92 @@ TEST(MixedPrecision, F32KeysMatchTheirF64SiblingsForEveryBatchWidth) {
     }
     EXPECT_EQ(op32->loop_fallback_count(), 0) << key;
   }
-  EXPECT_EQ(f32_keys, 11);
+  // Every dense f32 key gained an sp f32 sibling, doubling the count.
+  EXPECT_EQ(f32_keys, 22);
+}
+
+TEST(SparsityAware, SpKeysMatchTheirDenseSiblingsForEveryBatchWidth) {
+  // Every registered " sp" key against the dense key with the tag stripped
+  // (sharded and fp32 variants included: "expl legacy sp f32 x2" vs
+  // "expl legacy f32 x2"): the boundary-restricted assembly is an exact
+  // algebraic reformulation — F̃ = B_b (E_b K⁺ E_bᵀ) B_bᵀ = B̃ K⁺ B̃ᵀ because
+  // B̃'s column support IS the boundary set — so fp64 sp keys match their
+  // dense siblings to round-off and only the fp32 tier is relaxed. The
+  // solve-column counters certify the panel reduction (nb < m columns per
+  // subdomain), and the fallback counter staying 0 proves the sp keys
+  // serve batches through the real block implementations.
+  FetiProblem p = heat2d_problem(6, 2);
+  auto& registry = DualOperatorRegistry::instance();
+  const idx n = p.num_lambdas;
+  int sp_keys = 0;
+  for (const std::string& key : registry.keys()) {
+    const std::size_t pos = key.find(" sp");
+    if (pos == std::string::npos) continue;
+    ++sp_keys;
+    std::string sibling = key;
+    sibling.erase(pos, 3);
+    ASSERT_TRUE(registry.contains(sibling)) << key;
+
+    auto make = [&](const std::string& k) {
+      DualOpConfig cfg = recommend_config(k, 2, p.max_subdomain_dofs());
+      auto op = registry.create(k, p, cfg, &test_context());
+      op->prepare();
+      op->update_values();
+      return op;
+    };
+    auto op_sp = make(key);
+    auto op_dense = make(sibling);
+    EXPECT_EQ(std::string(op_sp->name()), key);
+
+    // The sp assembly solved strictly fewer K⁻¹ columns than the dense one
+    // (every interior subdomain has redundant multipliers and interior
+    // DOFs on this grid), and both counters are non-zero.
+    EXPECT_GT(op_sp->solve_columns(), 0) << key;
+    EXPECT_LT(op_sp->solve_columns(), op_dense->solve_columns()) << key;
+
+    const double tol = key.find(" f32") != std::string::npos ? 2e-6 : 1e-10;
+    for (idx nrhs : {1, 3, 8}) {
+      Rng rng(91u + static_cast<unsigned>(nrhs));
+      std::vector<double> x(static_cast<std::size_t>(n) * nrhs);
+      for (auto& v : x) v = rng.uniform(-1, 1);
+      std::vector<double> y_sp(x.size(), 0.0), y_dense(x.size(), 0.0);
+      op_sp->apply(x.data(), y_sp.data(), nrhs);
+      op_dense->apply(x.data(), y_dense.data(), nrhs);
+      double scale = 0.0;
+      for (double v : y_dense) scale = std::max(scale, std::fabs(v));
+      for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y_sp[i], y_dense[i], tol * std::max(1.0, scale))
+            << "entry " << i << " key " << key << " nrhs " << nrhs;
+    }
+    EXPECT_EQ(op_sp->loop_fallback_count(), 0) << key;
+  }
+  EXPECT_EQ(sp_keys, 22);
+}
+
+TEST(SparsityAware, EndToEndSolveMatchesReferenceOnSpKeys) {
+  // Full PCPG through one sp key per explicit family (CPU Schur, CPU TRSM,
+  // GPU, hybrid) against the global direct solve: the boundary-restricted
+  // assembly must not move the converged solution.
+  FetiProblem p = heat2d_problem(8, 2);
+  mesh::Mesh m = mesh::make_grid_2d(8, 8, ElementOrder::Linear);
+  const auto u_ref = fem::reference_solve(
+      fem::assemble_global(m, Physics::HeatTransfer));
+  double scale = 1.0;
+  for (double v : u_ref) scale = std::max(scale, std::fabs(v));
+
+  for (const char* key : {"expl mkl sp", "expl cholmod sp", "expl legacy sp",
+                          "expl modern sp", "expl hybrid sp"}) {
+    FetiSolverOptions opts;
+    opts.dualop = recommend_config(key, 2, p.max_subdomain_dofs());
+    opts.pcpg.rel_tolerance = 1e-10;
+    FetiSolver solver(p, opts, &test_context());
+    solver.prepare();
+    const FetiStepResult res = solver.solve_step();
+    ASSERT_TRUE(res.converged) << key;
+    ASSERT_EQ(res.u.size(), u_ref.size());
+    for (std::size_t i = 0; i < u_ref.size(); ++i)
+      EXPECT_NEAR(res.u[i], u_ref[i], 1e-7 * scale) << key;
+  }
 }
 
 TEST(MixedPrecision, EndToEndSolveConvergesOnF32Keys) {
@@ -437,6 +587,46 @@ TEST(Autotune, WorkloadHintSelectsF32Storage) {
   // Implicit families have no F̃ storage: the hint never touches them.
   EXPECT_EQ(recommend_config(parse_axes("impl legacy"), 3, 20000, 1, {},
                              bandwidth)
+                .resolved_key(),
+            "impl legacy");
+}
+
+TEST(Autotune, WorkloadHintSelectsSparsityAwareAssembly) {
+  const ApproachAxes expl_gpu = parse_axes("expl legacy");
+  // No hint (boundary fraction unknown): the dense assembly stays.
+  EXPECT_EQ(recommend_config(expl_gpu, 3, 20000).resolved_key(),
+            "expl legacy");
+  // Interior-heavy subdomains (small boundary fraction) select the
+  // boundary-restricted solve panel.
+  WorkloadHint interior;
+  interior.boundary_fraction = 0.2;
+  EXPECT_EQ(recommend_config(expl_gpu, 3, 20000, 1, {}, interior)
+                .resolved_key(),
+            "expl legacy sp");
+  // Boundary-dominated subdomains keep the dense panel: the sp expansion
+  // SpMMs would be pure overhead.
+  WorkloadHint surface;
+  surface.boundary_fraction = 0.9;
+  EXPECT_EQ(recommend_config(expl_gpu, 3, 20000, 1, {}, surface)
+                .resolved_key(),
+            "expl legacy");
+  // Composes with the precision hint and the sharded topology remap: the
+  // tags stack as "<base> sp f32 xN" per the key grammar.
+  WorkloadHint both = interior;
+  both.bandwidth_bound = true;
+  EXPECT_EQ(recommend_config(expl_gpu, 3, 20000, 1, {}, both).resolved_key(),
+            "expl legacy sp f32");
+  gpu::DeviceTopology two;
+  two.num_devices = 2;
+  EXPECT_EQ(recommend_config(expl_gpu, 3, 20000, 1, two, both).resolved_key(),
+            "expl legacy sp f32 x2");
+  // CPU explicit axes take the hint too; implicit families never do.
+  EXPECT_EQ(recommend_config(parse_axes("expl mkl"), 3, 20000, 1, {},
+                             interior)
+                .resolved_key(),
+            "expl mkl sp");
+  EXPECT_EQ(recommend_config(parse_axes("impl legacy"), 3, 20000, 1, {},
+                             interior)
                 .resolved_key(),
             "impl legacy");
 }

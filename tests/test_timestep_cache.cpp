@@ -11,12 +11,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/autotune.hpp"
 #include "core/dualop_registry.hpp"
 #include "core/feti_solver.hpp"
+#include "decomp/boundary.hpp"
 #include "test_helpers.hpp"
 
 namespace feti::core {
@@ -144,8 +146,10 @@ TEST(TimestepCache, UnchangedStepIsBitIdenticalOnCpu) {
   // The CPU apply path is deterministic (per-subdomain kernels are
   // sequential, the gather runs in subdomain order), so a skipped
   // update_values() must leave the results bit-for-bit identical — the
-  // factors were not touched at all.
-  for (const char* key : {"expl mkl", "expl cholmod", "impl mkl"}) {
+  // factors were not touched at all. The sparsity-aware keys ride the same
+  // contract: a clean step must skip the boundary re-assembly entirely.
+  for (const char* key : {"expl mkl", "expl cholmod", "impl mkl",
+                          "expl mkl sp", "expl cholmod sp"}) {
     FetiProblem p = heat2d_problem(6, 2);
     DualOpConfig cfg;
     cfg.key = key;
@@ -175,9 +179,12 @@ TEST(TimestepCache, F32DirtyRefreshRedemotesOnlyTheRefreshedBlocks) {
   // (cache_stats proves the others were untouched), and the partially
   // re-demoted state matches a cold fp32 rebuild on the current values —
   // bit-for-bit, because demotion of identical fp64 values is
-  // deterministic. One CPU, one GPU, and the hybrid f32 key.
+  // deterministic. One CPU, one GPU, and the hybrid f32 key, plus their
+  // sparsity-aware siblings (the sp refresh re-demotes the full block
+  // rebuilt from the boundary panel).
   for (const char* key :
-       {"expl mkl f32", "expl legacy f32", "expl hybrid f32"}) {
+       {"expl mkl f32", "expl legacy f32", "expl hybrid f32",
+        "expl mkl sp f32", "expl legacy sp f32", "expl hybrid sp f32"}) {
     FetiProblem p = heat2d_problem(6, 2);
     const long nsub = static_cast<long>(p.num_subdomains());
     DualOpConfig cfg = recommend_config(key, 2, p.max_subdomain_dofs());
@@ -225,52 +232,105 @@ TEST(TimestepCache, ShardedWrapperAggregatesSkipDecisions) {
   // 3x3 subdomains over two shards (5 + 4): whole-step skips are
   // wrapper-level, per-subdomain counts sum over the disjoint shard
   // subsets, and a single dirty subdomain refreshes only inside the
-  // owning shard.
-  FetiProblem p = heat2d_problem(9, 3);
-  const long nsub = static_cast<long>(p.num_subdomains());
-  DualOpConfig cfg = recommend_config("expl legacy x2", 2,
-                                      p.max_subdomain_dofs());
-  auto op = DualOperatorRegistry::instance().create("expl legacy x2", p, cfg,
-                                                    &test_context());
-  op->prepare();
-  op->update_values();
-  CacheStats s1 = op->cache_stats();
-  EXPECT_EQ(s1.steps, 1);
-  EXPECT_EQ(s1.skipped_steps, 0);
-  EXPECT_EQ(s1.refreshed_subdomains, nsub);
+  // owning shard. Run for the dense and the sparsity-aware sharded keys —
+  // the sp wrapper must aggregate per-shard skips identically.
+  for (const char* sharded_key : {"expl legacy x2", "expl legacy sp x2"}) {
+    const std::string base =
+        std::string(sharded_key).substr(0, std::strlen(sharded_key) - 3);
+    FetiProblem p = heat2d_problem(9, 3);
+    const long nsub = static_cast<long>(p.num_subdomains());
+    DualOpConfig cfg = recommend_config(sharded_key, 2,
+                                        p.max_subdomain_dofs());
+    auto op = DualOperatorRegistry::instance().create(sharded_key, p, cfg,
+                                                      &test_context());
+    op->prepare();
+    op->update_values();
+    CacheStats s1 = op->cache_stats();
+    EXPECT_EQ(s1.steps, 1) << sharded_key;
+    EXPECT_EQ(s1.skipped_steps, 0) << sharded_key;
+    EXPECT_EQ(s1.refreshed_subdomains, nsub) << sharded_key;
+    const long cols1 = op->solve_columns();
+    EXPECT_GT(cols1, 0) << sharded_key;
 
-  // Clean step: both shards skip, the wrapper reports one skipped step.
-  op->update_values();
-  CacheStats s2 = op->cache_stats();
-  EXPECT_EQ(s2.steps, 2);
-  EXPECT_EQ(s2.skipped_steps, 1);
-  EXPECT_EQ(s2.refreshed_subdomains, nsub);
-  EXPECT_EQ(s2.skipped_subdomains, nsub);
+    // Clean step: both shards skip, the wrapper reports one skipped step,
+    // and no shard solved a single extra K⁻¹ column.
+    op->update_values();
+    CacheStats s2 = op->cache_stats();
+    EXPECT_EQ(s2.steps, 2) << sharded_key;
+    EXPECT_EQ(s2.skipped_steps, 1) << sharded_key;
+    EXPECT_EQ(s2.refreshed_subdomains, nsub) << sharded_key;
+    EXPECT_EQ(s2.skipped_subdomains, nsub) << sharded_key;
+    EXPECT_EQ(op->solve_columns(), cols1) << sharded_key;
 
-  // One dirty subdomain: the owning shard refreshes it, the other shard
-  // skips everything — so the step is NOT skipped but refreshes exactly 1.
-  decomp::scale_subdomain(p, 3, 2.0);
-  op->update_values();
-  CacheStats s3 = op->cache_stats();
-  EXPECT_EQ(s3.steps, 3);
-  EXPECT_EQ(s3.skipped_steps, 1);
-  EXPECT_EQ(s3.refreshed_subdomains, nsub + 1);
-  EXPECT_EQ(s3.skipped_subdomains, 2 * nsub - 1);
+    // One dirty subdomain: the owning shard refreshes it, the other shard
+    // skips everything — so the step is NOT skipped but refreshes exactly
+    // 1.
+    decomp::scale_subdomain(p, 3, 2.0);
+    op->update_values();
+    CacheStats s3 = op->cache_stats();
+    EXPECT_EQ(s3.steps, 3) << sharded_key;
+    EXPECT_EQ(s3.skipped_steps, 1) << sharded_key;
+    EXPECT_EQ(s3.refreshed_subdomains, nsub + 1) << sharded_key;
+    EXPECT_EQ(s3.skipped_subdomains, 2 * nsub - 1) << sharded_key;
 
-  // The partially refreshed sharded state matches a cold single-device
-  // operator on the current values.
-  const std::vector<double> x = probe_vector(p.num_lambdas, 13);
-  std::vector<double> y(x.size(), 0.0), y_ref(x.size(), 0.0);
-  op->apply(x.data(), y.data());
-  DualOpConfig ref_cfg = recommend_config("expl legacy", 2,
-                                          p.max_subdomain_dofs());
-  auto ref = make_dual_operator(p, ref_cfg, &test_context());
-  ref->prepare();
-  ref->update_values();
-  ref->apply(x.data(), y_ref.data());
-  const double scale = std::max(1.0, max_abs(y_ref));
-  for (std::size_t i = 0; i < y.size(); ++i)
-    EXPECT_NEAR(y[i], y_ref[i], 1e-10 * scale) << "entry " << i;
+    // The partially refreshed sharded state matches a cold single-device
+    // operator on the current values.
+    const std::vector<double> x = probe_vector(p.num_lambdas, 13);
+    std::vector<double> y(x.size(), 0.0), y_ref(x.size(), 0.0);
+    op->apply(x.data(), y.data());
+    DualOpConfig ref_cfg = recommend_config(base, 2, p.max_subdomain_dofs());
+    auto ref = make_dual_operator(p, ref_cfg, &test_context());
+    ref->prepare();
+    ref->update_values();
+    ref->apply(x.data(), y_ref.data());
+    const double scale = std::max(1.0, max_abs(y_ref));
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_NEAR(y[i], y_ref[i], 1e-10 * scale)
+          << "entry " << i << " " << sharded_key;
+  }
+}
+
+TEST(TimestepCache, SpDirtyRefreshSolvesOnlyTheDirtyBoundaryPanel) {
+  // The solve-column counter exposes exactly how much K⁻¹ panel work each
+  // refresh performed: step 1 solves the summed boundary widths Σnb, a
+  // clean step solves nothing, and a single dirty subdomain adds exactly
+  // its own nb — the sp refresh reassembles only that subdomain's
+  // boundary block. The refreshed state matches a cold rebuild
+  // bit-for-bit on the deterministic CPU path.
+  FetiProblem p = heat2d_problem(6, 2);
+  long total_nb = 0;
+  std::vector<long> nb(static_cast<std::size_t>(p.num_subdomains()));
+  for (idx s = 0; s < p.num_subdomains(); ++s) {
+    nb[static_cast<std::size_t>(s)] = decomp::boundary_dofs(p.sub[s]).count();
+    total_nb += nb[static_cast<std::size_t>(s)];
+  }
+
+  for (const char* key : {"expl mkl sp", "expl cholmod sp"}) {
+    DualOpConfig cfg;
+    cfg.key = key;
+    auto op = make_dual_operator(p, cfg);
+    op->prepare();
+    op->update_values();
+    EXPECT_EQ(op->solve_columns(), total_nb) << key;
+
+    op->update_values();  // clean: zero extra columns
+    EXPECT_EQ(op->solve_columns(), total_nb) << key;
+
+    decomp::scale_subdomain(p, 1, 1.75);
+    op->update_values();
+    EXPECT_EQ(op->solve_columns(), total_nb + nb[1]) << key;
+
+    auto cold = make_dual_operator(p, cfg);
+    cold->prepare();
+    cold->update_values();
+    const std::vector<double> x = probe_vector(p.num_lambdas, 67);
+    std::vector<double> y(x.size(), 0.0), y_cold(x.size(), 0.0);
+    op->apply(x.data(), y.data());
+    cold->apply(x.data(), y_cold.data());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_EQ(y[i], y_cold[i]) << "entry " << i << " " << key;
+    decomp::scale_subdomain(p, 1, 1.0 / 1.75);  // restore for the next key
+  }
 }
 
 // ---------------------------------------------------------------------------
