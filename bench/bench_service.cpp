@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
     serial_jps = burst_jobs / t.seconds();
   }
   int max_wave_seen = 1;
+  double batched_h2d_mb = 0.0, batched_d2h_mb = 0.0;
   {
     service::ServiceOptions opts;
     opts.num_shards = 1;
@@ -124,14 +125,23 @@ int main(int argc, char** argv) {
     for (auto& f : futures) {
       service::JobResult r = f.get();
       max_wave_seen = std::max(max_wave_seen, r.wave_size);
+      // Every job of a wave reports the wave-level TransferCounters delta
+      // (see FetiStepResult::pcpg_h2d_bytes), so the per-job share sums to
+      // the burst's true PCIe total without double counting.
+      batched_h2d_mb +=
+          static_cast<double>(r.pcpg_h2d_bytes) / r.wave_size / 1e6;
+      batched_d2h_mb +=
+          static_cast<double>(r.pcpg_d2h_bytes) / r.wave_size / 1e6;
     }
     batched_jps = burst_jobs / t.seconds();
   }
-  Table burst({"submission", "jobs", "jobs/sec", "max wave"});
+  Table burst({"submission", "jobs", "jobs/sec", "max wave", "pcpg H2D [MB]",
+               "pcpg D2H [MB]"});
   burst.add_row({"serial", std::to_string(burst_jobs),
-                 Table::num(serial_jps, 1), "1"});
+                 Table::num(serial_jps, 1), "1", "-", "-"});
   burst.add_row({"batched waves", std::to_string(burst_jobs),
-                 Table::num(batched_jps, 1), std::to_string(max_wave_seen)});
+                 Table::num(batched_jps, 1), std::to_string(max_wave_seen),
+                 Table::num(batched_h2d_mb, 2), Table::num(batched_d2h_mb, 2)});
   burst.print();
   const bool batched_beats_serial = batched_jps > serial_jps;
   const bool waves_packed = max_wave_seen > 1;
@@ -188,11 +198,14 @@ int main(int argc, char** argv) {
     std::vector<double> queue_s, latency_s, pcpg_s;
     long batched_count = 0, total_iterations = 0;
     int min_iterations = 0, max_iterations = 0;
+    double mix_h2d_mb = 0.0, mix_d2h_mb = 0.0;
     for (auto& f : futures) {
       service::JobResult r = f.get();
       queue_s.push_back(r.queue_seconds);
       latency_s.push_back(r.latency_seconds);
       pcpg_s.push_back(r.pcpg_seconds);
+      mix_h2d_mb += static_cast<double>(r.pcpg_h2d_bytes) / r.wave_size / 1e6;
+      mix_d2h_mb += static_cast<double>(r.pcpg_d2h_bytes) / r.wave_size / 1e6;
       if (r.wave_size > 1) ++batched_count;
       total_iterations += r.pcpg_iterations;
       min_iterations = queue_s.size() == 1
@@ -230,6 +243,8 @@ int main(int argc, char** argv) {
                      "/" + std::to_string(ps.evictions)});
     mix.add_row({"pool resident [MB]",
                  Table::num(static_cast<double>(ps.resident_bytes) / 1e6, 1)});
+    mix.add_row({"pcpg H2D/D2H [MB]", Table::num(mix_h2d_mb, 2) + " / " +
+                                          Table::num(mix_d2h_mb, 2)});
     mix.print();
     std::printf("\nCSV:\n");
     mix.print_csv(std::cout);

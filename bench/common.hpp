@@ -11,12 +11,14 @@
 // measured trend against the paper's qualitative claim.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/autotune.hpp"
 #include "core/feti_solver.hpp"
+#include "gpu/runtime.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -80,6 +82,12 @@ struct DualOpTiming {
   /// first-class metric for bandwidth-bound comparisons (fp32 vs fp64
   /// storage); 0 when apply_bytes is unknown.
   double apply_gbps = 0.0;
+  /// PCIe traffic of one application (gpu::TransferCounters delta around a
+  /// post-warm-up apply): the dual-vector staging cost a host-resident
+  /// solver loop pays per iteration and the device-resident loop avoids.
+  /// 0 for host-only operators.
+  std::uint64_t apply_h2d_bytes = 0;
+  std::uint64_t apply_d2h_bytes = 0;
 };
 
 /// Prepares the operator, then measures median value-update
@@ -112,6 +120,13 @@ inline DualOpTiming measure_dualop(decomp::FetiProblem& problem,
   t.apply_bytes = op->apply_bytes();
   if (t.apply_bytes > 0 && apply_seconds > 0.0)
     t.apply_gbps = static_cast<double>(t.apply_bytes) / apply_seconds / 1e9;
+  const gpu::TransferCounters::Snapshot before =
+      gpu::TransferCounters::global().snapshot();
+  op->apply(x.data(), y.data());
+  const gpu::TransferCounters::Snapshot traffic =
+      gpu::TransferCounters::global().snapshot() - before;
+  t.apply_h2d_bytes = traffic.h2d_bytes;
+  t.apply_d2h_bytes = traffic.d2h_bytes;
   return t;
 }
 

@@ -27,6 +27,18 @@ void DualOperator::apply(const double* x, double* y, idx nrhs) {
   }
 }
 
+void DualOperator::apply_device(const double* d_x, double* d_y, idx nrhs) {
+  check(nrhs >= 0, "DualOperator::apply_device: negative nrhs");
+  if (nrhs == 0) return;
+  ScopedTimer t(timings_, "apply");
+  apply_many_device(d_x, d_y, nrhs);
+}
+
+void DualOperator::apply_many_device(const double*, double*, idx) {
+  check(false, std::string(name()) +
+                   ": no device-resident apply (device_context() is null)");
+}
+
 void DualOperator::apply_many(const double* x, double* y, idx nrhs) {
   // Fallback: one single-vector application per column. Every built-in
   // implementation overrides this with a real block path; the counter lets

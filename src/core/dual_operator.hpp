@@ -93,6 +93,25 @@ class DualOperator {
   /// cluster-wide dual vectors (leading dimension num_lambdas).
   void apply(const double* x, double* y, idx nrhs);
 
+  /// The execution context whose device holds this operator's state, or
+  /// null for operators without a device-resident application path. Non-null
+  /// enables apply_device() and the device-state PCPG mode (core/pcpg.cpp):
+  /// the solver loop keeps its vectors on this context's device and the
+  /// per-iteration operator application scatters/gathers device-to-device,
+  /// skipping the H2D/D2H staging of the host-pointer apply().
+  [[nodiscard]] virtual gpu::ExecutionContext* device_context() {
+    return nullptr;
+  }
+
+  /// Device-resident application: d_x / d_y are *device* allocations of
+  /// device_context()'s device holding nrhs contiguous cluster-wide columns
+  /// (leading dimension num_lambdas). Synchronous like apply(): the result
+  /// is complete on return. Bit-identical to the host-pointer apply() of
+  /// the same nrhs (the implementations submit the same kernels in the same
+  /// order; only the boundary staging copies disappear). Valid only when
+  /// device_context() != nullptr.
+  void apply_device(const double* d_x, double* d_y, idx nrhs = 1);
+
   [[nodiscard]] virtual const char* name() const = 0;
 
   /// x = K^+ b for one subdomain (valid after update_values()).
@@ -159,6 +178,12 @@ class DualOperator {
   /// Batched application hook; the default loops over apply_one.
   /// Overriders may assume nrhs >= 1 and distinct, non-overlapping x/y.
   virtual void apply_many(const double* x, double* y, idx nrhs);
+  /// Device-pointer application hook behind apply_device(). Overriders may
+  /// assume nrhs >= 1 and must dispatch nrhs == 1 through the same local
+  /// kernels as apply_one (SYMV vs SYMM differ bitwise). The default
+  /// rejects — only operators with device_context() != nullptr implement
+  /// it, and callers gate on that.
+  virtual void apply_many_device(const double* d_x, double* d_y, idx nrhs);
 
   /// The dirty-set decision of one update_values() call (see
   /// core/lifecycle.hpp); kept as a nested alias so implementations spell

@@ -279,6 +279,81 @@ class GpuDualVectorsT {
     main.synchronize();
   }
 
+  /// Device-resident single-RHS application: identical to apply_sg_gpu but
+  /// the cluster vectors are caller-owned *device* pointers, so the H2D/D2H
+  /// staging pair disappears — the scatter reads d_x and the gather writes
+  /// d_y directly. Same kernels in the same order as the host-pointer path
+  /// (the copies it drops are pure memcpys), so the result is bit-identical
+  /// whatever scatter/gather placement the host path was configured for.
+  template <typename SubmitLocal>
+  void apply_sg_gpu_dev(gpu::Stream& main, std::vector<gpu::Stream>& streams,
+                        const double* d_x, double* d_y,
+                        SubmitLocal&& submit_local) {
+    std::vector<gpu::kernels::DualMapT<T>> scatter_jobs;
+    scatter_jobs.reserve(subs_.size());
+    for (auto& sv : subs_) scatter_jobs.push_back({sv.map, sv.n, sv.lam});
+    gpu::kernels::scatter_batch(main, d_x, std::move(scatter_jobs));
+    gpu::Event scattered = main.record();
+
+    const std::size_t nstreams = streams.size();
+    std::vector<bool> used(nstreams, false);
+    for (std::size_t k = 0; k < subs_.size(); ++k) {
+      gpu::Stream& st = streams[k % nstreams];
+      if (!used[k % nstreams]) {
+        st.wait(scattered);
+        used[k % nstreams] = true;
+      }
+      submit_local(owned_[k], st, subs_[k].lam, subs_[k].q);
+    }
+    for (std::size_t k = 0; k < nstreams; ++k)
+      if (used[k]) main.wait(streams[k].record());
+
+    std::vector<gpu::kernels::DualMapT<T>> gather_jobs;
+    gather_jobs.reserve(subs_.size());
+    for (auto& sv : subs_) gather_jobs.push_back({sv.map, sv.n, sv.q});
+    gpu::kernels::gather_batch(main, d_y, nlambda_, std::move(gather_jobs));
+    main.synchronize();
+  }
+
+  /// Device-resident multi-RHS application (see apply_sg_gpu_dev): caller
+  /// device panels of contiguous cluster columns (leading dimension
+  /// num_lambdas) replace the staged d_x_blk_/d_y_blk_ round trip.
+  /// Requires ensure_batch(nrhs).
+  template <typename SubmitLocal>
+  void apply_sg_gpu_many_dev(gpu::Stream& main,
+                             std::vector<gpu::Stream>& streams,
+                             const double* d_x, double* d_y, idx nrhs,
+                             SubmitLocal&& submit_local) {
+    std::vector<gpu::kernels::DualMapBlockT<T>> scatter_jobs;
+    scatter_jobs.reserve(subs_.size());
+    for (auto& sv : subs_)
+      scatter_jobs.push_back({sv.map, sv.n, sv.lam_blk, sv.blk_ld});
+    gpu::kernels::scatter_batch(main, d_x, nlambda_, nrhs, batch_layout_,
+                                std::move(scatter_jobs));
+    gpu::Event scattered = main.record();
+
+    const std::size_t nstreams = streams.size();
+    std::vector<bool> used(nstreams, false);
+    for (std::size_t k = 0; k < subs_.size(); ++k) {
+      gpu::Stream& st = streams[k % nstreams];
+      if (!used[k % nstreams]) {
+        st.wait(scattered);
+        used[k % nstreams] = true;
+      }
+      submit_local(owned_[k], st, lam_panel(k, nrhs), q_panel(k, nrhs));
+    }
+    for (std::size_t k = 0; k < nstreams; ++k)
+      if (used[k]) main.wait(streams[k].record());
+
+    std::vector<gpu::kernels::DualMapBlockT<T>> gather_jobs;
+    gather_jobs.reserve(subs_.size());
+    for (auto& sv : subs_)
+      gather_jobs.push_back({sv.map, sv.n, sv.q_blk, sv.blk_ld});
+    gpu::kernels::gather_batch(main, d_y, nlambda_, nlambda_, nrhs,
+                               batch_layout_, std::move(gather_jobs));
+    main.synchronize();
+  }
+
   /// Multi-RHS CPU scatter/gather: per-subdomain H2D/D2H panel copies
   /// around each block kernel. Requires ensure_batch(nrhs).
   template <typename SubmitLocal>
@@ -668,6 +743,43 @@ class ExplicitGpuDualOpT final : public DualOperator {
       vectors_.apply_sg_cpu_many(streams_, x, y, nrhs, submit_local);
   }
 
+  [[nodiscard]] gpu::ExecutionContext* device_context() override {
+    return &ctx_;
+  }
+
+  void apply_many_device(const double* d_x, double* d_y,
+                         idx nrhs) override {
+    // Device-resident application: always GPU scatter/gather (the CPU
+    // placement is a staging strategy — pointless when the cluster vectors
+    // never leave the device), dispatching through the same SYMV/SYMM
+    // kernels as the host-pointer path of the same width.
+    const bool symmetric = opt_.path == Path::Syrk;
+    if (nrhs == 1) {
+      auto submit_local = [this, symmetric](idx s, gpu::Stream& st,
+                                            const T* lam, T* q) {
+        if (symmetric)
+          gpu::blas::symv(st, uplo_[s], 1.0, f_[s], lam, 0.0, q);
+        else
+          gpu::blas::gemv(st, 1.0, f_[s], la::Trans::No, lam, 0.0, q);
+      };
+      vectors_.apply_sg_gpu_dev(main_stream_, streams_, d_x, d_y,
+                                submit_local);
+      return;
+    }
+    auto submit_local = [this, symmetric](idx s, gpu::Stream& st,
+                                          gpu::DeviceDenseT<T> lam,
+                                          gpu::DeviceDenseT<T> q) {
+      if (symmetric)
+        gpu::blas::symm(st, uplo_[s], 1.0, f_[s], lam, 0.0, q);
+      else
+        gpu::blas::gemm(st, 1.0, f_[s], la::Trans::No, lam, la::Trans::No,
+                        0.0, q);
+    };
+    vectors_.ensure_batch(nrhs, la::Layout::RowMajor);
+    vectors_.apply_sg_gpu_many_dev(main_stream_, streams_, d_x, d_y, nrhs,
+                                   submit_local);
+  }
+
   void kplus_solve(idx sub, const double* b, double* x) const override {
     check(solvers_[sub] != nullptr,
           "ExplicitGpuDualOp: subdomain not owned by this operator");
@@ -1022,6 +1134,71 @@ class ImplicitGpuDualOp final : public DualOperator {
                                submit_local);
   }
 
+  [[nodiscard]] gpu::ExecutionContext* device_context() override {
+    return &ctx_;
+  }
+
+  void apply_many_device(const double* d_x, double* d_y,
+                         idx nrhs) override {
+    // Same SpMV/solve/SpMV (nrhs == 1) or SpMM/block-solve/SpMM kernels as
+    // the host-pointer paths; only the cluster staging copies disappear.
+    auto& temp = ctx_.workspace();
+    if (nrhs == 1) {
+      auto submit_local = [this, &temp](idx s, gpu::Stream& st,
+                                        const double* lam, double* q) {
+        const idx n = p_.sub[s].ndof();
+        gpu::DeviceCsr b = bperm_dev_[s];
+        double* tvec = tmp_dev_[s];
+        gpu::sparse::spmv(st, 1.0, b, la::Trans::Yes, lam, 0.0, tvec);
+        gpu::DeviceDense tview{tvec, n, 1, n, la::Layout::ColMajor};
+        void* ws_f = nullptr;
+        void* ws_b = nullptr;
+        const std::size_t wf = fwd_plan_[s].workspace_bytes(1);
+        const std::size_t wb = bwd_plan_[s].workspace_bytes(1);
+        if (wf > 0) ws_f = temp.alloc(wf);
+        fwd_plan_[s].solve(st, tview, ws_f);
+        if (wb > 0) ws_b = temp.alloc(wb);
+        bwd_plan_[s].solve(st, tview, ws_b);
+        gpu::sparse::spmv(st, 1.0, b, la::Trans::No, tvec, 0.0, q);
+        if (ws_f != nullptr || ws_b != nullptr)
+          st.submit([&temp, ws_f, ws_b] {
+            if (ws_f != nullptr) temp.free(ws_f);
+            if (ws_b != nullptr) temp.free(ws_b);
+          });
+      };
+      vectors_.apply_sg_gpu_dev(main_stream_, streams_, d_x, d_y,
+                                submit_local);
+      return;
+    }
+    ensure_batch(nrhs);
+    const idx cap = batch_cols_;
+    auto submit_local = [this, &temp, nrhs, cap](idx s, gpu::Stream& st,
+                                                 gpu::DeviceDense lam,
+                                                 gpu::DeviceDense q) {
+      const idx n = p_.sub[s].ndof();
+      gpu::DeviceCsr b = bperm_dev_[s];
+      gpu::DeviceDense t{tmpblk_dev_[s], n, nrhs, cap, la::Layout::RowMajor};
+      gpu::sparse::spmm(st, 1.0, b, la::Trans::Yes, lam, 0.0, t);
+      void* ws_f = nullptr;
+      void* ws_b = nullptr;
+      const std::size_t wf = batch_fwd_plan_[s].workspace_bytes(nrhs);
+      const std::size_t wb = batch_bwd_plan_[s].workspace_bytes(nrhs);
+      if (wf > 0) ws_f = temp.alloc(wf);
+      batch_fwd_plan_[s].solve(st, t, ws_f);
+      if (wb > 0) ws_b = temp.alloc(wb);
+      batch_bwd_plan_[s].solve(st, t, ws_b);
+      gpu::sparse::spmm(st, 1.0, b, la::Trans::No, t, 0.0, q);
+      if (ws_f != nullptr || ws_b != nullptr)
+        st.submit([&temp, ws_f, ws_b] {
+          if (ws_f != nullptr) temp.free(ws_f);
+          if (ws_b != nullptr) temp.free(ws_b);
+        });
+    };
+    vectors_.ensure_batch(nrhs, la::Layout::RowMajor);
+    vectors_.apply_sg_gpu_many_dev(main_stream_, streams_, d_x, d_y, nrhs,
+                                   submit_local);
+  }
+
   void kplus_solve(idx sub, const double* b, double* x) const override {
     check(solvers_[sub] != nullptr,
           "ImplicitGpuDualOp: subdomain not owned by this operator");
@@ -1227,6 +1404,33 @@ class HybridDualOpT final : public DualOperator {
       vectors_.apply_sg_cpu_many(streams_, x, y, nrhs, submit_local);
   }
 
+  [[nodiscard]] gpu::ExecutionContext* device_context() override {
+    return &ctx_;
+  }
+
+  void apply_many_device(const double* d_x, double* d_y,
+                         idx nrhs) override {
+    // The hybrid operator applies on the GPU already — device-resident
+    // input just drops the cluster staging copies around the same SYMV/SYMM.
+    if (nrhs == 1) {
+      auto submit_local = [this](idx s, gpu::Stream& st, const T* lam,
+                                 T* q) {
+        gpu::blas::symv(st, la::Uplo::Upper, 1.0, f_dev_[s], lam, 0.0, q);
+      };
+      vectors_.apply_sg_gpu_dev(main_stream_, streams_, d_x, d_y,
+                                submit_local);
+      return;
+    }
+    auto submit_local = [this](idx s, gpu::Stream& st,
+                               gpu::DeviceDenseT<T> lam,
+                               gpu::DeviceDenseT<T> q) {
+      gpu::blas::symm(st, la::Uplo::Upper, 1.0, f_dev_[s], lam, 0.0, q);
+    };
+    vectors_.ensure_batch(nrhs, la::Layout::RowMajor);
+    vectors_.apply_sg_gpu_many_dev(main_stream_, streams_, d_x, d_y, nrhs,
+                                   submit_local);
+  }
+
   void kplus_solve(idx sub, const double* b, double* x) const override {
     check(solvers_[sub] != nullptr,
           "HybridDualOp: subdomain not owned by this operator");
@@ -1295,6 +1499,14 @@ class ShardedDualOp final : public DualOperator {
     }
   }
 
+  ~ShardedDualOp() override {
+    for (std::size_t k = 0; k < partial_dev_.size(); ++k)
+      if (partial_dev_[k] != nullptr) {
+        pool_->context(k).device().synchronize();
+        pool_->context(k).device().free(partial_dev_[k]);
+      }
+  }
+
   void prepare() override {
     ScopedTimer t(timings_, "prepare");
     // Sequential: preparation is dominated by one-time CPU symbolic work
@@ -1361,6 +1573,14 @@ class ShardedDualOp final : public DualOperator {
     return total;
   }
 
+  /// Shard 0's context anchors the device-resident solver state; the other
+  /// shards' partial applications write into buffers that the merge kernel
+  /// (submitted on shard 0's stream) sums — legal in the virtual runtime,
+  /// where every device's memory is process memory.
+  [[nodiscard]] gpu::ExecutionContext* device_context() override {
+    return &pool_->context(0);
+  }
+
  protected:
   void apply_one(const double* x, double* y) override { merge_apply(x, y, 1); }
 
@@ -1368,7 +1588,47 @@ class ShardedDualOp final : public DualOperator {
     merge_apply(x, y, nrhs);
   }
 
+  void apply_many_device(const double* d_x, double* d_y,
+                         idx nrhs) override {
+    const std::size_t len = static_cast<std::size_t>(p_.num_lambdas) *
+                            static_cast<std::size_t>(nrhs);
+    ensure_partial_dev(len);
+    // d_x is produced on the anchor context's stream (the device_context()
+    // the caller iterates on); shards 1+ read it from their own devices, so
+    // the anchor queue must drain before the fan-out.
+    pool_->context(0).main_stream().synchronize();
+    // Each shard's partial application is synchronous (the inner device
+    // paths drain their main stream before returning), so the merge below
+    // sees complete partials once the shard threads have joined.
+    parallel_over_shards([&](std::size_t k) {
+      inner_[k]->apply_device(d_x, partial_dev_[k], nrhs);
+    });
+    gpu::Stream main = pool_->context(0).main_stream();
+    std::vector<const double*> parts(partial_dev_.begin(),
+                                     partial_dev_.end());
+    main.submit([d_y, parts = std::move(parts), len] {
+      std::fill_n(d_y, len, 0.0);
+      for (const double* part : parts)
+        for (std::size_t i = 0; i < len; ++i) d_y[i] += part[i];
+    });
+    main.synchronize();
+  }
+
  private:
+  /// Grow-only per-shard device partial buffers for apply_many_device,
+  /// allocated on each shard's own device (matching that shard's memory
+  /// accounting, like the inner operators' state).
+  void ensure_partial_dev(std::size_t len) {
+    partial_dev_.resize(inner_.size(), nullptr);
+    if (partial_cap_ >= len) return;
+    for (std::size_t k = 0; k < inner_.size(); ++k) {
+      gpu::Device& dev = pool_->context(k).device();
+      if (partial_dev_[k] != nullptr) dev.free(partial_dev_[k]);
+      partial_dev_[k] = nullptr;
+      partial_dev_[k] = dev.alloc_n<double>(len);
+    }
+    partial_cap_ = len;
+  }
   /// Runs every shard's partial application concurrently (one host thread
   /// per shard — each shard owns a separate virtual device), then sums the
   /// partial cluster vectors. The partial buffers persist across calls:
@@ -1416,6 +1676,8 @@ class ShardedDualOp final : public DualOperator {
   std::unique_ptr<gpu::DevicePool> pool_;
   std::vector<std::unique_ptr<DualOperator>> inner_;
   std::vector<std::vector<double>> partial_;
+  std::vector<double*> partial_dev_;  ///< per-shard device partials
+  std::size_t partial_cap_ = 0;       ///< allocated length of each partial
 };
 
 }  // namespace

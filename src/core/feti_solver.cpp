@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gpu/runtime.hpp"
 #include "precond/precond_registry.hpp"
 #include "util/timer.hpp"
 
@@ -78,11 +79,17 @@ FetiStepResult FetiSolver::solve_step() {
   dualop_->compute_d(d.data());
 
   const double apply_before = dualop_->timings().total("apply");
+  const gpu::TransferCounters::Snapshot xfer_before =
+      gpu::TransferCounters::global().snapshot();
   Timer pcpg_timer;
   Pcpg pcpg(*dualop_, projector_, options_.pcpg, precond_.get());
   pcpg.set_recycler(recycler_.get());
   PcpgResult pr = pcpg.solve(d);
   result.pcpg_seconds = pcpg_timer.seconds();
+  const gpu::TransferCounters::Snapshot xfer =
+      gpu::TransferCounters::global().snapshot() - xfer_before;
+  result.pcpg_h2d_bytes = xfer.h2d_bytes;
+  result.pcpg_d2h_bytes = xfer.d2h_bytes;
   result.pcpg_iterations = pr.iterations;
   result.preconditioner = precond_key_;
   result.rel_residual = pr.rel_residual;
@@ -138,11 +145,15 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
   }
 
   const double apply_before = dualop_->timings().total("apply");
+  const gpu::TransferCounters::Snapshot xfer_before =
+      gpu::TransferCounters::global().snapshot();
   Timer pcpg_timer;
   Pcpg pcpg(*dualop_, projector_, options_.pcpg, precond_.get());
   pcpg.set_recycler(recycler_.get());
   std::vector<PcpgResult> prs = pcpg.solve_many_ptrs(rhs_ptrs);
   const double pcpg_seconds = pcpg_timer.seconds();
+  const gpu::TransferCounters::Snapshot xfer =
+      gpu::TransferCounters::global().snapshot() - xfer_before;
   const double apply_seconds =
       dualop_->timings().total("apply") - apply_before;
 
@@ -160,6 +171,8 @@ std::vector<FetiStepResult> FetiSolver::solve_step_many(
     result.skipped_subdomains = skipped;
     result.values_cached = cached;
     result.operator_precision = options_.dualop.axes().precision;
+    result.pcpg_h2d_bytes = xfer.h2d_bytes;
+    result.pcpg_d2h_bytes = xfer.d2h_bytes;
     std::vector<std::vector<double>> u_local;
     dualop_->primal_solution(prs[j].lambda.data(), prs[j].alpha, u_local);
     result.u = decomp::gather_solution(problem_, u_local);

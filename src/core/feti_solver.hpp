@@ -56,6 +56,14 @@ struct FetiStepResult {
   /// iterates in fp64; F32 means the explicit blocks were stored and
   /// applied in fp32 with fp64 accumulation.
   Precision operator_precision = Precision::F64;
+  /// PCIe traffic of this step's PCPG phase (deltas of the process-wide
+  /// gpu::TransferCounters around the solve; 0 for CPU operators). Under
+  /// the device-state PCPG mode the per-iteration D2H share is O(scalars);
+  /// the host-staged loop instead pays O(num_lambdas) vector round trips
+  /// per iteration. Concurrent solves on other threads pollute the deltas
+  /// (the counters are process-global) — single-solve contexts only.
+  std::uint64_t pcpg_h2d_bytes = 0;
+  std::uint64_t pcpg_d2h_bytes = 0;
 };
 
 /// Drives one problem through Algorithm 2. Re-entrancy contract: distinct

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gpu/blas.hpp"
+#include "gpu/runtime.hpp"
 #include "la/blas_dense.hpp"
 
 namespace feti::core {
@@ -21,6 +23,14 @@ KrylovRecycler::KrylovRecycler(idx n, int budget)
       u_(n, static_cast<idx>(std::max(1, budget)), la::Layout::ColMajor),
       fu_(n, static_cast<idx>(std::max(1, budget)), la::Layout::ColMajor) {
   check(n >= 0, "KrylovRecycler: negative dimension");
+}
+
+KrylovRecycler::~KrylovRecycler() {
+  if (dev_ == nullptr) return;
+  dev_->synchronize();
+  dev_->free(u_dev_);
+  dev_->free(fu_dev_);
+  if (c_dev_ != nullptr) dev_->free(c_dev_);
 }
 
 la::ConstDenseView KrylovRecycler::u() const {
@@ -53,6 +63,66 @@ void KrylovRecycler::solve_gram(double* b) const {
   std::fill_n(b, k_, 0.0);
   for (idx j = 0; j < gram_rank_; ++j)
     b[gram_perm_[j]] = t[static_cast<std::size_t>(j)];
+}
+
+void KrylovRecycler::ensure_device(gpu::Device& dev, gpu::Stream& s,
+                                   std::size_t cols) const {
+  check(dev_ == nullptr || dev_ == &dev,
+        "KrylovRecycler: device mirror already bound to another device");
+  const std::size_t n = static_cast<std::size_t>(n_);
+  if (dev_ == nullptr) {
+    u_dev_ = dev.alloc_n<double>(n * static_cast<std::size_t>(budget_));
+    fu_dev_ = dev.alloc_n<double>(n * static_cast<std::size_t>(budget_));
+    dev_ = &dev;  // set last: a throwing alloc leaves no half-bound mirror
+  }
+  if (uploaded_version_ != version_) {
+    const std::size_t bytes = n * static_cast<std::size_t>(k_) * sizeof(double);
+    if (bytes > 0) {
+      s.memcpy_h2d(u_dev_, u_.data(), bytes);
+      s.memcpy_h2d(fu_dev_, fu_.data(), bytes);
+    }
+    uploaded_version_ = version_;
+  }
+  if (c_cap_ < cols) {
+    if (c_dev_ != nullptr) {
+      dev.synchronize();
+      dev.free(c_dev_);
+      c_dev_ = nullptr;
+      c_cap_ = 0;
+    }
+    c_dev_ = dev.alloc_n<double>(static_cast<std::size_t>(budget_) * cols);
+    c_cap_ = cols;
+  }
+  if (c_host_.size() < static_cast<std::size_t>(budget_) * cols)
+    c_host_.resize(static_cast<std::size_t>(budget_) * cols);
+}
+
+void KrylovRecycler::project_out_device(gpu::Device& dev, gpu::Stream& s,
+                                        const std::vector<double*>& ys) const {
+  if (k_ == 0 || ys.empty()) return;
+  ensure_gram();
+  ensure_device(dev, s, ys.size());
+  const std::size_t k = static_cast<std::size_t>(k_);
+  const gpu::DeviceDense u{u_dev_, n_, k_, n_, la::Layout::ColMajor};
+  const gpu::DeviceDense fu{fu_dev_, n_, k_, n_, la::Layout::ColMajor};
+
+  // Two fused submissions (same per-column la:: calls as project_out);
+  // only the k × cols coefficient block crosses PCIe for the Gram solves.
+  double* c_dev = c_dev_;
+  s.submit([fu, c_dev, k, ys] {
+    for (std::size_t b = 0; b < ys.size(); ++b)
+      la::gemv(1.0, fu.cview(), la::Trans::Yes, ys[b], 0.0, c_dev + b * k);
+  });
+  const std::size_t bytes = k * ys.size() * sizeof(double);
+  s.memcpy_d2h(c_host_.data(), c_dev, bytes);
+  s.synchronize();
+  for (std::size_t b = 0; b < ys.size(); ++b)
+    solve_gram(c_host_.data() + b * k);
+  s.memcpy_h2d(c_dev, c_host_.data(), bytes);
+  s.submit([u, c_dev, k, ys] {
+    for (std::size_t b = 0; b < ys.size(); ++b)
+      la::gemv(-1.0, u.cview(), la::Trans::No, c_dev + b * k, 1.0, ys[b]);
+  });
 }
 
 idx KrylovRecycler::deflate_initial(double* lambda, double* r) const {
@@ -111,6 +181,7 @@ void KrylovRecycler::absorb(const double* p, const double* q) {
   la::scal(n_, inv, vc);
   ++k_;
   gram_dirty_ = true;
+  ++version_;
 }
 
 }  // namespace feti::core

@@ -36,6 +36,11 @@
 
 #include "la/dense.hpp"
 
+namespace feti::gpu {
+class Device;
+class Stream;
+}  // namespace feti::gpu
+
 namespace feti::core {
 
 class KrylovRecycler {
@@ -43,6 +48,8 @@ class KrylovRecycler {
   /// `n` is the dual dimension (num_lambdas); `budget` caps the retained
   /// panel width (clamped to >= 1).
   KrylovRecycler(idx n, int budget);
+
+  ~KrylovRecycler();
 
   /// Current panel width (0 = empty, deflation is a no-op).
   [[nodiscard]] idx dim() const { return k_; }
@@ -54,6 +61,7 @@ class KrylovRecycler {
   void clear() {
     k_ = 0;
     gram_dirty_ = true;
+    ++version_;
   }
 
   /// Galerkin start from the recycled space: solve (UᵀFU) μ = Uᵀr, then
@@ -66,6 +74,16 @@ class KrylovRecycler {
   /// dimension n): the F-orthogonal projection keeping new search
   /// directions out of the recycled space.
   void project_out(double* y, idx cols) const;
+
+  /// Device-resident counterpart of project_out for the device-state PCPG
+  /// mode: every ys[b] is a device column of length n on `dev`. The panel
+  /// U / FU is mirrored lazily on the device and re-uploaded only when the
+  /// panel version changed (clear()/absorb()); per call only the k × cols
+  /// Galerkin coefficient block crosses PCIe (the small Gram solve stays
+  /// host-side). Bit-identical to project_out over the same columns (same
+  /// la:: calls in the same per-column order). No-op on an empty panel.
+  void project_out_device(gpu::Device& dev, gpu::Stream& s,
+                          const std::vector<double*>& ys) const;
 
   /// Offers one vector p (a converged solve's increment λ − λ₀) with its
   /// operator product q = F p for retention. The vector is
@@ -86,6 +104,10 @@ class KrylovRecycler {
   void ensure_gram() const;
   /// b (length k) → (UᵀFU)⁻¹ b on the revealed-rank subspace, in place.
   void solve_gram(double* b) const;
+  /// Uploads (or refreshes) the device panel mirror and sizes the
+  /// coefficient staging block for `cols` columns. One device per recycler.
+  void ensure_device(gpu::Device& dev, gpu::Stream& s,
+                     std::size_t cols) const;
 
   idx n_ = 0;
   int budget_ = 0;
@@ -99,6 +121,19 @@ class KrylovRecycler {
   mutable std::vector<idx> gram_perm_;
   mutable idx gram_rank_ = 0;
   mutable bool gram_dirty_ = true;
+
+  /// Bumped on every panel mutation (clear/absorb); the device mirror
+  /// compares against it to re-upload only after real changes.
+  long version_ = 0;
+  // Lazy device mirror of the in-use panel columns (a cache of logically
+  // const state, like the Gram factor above).
+  mutable gpu::Device* dev_ = nullptr;
+  mutable double* u_dev_ = nullptr;       ///< n x budget device panel
+  mutable double* fu_dev_ = nullptr;      ///< F U device panel
+  mutable double* c_dev_ = nullptr;       ///< k x cols coefficient block
+  mutable std::size_t c_cap_ = 0;         ///< columns c_dev_ can hold
+  mutable std::vector<double> c_host_;    ///< host staging for Gram solves
+  mutable long uploaded_version_ = -1;
 };
 
 }  // namespace feti::core

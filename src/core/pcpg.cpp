@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <new>
 
 #include "core/krylov_recycler.hpp"
+#include "gpu/data.hpp"
+#include "gpu/kernels.hpp"
+#include "gpu/runtime.hpp"
 #include "la/blas_dense.hpp"
 #include "precond/precond_registry.hpp"
 
@@ -59,6 +63,22 @@ class GramSolver {
   idx rank_ = 0;
 };
 
+/// One contiguous device allocation for a whole device-resident solve,
+/// freed (after draining the device) on every exit path — including the
+/// std::bad_alloc unwinding that triggers the Auto-mode host fallback.
+struct DeviceSlab {
+  gpu::Device& dev;
+  double* data;
+  DeviceSlab(gpu::Device& d, std::size_t count)
+      : dev(d), data(d.alloc_n<double>(count)) {}
+  ~DeviceSlab() {
+    dev.synchronize();
+    dev.free(data);
+  }
+  DeviceSlab(const DeviceSlab&) = delete;
+  DeviceSlab& operator=(const DeviceSlab&) = delete;
+};
+
 }  // namespace
 
 const char* to_string(PreconditionerKind p) {
@@ -98,10 +118,7 @@ Pcpg::~Pcpg() = default;
 
 PcpgResult Pcpg::solve(const std::vector<double>& d) {
   const std::vector<double>* dp = &d;
-  std::vector<PcpgResult> results =
-      options_.block.enabled
-          ? solve_block_impl(&dp, 1, /*throw_on_breakdown=*/true)
-          : solve_impl(&dp, 1, /*throw_on_breakdown=*/true);
+  std::vector<PcpgResult> results = run(&dp, 1, /*throw_on_breakdown=*/true);
   return std::move(results.front());
 }
 
@@ -115,10 +132,41 @@ std::vector<PcpgResult> Pcpg::solve_many(
 
 std::vector<PcpgResult> Pcpg::solve_many_ptrs(
     const std::vector<const std::vector<double>*>& d) {
+  return run(d.data(), d.size(), /*throw_on_breakdown=*/false);
+}
+
+bool Pcpg::device_eligible() {
+  using DS = PcpgOptions::DeviceState;
+  if (options_.device_state == DS::Off) return false;
+  const bool f_ok = f_.device_context() != nullptr;
+  const bool m_ok = m_ == nullptr || m_->device_context() != nullptr;
+  if (options_.device_state == DS::On) {
+    check(f_ok, "Pcpg: device_state=on but the dual operator has no device "
+                "context (host-only operator key)");
+    check(m_ok, "Pcpg: device_state=on but the preconditioner has no device "
+                "context (use a 'gpu' preconditioner key)");
+  }
+  return f_ok && m_ok;
+}
+
+std::vector<PcpgResult> Pcpg::run(const std::vector<double>* const* d,
+                                  std::size_t nsys, bool throw_on_breakdown) {
+  if (device_eligible()) {
+    try {
+      return options_.block.enabled
+                 ? solve_block_impl_device(d, nsys, throw_on_breakdown)
+                 : solve_impl_device(d, nsys, throw_on_breakdown);
+    } catch (const std::bad_alloc&) {
+      // Device memory exhausted. Auto degrades to the host-staged engines
+      // (a re-run from scratch is safe: the device engine only mutates
+      // device state plus the recycler, and a duplicate absorb of the same
+      // increment is dropped by its F-orthogonalization floor).
+      if (options_.device_state == PcpgOptions::DeviceState::On) throw;
+    }
+  }
   return options_.block.enabled
-             ? solve_block_impl(d.data(), d.size(),
-                                /*throw_on_breakdown=*/false)
-             : solve_impl(d.data(), d.size(), /*throw_on_breakdown=*/false);
+             ? solve_block_impl(d, nsys, throw_on_breakdown)
+             : solve_impl(d, nsys, throw_on_breakdown);
 }
 
 std::vector<PcpgResult> Pcpg::solve_impl(const std::vector<double>* const* d,
@@ -442,19 +490,28 @@ std::vector<PcpgResult> Pcpg::solve_block_impl(
     if (batch.empty()) break;
 
     // The still-active systems share one search panel: Q = F P through the
-    // same batched apply the lockstep path uses (line 7 for the block).
+    // same batched apply the lockstep path uses (line 7 for the block). A
+    // width-1 panel (single-system solve, or the tail of a draining batch)
+    // aliases the system's own search direction instead of packing it into
+    // xblock — the panel-update recurrence below compensates (it conjugates
+    // in place on y and swaps, so the aliased direction is never clobbered
+    // while the panel view still reads it).
     const idx width = static_cast<idx>(batch.size());
-    xblock.resize(static_cast<std::size_t>(n) * batch.size());
-    yblock.resize(xblock.size());
-    for (std::size_t b = 0; b < batch.size(); ++b)
-      std::copy_n(sys[batch[b]].p.data(), n,
-                  xblock.data() + b * static_cast<std::size_t>(n));
-    if (width == 1)
-      f_.apply(xblock.data(), yblock.data());
-    else
+    yblock.resize(static_cast<std::size_t>(n) * batch.size());
+    const double* panel = nullptr;
+    if (width == 1) {
+      System& s = sys[batch.front()];
+      f_.apply(s.p.data(), yblock.data());
+      panel = s.p.data();
+    } else {
+      xblock.resize(static_cast<std::size_t>(n) * batch.size());
+      for (std::size_t b = 0; b < batch.size(); ++b)
+        std::copy_n(sys[batch[b]].p.data(), n,
+                    xblock.data() + b * static_cast<std::size_t>(n));
       f_.apply(xblock.data(), yblock.data(), width);
-    const la::ConstDenseView pview(xblock.data(), n, width, n,
-                                   la::Layout::ColMajor);
+      panel = xblock.data();
+    }
+    const la::ConstDenseView pview(panel, n, width, n, la::Layout::ColMajor);
     const la::ConstDenseView qview(yblock.data(), n, width, n,
                                    la::Layout::ColMajor);
 
@@ -503,8 +560,674 @@ std::vector<PcpgResult> Pcpg::solve_block_impl(
       la::gemv(1.0, qview, la::Trans::Yes, s.y.data(), 0.0, coeff.data());
       gram.solve(coeff.data());
       la::scal(width, -1.0, coeff.data());
-      s.p = s.y;
-      la::gemv(1.0, pview, la::Trans::No, coeff.data(), 1.0, s.p.data());
+      if (width == 1) {
+        // pview aliases s.p here: conjugate in place on y (bitwise the
+        // same accumulation), then swap the buffers so p becomes the new
+        // direction without ever overwriting the aliased panel.
+        la::gemv(1.0, pview, la::Trans::No, coeff.data(), 1.0, s.y.data());
+        std::swap(s.p, s.y);
+      } else {
+        s.p = s.y;
+        la::gemv(1.0, pview, la::Trans::No, coeff.data(), 1.0, s.p.data());
+      }
+    }
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Device-resident engines
+// ---------------------------------------------------------------------------
+//
+// Twins of solve_impl / solve_block_impl that keep every per-system vector
+// (λ, r, w, y, p, q and the search panels) on the dual operator's device
+// for the whole solve. The setup and finalization run host-side exactly
+// like the host engines (λ₀, F λ₀, the w₀ floor, the Galerkin warm start,
+// α and the recycler harvest all see the same host values); the state is
+// uploaded once, iterated on with device kernels, and downloaded per
+// system on finalization. Per iteration only convergence scalars, Gram
+// blocks, and coarse right-hand sides cross PCIe — never an O(n) vector.
+//
+// Bit-identity with the host engines (and therefore identical iteration
+// counts) holds because every device kernel runs the same la:: calls on
+// the same values in the same per-system order; the only reordering is
+// across independent systems, which cannot change any value.
+
+std::vector<PcpgResult> Pcpg::solve_impl_device(
+    const std::vector<double>* const* d, std::size_t nsys,
+    bool throw_on_breakdown) {
+  const idx n = f_.problem().num_lambdas;
+  for (std::size_t j = 0; j < nsys; ++j)
+    check(d[j]->size() == static_cast<std::size_t>(n),
+          "Pcpg: rhs size mismatch");
+  std::vector<PcpgResult> results(nsys);
+  if (nsys == 0) return results;
+
+  gpu::ExecutionContext* ctx = f_.device_context();
+  gpu::Device& dev = ctx->device();
+  gpu::Stream main = ctx->main_stream();
+  const std::size_t N = static_cast<std::size_t>(n);
+  const std::size_t vec_bytes = N * sizeof(double);
+
+  struct System {
+    std::vector<double> lambda, r;  ///< host copies: setup + finalization
+    double* d_lambda = nullptr;
+    double* d_r = nullptr;
+    double* d_w = nullptr;
+    double* d_y = nullptr;
+    double* d_p = nullptr;
+    double* d_q = nullptr;
+    double w0_norm = 0.0;
+    double wy = 0.0;
+    double rel = 1.0;
+    int iterations = 0;
+    bool active = true;
+  };
+  std::vector<System> sys(nsys);
+
+  // 6 per-system vectors + 2 shared panels + the scalar return block.
+  DeviceSlab slab(dev, N * (6 * nsys + 2 * nsys) + nsys);
+  for (std::size_t j = 0; j < nsys; ++j) {
+    sys[j].d_lambda = slab.data + (6 * j + 0) * N;
+    sys[j].d_r = slab.data + (6 * j + 1) * N;
+    sys[j].d_w = slab.data + (6 * j + 2) * N;
+    sys[j].d_y = slab.data + (6 * j + 3) * N;
+    sys[j].d_p = slab.data + (6 * j + 4) * N;
+    sys[j].d_q = slab.data + (6 * j + 5) * N;
+  }
+  double* xpanel = slab.data + 6 * nsys * N;
+  double* ypanel = xpanel + nsys * N;
+  double* out_dev = ypanel + nsys * N;
+  std::vector<double> out_host(nsys);
+
+  // λ₀ and F λ₀ depend on the problem only — computed once, shared, on the
+  // host (identical to the host engine; these are setup, not loop, costs).
+  std::vector<double> lambda0(N);
+  projector_.initial_lambda(lambda0.data());
+  std::vector<double> q0(N);
+  f_.apply(lambda0.data(), q0.data());
+
+  const auto finalize = [&](std::size_t j, bool converged, bool download) {
+    System& s = sys[j];
+    if (download) {
+      main.memcpy_d2h(s.lambda.data(), s.d_lambda, vec_bytes);
+      main.memcpy_d2h(s.r.data(), s.d_r, vec_bytes);
+      main.synchronize();
+    }
+    results[j].iterations = s.iterations;
+    results[j].rel_residual = s.rel;
+    results[j].converged = converged;
+    results[j].alpha = projector_.alpha(s.r.data());
+    results[j].lambda = std::move(s.lambda);
+    s.active = false;
+  };
+
+  // Device twin of the lockstep preconditioner step (line 12): one batched
+  // M⁻¹ application on device views, then the device projector.
+  //
+  // A preconditioner pooled on a different execution context (the sharded
+  // operator anchors on its internal shard-0 context) submits on streams
+  // with no ordering against `main` — drain `main` first so it reads
+  // complete inputs. Same-context preconditioners share the in-order main
+  // queue and need no fence.
+  const bool foreign_m =
+      m_ != nullptr && m_->device_context() != ctx;
+  std::vector<const double*> cptrs;
+  std::vector<double*> ptrs;
+  const auto precondition = [&](const std::vector<std::size_t>& js) {
+    if (js.empty()) return;
+    if (m_ == nullptr) {
+      for (std::size_t j : js)
+        gpu::kernels::copy(main, sys[j].d_w, sys[j].d_y, n);
+      return;
+    }
+    if (js.size() == 1) {
+      System& s = sys[js.front()];
+      if (foreign_m) main.synchronize();
+      m_->apply_device(s.d_w, xpanel, 1);
+      projector_.apply_device(dev, main, {xpanel}, {s.d_y});
+      return;
+    }
+    cptrs.clear();
+    for (std::size_t j : js) cptrs.push_back(sys[j].d_w);
+    gpu::kernels::pack_columns(main, cptrs, xpanel, n);
+    if (foreign_m) main.synchronize();
+    m_->apply_device(xpanel, ypanel, static_cast<idx>(js.size()));
+    cptrs.clear();
+    ptrs.clear();
+    for (std::size_t b = 0; b < js.size(); ++b) {
+      cptrs.push_back(ypanel + b * N);
+      ptrs.push_back(sys[js[b]].d_y);
+    }
+    projector_.apply_device(dev, main, cptrs, ptrs);
+  };
+
+  // Host-side setup, identical to the host engine up to the first search
+  // direction (including the *batched* host preconditioner application,
+  // whose SYMM path differs bitwise from per-system SYMV); then one upload
+  // of the live per-system state.
+  std::vector<std::vector<double>> w0v(nsys), y0(nsys);
+  std::vector<double> t_host(N), tin, tout;
+  std::vector<std::size_t> pending;
+  for (std::size_t j = 0; j < nsys; ++j) {
+    System& s = sys[j];
+    s.lambda = lambda0;
+    s.r.resize(N);
+    const std::vector<double>& dj = *d[j];
+    for (idx i = 0; i < n; ++i) s.r[i] = dj[i] - q0[i];
+    w0v[j].resize(N);
+    projector_.apply(s.r.data(), w0v[j].data());
+    s.w0_norm = la::nrm2(n, w0v[j].data());
+    if (s.w0_norm <= w0_floor(n, la::nrm2(n, dj.data()))) {
+      s.rel = 0.0;
+      finalize(j, /*converged=*/true, /*download=*/false);
+      continue;
+    }
+    pending.push_back(j);
+  }
+  if (!pending.empty()) {
+    for (std::size_t j : pending) y0[j].resize(N);
+    if (m_ == nullptr) {
+      for (std::size_t j : pending) y0[j] = w0v[j];
+    } else if (pending.size() == 1) {
+      const std::size_t j = pending.front();
+      m_->apply(w0v[j].data(), t_host.data());
+      projector_.apply(t_host.data(), y0[j].data());
+    } else {
+      tin.resize(N * pending.size());
+      tout.resize(tin.size());
+      for (std::size_t b = 0; b < pending.size(); ++b)
+        std::copy_n(w0v[pending[b]].data(), n, tin.data() + b * N);
+      m_->apply(tin.data(), tout.data(), static_cast<idx>(pending.size()));
+      for (std::size_t b = 0; b < pending.size(); ++b)
+        projector_.apply(tout.data() + b * N, y0[pending[b]].data());
+    }
+  }
+  for (std::size_t j : pending) {
+    System& s = sys[j];
+    s.wy = la::dot(n, w0v[j].data(), y0[j].data());
+    main.memcpy_h2d(s.d_lambda, s.lambda.data(), vec_bytes);
+    main.memcpy_h2d(s.d_r, s.r.data(), vec_bytes);
+    main.memcpy_h2d(s.d_w, w0v[j].data(), vec_bytes);
+    main.memcpy_h2d(s.d_y, y0[j].data(), vec_bytes);
+    main.memcpy_h2d(s.d_p, y0[j].data(), vec_bytes);  // p = y
+  }
+  main.synchronize();
+
+  std::vector<double> alphas, betas;
+  std::vector<std::size_t> batch;
+  for (;;) {
+    batch.clear();
+    std::vector<std::size_t> active;
+    cptrs.clear();
+    for (std::size_t j = 0; j < nsys; ++j) {
+      if (!sys[j].active) continue;
+      active.push_back(j);
+      cptrs.push_back(sys[j].d_w);
+    }
+    if (active.empty()) break;
+    gpu::kernels::nrm2_many(main, cptrs, n, out_dev);
+    main.memcpy_d2h(out_host.data(), out_dev,
+                    active.size() * sizeof(double));
+    main.synchronize();
+    for (std::size_t b = 0; b < active.size(); ++b) {
+      const std::size_t j = active[b];
+      System& s = sys[j];
+      s.rel = out_host[b] / s.w0_norm;
+      if (s.rel <= options_.rel_tolerance) {
+        finalize(j, /*converged=*/true, /*download=*/true);
+      } else if (s.iterations >= options_.max_iterations) {
+        finalize(j, /*converged=*/false, /*download=*/true);
+      } else {
+        batch.push_back(j);
+      }
+    }
+    if (batch.empty()) break;
+
+    // Q(:,b) = F P(:,b) on device views — the staging copies of the host
+    // engine become device-side packs (width 1 needs none at all).
+    if (batch.size() == 1) {
+      System& s = sys[batch.front()];
+      f_.apply_device(s.d_p, s.d_q, 1);
+    } else {
+      cptrs.clear();
+      ptrs.clear();
+      for (std::size_t j : batch) {
+        cptrs.push_back(sys[j].d_p);
+        ptrs.push_back(sys[j].d_q);
+      }
+      gpu::kernels::pack_columns(main, cptrs, xpanel, n);
+      f_.apply_device(xpanel, ypanel, static_cast<idx>(batch.size()));
+      gpu::kernels::unpack_columns(main, ypanel, ptrs, n);
+    }
+
+    // pq = pᵀq per system, one fused dot kernel + one scalar block D2H.
+    cptrs.clear();
+    std::vector<const double*> qptrs;
+    for (std::size_t j : batch) {
+      cptrs.push_back(sys[j].d_p);
+      qptrs.push_back(sys[j].d_q);
+    }
+    gpu::kernels::dot_many(main, cptrs, qptrs, n, out_dev);
+    main.memcpy_d2h(out_host.data(), out_dev, batch.size() * sizeof(double));
+    main.synchronize();
+
+    pending.clear();
+    alphas.clear();
+    std::vector<double*> lam_ptrs, r_ptrs;
+    std::vector<const double*> p_ptrs, q_ptrs;
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      const std::size_t j = batch[b];
+      System& s = sys[j];
+      const double pq = out_host[b];
+      if (pq <= 0.0) {
+        // Same breakdown contract as the host engine; s.rel already holds
+        // the value the host recomputes (w is untouched this iteration).
+        check(!throw_on_breakdown,
+              "Pcpg: operator lost positive definiteness");
+        ++s.iterations;
+        finalize(j, /*converged=*/false, /*download=*/true);
+        continue;
+      }
+      const double delta = s.wy / pq;                       // line 8
+      alphas.push_back(delta);
+      p_ptrs.push_back(s.d_p);
+      q_ptrs.push_back(s.d_q);
+      lam_ptrs.push_back(s.d_lambda);
+      r_ptrs.push_back(s.d_r);
+      pending.push_back(j);
+    }
+    if (pending.empty()) continue;
+    // Lines 9-11 for all survivors: two fused axpy sweeps + the batched
+    // device projector.
+    gpu::kernels::axpy_many(main, alphas, p_ptrs, lam_ptrs, n);
+    for (double& a : alphas) a = -a;
+    gpu::kernels::axpy_many(main, alphas, q_ptrs, r_ptrs, n);
+    cptrs.clear();
+    ptrs.clear();
+    for (std::size_t j : pending) {
+      cptrs.push_back(sys[j].d_r);
+      ptrs.push_back(sys[j].d_w);
+    }
+    projector_.apply_device(dev, main, cptrs, ptrs);
+    precondition(pending);
+    // Lines 13-14: one fused dot for wy', one fused p-recurrence sweep.
+    cptrs.clear();
+    std::vector<const double*> yptrs;
+    for (std::size_t j : pending) {
+      cptrs.push_back(sys[j].d_w);
+      yptrs.push_back(sys[j].d_y);
+    }
+    gpu::kernels::dot_many(main, cptrs, yptrs, n, out_dev);
+    main.memcpy_d2h(out_host.data(), out_dev,
+                    pending.size() * sizeof(double));
+    main.synchronize();
+    betas.clear();
+    ptrs.clear();
+    for (std::size_t b = 0; b < pending.size(); ++b) {
+      System& s = sys[pending[b]];
+      const double wy_next = out_host[b];
+      betas.push_back(wy_next / s.wy);                      // line 13
+      s.wy = wy_next;
+      ptrs.push_back(s.d_p);
+      ++s.iterations;
+    }
+    gpu::kernels::xpby_many(main, yptrs, betas, ptrs, n);   // line 14
+  }
+  return results;
+}
+
+std::vector<PcpgResult> Pcpg::solve_block_impl_device(
+    const std::vector<double>* const* d, std::size_t nsys,
+    bool throw_on_breakdown) {
+  const idx n = f_.problem().num_lambdas;
+  for (std::size_t j = 0; j < nsys; ++j)
+    check(d[j]->size() == static_cast<std::size_t>(n),
+          "Pcpg: rhs size mismatch");
+  std::vector<PcpgResult> results(nsys);
+  if (nsys == 0) return results;
+
+  KrylovRecycler* recycler = options_.block.recycle ? recycler_ : nullptr;
+
+  gpu::ExecutionContext* ctx = f_.device_context();
+  gpu::Device& dev = ctx->device();
+  gpu::Stream main = ctx->main_stream();
+  const std::size_t N = static_cast<std::size_t>(n);
+  const std::size_t vec_bytes = N * sizeof(double);
+
+  struct System {
+    std::vector<double> lambda, r;  ///< host copies: setup + finalization
+    double* d_lambda = nullptr;
+    double* d_r = nullptr;
+    double* d_w = nullptr;
+    double* d_y = nullptr;
+    double* d_p = nullptr;
+    double w0_norm = 0.0;
+    double rel = 1.0;
+    int iterations = 0;
+    int deflation_dim = 0;
+    bool active = true;
+  };
+  std::vector<System> sys(nsys);
+
+  // 5 per-system vectors + P/Q panels + preconditioner staging panels +
+  // the Gram block, the coefficient block, and the scalar return block.
+  DeviceSlab slab(dev, N * (5 * nsys + 4 * nsys) + 2 * nsys * nsys + nsys);
+  for (std::size_t j = 0; j < nsys; ++j) {
+    sys[j].d_lambda = slab.data + (5 * j + 0) * N;
+    sys[j].d_r = slab.data + (5 * j + 1) * N;
+    sys[j].d_w = slab.data + (5 * j + 2) * N;
+    sys[j].d_y = slab.data + (5 * j + 3) * N;
+    sys[j].d_p = slab.data + (5 * j + 4) * N;
+  }
+  double* xpanel = slab.data + 5 * nsys * N;   ///< search panel P
+  double* ypanel = xpanel + nsys * N;          ///< Q = F P
+  double* tin = ypanel + nsys * N;             ///< precond staging in
+  double* tout = tin + nsys * N;               ///< precond staging out
+  double* gram_dev = tout + nsys * N;
+  double* coeff_dev = gram_dev + nsys * nsys;
+  double* out_dev = coeff_dev + nsys * nsys;
+  std::vector<double> out_host(nsys);
+
+  std::vector<double> lambda0(N);
+  projector_.initial_lambda(lambda0.data());
+  std::vector<double> q0(N);
+  f_.apply(lambda0.data(), q0.data());
+
+  const auto finalize = [&](std::size_t j, bool converged, bool download) {
+    System& s = sys[j];
+    if (download) {
+      main.memcpy_d2h(s.lambda.data(), s.d_lambda, vec_bytes);
+      main.memcpy_d2h(s.r.data(), s.d_r, vec_bytes);
+      main.synchronize();
+    }
+    if (converged && recycler != nullptr && s.iterations > 0) {
+      // Identical harvest to the host engine, on the downloaded state.
+      std::vector<double> inc(N);
+      std::vector<double> finc(N);
+      const std::vector<double>& dj = *d[j];
+      for (idx i = 0; i < n; ++i) {
+        inc[i] = s.lambda[i] - lambda0[i];
+        finc[i] = dj[i] - s.r[i] - q0[i];
+      }
+      recycler->absorb(inc.data(), finc.data());
+    }
+    results[j].iterations = s.iterations;
+    results[j].rel_residual = s.rel;
+    results[j].converged = converged;
+    results[j].deflation_dim = s.deflation_dim;
+    results[j].alpha = projector_.alpha(s.r.data());
+    results[j].lambda = std::move(s.lambda);
+    s.active = false;
+  };
+
+  std::vector<const double*> cptrs;
+  std::vector<double*> ptrs;
+  // Device twin of the deflated preconditioner step: M⁻¹ on device views,
+  // device projector, then the recycler's device panel projection. A
+  // preconditioner pooled on a different execution context (the sharded
+  // operator anchors on its internal shard-0 context) needs `main` drained
+  // first — its streams carry no ordering against the main queue.
+  const bool foreign_m =
+      m_ != nullptr && m_->device_context() != ctx;
+  const auto precondition = [&](const std::vector<std::size_t>& js) {
+    if (js.empty()) return;
+    const bool deflate = recycler != nullptr && recycler->dim() > 0;
+    ptrs.clear();
+    for (std::size_t j : js) ptrs.push_back(sys[j].d_y);
+    if (m_ == nullptr) {
+      for (std::size_t j : js)
+        gpu::kernels::copy(main, sys[j].d_w, sys[j].d_y, n);
+    } else if (js.size() == 1) {
+      System& s = sys[js.front()];
+      if (foreign_m) main.synchronize();
+      m_->apply_device(s.d_w, tin, 1);
+      projector_.apply_device(dev, main, {tin}, {s.d_y});
+    } else {
+      cptrs.clear();
+      for (std::size_t j : js) cptrs.push_back(sys[j].d_w);
+      gpu::kernels::pack_columns(main, cptrs, tin, n);
+      if (foreign_m) main.synchronize();
+      m_->apply_device(tin, tout, static_cast<idx>(js.size()));
+      cptrs.clear();
+      for (std::size_t b = 0; b < js.size(); ++b)
+        cptrs.push_back(tout + b * N);
+      projector_.apply_device(dev, main, cptrs, ptrs);
+    }
+    if (deflate) recycler->project_out_device(dev, main, ptrs);
+  };
+
+  // Host-side setup identical to the host engine (floor check, Galerkin
+  // warm start, the *batched* first preconditioned direction), then one
+  // upload of the live per-system state.
+  std::vector<std::vector<double>> w0v(nsys), y0(nsys);
+  std::vector<double> t_host(N), tin_host, tout_host;
+  std::vector<std::size_t> pending;
+  for (std::size_t j = 0; j < nsys; ++j) {
+    System& s = sys[j];
+    s.lambda = lambda0;
+    s.r.resize(N);
+    const std::vector<double>& dj = *d[j];
+    for (idx i = 0; i < n; ++i) s.r[i] = dj[i] - q0[i];
+    w0v[j].resize(N);
+    projector_.apply(s.r.data(), w0v[j].data());
+    s.w0_norm = la::nrm2(n, w0v[j].data());
+    if (s.w0_norm <= w0_floor(n, la::nrm2(n, dj.data()))) {
+      s.rel = 0.0;
+      finalize(j, /*converged=*/true, /*download=*/false);
+      continue;
+    }
+    if (recycler != nullptr && recycler->dim() > 0) {
+      s.deflation_dim = recycler->deflate_initial(s.lambda.data(),
+                                                  s.r.data());
+      projector_.apply(s.r.data(), w0v[j].data());
+    }
+    pending.push_back(j);
+  }
+  if (!pending.empty()) {
+    const bool deflate = recycler != nullptr && recycler->dim() > 0;
+    const auto project_y = [&](const double* src, double* dst) {
+      if (deflate)
+        projector_.apply_deflated(src, dst, *recycler);
+      else
+        projector_.apply(src, dst);
+    };
+    for (std::size_t j : pending) y0[j].resize(N);
+    if (m_ == nullptr) {
+      for (std::size_t j : pending) {
+        y0[j] = w0v[j];
+        if (deflate) recycler->project_out(y0[j].data(), 1);
+      }
+    } else if (pending.size() == 1) {
+      const std::size_t j = pending.front();
+      m_->apply(w0v[j].data(), t_host.data());
+      project_y(t_host.data(), y0[j].data());
+    } else {
+      tin_host.resize(N * pending.size());
+      tout_host.resize(tin_host.size());
+      for (std::size_t b = 0; b < pending.size(); ++b)
+        std::copy_n(w0v[pending[b]].data(), n, tin_host.data() + b * N);
+      m_->apply(tin_host.data(), tout_host.data(),
+                static_cast<idx>(pending.size()));
+      for (std::size_t b = 0; b < pending.size(); ++b)
+        project_y(tout_host.data() + b * N, y0[pending[b]].data());
+    }
+  }
+  for (std::size_t j : pending) {
+    System& s = sys[j];
+    main.memcpy_h2d(s.d_lambda, s.lambda.data(), vec_bytes);
+    main.memcpy_h2d(s.d_r, s.r.data(), vec_bytes);
+    main.memcpy_h2d(s.d_w, w0v[j].data(), vec_bytes);
+    main.memcpy_h2d(s.d_y, y0[j].data(), vec_bytes);
+    main.memcpy_h2d(s.d_p, y0[j].data(), vec_bytes);  // p = y
+  }
+  main.synchronize();
+
+  std::vector<double> coeff_host;
+  la::DenseMatrix gram_mat;
+  std::vector<std::size_t> batch;
+  GramSolver gram;
+  for (;;) {
+    batch.clear();
+    std::vector<std::size_t> active;
+    cptrs.clear();
+    for (std::size_t j = 0; j < nsys; ++j) {
+      if (!sys[j].active) continue;
+      active.push_back(j);
+      cptrs.push_back(sys[j].d_w);
+    }
+    if (active.empty()) break;
+    gpu::kernels::nrm2_many(main, cptrs, n, out_dev);
+    main.memcpy_d2h(out_host.data(), out_dev,
+                    active.size() * sizeof(double));
+    main.synchronize();
+    for (std::size_t b = 0; b < active.size(); ++b) {
+      const std::size_t j = active[b];
+      System& s = sys[j];
+      s.rel = out_host[b] / s.w0_norm;
+      if (s.rel <= options_.rel_tolerance) {
+        finalize(j, /*converged=*/true, /*download=*/true);
+      } else if (s.iterations >= options_.max_iterations) {
+        finalize(j, /*converged=*/false, /*download=*/true);
+      } else {
+        batch.push_back(j);
+      }
+    }
+    if (batch.empty()) break;
+
+    // Shared panel apply Q = F P; width 1 aliases the system's own device
+    // direction exactly like the host engine's width-1 path.
+    const idx width = static_cast<idx>(batch.size());
+    const double* panel = nullptr;
+    if (width == 1) {
+      System& s = sys[batch.front()];
+      f_.apply_device(s.d_p, ypanel, 1);
+      panel = s.d_p;
+    } else {
+      cptrs.clear();
+      for (std::size_t j : batch) cptrs.push_back(sys[j].d_p);
+      gpu::kernels::pack_columns(main, cptrs, xpanel, n);
+      f_.apply_device(xpanel, ypanel, width);
+      panel = xpanel;
+    }
+    const gpu::DeviceDense pdev{const_cast<double*>(panel), n, width, n,
+                                la::Layout::ColMajor};
+    const gpu::DeviceDense qdev{ypanel, n, width, n, la::Layout::ColMajor};
+
+    // Gram block PᵀFP as one device gemm; only the width² block comes back
+    // for the host-side rank-revealing factorization.
+    main.submit([pdev, qdev, gram_dev, width] {
+      la::DenseView g(gram_dev, width, width, width, la::Layout::ColMajor);
+      la::gemm(1.0, pdev.cview(), la::Trans::Yes, qdev.cview(), la::Trans::No,
+               0.0, g);
+    });
+    gram_mat = la::DenseMatrix(width, width, la::Layout::ColMajor);
+    main.memcpy_d2h(gram_mat.data(), gram_dev,
+                    static_cast<std::size_t>(width) * width * sizeof(double));
+    main.synchronize();
+    gram.factor(gram_mat, options_.block.pivot_rel_tolerance);
+    if (gram.rank() == 0) {
+      // Whole-panel breakdown, same contract as the host engine; s.rel
+      // already holds the value the host recomputes.
+      check(!throw_on_breakdown,
+            "Pcpg: operator lost positive definiteness");
+      for (std::size_t j : batch) {
+        ++sys[j].iterations;
+        finalize(j, /*converged=*/false, /*download=*/true);
+      }
+      continue;
+    }
+
+    // Step coefficients for every system: one fused Pᵀw sweep, one
+    // coefficient-block round trip for the host Gram solves, one fused
+    // λ/r update sweep, then the batched device projector.
+    const std::size_t W = static_cast<std::size_t>(width);
+    {
+      std::vector<const double*> wptrs;
+      for (std::size_t j : batch) wptrs.push_back(sys[j].d_w);
+      main.submit([pdev, coeff_dev, W, wptrs] {
+        for (std::size_t b = 0; b < wptrs.size(); ++b)
+          la::gemv(1.0, pdev.cview(), la::Trans::Yes, wptrs[b], 0.0,
+                   coeff_dev + b * W);
+      });
+    }
+    coeff_host.resize(W * batch.size());
+    main.memcpy_d2h(coeff_host.data(), coeff_dev,
+                    coeff_host.size() * sizeof(double));
+    main.synchronize();
+    for (std::size_t b = 0; b < batch.size(); ++b)
+      gram.solve(coeff_host.data() + b * W);
+    main.memcpy_h2d(coeff_dev, coeff_host.data(),
+                    coeff_host.size() * sizeof(double));
+    {
+      std::vector<double*> lam_ptrs, r_ptrs;
+      for (std::size_t j : batch) {
+        lam_ptrs.push_back(sys[j].d_lambda);
+        r_ptrs.push_back(sys[j].d_r);
+      }
+      main.submit([pdev, qdev, coeff_dev, W, lam_ptrs, r_ptrs] {
+        for (std::size_t b = 0; b < lam_ptrs.size(); ++b) {
+          la::gemv(1.0, pdev.cview(), la::Trans::No, coeff_dev + b * W, 1.0,
+                   lam_ptrs[b]);
+          la::gemv(-1.0, qdev.cview(), la::Trans::No, coeff_dev + b * W, 1.0,
+                   r_ptrs[b]);
+        }
+      });
+    }
+    cptrs.clear();
+    ptrs.clear();
+    for (std::size_t j : batch) {
+      cptrs.push_back(sys[j].d_r);
+      ptrs.push_back(sys[j].d_w);
+    }
+    projector_.apply_device(dev, main, cptrs, ptrs);
+    for (std::size_t j : batch) ++sys[j].iterations;
+
+    // Next panel: preconditioned (and deflation-projected) residuals,
+    // conjugated against the current panel — one fused QᵀY sweep, one
+    // coefficient round trip, one fused p-update sweep.
+    precondition(batch);
+    {
+      std::vector<const double*> yptrs;
+      for (std::size_t j : batch) yptrs.push_back(sys[j].d_y);
+      main.submit([qdev, coeff_dev, W, yptrs] {
+        for (std::size_t b = 0; b < yptrs.size(); ++b)
+          la::gemv(1.0, qdev.cview(), la::Trans::Yes, yptrs[b], 0.0,
+                   coeff_dev + b * W);
+      });
+    }
+    main.memcpy_d2h(coeff_host.data(), coeff_dev,
+                    coeff_host.size() * sizeof(double));
+    main.synchronize();
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      gram.solve(coeff_host.data() + b * W);
+      la::scal(width, -1.0, coeff_host.data() + b * W);
+    }
+    main.memcpy_h2d(coeff_dev, coeff_host.data(),
+                    coeff_host.size() * sizeof(double));
+    if (width == 1) {
+      // The panel aliases d_p: conjugate in place on y and swap pointers,
+      // mirroring the host engine's width-1 recurrence.
+      System& s = sys[batch.front()];
+      double* d_y = s.d_y;
+      main.submit([pdev, coeff_dev, d_y] {
+        la::gemv(1.0, pdev.cview(), la::Trans::No, coeff_dev, 1.0, d_y);
+      });
+      std::swap(s.d_p, s.d_y);
+    } else {
+      std::vector<const double*> yptrs;
+      ptrs.clear();
+      for (std::size_t j : batch) {
+        yptrs.push_back(sys[j].d_y);
+        ptrs.push_back(sys[j].d_p);
+      }
+      main.submit([pdev, coeff_dev, W, n, yptrs, ptrs] {
+        for (std::size_t b = 0; b < yptrs.size(); ++b) {
+          std::copy_n(yptrs[b], static_cast<std::size_t>(n), ptrs[b]);
+          la::gemv(1.0, pdev.cview(), la::Trans::No, coeff_dev + b * W, 1.0,
+                   ptrs[b]);
+        }
+      });
     }
   }
   return results;

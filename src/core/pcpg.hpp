@@ -72,6 +72,24 @@ struct BlockPcpgOptions {
 };
 
 struct PcpgOptions {
+  /// Device-resident solver-loop state. When the resolved dual operator
+  /// exposes a device context (DualOperator::device_context() != nullptr)
+  /// and the preconditioner is absent or does too, the PCPG loop keeps
+  /// λ, r, w, y, the search panel P and Q = F·P in device memory for the
+  /// whole solve: operator and preconditioner applications consume device
+  /// views (no per-iteration H2D/D2H vector staging), the projector and
+  /// deflation G/U-panel products run as device kernels, and only the
+  /// small Gram blocks and convergence scalars cross PCIe per iteration.
+  /// Bit-identical to the host-staged loop (same kernels, same order), so
+  /// iteration counts match exactly.
+  ///   Auto — use the device path when eligible, fall back to the host
+  ///          path otherwise (including on device out-of-memory);
+  ///   Off  — always host-staged;
+  ///   On   — require the device path; throws when the operator (or a
+  ///          configured preconditioner) has no device context, and
+  ///          propagates device out-of-memory instead of falling back.
+  enum class DeviceState : std::uint8_t { Auto, Off, On };
+
   double rel_tolerance = 1e-9;
   int max_iterations = 1000;
   /// Preconditioner registry key ("none", "lumped", "dirichlet stiffness",
@@ -79,6 +97,8 @@ struct PcpgOptions {
   std::string preconditioner = "none";
   /// Block-PCPG / Krylov-recycling configuration.
   BlockPcpgOptions block;
+  /// Device-residency mode of the solver loop (see DeviceState).
+  DeviceState device_state = DeviceState::Auto;
 
   /// Deprecated enum-based selector; assigns the equivalent registry key.
   [[deprecated("assign the registry key to `preconditioner` instead")]]
@@ -137,6 +157,17 @@ class Pcpg {
   void set_recycler(KrylovRecycler* recycler) { recycler_ = recycler; }
 
  private:
+  /// Routes a solve to the device-resident or host-staged engine per
+  /// options.device_state (Auto additionally falls back to the host engine
+  /// when the device runs out of memory mid-setup).
+  std::vector<PcpgResult> run(const std::vector<double>* const* d,
+                              std::size_t nsys, bool throw_on_breakdown);
+
+  /// True when the device engines may run: the operator has a device
+  /// context and the preconditioner (if any) does too. Throws under
+  /// DeviceState::On when the requirement is unmet.
+  [[nodiscard]] bool device_eligible();
+
   /// Shared lockstep implementation over borrowed right-hand sides.
   /// `throw_on_breakdown` preserves solve()'s historical throwing contract;
   /// solve_many() instead reports the broken system as non-converged.
@@ -149,6 +180,16 @@ class Pcpg {
   std::vector<PcpgResult> solve_block_impl(const std::vector<double>* const* d,
                                            std::size_t nsys,
                                            bool throw_on_breakdown);
+
+  /// Device-resident twins of the two engines: per-system state lives on
+  /// the operator's device for the whole solve, per-iteration PCIe traffic
+  /// is O(scalars). Bit-identical results and iteration counts.
+  std::vector<PcpgResult> solve_impl_device(const std::vector<double>* const* d,
+                                            std::size_t nsys,
+                                            bool throw_on_breakdown);
+  std::vector<PcpgResult> solve_block_impl_device(
+      const std::vector<double>* const* d, std::size_t nsys,
+      bool throw_on_breakdown);
 
   DualOperator& f_;
   const Projector& projector_;

@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "core/krylov_recycler.hpp"
+#include "gpu/blas.hpp"
+#include "gpu/kernels.hpp"
+#include "gpu/runtime.hpp"
 #include "la/blas_dense.hpp"
 #include "la/blas_sparse.hpp"
 
@@ -34,9 +37,81 @@ Projector::Projector(const decomp::FetiProblem& p) : p_(p) {
         "Projector: G^T G is singular — check subdomain kernels");
 }
 
+Projector::~Projector() {
+  if (dev_ == nullptr) return;
+  dev_->synchronize();
+  dev_->free(g_dev_);
+  if (s_dev_ != nullptr) dev_->free(s_dev_);
+}
+
 void Projector::coarse_solve(std::vector<double>& s) const {
-  la::trsv(la::Uplo::Lower, la::Trans::No, gtg_.cview(), s.data());
-  la::trsv(la::Uplo::Lower, la::Trans::Yes, gtg_.cview(), s.data());
+  coarse_solve(s.data());
+}
+
+void Projector::coarse_solve(double* s) const {
+  la::trsv(la::Uplo::Lower, la::Trans::No, gtg_.cview(), s);
+  la::trsv(la::Uplo::Lower, la::Trans::Yes, gtg_.cview(), s);
+}
+
+void Projector::ensure_device(gpu::Device& dev, gpu::Stream& s,
+                              std::size_t cols) const {
+  check(dev_ == nullptr || dev_ == &dev,
+        "Projector: device mirror already bound to another device");
+  const std::size_t rt = static_cast<std::size_t>(g_.cols());
+  if (dev_ == nullptr) {
+    dev_ = &dev;
+    g_dev_ = dev.alloc_n<double>(g_.size());
+    s.memcpy_h2d(g_dev_, g_.data(), g_.size() * sizeof(double));
+  }
+  if (s_cap_ < cols) {
+    if (s_dev_ != nullptr) {
+      dev.synchronize();
+      dev.free(s_dev_);
+      s_dev_ = nullptr;
+      s_cap_ = 0;
+    }
+    s_dev_ = dev.alloc_n<double>(rt * cols);
+    s_cap_ = cols;
+  }
+  if (s_host_.size() < rt * cols) s_host_.resize(rt * cols);
+}
+
+void Projector::apply_device(gpu::Device& dev, gpu::Stream& s,
+                             const std::vector<const double*>& xs,
+                             const std::vector<double*>& ys) const {
+  check(xs.size() == ys.size(), "Projector: apply_device size mismatch");
+  if (xs.empty()) return;
+  const idx nl = p_.num_lambdas;
+  const idx rt = g_.cols();
+  ensure_device(dev, s, xs.size());
+  const gpu::DeviceDense g{g_dev_, nl, rt, nl, la::Layout::ColMajor};
+
+  // One fused submission: sᵦ = Gᵀ xᵦ for every column of the call (the
+  // same la::gemv per column as the host apply, batched to amortize the
+  // kernel launch latency).
+  double* s_dev = s_dev_;
+  s.submit([g, s_dev, rt, xs] {
+    for (std::size_t b = 0; b < xs.size(); ++b)
+      la::gemv(1.0, g.cview(), la::Trans::Yes, xs[b], 0.0,
+               s_dev + b * static_cast<std::size_t>(rt));
+  });
+  const std::size_t bytes =
+      static_cast<std::size_t>(rt) * xs.size() * sizeof(double);
+  s.memcpy_d2h(s_host_.data(), s_dev, bytes);
+  s.synchronize();
+  // Host-side coarse solves on the small packed block (the only data of
+  // this apply that crosses PCIe), then back to the device.
+  for (std::size_t b = 0; b < xs.size(); ++b)
+    coarse_solve(s_host_.data() + b * static_cast<std::size_t>(rt));
+  s.memcpy_h2d(s_dev, s_host_.data(), bytes);
+  // One fused submission for the rank-rt update yᵦ = xᵦ − G sᵦ.
+  s.submit([g, s_dev, nl, rt, xs, ys] {
+    for (std::size_t b = 0; b < ys.size(); ++b) {
+      std::copy_n(xs[b], nl, ys[b]);
+      la::gemv(-1.0, g.cview(), la::Trans::No,
+               s_dev + b * static_cast<std::size_t>(rt), 1.0, ys[b]);
+    }
+  });
 }
 
 void Projector::apply(const double* x, double* y) const {

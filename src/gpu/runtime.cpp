@@ -264,11 +264,20 @@ void Stream::submit(std::function<void()> op) {
   impl_->submit(std::move(op));
 }
 
+TransferCounters& TransferCounters::global() {
+  static TransferCounters counters;
+  return counters;
+}
+
 void Stream::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
+  // Counted at submission time (not execution): deterministic totals for
+  // the transfer-count gates even while the stream is still draining.
+  TransferCounters::global().record_h2d(bytes);
   submit([dst, src, bytes] { std::memcpy(dst, src, bytes); });
 }
 
 void Stream::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
+  TransferCounters::global().record_d2h(bytes);
   submit([dst, src, bytes] { std::memcpy(dst, src, bytes); });
 }
 

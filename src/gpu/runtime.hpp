@@ -12,8 +12,10 @@
 // (Section IV-A). Kernels execute on host threads; all relative effects in
 // the benchmarks come from real algorithmic differences, not faked timings.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -24,6 +26,54 @@
 #include "util/thread_pool.hpp"
 
 namespace feti::gpu {
+
+/// Process-wide PCIe traffic instrumentation. Every Stream::memcpy_h2d /
+/// memcpy_d2h counts its bytes here at submission time — the single choke
+/// point all upload helpers (gpu/data.cpp), the dual-vector staging paths,
+/// the preconditioner staging, and the sharded operators' per-shard devices
+/// funnel through — so a transfer-count gate sees the whole process without
+/// per-call-site bookkeeping. Counters accumulate forever; callers take
+/// snapshot() deltas (concurrent solves on other threads pollute a delta,
+/// which is why the benches/tests that gate on it run single-solver).
+struct TransferCounters {
+  std::atomic<std::uint64_t> h2d_bytes{0};
+  std::atomic<std::uint64_t> d2h_bytes{0};
+  std::atomic<std::uint64_t> h2d_calls{0};
+  std::atomic<std::uint64_t> d2h_calls{0};
+
+  /// Consistent-enough copy for before/after deltas.
+  struct Snapshot {
+    std::uint64_t h2d_bytes = 0;
+    std::uint64_t d2h_bytes = 0;
+    std::uint64_t h2d_calls = 0;
+    std::uint64_t d2h_calls = 0;
+
+    Snapshot operator-(const Snapshot& o) const {
+      return {h2d_bytes - o.h2d_bytes, d2h_bytes - o.d2h_bytes,
+              h2d_calls - o.h2d_calls, d2h_calls - o.d2h_calls};
+    }
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return {h2d_bytes.load(std::memory_order_relaxed),
+            d2h_bytes.load(std::memory_order_relaxed),
+            h2d_calls.load(std::memory_order_relaxed),
+            d2h_calls.load(std::memory_order_relaxed)};
+  }
+
+  void record_h2d(std::size_t bytes) {
+    h2d_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    h2d_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_d2h(std::size_t bytes) {
+    d2h_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    d2h_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// The process-wide instance (all virtual devices share it, matching the
+  /// single physical PCIe link the paper's measurements go through).
+  static TransferCounters& global();
+};
 
 struct DeviceConfig {
   /// Worker threads emulating the device's execution resources.

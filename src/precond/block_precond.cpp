@@ -539,6 +539,10 @@ class GpuBlockPreconditioner final : public Preconditioner {
 
   [[nodiscard]] const char* key() const override { return key_.c_str(); }
 
+  [[nodiscard]] gpu::ExecutionContext* device_context() override {
+    return &ctx_;
+  }
+
  protected:
   void apply_one(const double* x, double* y) override {
     const idx n = p_.num_lambdas;
@@ -589,6 +593,51 @@ class GpuBlockPreconditioner final : public Preconditioner {
                                make_block_jobs(qb_dev_));
     main_stream_.memcpy_d2h(
         y, d_yb_, static_cast<std::size_t>(n) * nrhs * sizeof(double));
+    main_stream_.synchronize();
+  }
+
+  /// Device-view apply for the device-state PCPG mode: identical kernels
+  /// to apply_one/apply_many (nrhs == 1 keeps the SYMV path for bitwise
+  /// agreement), but scatters from the caller's device columns and gathers
+  /// into them directly — the d_x_/d_y_ staging memcpys disappear.
+  void apply_many_device(const double* d_x, double* d_y, idx nrhs) override {
+    const idx n = p_.num_lambdas;
+    const std::size_t ns = streams_.size();
+    if (nrhs == 1) {
+      gpu::kernels::scatter_batch(main_stream_, d_x, make_jobs(lam_dev_));
+      const gpu::Event scattered = main_stream_.record();
+      for (auto& st : streams_) st.wait(scattered);
+      for (std::size_t s = 0; s < p_.sub.size(); ++s) {
+        if (lam_dev_[s] == nullptr) continue;
+        gpu::Stream& st = streams_[s % ns];
+        gpu::blas::symv(st, la::Uplo::Upper, 1.0, m_dev_[s], lam_dev_[s],
+                        0.0, q_dev_[s]);
+      }
+      for (auto& st : streams_) main_stream_.wait(st.record());
+      gpu::kernels::gather_batch(main_stream_, d_y, n, make_jobs(q_dev_));
+      main_stream_.synchronize();
+      return;
+    }
+    ensure_batch(nrhs);
+    gpu::kernels::scatter_batch(main_stream_, d_x, n, nrhs,
+                                la::Layout::RowMajor,
+                                make_block_jobs(lamb_dev_));
+    const gpu::Event scattered = main_stream_.record();
+    for (auto& st : streams_) st.wait(scattered);
+    for (std::size_t s = 0; s < p_.sub.size(); ++s) {
+      if (lamb_dev_[s] == nullptr) continue;
+      const idx m = p_.sub[s].num_local_lambdas();
+      gpu::Stream& st = streams_[s % ns];
+      const gpu::DeviceDense lam{lamb_dev_[s], m, nrhs, batch_cols_,
+                                 la::Layout::RowMajor};
+      const gpu::DeviceDense q{qb_dev_[s], m, nrhs, batch_cols_,
+                               la::Layout::RowMajor};
+      gpu::blas::symm(st, la::Uplo::Upper, 1.0, m_dev_[s], lam, 0.0, q);
+    }
+    for (auto& st : streams_) main_stream_.wait(st.record());
+    gpu::kernels::gather_batch(main_stream_, d_y, n, n, nrhs,
+                               la::Layout::RowMajor,
+                               make_block_jobs(qb_dev_));
     main_stream_.synchronize();
   }
 

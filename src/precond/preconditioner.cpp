@@ -39,6 +39,18 @@ void Preconditioner::apply(const double* x, double* y, idx nrhs) {
   }
 }
 
+void Preconditioner::apply_device(const double* d_x, double* d_y, idx nrhs) {
+  check(nrhs >= 0, "Preconditioner::apply_device: negative nrhs");
+  if (nrhs == 0) return;
+  ScopedTimer t(timings_, "apply");
+  apply_many_device(d_x, d_y, nrhs);
+}
+
+void Preconditioner::apply_many_device(const double*, double*, idx) {
+  check(false, std::string(key()) +
+                   ": no device-resident apply (device_context() is null)");
+}
+
 void Preconditioner::apply_many(const double* x, double* y, idx nrhs) {
   ++loop_fallbacks_;
   const std::size_t stride = static_cast<std::size_t>(p_.num_lambdas);

@@ -84,6 +84,22 @@ class Preconditioner {
   /// cluster-wide dual vectors (leading dimension num_lambdas).
   void apply(const double* x, double* y, idx nrhs);
 
+  /// The execution context whose device holds this preconditioner's state,
+  /// or null when there is no device-resident application path. Non-null
+  /// enables apply_device() — used by the device-state PCPG mode to feed
+  /// device residual columns straight into the preconditioner without
+  /// host staging. Same contract as DualOperator::device_context().
+  [[nodiscard]] virtual gpu::ExecutionContext* device_context() {
+    return nullptr;
+  }
+
+  /// Device-resident application: d_x / d_y are device allocations of
+  /// device_context()'s device holding nrhs contiguous cluster-wide columns
+  /// (leading dimension num_lambdas). Synchronous; bit-identical to the
+  /// host-pointer apply() of the same nrhs. Valid only when
+  /// device_context() != nullptr.
+  void apply_device(const double* d_x, double* d_y, idx nrhs = 1);
+
   /// The registry key this instance was created under ("dirichlet
   /// stiffness gpu", ...).
   [[nodiscard]] virtual const char* key() const = 0;
@@ -109,6 +125,10 @@ class Preconditioner {
   virtual void apply_one(const double* x, double* y) = 0;
   /// Batched hook; the default loops over apply_one (counted).
   virtual void apply_many(const double* x, double* y, idx nrhs);
+  /// Device-pointer hook behind apply_device(). Overriders may assume
+  /// nrhs >= 1 and must dispatch nrhs == 1 through the same local kernels
+  /// as apply_one (SYMV vs SYMM differ bitwise). The default rejects.
+  virtual void apply_many_device(const double* d_x, double* d_y, idx nrhs);
 
   using UpdatePlan = core::UpdatePlan;
   UpdatePlan begin_update();

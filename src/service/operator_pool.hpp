@@ -43,6 +43,10 @@ class OperatorPool {
   /// An exclusive checkout of one pooled entry. Holds the shard lease of
   /// the entry's device for its lifetime; the caller must return the entry
   /// via give_back() when the solve is done (the lease releases itself).
+  /// Device-state PCPG solves (PcpgOptions::device_state) depend on this:
+  /// the solver loop's λ/r/w/P/Q state lives in the entry's device memory
+  /// for the whole solve, so the shard lease is kept end to end — the
+  /// device is never rebalanced or handed to another wave mid-solve.
   struct Checkout {
     core::FetiSolver* solver = nullptr;
     std::uint64_t fingerprint = 0;

@@ -13,7 +13,8 @@ namespace {
 bool same_pcpg(const core::PcpgOptions& a, const core::PcpgOptions& b) {
   return a.rel_tolerance == b.rel_tolerance &&
          a.max_iterations == b.max_iterations &&
-         a.preconditioner == b.preconditioner && a.block == b.block;
+         a.preconditioner == b.preconditioner && a.block == b.block &&
+         a.device_state == b.device_state;
 }
 
 /// With cross-step recycling on, a wave additionally sticks to one tenant:
